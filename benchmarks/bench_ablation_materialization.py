@@ -1,0 +1,68 @@
+"""Ablation — the design choices DESIGN.md calls out.
+
+1. PostgreSQL's CTE materialisation barrier: default CTEs vs
+   ``NOT MATERIALIZED`` (which removes the barrier and lets pruning flow,
+   the paper's §6.1 explanation for the CTE/VIEW gap).
+2. Operator-output materialisation: the postgres profile with copies
+   disabled (isolating the tuple-materialisation share of the PG/Umbra
+   difference).
+3. View materialisation for inspection workloads (§3.4.2).
+"""
+
+import pytest
+
+from harness import bench_sizes, make_inspector, print_table
+from repro.core.connectors import (
+    PostgresqlConnector,
+    ProfileConnector,
+    UmbraConnector,
+)
+from repro.sqldb.profile import Profile
+
+PG_NO_COPY = Profile(
+    "postgres-nocopy", materialize_ctes_by_default=True, copy_operator_output=False
+)
+
+
+def _run(connector, mode, materialize=False, cte_not_materialized=False):
+    size = bench_sizes()[-1]
+    inspector = make_inspector("healthcare", size, "sklearn", with_inspection=True)
+    import time
+
+    started = time.perf_counter()
+    inspector.execute_in_sql(
+        dbms_connector=connector,
+        mode=mode,
+        materialize=materialize,
+        cte_not_materialized=cte_not_materialized,
+    )
+    return time.perf_counter() - started
+
+
+CONFIGS = [
+    ("pg CTE (default, barrier)", lambda: _run(PostgresqlConnector(), "CTE")),
+    (
+        "pg CTE NOT MATERIALIZED",
+        lambda: _run(PostgresqlConnector(), "CTE", cte_not_materialized=True),
+    ),
+    ("pg VIEW", lambda: _run(PostgresqlConnector(), "VIEW")),
+    ("pg VIEW materialized", lambda: _run(PostgresqlConnector(), "VIEW", True)),
+    ("pg (no operator copies) VIEW", lambda: _run(ProfileConnector(PG_NO_COPY), "VIEW")),
+    ("umbra CTE", lambda: _run(UmbraConnector(), "CTE")),
+    ("umbra VIEW", lambda: _run(UmbraConnector(), "VIEW")),
+]
+
+
+@pytest.mark.parametrize("label,runner", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_ablation_benchmark(benchmark, label, runner):
+    benchmark.pedantic(runner, rounds=1, iterations=1)
+
+
+def test_report_ablation(capsys):
+    rows = [[label, runner()] for label, runner in CONFIGS]
+    with capsys.disabled():
+        print_table(
+            f"Ablation: healthcare + inspection at {bench_sizes()[-1]} tuples (s)",
+            ["configuration", "seconds"],
+            rows,
+        )

@@ -1,0 +1,99 @@
+"""Figure 10 — operation-level performance breakdown (compas pipeline).
+
+Times every pipeline operation individually, in the native Python path
+(wall clock around each patched call) and in the SQL path (per-statement
+timings of the materialised-view creation, which executes each table
+expression exactly once).
+"""
+
+import time
+
+import pytest
+
+from harness import bench_sizes, dataset_dir_for, print_table
+from repro.core.connectors import PostgresqlConnector, UmbraConnector
+from repro.inspection import PipelineInspector
+from repro.inspection.monkeypatch import patched_libraries
+from repro.inspection.tracker import PythonBackend
+from repro.pipelines import compas_source
+
+
+class _TimingBackend(PythonBackend):
+    """Python backend recording wall-clock per recorded operation."""
+
+    def __init__(self) -> None:
+        super().__init__([])
+        self.op_timings: list[tuple[str, float]] = []
+
+    def _record(self, operator_type, description, inputs, output,
+                lineage, lineno, columns=()):
+        node = super()._record(
+            operator_type, description, inputs, output, lineage, lineno, columns
+        )
+        return node
+
+
+def _python_op_timings(source: str) -> list[tuple[str, float]]:
+    backend = _TimingBackend()
+    timings: list[tuple[str, float]] = []
+    original_record = backend._record
+
+    def timed_record(operator_type, description, *args, **kwargs):
+        node = original_record(operator_type, description, *args, **kwargs)
+        now = time.perf_counter()
+        timings.append((f"{description}", now - timed_record.last))
+        timed_record.last = now
+        return node
+
+    timed_record.last = time.perf_counter()
+    backend._record = timed_record
+    code = compile(source, "<compas>", "exec")
+    with patched_libraries(backend, "<compas>"):
+        exec(code, {"__name__": "__main__"})
+    return timings
+
+
+def _sql_op_timings(source: str, connector) -> list[tuple[str, float]]:
+    PipelineInspector.on_pipeline_from_string(
+        source, filename="<compas>"
+    ).execute_in_sql(dbms_connector=connector, mode="VIEW", materialize=True)
+    return [
+        (head, seconds)
+        for head, seconds in connector.statement_timings
+        if head.startswith(("CREATE MATERIALIZED VIEW", "COPY", "CREATE TABLE"))
+    ]
+
+
+def test_fig10_benchmark(benchmark):
+    size = bench_sizes()[-1]
+    directory = dataset_dir_for("compas", size)
+    source = compas_source(directory, upto="sklearn")
+
+    def run():
+        _sql_op_timings(source, PostgresqlConnector())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_report_fig10(capsys):
+    size = bench_sizes()[-1]
+    directory = dataset_dir_for("compas", size)
+    source = compas_source(directory, upto="sklearn")
+
+    python_ops = _python_op_timings(source)
+    postgres_ops = _sql_op_timings(source, PostgresqlConnector())
+    umbra_ops = _sql_op_timings(source, UmbraConnector())
+
+    rows = [
+        ["python", op, seconds] for op, seconds in python_ops
+    ] + [
+        ["postgres", op[:64], seconds] for op, seconds in postgres_ops
+    ] + [
+        ["umbra", op[:64], seconds] for op, seconds in umbra_ops
+    ]
+    with capsys.disabled():
+        print_table(
+            f"Figure 10: per-operation breakdown, compas, {size} tuples (s)",
+            ["backend", "operation", "seconds"],
+            rows,
+        )

@@ -1,0 +1,42 @@
+"""Figure 7a — pandas operations vs their SQL translations.
+
+For each pipeline, all code up to the last pandas line runs either natively
+(the baseline) or transpiled to SQL under {PostgreSQL, Umbra} x {CTE,
+VIEW}; no inspection, no materialisation (every expression runs once).
+The paper's shape: SQL overtakes the native path as cardinality grows,
+with the CTE mode paying PostgreSQL's materialisation barrier.
+"""
+
+import pytest
+
+from harness import ALL_BACKENDS, bench_sizes, print_table, run_once
+
+PIPELINES = ["healthcare", "compas", "adult_simple", "adult_complex"]
+BACKENDS = [b for b in ALL_BACKENDS if not b.endswith("mat")]
+
+
+@pytest.mark.parametrize("pipeline", PIPELINES)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pandas_ops_benchmark(benchmark, pipeline, backend):
+    size = bench_sizes()[-1]
+
+    def run():
+        run_once(pipeline, size, "pandas", backend)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_report_fig7a(capsys):
+    rows = []
+    for pipeline in PIPELINES:
+        for size in bench_sizes():
+            row = [pipeline, size]
+            for backend in BACKENDS:
+                row.append(run_once(pipeline, size, "pandas", backend).seconds)
+            rows.append(row)
+    with capsys.disabled():
+        print_table(
+            "Figure 7a: pandas part, runtime (s)",
+            ["pipeline", "tuples"] + BACKENDS,
+            rows,
+        )

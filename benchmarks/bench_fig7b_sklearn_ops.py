@@ -1,0 +1,39 @@
+"""Figure 7b — the full preprocessing pipeline (pandas + scikit-learn).
+
+Adds the scikit-learn transformers to Figure 7a's setting; fitting
+parameters become their own table expressions, so the materialised-view
+configuration (which caches them, §3.4.2) joins the measured set.
+"""
+
+import pytest
+
+from harness import ALL_BACKENDS, bench_sizes, print_table, run_once
+
+PIPELINES = ["healthcare", "compas", "adult_simple", "adult_complex"]
+
+
+@pytest.mark.parametrize("pipeline", PIPELINES)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_sklearn_ops_benchmark(benchmark, pipeline, backend):
+    size = bench_sizes()[-1]
+
+    def run():
+        run_once(pipeline, size, "sklearn", backend)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_report_fig7b(capsys):
+    rows = []
+    for pipeline in PIPELINES:
+        for size in bench_sizes():
+            row = [pipeline, size]
+            for backend in ALL_BACKENDS:
+                row.append(run_once(pipeline, size, "sklearn", backend).seconds)
+            rows.append(row)
+    with capsys.disabled():
+        print_table(
+            "Figure 7b: pandas + scikit-learn part, runtime (s)",
+            ["pipeline", "tuples"] + ALL_BACKENDS,
+            rows,
+        )

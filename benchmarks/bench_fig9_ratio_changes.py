@@ -1,0 +1,80 @@
+"""Figure 9 — ratio changes during preprocessing (healthcare).
+
+Prints, for each row-count-changing operator of the healthcare pipeline,
+the distribution frequencies of ``race`` and ``age_group`` before and
+after, plus the delta — the series behind Figure 9 — and asserts that the
+Python-computed and SQL-computed ratios agree exactly.
+"""
+
+import pytest
+
+from harness import make_inspector, print_table
+from repro.core.connectors import UmbraConnector
+from repro.inspection import HistogramForColumns, NoBiasIntroducedFor
+
+SENSITIVE = ["race", "age_group"]
+SIZE = 889  # original healthcare size
+
+
+def _distribution_changes(result):
+    check = next(iter(result.check_to_check_results.values()))
+    return check.details["distribution_changes"]
+
+
+def _run(backend: str):
+    inspector = make_inspector(
+        "healthcare", SIZE, "sklearn", with_inspection=True,
+        sensitive=SENSITIVE,
+    )
+    if backend == "python":
+        return inspector.execute()
+    return inspector.execute_in_sql(
+        dbms_connector=UmbraConnector(), mode="VIEW"
+    )
+
+
+def test_fig9_benchmark(benchmark):
+    benchmark.pedantic(lambda: _run("umbra"), rounds=1, iterations=1)
+
+
+def test_report_fig9(capsys):
+    python_result = _run("python")
+    sql_result = _run("umbra")
+    python_changes = _distribution_changes(python_result)
+    sql_changes = _distribution_changes(sql_result)
+
+    # correctness: SQL inspection reproduces the Python ratios exactly
+    py_map = {
+        (c.node.lineno, c.node.operator_type.name, c.column): c
+        for c in python_changes
+    }
+    sql_map = {
+        (c.node.lineno, c.node.operator_type.name, c.column): c
+        for c in sql_changes
+    }
+    shared = set(py_map) & set(sql_map)
+    assert shared, "no comparable operators between the two backends"
+    for key in shared:
+        assert py_map[key].after == pytest.approx(sql_map[key].after), key
+
+    rows = []
+    for change in sql_changes:
+        for value in sorted(change.after, key=str):
+            rows.append(
+                [
+                    f"line {change.node.lineno}",
+                    change.node.operator_type.name,
+                    change.column,
+                    str(value),
+                    change.before.get(value, 0.0),
+                    change.after.get(value, 0.0),
+                    change.after.get(value, 0.0)
+                    - change.before.get(value, 0.0),
+                ]
+            )
+    with capsys.disabled():
+        print_table(
+            "Figure 9: healthcare ratio changes per operator",
+            ["op", "type", "column", "group", "before", "after", "delta"],
+            rows,
+        )

@@ -1,0 +1,62 @@
+"""Table 3 — transpilation time to SQL.
+
+The paper reports ~17-134 ms per pipeline for generating the SQL (pandas
+part, plus scikit-learn, plus inspection), for both the VIEW and the CTE
+representation.  Transpilation here means running the pipeline on the
+sample to build every table expression plus the inspection queries —
+measured on the small original datasets without any large execution.
+"""
+
+import pytest
+
+from harness import make_inspector, print_table, run_once
+from repro.core.connectors import UmbraConnector
+
+PIPELINES = ["healthcare", "compas", "adult_simple", "adult_complex"]
+STAGES = ["pandas", "sklearn"]
+SIZE = 500  # transpilation cost is size-independent (sample-based)
+
+
+@pytest.mark.parametrize("pipeline", PIPELINES)
+@pytest.mark.parametrize("mode", ["CTE", "VIEW"])
+def test_transpilation_benchmark(benchmark, pipeline, mode):
+    """pytest-benchmark target: pandas+sklearn transpilation time."""
+    inspector = make_inspector(pipeline, SIZE, "sklearn")
+
+    def transpile():
+        make_inspector(pipeline, SIZE, "sklearn").execute_in_sql(
+            dbms_connector=UmbraConnector(), mode=mode
+        )
+
+    benchmark.pedantic(transpile, rounds=3, iterations=1)
+
+
+def test_report_table3(capsys):
+    """Regenerate Table 3's rows (seconds per pipeline/stage/mode)."""
+    rows = []
+    for pipeline in PIPELINES:
+        row = [pipeline]
+        for stage in STAGES:
+            for mode in ("VIEW", "CTE"):
+                backend = f"umbra-{mode.lower()}"
+                outcome = run_once(pipeline, SIZE, stage, backend)
+                row.append(outcome.seconds)
+        # + inspection
+        for mode in ("VIEW", "CTE"):
+            outcome = run_once(
+                pipeline, SIZE, "sklearn", f"umbra-{mode.lower()}",
+                with_inspection=True,
+            )
+            row.append(outcome.seconds)
+        rows.append(row)
+    with capsys.disabled():
+        print_table(
+            "Table 3: transpilation + execution time on original-size data (s)",
+            [
+                "pipeline",
+                "pandas/VIEW", "pandas/CTE",
+                "+sklearn/VIEW", "+sklearn/CTE",
+                "+inspection/VIEW", "+inspection/CTE",
+            ],
+            rows,
+        )

@@ -1,0 +1,78 @@
+"""Table 4 — sensitive-group ratios before vs after preprocessing.
+
+Reproduces the paper's before/after ratio tables for (a) the healthcare
+pipeline's age_group column and (b) the adult-simple pipeline's race
+column, computed by the SQL backend's histogram queries.
+"""
+
+import pytest
+
+from harness import make_inspector, print_table
+from repro.core.connectors import PostgresqlConnector
+from repro.inspection import HistogramForColumns, OperatorType
+
+
+def _first_last_histograms(result, column):
+    inspection = None
+    for node, results in result.dag_node_to_inspection_results.items():
+        for key in results:
+            if isinstance(key, HistogramForColumns):
+                inspection = key
+                break
+        if inspection:
+            break
+    histograms = result.histograms_for(inspection)
+    with_column = [
+        (node, h[column]) for node, h in histograms.items() if column in h
+    ]
+    assert with_column, f"no histograms recorded for {column!r}"
+    return with_column[0][1], with_column[-1][1]
+
+
+def _ratios(histogram):
+    total = sum(histogram.values())
+    return {k: v / total for k, v in histogram.items()}
+
+
+def _run(pipeline, size, sensitive):
+    return make_inspector(
+        pipeline, size, "sklearn", with_inspection=True, sensitive=sensitive
+    ).execute_in_sql(dbms_connector=PostgresqlConnector(), mode="VIEW")
+
+
+CASES = [
+    ("healthcare", 889, "age_group"),
+    ("adult_simple", 9771, "race"),
+]
+
+
+@pytest.mark.parametrize("pipeline,size,column", CASES)
+def test_table4_benchmark(benchmark, pipeline, size, column):
+    benchmark.pedantic(
+        lambda: _run(pipeline, size, [column]), rounds=1, iterations=1
+    )
+
+
+def test_report_table4(capsys):
+    rows = []
+    for pipeline, size, column in CASES:
+        result = _run(pipeline, size, [column])
+        before, after = _first_last_histograms(result, column)
+        before_ratios = _ratios(before)
+        after_ratios = _ratios(after)
+        for value in sorted(set(before_ratios) | set(after_ratios), key=str):
+            rows.append(
+                [
+                    pipeline,
+                    column,
+                    str(value),
+                    before_ratios.get(value, 0.0),
+                    after_ratios.get(value, 0.0),
+                ]
+            )
+    with capsys.disabled():
+        print_table(
+            "Table 4: ratios before/after preprocessing",
+            ["pipeline", "column", "group", "before", "after"],
+            rows,
+        )

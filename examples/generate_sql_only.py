@@ -1,0 +1,26 @@
+"""Emit the inspection-enabled SQL for a pipeline without executing it.
+
+The paper highlights generating the SQL independently of any database
+connection (unlike Grizzly): `to_sql` deduces the schema from a data
+sample, transpiles every pipeline line into one view/CTE, and returns the
+full script — here printed in both representations, Listing-5 style.
+
+Run:  python examples/generate_sql_only.py
+"""
+
+import tempfile
+
+from repro.datasets import generate_healthcare
+from repro.inspection import PipelineInspector
+from repro.pipelines import healthcare_source
+
+directory = tempfile.mkdtemp()
+generate_healthcare(directory, n_patients=100, seed=0)
+source = healthcare_source(directory, upto="pandas")
+
+for mode in ("CTE", "VIEW"):
+    sql = PipelineInspector.on_pipeline_from_string(
+        source, "<healthcare>"
+    ).to_sql(mode=mode)
+    print(f"{'=' * 30} mode={mode} {'=' * 30}")
+    print(sql)

@@ -1,0 +1,65 @@
+"""Quickstart: inspect a tiny pipeline in Python and in SQL.
+
+Builds a five-line preprocessing pipeline over inline data, runs it through
+the inspection framework twice — natively and transpiled to SQL — and
+prints the distribution-frequency (ratio) report plus the generated SQL.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.connectors import PostgresqlConnector
+from repro.inspection import (
+    HistogramForColumns,
+    NoBiasIntroducedFor,
+    PipelineInspector,
+)
+
+import os
+import tempfile
+
+# -- a miniature dataset on disk (read_csv is the pipeline's data source) --
+directory = tempfile.mkdtemp()
+with open(os.path.join(directory, "people.csv"), "w") as handle:
+    handle.write("name,group,score\n")
+    rows = [("p%d" % i, "a" if i % 3 else "b", i % 7) for i in range(60)]
+    handle.writelines(f"{n},{g},{s}\n" for n, g, s in rows)
+
+PIPELINE = f"""
+import repro.frame as pd
+
+data = pd.read_csv({os.path.join(directory, 'people.csv')!r})
+data = data[['name', 'group', 'score']]
+data = data[data['score'] > 4]          # does this skew 'group'?
+data = data[['name', 'score']]          # 'group' is gone now...
+"""
+
+check = NoBiasIntroducedFor(["group"], threshold=0.1)
+
+# -- native execution (mlinspect-style row-wise inspection) ---------------
+python_result = (
+    PipelineInspector.on_pipeline_from_string(PIPELINE, "<quickstart>")
+    .add_check(check)
+    .execute()
+)
+
+# -- SQL execution: same API, computation offloaded to the database -------
+sql_result = (
+    PipelineInspector.on_pipeline_from_string(PIPELINE, "<quickstart>")
+    .add_check(check)
+    .execute_in_sql(dbms_connector=PostgresqlConnector(), mode="CTE")
+)
+
+for label, result in (("python", python_result), ("sql", sql_result)):
+    verdict = result.check_to_check_results[check]
+    print(f"[{label}] bias check: {verdict.status.value} — {verdict.description}")
+
+# ratios per operator: even after 'group' was projected away, the tuple
+# tracking (ctid) restores it
+histograms = sql_result.histograms_for(HistogramForColumns(["group"]))
+print("\ngroup counts per operator (SQL-computed):")
+for node, payload in histograms.items():
+    if payload:
+        print(f"  line {node.lineno:>2} {node.operator_type.name:<12}", payload["group"])
+
+print("\ngenerated SQL (one CTE per pipeline line):\n")
+print(sql_result.sql_source)

@@ -1,0 +1,5 @@
+"""Setuptools entry point (kept for offline `pip install -e .` support)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Reproduction of *Blue Elephants Inspecting Pandas* (EDBT 2023).
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+``repro.frame``
+    A numpy-backed dataframe library with pandas semantics (the transpiler's
+    input language).
+``repro.learn``
+    A scikit-learn-style preprocessing and model library.
+``repro.sqldb``
+    An in-process SQL database engine with two execution profiles that stand
+    in for PostgreSQL (materialising) and Umbra (pipelined).
+``repro.inspection``
+    An mlinspect-style pipeline inspection framework (monkey patching,
+    dataflow DAG, inspections and checks).
+``repro.core``
+    The SQL backend: transpilation of pipelines to SQL with tuple tracking
+    and in-database bias inspection.
+``repro.datasets``
+    Seeded synthetic generators for the healthcare, compas, adult and
+    NYC-taxi datasets used in the paper's evaluation.
+``repro.pipelines``
+    The four evaluation pipelines (Table 1 of the paper) as runnable source.
+"""
+
+__version__ = "1.0.0"
+
+from repro import frame  # noqa: F401  (re-export for convenience)
+
+__all__ = ["frame", "__version__"]

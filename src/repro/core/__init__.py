@@ -1,0 +1,38 @@
+"""``repro.core`` — the paper's contribution: an SQL backend for pipeline
+inspection.
+
+Transpiles pandas/sklearn pipelines into SQL (one view/CTE per line, with
+tuple tracking), executes them and their bias inspections inside a database
+system, and falls back to Python past the extraction boundary.  Used
+through :meth:`repro.inspection.PipelineInspector.execute_in_sql`.
+"""
+
+from repro.core.connectors import (
+    DBConnector,
+    PostgresqlConnector,
+    ProfileConnector,
+    UmbraConnector,
+)
+from repro.core.inspections_sql import ColumnOwner, SQLHistogramForColumns
+from repro.core.model_export import accuracy_query, model_to_sql
+from repro.core.naming import NameGenerator, quote_identifier
+from repro.core.query_container import SQLQueryContainer
+from repro.core.sql_backend import SQLBackend
+from repro.core.table_info import SeriesExpr, TableInfo
+
+__all__ = [
+    "ColumnOwner",
+    "DBConnector",
+    "NameGenerator",
+    "PostgresqlConnector",
+    "ProfileConnector",
+    "SQLBackend",
+    "SQLHistogramForColumns",
+    "SQLQueryContainer",
+    "SeriesExpr",
+    "TableInfo",
+    "UmbraConnector",
+    "accuracy_query",
+    "model_to_sql",
+    "quote_identifier",
+]

@@ -1,0 +1,85 @@
+"""SQL-side implementations of the inspections (§3 of the paper).
+
+``SQLHistogramForColumns`` generates and runs the ratio-measurement queries
+of Listings 1-3/5: when the sensitive column survived into the current
+table expression it is grouped directly; when only a tuple identifier
+survived, a join back to the ctid-exposing view restores it; when the
+identifier was aggregated, an ``unnest`` precedes the join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.naming import quote_identifier as q
+from repro.core.query_container import SQLQueryContainer
+from repro.core.table_info import TableInfo
+
+__all__ = ["ColumnOwner", "SQLHistogramForColumns", "first_rows_query"]
+
+
+@dataclass(frozen=True)
+class ColumnOwner:
+    """Where a source column can be restored from: its ctid-exposing view."""
+
+    ctid_column: str
+    ctid_view: str
+
+
+class SQLHistogramForColumns:
+    """Generates/executes per-operator histogram queries for sensitive columns.
+
+    Maintains the paper's dictionary from original pandas column names to
+    the SQL table and tuple identifier that can restore them.
+    """
+
+    def __init__(
+        self,
+        container: SQLQueryContainer,
+        column_owners: dict[str, ColumnOwner],
+    ) -> None:
+        self._container = container
+        self._owners = column_owners
+
+    def register_column(self, column: str, owner: ColumnOwner) -> None:
+        self._owners.setdefault(column, owner)
+
+    def histogram_query(self, info: TableInfo, column: str) -> Optional[str]:
+        """The SELECT computing ``value -> count`` for one sensitive column."""
+        if column in info.columns and not info.is_matrix:
+            return (
+                f"SELECT {q(column)}, count(*) FROM {info.name} "
+                f"GROUP BY {q(column)}"
+            )
+        owner = self._owners.get(column)
+        if owner is None or owner.ctid_column not in info.ctids:
+            return None
+        ctid = q(owner.ctid_column)
+        if info.ctids[owner.ctid_column]:
+            # aggregated identifier: unnest before restoring (Listing 3)
+            current = (
+                f"(SELECT unnest({ctid}) AS {ctid} FROM {info.name}) tb_curr"
+            )
+        else:
+            current = f"{info.name} tb_curr"
+        return (
+            f"SELECT tb_orig.{q(column)}, count(*)\n"
+            f"FROM {current} JOIN {owner.ctid_view} tb_orig "
+            f"ON tb_curr.{ctid} = tb_orig.{ctid}\n"
+            f"GROUP BY tb_orig.{q(column)}"
+        )
+
+    def compute(self, info: TableInfo, column: str) -> Optional[dict[Any, int]]:
+        """Run the histogram query; None when the column is unrestorable."""
+        query = self.histogram_query(info, column)
+        if query is None:
+            return None
+        result = self._container.run_query(query, upto=info.name)
+        return {row[0]: int(row[1]) for row in result.rows}
+
+
+def first_rows_query(info: TableInfo, row_count: int) -> str:
+    """Query behind MaterializeFirstOutputRows in SQL mode."""
+    columns = [q(c) for c in info.columns] or ["*"]
+    return f"SELECT {', '.join(columns)} FROM {info.name} LIMIT {row_count}"

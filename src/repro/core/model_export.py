@@ -1,0 +1,90 @@
+"""In-database model inference (the paper's outlook, §7).
+
+The conclusion proposes extending the SQL support "such as for training a
+model" to "eliminate the remaining need for final data transfer".  This
+module implements the inference half of that outlook: trained linear
+models and decision trees export to plain SQL scalar expressions, so the
+prediction — and with it the accuracy computation — can run inside the
+database over a feature table expression, with no extraction at all.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.naming import quote_identifier as q
+from repro.errors import TranslationError
+from repro.learn.linear_model import _BinaryLinearClassifier
+from repro.learn.tree import DecisionTreeClassifier, _Node
+
+__all__ = [
+    "accuracy_query",
+    "decision_tree_to_sql",
+    "linear_model_to_sql",
+    "model_to_sql",
+]
+
+
+def linear_model_to_sql(
+    model: _BinaryLinearClassifier, feature_columns: Sequence[str]
+) -> str:
+    """Binary prediction expression ``w . x + b > 0`` for a linear model."""
+    if model.coef_ is None:
+        raise TranslationError("the model must be fitted before export")
+    if len(feature_columns) != len(model.coef_):
+        raise TranslationError(
+            f"model has {len(model.coef_)} coefficients but "
+            f"{len(feature_columns)} feature columns were given"
+        )
+    terms = [
+        f"({weight!r} * {q(column)})"
+        for weight, column in zip(map(float, model.coef_), feature_columns)
+    ]
+    decision = " + ".join(terms) + f" + {float(model.intercept_)!r}"
+    return f"(CASE WHEN {decision} > 0 THEN 1 ELSE 0 END)"
+
+
+def _tree_expression(node: _Node, feature_columns: Sequence[str]) -> str:
+    if node.is_leaf:
+        return "1" if node.prediction > 0.5 else "0"
+    column = q(feature_columns[node.feature])
+    left = _tree_expression(node.left, feature_columns)
+    right = _tree_expression(node.right, feature_columns)
+    return (
+        f"(CASE WHEN {column} <= {float(node.threshold)!r} "
+        f"THEN {left} ELSE {right} END)"
+    )
+
+
+def decision_tree_to_sql(
+    model: DecisionTreeClassifier, feature_columns: Sequence[str]
+) -> str:
+    """Nested-CASE prediction expression for a fitted CART tree."""
+    if model._root is None:
+        raise TranslationError("the model must be fitted before export")
+    return _tree_expression(model._root, feature_columns)
+
+
+def model_to_sql(model, feature_columns: Sequence[str]) -> str:
+    """Dispatch on the model type; raises for untranslatable models."""
+    if isinstance(model, _BinaryLinearClassifier):
+        return linear_model_to_sql(model, feature_columns)
+    if isinstance(model, DecisionTreeClassifier):
+        return decision_tree_to_sql(model, feature_columns)
+    raise TranslationError(
+        f"{type(model).__name__} has no SQL inference translation"
+    )
+
+
+def accuracy_query(
+    model,
+    feature_table: str,
+    feature_columns: Sequence[str],
+    label_column: str,
+) -> str:
+    """SELECT computing the model's accuracy fully inside the database."""
+    prediction = model_to_sql(model, feature_columns)
+    return (
+        f"SELECT AVG(CASE WHEN {prediction} = {q(label_column)} "
+        f"THEN 1.0 ELSE 0.0 END) AS accuracy FROM {feature_table}"
+    )

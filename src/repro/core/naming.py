@@ -1,0 +1,41 @@
+"""Unique naming of generated tables, views and tracking columns.
+
+Follows the paper's scheme (Listing 5): base tables are named
+``{file}_{line}_mlinid{n}``, derived table expressions
+``block_mlinid{n}_{line}``, and every tuple-tracking column is the owning
+table expression's name suffixed with ``_ctid``.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["NameGenerator", "quote_identifier"]
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote a column identifier (handles '-' etc. in CSV headers)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+class NameGenerator:
+    """Sequential mlinspect-style operator ids and derived names."""
+
+    def __init__(self) -> None:
+        self._next_id = 0
+
+    def next_op_id(self) -> int:
+        op_id = self._next_id
+        self._next_id += 1
+        return op_id
+
+    def table_name(self, file_base: str, lineno: int | None, op_id: int) -> str:
+        safe = re.sub(r"\W+", "_", file_base).strip("_").lower() or "table"
+        return f"{safe}_{lineno or 0}_mlinid{op_id}"
+
+    def block_name(self, op_id: int, lineno: int | None) -> str:
+        return f"block_mlinid{op_id}_{lineno or 0}"
+
+    @staticmethod
+    def ctid_column(table_name: str) -> str:
+        return f"{table_name}_ctid"

@@ -1,0 +1,1 @@
+"""Per-operation SQL translation rules (§5 of the paper)."""

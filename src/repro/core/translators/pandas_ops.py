@@ -1,0 +1,317 @@
+"""SQL translations of the supported pandas operations (§5.1).
+
+Each function builds the *body* of one table expression (view/CTE) plus the
+:class:`~repro.core.table_info.TableInfo` describing its output.  Tuple
+tracking columns are always propagated; aggregations fold them into arrays
+with ``array_agg`` (§5.1.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.naming import quote_identifier as q
+from repro.core.table_info import SeriesExpr, TableInfo
+from repro.errors import TranslationError
+
+__all__ = [
+    "AGGREGATE_LOOKUP",
+    "sql_literal",
+    "translate_dropna",
+    "translate_groupby_agg",
+    "translate_merge",
+    "translate_projection",
+    "translate_replace",
+    "translate_rowwise_setitem",
+    "translate_selection",
+    "translate_setitem",
+]
+
+#: pandas aggregation name -> SQL aggregate (§5.1.5's lookup table).  Note
+#: pandas ``std`` is the *sample* standard deviation, so the faithful
+#: translation is ``stddev_samp`` (the paper's text says ``stddev_pop``,
+#: which would diverge numerically from pandas).
+AGGREGATE_LOOKUP = {
+    "mean": "AVG",
+    "sum": "SUM",
+    "count": "COUNT",
+    "min": "MIN",
+    "max": "MAX",
+    "std": "STDDEV_SAMP",
+}
+
+
+def sql_literal(value: Any) -> str:
+    """Render a Python scalar as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+def _select_columns(info: TableInfo, qualifier: str = "") -> list[str]:
+    prefix = f"{qualifier}." if qualifier else ""
+    return [f"{prefix}{q(col)}" for col in info.columns]
+
+
+def _select_ctids(info: TableInfo, qualifier: str = "") -> list[str]:
+    """Tracking columns to propagate: ctids plus the §5.1.8 index column."""
+    prefix = f"{qualifier}." if qualifier else ""
+    out = [f"{prefix}{q(ctid)}" for ctid in info.ctids]
+    if info.index_column is not None:
+        out.append(f"{prefix}{q(info.index_column)}")
+    return out
+
+
+def translate_projection(
+    info: TableInfo, columns: Sequence[str], new_name: str
+) -> tuple[str, TableInfo]:
+    """``data[['a', 'b']]`` — §5.1.3 projection."""
+    missing = [c for c in columns if c not in info.columns]
+    if missing:
+        raise TranslationError(f"projection of unknown columns: {missing}")
+    out = info.derive(new_name, list(columns))
+    items = [q(c) for c in columns] + _select_ctids(info)
+    body = f"SELECT {', '.join(items)}\nFROM {info.name}"
+    return body, out
+
+
+def translate_selection(
+    info: TableInfo, condition: SeriesExpr, new_name: str
+) -> tuple[str, TableInfo]:
+    """``data[mask]`` — §5.1.3 selection."""
+    if condition.parent.name != info.name:
+        raise TranslationError(
+            "selection condition was built over a different table expression"
+        )
+    out = info.derive(new_name)
+    items = _select_columns(info) + _select_ctids(info)
+    body = (
+        f"SELECT {', '.join(items)}\nFROM {info.name}\nWHERE {condition.sql}"
+    )
+    return body, out
+
+
+def translate_merge(
+    left: TableInfo,
+    right: TableInfo,
+    on: Sequence[str],
+    how: str,
+    suffixes: tuple[str, str],
+    new_name: str,
+) -> tuple[str, TableInfo]:
+    """``left.merge(right, on=[...])`` — §5.1.2.
+
+    pandas joins null keys to each other; where a key column is nullable
+    the join condition gains ``OR (l.k IS NULL AND r.k IS NULL)``.
+    """
+    join_kind = {
+        "inner": "INNER JOIN",
+        "left": "LEFT OUTER JOIN",
+        "right": "RIGHT OUTER JOIN",
+        "outer": "FULL OUTER JOIN",
+    }.get(how)
+    if join_kind is None:
+        raise TranslationError(f"unsupported join type {how!r}")
+    key_set = set(on)
+    for key in on:
+        if key not in left.columns or key not in right.columns:
+            raise TranslationError(f"merge key {key!r} missing from a side")
+
+    left_other = [c for c in left.columns if c not in key_set]
+    right_other = [c for c in right.columns if c not in key_set]
+    collisions = set(left_other) & set(right_other)
+
+    items: list[str] = []
+    out_columns: list[str] = []
+    out_types: dict[str, str] = {}
+    out_nullable: set[str] = set()
+
+    def _add(source: str, col: str, out_name: str, origin: TableInfo) -> None:
+        alias = f" AS {q(out_name)}" if out_name != col else ""
+        items.append(f"{source}.{q(col)}{alias}")
+        out_columns.append(out_name)
+        out_types[out_name] = origin.type_of(col)
+        if col in origin.nullable or (
+            how in ("left", "outer") and origin is right
+        ) or (how in ("right", "outer") and origin is left):
+            out_nullable.add(out_name)
+
+    for key in on:
+        _add("tb1", key, key, left)
+    for col in left_other:
+        _add("tb1", col, col + suffixes[0] if col in collisions else col, left)
+    for col in right_other:
+        _add("tb2", col, col + suffixes[1] if col in collisions else col, right)
+
+    # tuple identifiers from both inputs propagate (§5.1.2); on collision
+    # (self join via an aggregated copy) the plain left identifier wins,
+    # as in Listing 5's block_mlinid4_55
+    out_ctids: dict[str, bool] = {}
+    for ctid, aggregated in left.ctids.items():
+        out_ctids[ctid] = aggregated
+        items.append(f"tb1.{q(ctid)}")
+    for ctid, aggregated in right.ctids.items():
+        if ctid not in out_ctids:
+            out_ctids[ctid] = aggregated
+            items.append(f"tb2.{q(ctid)}")
+
+    conditions = []
+    for key in on:
+        base = f"tb1.{q(key)} = tb2.{q(key)}"
+        if key in left.nullable or key in right.nullable:
+            base = (
+                f"({base} OR (tb1.{q(key)} IS NULL AND tb2.{q(key)} IS NULL))"
+            )
+        conditions.append(base)
+    body = (
+        f"SELECT {', '.join(items)}\n"
+        f"FROM {left.name} tb1 {join_kind} {right.name} tb2"
+        f" ON {' AND '.join(conditions)}"
+    )
+    out = TableInfo(new_name, out_columns, out_types, out_ctids, out_nullable)
+    return body, out
+
+
+def translate_groupby_agg(
+    info: TableInfo,
+    keys: Sequence[str],
+    aggregations: Sequence[tuple[str, str, str]],
+    new_name: str,
+) -> tuple[str, TableInfo]:
+    """``groupby(keys).agg(out=(col, func))`` — §5.1.5.
+
+    Tuple identifiers are folded into arrays with ``array_agg`` so later
+    inspections can unnest them (Listing 3).
+    """
+    items: list[str] = []
+    out_ctids: dict[str, bool] = {}
+    for ctid in info.ctids:
+        items.append(f"array_agg({q(ctid)}) AS {q(ctid)}")
+        out_ctids[ctid] = True
+    out_columns = list(keys)
+    out_types = {k: info.type_of(k) for k in keys}
+    for key in keys:
+        items.append(q(key))
+    for out_name, column, func in aggregations:
+        sql_func = AGGREGATE_LOOKUP.get(func)
+        if sql_func is None:
+            raise TranslationError(
+                f"aggregation {func!r} has no SQL translation"
+            )
+        items.append(f"{sql_func}({q(column)}) AS {q(out_name)}")
+        out_columns.append(out_name)
+        out_types[out_name] = "DOUBLE PRECISION"
+    group_list = ", ".join(q(k) for k in keys)
+    body = (
+        f"SELECT {', '.join(items)}\nFROM {info.name}\nGROUP BY {group_list}"
+    )
+    out = TableInfo(
+        new_name,
+        out_columns,
+        out_types,
+        out_ctids,
+        {c for c in info.nullable if c in keys},
+    )
+    return body, out
+
+
+def translate_dropna(info: TableInfo, new_name: str) -> tuple[str, TableInfo]:
+    """``data.dropna()`` — §5.1.6: conjunction of IS NOT NULL conditions."""
+    out = info.derive(new_name)
+    out.nullable = set()
+    items = _select_columns(info) + _select_ctids(info)
+    conditions = " AND ".join(f"{q(c)} IS NOT NULL" for c in info.columns)
+    body = f"SELECT {', '.join(items)}\nFROM {info.name}\nWHERE {conditions}"
+    return body, out
+
+
+def translate_replace(
+    info: TableInfo, to_replace: Any, value: Any, new_name: str
+) -> tuple[str, TableInfo]:
+    """``data.replace(a, b)`` — §5.1.7: anchored REGEXP_REPLACE.
+
+    Whole-string replacement on every text column; other columns pass
+    through untouched.
+    """
+    items = []
+    for col in info.columns:
+        if info.type_of(col) == "TEXT" and isinstance(to_replace, str):
+            items.append(
+                f"REGEXP_REPLACE({q(col)}, "
+                f"{sql_literal('^' + to_replace + '$')}, "
+                f"{sql_literal(value)}) AS {q(col)}"
+            )
+        else:
+            items.append(q(col))
+    items += _select_ctids(info)
+    body = f"SELECT {', '.join(items)}\nFROM {info.name}"
+    return body, info.derive(new_name)
+
+
+def translate_setitem(
+    info: TableInfo,
+    column: str,
+    expr: SeriesExpr,
+    new_name: str,
+) -> tuple[str, TableInfo]:
+    """``data['x'] = <expr>`` — new or replaced column from an execution
+    tree expression over the same table (the condensed Listing 11 form)."""
+    if expr.parent.name != info.name:
+        raise TranslationError(
+            "assigned expression was built over a different table expression"
+        )
+    items = []
+    for col in info.columns:
+        if col != column:
+            items.append(q(col))
+    items.append(f"{expr.sql} AS {q(column)}")
+    items += _select_ctids(info)
+    out_columns = [c for c in info.columns if c != column] + [column]
+    out = info.derive(new_name, out_columns)
+    out.column_types[column] = expr.sql_type
+    if expr.nullable:
+        out.nullable.add(column)
+    else:
+        out.nullable.discard(column)
+    body = f"SELECT {', '.join(items)}\nFROM {info.name}"
+    return body, out
+
+
+def translate_rowwise_setitem(
+    info: TableInfo,
+    column: str,
+    expr: SeriesExpr,
+    new_name: str,
+) -> tuple[str, TableInfo]:
+    """``tb1['new'] = tb2['col']`` — §5.1.8 row-wise assignment.
+
+    pandas implicitly aligns two tables by row number; the SQL translation
+    joins the two table expressions on their ``index_`` columns
+    (Listing 14).  Both sources must carry an index column.
+    """
+    other = expr.parent
+    if info.index_column is None or other.index_column is None:
+        raise TranslationError(
+            "row-wise operations across tables require index columns on "
+            "both sides (§5.1.8); re-create the sources with row numbers"
+        )
+    # qualify the expression's column references against the other table
+    expr_sql = expr.sql
+    for col in other.columns:
+        expr_sql = expr_sql.replace(q(col), f"tb2.{q(col)}")
+    items = [f"tb1.{q(col)}" for col in info.columns if col != column]
+    items.append(f"({expr_sql}) AS {q(column)}")
+    items += _select_ctids(info, "tb1")
+    out_columns = [c for c in info.columns if c != column] + [column]
+    out = info.derive(new_name, out_columns)
+    out.column_types[column] = expr.sql_type
+    body = (
+        f"SELECT {', '.join(items)}\n"
+        f"FROM {info.name} tb1 INNER JOIN {other.name} tb2 "
+        f"ON tb1.{q(info.index_column)} = tb2.{q(other.index_column)}"
+    )
+    return body, out

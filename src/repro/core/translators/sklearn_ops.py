@@ -1,0 +1,177 @@
+"""SQL translations of the supported scikit-learn transformers (§5.2).
+
+Every transformer splits into *fit* table expressions (computed once, the
+prime materialisation candidates — Figure 6 of the paper) and a *transform*
+expression applied to arbitrary parents, so the train/test consistency
+property of scikit-learn carries over to SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.naming import quote_identifier as q
+from repro.core.table_info import TableInfo
+from repro.core.translators.pandas_ops import sql_literal
+from repro.errors import TranslationError
+
+__all__ = [
+    "FittedTransformer",
+    "binarize_expression",
+    "fit_imputer",
+    "fit_kbins",
+    "fit_onehot",
+    "fit_scaler",
+    "imputer_expression",
+    "kbins_expression",
+    "label_binarize_expression",
+    "scaler_expression",
+]
+
+
+@dataclass
+class FittedTransformer:
+    """Fit-time state of one transformer: its fit views per input column."""
+
+    kind: str
+    #: column -> fit view name (imputer/scaler/kbins) or rank view (onehot)
+    fit_views: dict[str, str] = field(default_factory=dict)
+    #: extra per-transformer parameters needed at transform time
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+# -- SimpleImputer (§5.2.1) ---------------------------------------------------
+
+
+def fit_imputer(
+    parent: TableInfo, column: str, strategy: str, fill_value: Any
+) -> Optional[str]:
+    """Body of the single-row fit view computing the substitute value.
+
+    Returns None for ``constant`` (no fit view needed).  ``median`` has no
+    translation (no percentile support); the backend falls back to Python.
+    """
+    col = q(column)
+    if strategy == "most_frequent":
+        return (
+            f"SELECT value FROM (SELECT {col} AS value, count(*) AS cnt "
+            f"FROM {parent.name} WHERE {col} IS NOT NULL GROUP BY {col}) t "
+            f"ORDER BY cnt DESC, value LIMIT 1"
+        )
+    if strategy == "mean":
+        return f"SELECT AVG({col}) AS value FROM {parent.name}"
+    if strategy == "constant":
+        return None
+    raise TranslationError(
+        f"SimpleImputer strategy {strategy!r} has no SQL translation"
+    )
+
+
+def imputer_expression(
+    column: str, fit_view: Optional[str], strategy: str, fill_value: Any
+) -> str:
+    """``COALESCE(col, <substitute>)`` per Listing 15."""
+    if strategy == "constant":
+        substitute = sql_literal(fill_value)
+    else:
+        substitute = f"(SELECT value FROM {fit_view})"
+    return f"COALESCE({q(column)}, {substitute})"
+
+
+# -- OneHotEncoder (§5.2.2) ------------------------------------------------------
+
+
+def fit_onehot(parent: TableInfo, column: str) -> str:
+    """Rank view: distinct categories with their 1-based rank and total.
+
+    The rank comes from a ``<=`` self join over the distinct categories
+    (the paper suggests counting distinct entries or RANK; the self join
+    needs no window functions and is tiny — one row per category).
+    """
+    col = q(column)
+    distinct = (
+        f"SELECT DISTINCT {col} AS value FROM {parent.name} "
+        f"WHERE {col} IS NOT NULL"
+    )
+    return (
+        f"SELECT a.value AS value, count(*) AS rank, "
+        f"(SELECT count(DISTINCT {col}) FROM {parent.name}) AS total\n"
+        f"FROM ({distinct}) a JOIN ({distinct}) b ON b.value <= a.value\n"
+        f"GROUP BY a.value"
+    )
+
+
+def onehot_expression(fit_view: str, alias: str) -> str:
+    """Binary-vector expression per Listing 16 (null/unknown -> all zeros)."""
+    return (
+        f"(CASE WHEN {alias}.value IS NULL "
+        f"THEN array_fill(0, (SELECT count(*) FROM {fit_view})) "
+        f"ELSE array_fill(0, {alias}.rank - 1) || 1 || "
+        f"array_fill(0, {alias}.total - {alias}.rank) END)"
+    )
+
+
+# -- StandardScaler (§5.2.3) ---------------------------------------------------------
+
+
+def fit_scaler(parent: TableInfo, column: str) -> str:
+    col = q(column)
+    return (
+        f"SELECT AVG({col}) AS mean_value, STDDEV_POP({col}) AS std_value "
+        f"FROM {parent.name}"
+    )
+
+
+def scaler_expression(column: str, fit_view: str) -> str:
+    """``(x - mean) / stddev_pop`` per Listing 17; zero deviation maps to 1
+    (scikit-learn's constant-column rule)."""
+    return (
+        f"(({q(column)}) - (SELECT mean_value FROM {fit_view})) / "
+        f"COALESCE(NULLIF((SELECT std_value FROM {fit_view}), 0), 1)"
+    )
+
+
+# -- KBinsDiscretizer (§5.2.4) -----------------------------------------------------------
+
+
+def fit_kbins(parent: TableInfo, column: str) -> str:
+    col = q(column)
+    return (
+        f"SELECT MIN({col}) AS min_value, MAX({col}) AS max_value "
+        f"FROM {parent.name}"
+    )
+
+
+def kbins_expression(column: str, fit_view: str, n_bins: int) -> str:
+    """Uniform binning per Listing 18, clamped with LEAST/GREATEST."""
+    step = (
+        f"COALESCE(NULLIF(((SELECT max_value FROM {fit_view}) - "
+        f"(SELECT min_value FROM {fit_view})) / {float(n_bins)!r}, 0), 1)"
+    )
+    raw = (
+        f"FLOOR((({q(column)}) - (SELECT min_value FROM {fit_view})) / {step})"
+    )
+    return f"LEAST(GREATEST({raw}, 0), {n_bins - 1})"
+
+
+# -- Binarizer / label_binarize (§5.2.5) ----------------------------------------------------
+
+
+def binarize_expression(column_sql: str, threshold: float) -> str:
+    """CASE translation (Listing 19; scikit-learn's strict ``>``)."""
+    return (
+        f"(CASE WHEN ({column_sql}) > {float(threshold)!r} THEN 1 ELSE 0 END)"
+    )
+
+
+def label_binarize_expression(column_sql: str, classes: list[Any]) -> str:
+    """Binary label encoding: 1 for the positive (second) class."""
+    if len(classes) != 2:
+        raise TranslationError(
+            "only binary label_binarize has a SQL translation"
+        )
+    return (
+        f"(CASE WHEN ({column_sql}) = {sql_literal(classes[1])} "
+        f"THEN 1 ELSE 0 END)"
+    )

@@ -1,0 +1,91 @@
+"""``repro.datasets`` — seeded synthetic generators for the evaluation data.
+
+Each generator writes CSV files with the schema of Table 2 of the paper and
+returns the file paths.  ``ensure_*`` helpers cache generated files under a
+size/seed-specific directory so benchmarks do not regenerate on every run.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.datasets.adult import ADULT_COLUMNS, generate_adult
+from repro.datasets.compas import COMPAS_COLUMNS, generate_compas
+from repro.datasets.generate import default_data_dir, write_csv
+from repro.datasets.healthcare import (
+    AGE_GROUPS,
+    COUNTIES,
+    COUNTIES_OF_INTEREST,
+    RACES,
+    generate_healthcare,
+)
+from repro.datasets.taxi import TAXI_COLUMNS, generate_taxi
+
+__all__ = [
+    "ADULT_COLUMNS",
+    "AGE_GROUPS",
+    "COMPAS_COLUMNS",
+    "COUNTIES",
+    "COUNTIES_OF_INTEREST",
+    "RACES",
+    "TAXI_COLUMNS",
+    "default_data_dir",
+    "ensure_adult",
+    "ensure_compas",
+    "ensure_healthcare",
+    "ensure_taxi",
+    "generate_adult",
+    "generate_compas",
+    "generate_healthcare",
+    "generate_taxi",
+    "write_csv",
+]
+
+
+def _cache_dir(name: str, size: int, seed: int) -> tuple[str, bool]:
+    directory = os.path.join(default_data_dir(), f"{name}_{size}_{seed}")
+    exists = os.path.isdir(directory) and bool(os.listdir(directory))
+    os.makedirs(directory, exist_ok=True)
+    return directory, exists
+
+
+def ensure_healthcare(n_patients: int = 889, seed: int = 0) -> dict[str, str]:
+    directory, cached = _cache_dir("healthcare", n_patients, seed)
+    if cached:
+        return {
+            "patients": os.path.join(directory, "patients.csv"),
+            "histories": os.path.join(directory, "histories.csv"),
+        }
+    return generate_healthcare(directory, n_patients, seed)
+
+
+def ensure_compas(
+    n_train: int = 2167, n_test: int = 1000, seed: int = 0
+) -> dict[str, str]:
+    directory, cached = _cache_dir("compas", n_train, seed)
+    if cached:
+        return {
+            "train": os.path.join(directory, "compas_train.csv"),
+            "test": os.path.join(directory, "compas_test.csv"),
+        }
+    return generate_compas(directory, n_train, n_test, seed)
+
+
+def ensure_adult(
+    n_train: int = 9771, n_test: int = 2443, seed: int = 0
+) -> dict[str, str]:
+    directory, cached = _cache_dir("adult", n_train, seed)
+    if cached:
+        return {
+            "train": os.path.join(directory, "adult_train.csv"),
+            "test": os.path.join(directory, "adult_test.csv"),
+        }
+    return generate_adult(directory, n_train, n_test, seed)
+
+
+def ensure_taxi(n_rows: int = 100_000, seed: int = 0) -> str:
+    directory, cached = _cache_dir("taxi", n_rows, seed)
+    path = os.path.join(directory, "taxi.csv")
+    if cached and os.path.exists(path):
+        return path
+    return generate_taxi(directory, n_rows, seed)

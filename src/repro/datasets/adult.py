@@ -1,0 +1,80 @@
+"""Synthetic Adult (census income) dataset (Table 2 schema)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.datasets.generate import write_csv
+
+__all__ = ["ADULT_COLUMNS", "generate_adult"]
+
+ADULT_COLUMNS = [
+    "age", "workclass", "fnlwgt", "education", "education-num",
+    "marital-status", "occupation", "relationship", "race", "sex",
+    "capital-gain", "capital-loss", "hours-per-week", "native-country",
+    "income-per-year",
+]
+
+_WORKCLASSES = ["Private", "Self-emp", "Government", "Unemployed"]
+_EDUCATIONS = ["HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate"]
+_OCCUPATIONS = ["Craft", "Sales", "Exec-managerial", "Prof-specialty", "Service"]
+_RACES = ["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"]
+_COUNTRIES = ["United-States", "Mexico", "Philippines", "Germany", "Canada"]
+
+
+def _rows(rng: np.random.Generator, n: int):
+    for _ in range(n):
+        age = int(np.clip(rng.normal(38, 13), 17, 90))
+        education_num = int(rng.integers(4, 17))
+        hours = int(np.clip(rng.normal(40, 11), 1, 99))
+        capital_gain = int(rng.choice([0, rng.integers(100, 20000)], p=[0.92, 0.08]))
+        # income correlates with education, age, hours -> learnable labels
+        score = (
+            0.25 * (education_num - 9)
+            + 0.05 * (age - 38)
+            + 0.04 * (hours - 40)
+            + (1.5 if capital_gain > 0 else 0.0)
+            + rng.normal(0, 1.0)
+        )
+        income = ">50K" if score > 0.8 else "<=50K"
+        workclass = None if rng.random() < 0.06 else rng.choice(_WORKCLASSES)
+        occupation = None if rng.random() < 0.06 else rng.choice(_OCCUPATIONS)
+        yield [
+            age,
+            workclass if workclass is not None else "?",
+            int(rng.integers(20_000, 400_000)),
+            rng.choice(_EDUCATIONS),
+            education_num,
+            rng.choice(["Married", "Never-married", "Divorced"]),
+            occupation if occupation is not None else "?",
+            rng.choice(["Husband", "Wife", "Own-child", "Not-in-family"]),
+            rng.choice(_RACES, p=[0.85, 0.09, 0.03, 0.01, 0.02]),
+            rng.choice(["Male", "Female"], p=[0.67, 0.33]),
+            capital_gain,
+            int(rng.choice([0, rng.integers(100, 4000)], p=[0.95, 0.05])),
+            hours,
+            rng.choice(_COUNTRIES, p=[0.9, 0.04, 0.02, 0.02, 0.02]),
+            income,
+        ]
+
+
+def generate_adult(
+    directory: str, n_train: int = 9771, n_test: int = 2443, seed: int = 0
+) -> dict[str, str]:
+    """Write ``adult_train.csv``/``adult_test.csv`` (with row-number column)."""
+    os.makedirs(directory, exist_ok=True)
+    train = write_csv(
+        os.path.join(directory, "adult_train.csv"),
+        ADULT_COLUMNS,
+        _rows(np.random.default_rng(seed), n_train),
+        include_row_numbers=True,
+    )
+    test = write_csv(
+        os.path.join(directory, "adult_test.csv"),
+        ADULT_COLUMNS,
+        _rows(np.random.default_rng(seed + 1), n_test),
+        include_row_numbers=True,
+    )
+    return {"train": train, "test": test}

@@ -1,0 +1,51 @@
+"""Shared CSV-writing helpers for the synthetic dataset generators.
+
+The paper evaluates on the mlinspect example datasets (healthcare, compas,
+adult) and the NYC taxi dataset, none of which ship with this offline
+reproduction.  The generators in this package are *parametric*: instead of
+replicating a fixed file to reach a target size (one of the paper's two
+scaling approaches), they synthesise any requested cardinality directly
+while preserving the properties the evaluated queries depend on — schemas
+(Table 2), join-key relationships, null patterns, and sensitive-group
+cardinalities.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any, Iterable, Sequence
+
+__all__ = ["write_csv", "default_data_dir"]
+
+
+def default_data_dir() -> str:
+    """Directory for generated dataset files (override: REPRO_DATA_DIR)."""
+    path = os.environ.get("REPRO_DATA_DIR")
+    if not path:
+        path = os.path.join(os.path.expanduser("~"), ".cache", "repro-data")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_csv(
+    path: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    include_row_numbers: bool = False,
+) -> str:
+    """Write a CSV file; optionally with the pandas-style unnamed index.
+
+    ``include_row_numbers=True`` reproduces the compas/adult layout noted
+    in §6 of the paper: the first column holds row numbers and has no
+    header field.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for i, row in enumerate(rows):
+            out = ["" if value is None else value for value in row]
+            if include_row_numbers:
+                out = [i] + out
+            writer.writerow(out)
+    return path

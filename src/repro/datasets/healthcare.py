@@ -1,0 +1,115 @@
+"""Synthetic healthcare dataset (patients + histories, Table 2).
+
+Distributions are chosen so the healthcare pipeline behaves like the
+paper's running example: counties correlate with age group, so the final
+``county IN (...)`` selection shifts the ``age_group`` ratios (the
+technical bias of Figure 3/4) while the ``race`` ratios move less.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.datasets.generate import write_csv
+
+__all__ = [
+    "AGE_GROUPS",
+    "COUNTIES",
+    "COUNTIES_OF_INTEREST",
+    "RACES",
+    "generate_healthcare",
+]
+
+RACES = ["race1", "race2", "race3"]
+COUNTIES = ["county1", "county2", "county3", "county4"]
+COUNTIES_OF_INTEREST = ["county2", "county3"]
+AGE_GROUPS = ["age_group_1", "age_group_2", "age_group_3", "age_group_4"]
+
+_FIRST_NAMES = ["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"]
+_LAST_NAMES = ["smith", "jones", "lee", "brown", "garcia", "chen", "patel", "kim"]
+
+#: P(county | age_group): younger groups cluster in county1/county4, older
+#: ones in the counties of interest — the source of the age_group bias.
+_COUNTY_BY_AGE = {
+    "age_group_1": [0.67, 0.01, 0.02, 0.30],
+    "age_group_2": [0.40, 0.12, 0.12, 0.36],
+    "age_group_3": [0.10, 0.45, 0.35, 0.10],
+    "age_group_4": [0.04, 0.50, 0.42, 0.04],
+}
+
+
+def generate_healthcare(
+    directory: str, n_patients: int = 889, seed: int = 0
+) -> dict[str, str]:
+    """Write ``patients.csv`` and ``histories.csv``; returns their paths.
+
+    ``histories`` has one row per patient ssn plus ~1% orphan rows, so the
+    ssn merge is realistic (not a pure 1:1 identity join).
+    """
+    rng = np.random.default_rng(seed)
+    os.makedirs(directory, exist_ok=True)
+
+    age_groups = rng.choice(AGE_GROUPS, size=n_patients, p=[0.33, 0.27, 0.25, 0.15])
+    counties = np.array(
+        [
+            rng.choice(COUNTIES, p=_COUNTY_BY_AGE[age_group])
+            for age_group in age_groups
+        ]
+    )
+    races = rng.choice(RACES, size=n_patients, p=[0.35, 0.45, 0.20])
+    # dashes keep ssn a text column in every reader (and in SQL sniffing)
+    ssns = [f"{i // 10000:05d}-{i % 10000:04d}" for i in range(n_patients)]
+
+    patient_rows = []
+    for i in range(n_patients):
+        patient_rows.append(
+            [
+                i,
+                rng.choice(_FIRST_NAMES),
+                rng.choice(_LAST_NAMES),
+                races[i],
+                counties[i],
+                int(rng.poisson(1.2)),
+                round(float(rng.lognormal(10.5, 0.6)), 2),
+                age_groups[i],
+                ssns[i],
+            ]
+        )
+    patients_path = write_csv(
+        os.path.join(directory, "patients.csv"),
+        [
+            "id",
+            "first_name",
+            "last_name",
+            "race",
+            "county",
+            "num_children",
+            "income",
+            "age_group",
+            "ssn",
+        ],
+        patient_rows,
+    )
+
+    # complications rise with age group and (strongly) with smoking, so the
+    # pipeline's label (complications above 1.2x the age-group mean) is
+    # learnable from the featurised columns; smoker has ~10% '?' missing
+    age_to_rate = {g: 0.5 + 0.8 * k for k, g in enumerate(AGE_GROUPS)}
+    history_rows = []
+    order = rng.permutation(n_patients)
+    for i in order:
+        smoker = rng.choice(["yes", "no", "?"], p=[0.25, 0.65, 0.10])
+        rate = age_to_rate[age_groups[i]] * (2.4 if smoker == "yes" else 0.7)
+        complications = int(rng.poisson(rate))
+        history_rows.append([smoker, complications, ssns[i]])
+    n_orphans = max(1, n_patients // 100)
+    for j in range(n_orphans):
+        history_rows.append(["no", 0, f"xxxxx-{j:04d}"])
+    histories_path = write_csv(
+        os.path.join(directory, "histories.csv"),
+        ["smoker", "complications", "ssn"],
+        history_rows,
+    )
+    return {"patients": patients_path, "histories": histories_path}

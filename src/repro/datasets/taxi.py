@@ -1,0 +1,54 @@
+"""Synthetic NYC-taxi trip data (for the §6.6 column-scaling experiment)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.datasets.generate import write_csv
+
+__all__ = ["TAXI_COLUMNS", "generate_taxi"]
+
+TAXI_COLUMNS = [
+    "VendorID",
+    "passenger_count",
+    "trip_distance",
+    "PULocationID",
+    "DOLocationID",
+    "payment_type",
+    "fare_amount",
+    "tip_amount",
+    "total_amount",
+]
+
+
+def generate_taxi(directory: str, n_rows: int = 100_000, seed: int = 0) -> str:
+    """Write ``taxi.csv``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    rng = np.random.default_rng(seed)
+    passenger_count = rng.choice(
+        [1, 2, 3, 4, 5, 6], size=n_rows, p=[0.72, 0.14, 0.05, 0.03, 0.04, 0.02]
+    )
+    trip_distance = np.round(rng.lognormal(0.7, 0.8, size=n_rows), 2)
+    pu = rng.integers(1, 266, size=n_rows)
+    do = rng.integers(1, 266, size=n_rows)
+    payment = rng.choice([1, 2, 3, 4], size=n_rows, p=[0.7, 0.27, 0.02, 0.01])
+    fare = np.round(2.5 + trip_distance * 2.6 + rng.normal(0, 1, size=n_rows), 2)
+    tip = np.round(np.maximum(0.0, fare * rng.uniform(0, 0.3, size=n_rows)), 2)
+
+    def rows():
+        for i in range(n_rows):
+            yield [
+                1 + (i % 2),
+                int(passenger_count[i]),
+                float(trip_distance[i]),
+                int(pu[i]),
+                int(do[i]),
+                int(payment[i]),
+                float(fare[i]),
+                float(tip[i]),
+                float(np.round(fare[i] + tip[i], 2)),
+            ]
+
+    return write_csv(os.path.join(directory, "taxi.csv"), TAXI_COLUMNS, rows())

@@ -1,0 +1,45 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class FrameError(ReproError):
+    """Errors raised by the dataframe substrate (``repro.frame``)."""
+
+
+class LearnError(ReproError):
+    """Errors raised by the ML substrate (``repro.learn``)."""
+
+
+class NotFittedError(LearnError):
+    """A transformer/estimator was used before ``fit`` was called."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the SQL engine (``repro.sqldb``)."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenised or parsed."""
+
+
+class SQLBindError(SQLError):
+    """A name (table, column, function) could not be resolved."""
+
+
+class SQLExecutionError(SQLError):
+    """A runtime failure while executing a query plan."""
+
+
+class CatalogError(SQLError):
+    """Catalog violations: duplicate or missing tables/views."""
+
+
+class InspectionError(ReproError):
+    """Errors raised by the inspection framework (``repro.inspection``)."""
+
+
+class TranslationError(ReproError):
+    """The SQL backend could not translate a pipeline operation."""

@@ -1,0 +1,34 @@
+"""``repro.frame`` — a numpy-backed dataframe library with pandas semantics.
+
+This package is the input language of the SQL transpiler.  It implements the
+pandas operations listed in Table 1 of the paper (``read_csv``, ``merge``,
+``groupby``/``agg``, projection and selection via ``__getitem__``,
+arithmetic and boolean operators, ``isin``, ``dropna``, ``replace``) with
+pandas null semantics, and is monkey-patchable in the same way mlinspect
+patches pandas.
+
+Usage mirrors pandas::
+
+    from repro import frame as pd
+
+    data = pd.read_csv("patients.csv", na_values="?")
+    data = data[data["county"].isin(["county2", "county3"])]
+"""
+
+from repro.frame.dataframe import DataFrame, concat
+from repro.frame.groupby import GroupBy
+from repro.frame.io import read_csv
+from repro.frame.merge import merge
+from repro.frame.missing import NA, is_na_scalar
+from repro.frame.series import Series
+
+__all__ = [
+    "DataFrame",
+    "GroupBy",
+    "NA",
+    "Series",
+    "concat",
+    "is_na_scalar",
+    "merge",
+    "read_csv",
+]

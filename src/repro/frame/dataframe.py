@@ -1,0 +1,292 @@
+"""Two-dimensional labelled table, mirroring ``pandas.DataFrame``.
+
+Columns are numpy arrays; the row index is an int64 label array that
+survives selections (as in pandas) so that lineage-style inspections can
+relate filtered rows back to their origin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frame import missing
+from repro.frame.series import Series
+
+__all__ = ["DataFrame"]
+
+
+class DataFrame:
+    """An ordered collection of equally long named columns."""
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(
+        self,
+        data: Mapping[str, Any] | "DataFrame" | None = None,
+        index: np.ndarray | None = None,
+    ) -> None:
+        self._columns: dict[str, np.ndarray] = {}
+        if isinstance(data, DataFrame):
+            for name in data.columns:
+                self._columns[name] = data._columns[name].copy()
+            self._index = data._index.copy() if index is None else np.asarray(index)
+            return
+        n_rows: int | None = None
+        if data:
+            for name, values in data.items():
+                column = Series(values).values
+                if n_rows is None:
+                    n_rows = len(column)
+                elif len(column) != n_rows:
+                    raise FrameError(
+                        f"column {name!r} has length {len(column)}, "
+                        f"expected {n_rows}"
+                    )
+                self._columns[str(name)] = column
+        if index is None:
+            self._index = np.arange(n_rows or 0, dtype=np.int64)
+        else:
+            self._index = np.asarray(index, dtype=np.int64)
+            if n_rows is not None and len(self._index) != n_rows:
+                raise FrameError("index length does not match column length")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def _from_arrays(
+        cls, columns: dict[str, np.ndarray], index: np.ndarray
+    ) -> "DataFrame":
+        """Internal zero-copy constructor (arrays are adopted, not copied)."""
+        frame = cls.__new__(cls)
+        frame._columns = columns
+        frame._index = index
+        return frame
+
+    # -- basic protocol ---------------------------------------------------------
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def index(self) -> np.ndarray:
+        return self._index
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self), len(self._columns))
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DataFrame(rows={len(self)}, columns={self.columns})"
+
+    def copy(self) -> "DataFrame":
+        return DataFrame(self)
+
+    def column_array(self, name: str) -> np.ndarray:
+        """Direct (shared) access to a column's backing array."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise FrameError(f"no such column: {name!r}") from None
+
+    # -- selection / projection -------------------------------------------------
+
+    def __getitem__(self, key: Any) -> "Series | DataFrame":
+        if isinstance(key, str):
+            return Series(
+                self.column_array(key), name=key, index=self._index
+            )
+        if isinstance(key, (list, tuple)):
+            cols: dict[str, np.ndarray] = {}
+            for name in key:
+                cols[name] = self.column_array(name)
+            return DataFrame._from_arrays(cols, self._index)
+        if isinstance(key, Series):
+            mask = key._bool_values()
+            return self._filter(mask)
+        if isinstance(key, np.ndarray) and key.dtype.kind == "b":
+            return self._filter(key)
+        raise FrameError(f"unsupported selection key: {type(key).__name__}")
+
+    def _filter(self, mask: np.ndarray) -> "DataFrame":
+        if len(mask) != len(self):
+            raise FrameError(
+                f"boolean mask length {len(mask)} does not match rows {len(self)}"
+            )
+        cols = {name: arr[mask] for name, arr in self._columns.items()}
+        return DataFrame._from_arrays(cols, self._index[mask])
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        if isinstance(value, Series):
+            if len(value) != len(self) and len(self._columns):
+                raise FrameError(
+                    f"cannot assign series of length {len(value)} "
+                    f"to frame with {len(self)} rows"
+                )
+            self._columns[name] = value.values.copy()
+        elif isinstance(value, np.ndarray):
+            if value.ndim != 1 or (self._columns and len(value) != len(self)):
+                raise FrameError("assigned array must be 1-D of matching length")
+            self._columns[name] = missing.normalise_array(value.copy())
+        elif np.isscalar(value) or value is None:
+            self._columns[name] = Series([value] * len(self)).values
+        else:
+            self._columns[name] = Series(value).values
+        if not len(self._index) and len(self._columns) == 1:
+            self._index = np.arange(len(self._columns[name]), dtype=np.int64)
+
+    # -- row access (used by the inspection framework) ----------------------------
+
+    def row(self, position: int) -> tuple:
+        return tuple(arr[position] for arr in self._columns.values())
+
+    def iterrows(self) -> Iterator[tuple[int, tuple]]:
+        arrays = list(self._columns.values())
+        for pos, label in enumerate(self._index):
+            yield int(label), tuple(arr[pos] for arr in arrays)
+
+    def head(self, n: int = 5) -> "DataFrame":
+        cols = {name: arr[:n] for name, arr in self._columns.items()}
+        return DataFrame._from_arrays(cols, self._index[:n])
+
+    # -- pandas-style operations ---------------------------------------------------
+
+    def merge(
+        self,
+        right: "DataFrame",
+        on: str | Sequence[str] | None = None,
+        how: str = "inner",
+        suffixes: tuple[str, str] = ("_x", "_y"),
+    ) -> "DataFrame":
+        from repro.frame.merge import merge as _merge
+
+        return _merge(self, right, on=on, how=how, suffixes=suffixes)
+
+    def groupby(self, by: str | Sequence[str]):
+        from repro.frame.groupby import GroupBy
+
+        keys = [by] if isinstance(by, str) else list(by)
+        for key in keys:
+            if key not in self._columns:
+                raise FrameError(f"groupby key {key!r} is not a column")
+        return GroupBy(self, keys)
+
+    def dropna(self, subset: Sequence[str] | None = None) -> "DataFrame":
+        names = list(subset) if subset is not None else self.columns
+        keep = np.ones(len(self), dtype=bool)
+        for name in names:
+            keep &= ~missing.isnull_array(self.column_array(name))
+        return self._filter(keep)
+
+    def replace(
+        self, to_replace: Any, value: Any = None, regex: bool = False
+    ) -> "DataFrame":
+        cols: dict[str, np.ndarray] = {}
+        for name, arr in self._columns.items():
+            if arr.dtype == object:
+                cols[name] = (
+                    Series(arr, name=name).replace(to_replace, value, regex=regex)
+                ).values
+            else:
+                cols[name] = arr.copy()
+        return DataFrame._from_arrays(cols, self._index.copy())
+
+    def rename(self, columns: Mapping[str, str]) -> "DataFrame":
+        cols = {columns.get(name, name): arr for name, arr in self._columns.items()}
+        return DataFrame._from_arrays(cols, self._index.copy())
+
+    def drop(self, columns: str | Sequence[str]) -> "DataFrame":
+        dropped = {columns} if isinstance(columns, str) else set(columns)
+        unknown = dropped - set(self._columns)
+        if unknown:
+            raise FrameError(f"cannot drop unknown columns: {sorted(unknown)}")
+        cols = {
+            name: arr for name, arr in self._columns.items() if name not in dropped
+        }
+        return DataFrame._from_arrays(cols, self._index.copy())
+
+    def reset_index(self, drop: bool = True) -> "DataFrame":
+        if not drop:
+            raise FrameError("reset_index(drop=False) is not supported")
+        cols = {name: arr.copy() for name, arr in self._columns.items()}
+        return DataFrame._from_arrays(cols, np.arange(len(self), dtype=np.int64))
+
+    def sort_values(self, by: str, ascending: bool = True) -> "DataFrame":
+        series = self[by]
+        nulls = missing.isnull_array(series.values)
+        order = np.argsort(series.values[~nulls], kind="stable")
+        positions = np.flatnonzero(~nulls)[order]
+        if not ascending:
+            positions = positions[::-1]
+        positions = np.concatenate([positions, np.flatnonzero(nulls)])
+        cols = {name: arr[positions] for name, arr in self._columns.items()}
+        return DataFrame._from_arrays(cols, self._index[positions])
+
+    # -- conversion -------------------------------------------------------------
+
+    def __array__(self, dtype: Any = None, copy: Any = None) -> np.ndarray:
+        """numpy interop: a frame coerces to its dense value matrix."""
+        return self.to_numpy(dtype=dtype or np.float64)
+
+    def to_numpy(self, dtype: Any = np.float64) -> np.ndarray:
+        """Dense matrix of all columns; nulls become NaN for float dtypes."""
+        out = np.empty((len(self), len(self._columns)), dtype=dtype)
+        for j, arr in enumerate(self._columns.values()):
+            if dtype == object:
+                out[:, j] = arr
+            else:
+                column = arr.astype(np.float64) if arr.dtype != np.float64 else arr
+                out[:, j] = column
+        return out
+
+    def to_dict(self) -> dict[str, list]:
+        return {
+            name: Series(arr).tolist() for name, arr in self._columns.items()
+        }
+
+    def equals(self, other: "DataFrame") -> bool:
+        if self.columns != other.columns or len(self) != len(other):
+            return False
+        for name in self.columns:
+            a, b = self._columns[name], other._columns[name]
+            null_a = missing.isnull_array(a)
+            null_b = missing.isnull_array(b)
+            if not np.array_equal(null_a, null_b):
+                return False
+            for i in np.flatnonzero(~null_a):
+                if a[i] != b[i]:
+                    return False
+        return True
+
+
+def concat(frames: Iterable[DataFrame]) -> DataFrame:
+    """Row-wise concatenation of frames with identical column sets."""
+    frames = list(frames)
+    if not frames:
+        raise FrameError("concat needs at least one frame")
+    columns = frames[0].columns
+    for frame in frames[1:]:
+        if frame.columns != columns:
+            raise FrameError("concat requires identical columns in all frames")
+    cols: dict[str, np.ndarray] = {}
+    for name in columns:
+        pieces = [frame.column_array(name) for frame in frames]
+        target = object if any(p.dtype == object for p in pieces) else None
+        if target is object:
+            pieces = [p.astype(object) for p in pieces]
+        cols[name] = np.concatenate(pieces)
+    index = np.arange(sum(len(f) for f in frames), dtype=np.int64)
+    return DataFrame._from_arrays(cols, index)

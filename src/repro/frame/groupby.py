@@ -1,0 +1,144 @@
+"""Group-by and aggregation with pandas semantics.
+
+Differences from pandas that are deliberate and documented:
+
+* results always carry the group keys as regular columns (pandas
+  ``as_index=False``), because the SQL translation produces them as columns;
+* group keys are sorted ascending (pandas ``sort=True`` default);
+* null group keys are dropped (pandas ``dropna=True`` default).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frame import missing
+from repro.frame.dataframe import DataFrame
+from repro.frame.series import Series
+
+__all__ = ["GroupBy", "AGGREGATE_FUNCTIONS"]
+
+
+def _agg_mean(values: np.ndarray) -> float:
+    return Series(values).mean()
+
+
+def _agg_sum(values: np.ndarray) -> Any:
+    return Series(values).sum()
+
+
+def _agg_count(values: np.ndarray) -> int:
+    return Series(values).count()
+
+
+def _agg_min(values: np.ndarray) -> Any:
+    return Series(values).min()
+
+
+def _agg_max(values: np.ndarray) -> Any:
+    return Series(values).max()
+
+
+def _agg_std(values: np.ndarray) -> float:
+    # pandas agg('std') uses the sample standard deviation (ddof=1)
+    return Series(values).std(ddof=1)
+
+
+def _agg_median(values: np.ndarray) -> float:
+    return Series(values).median()
+
+
+def _agg_size(values: np.ndarray) -> int:
+    return len(values)
+
+
+#: pandas aggregation name -> implementation.  The SQL backend has the
+#: matching lookup table that renames these to SQL aggregates (§5.1.5).
+AGGREGATE_FUNCTIONS: dict[str, Callable[[np.ndarray], Any]] = {
+    "mean": _agg_mean,
+    "sum": _agg_sum,
+    "count": _agg_count,
+    "min": _agg_min,
+    "max": _agg_max,
+    "std": _agg_std,
+    "median": _agg_median,
+    "size": _agg_size,
+}
+
+
+class GroupBy:
+    """Deferred group-by handle, materialised by :meth:`agg`."""
+
+    def __init__(self, frame: DataFrame, keys: Sequence[str]) -> None:
+        self._frame = frame
+        self._keys = list(keys)
+        self._groups: dict[tuple, list[int]] | None = None
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self._keys)
+
+    @property
+    def frame(self) -> DataFrame:
+        return self._frame
+
+    def groups(self) -> dict[tuple, list[int]]:
+        """Group key tuple -> row positions, sorted by key."""
+        if self._groups is None:
+            arrays = [self._frame.column_array(k) for k in self._keys]
+            null_mask = np.zeros(len(self._frame), dtype=bool)
+            for arr in arrays:
+                null_mask |= missing.isnull_array(arr)
+            buckets: dict[tuple, list[int]] = {}
+            for i in np.flatnonzero(~null_mask):
+                key = tuple(arr[i] for arr in arrays)
+                buckets.setdefault(key, []).append(int(i))
+            try:
+                ordered = sorted(buckets)
+            except TypeError:
+                ordered = sorted(buckets, key=lambda k: tuple(str(v) for v in k))
+            self._groups = {key: buckets[key] for key in ordered}
+        return self._groups
+
+    def _resolve(self, column: str, func: str | Callable) -> Callable[[np.ndarray], Any]:
+        if callable(func):
+            return func
+        try:
+            return AGGREGATE_FUNCTIONS[func]
+        except KeyError:
+            raise FrameError(f"unknown aggregation function: {func!r}") from None
+
+    def agg(self, spec: dict | None = None, **named: tuple[str, str]) -> DataFrame:
+        """Aggregate groups.
+
+        Accepts pandas named-aggregation syntax
+        ``agg(out=('col', 'func'))`` or a dict ``agg({'col': 'func'})``.
+        """
+        requests: list[tuple[str, str, str | Callable]] = []
+        if spec:
+            for column, func in spec.items():
+                requests.append((column, column, func))
+        for out_name, pair in named.items():
+            if not (isinstance(pair, tuple) and len(pair) == 2):
+                raise FrameError(
+                    "named aggregation values must be ('column', 'func') tuples"
+                )
+            requests.append((out_name, pair[0], pair[1]))
+        if not requests:
+            raise FrameError("agg requires at least one aggregation")
+
+        groups = self.groups()
+        columns: dict[str, list] = {k: [] for k in self._keys}
+        for out_name, _, _ in requests:
+            columns[out_name] = []
+        for key, positions in groups.items():
+            for k, value in zip(self._keys, key):
+                columns[k].append(value)
+            pos = np.asarray(positions)
+            for out_name, column, func in requests:
+                values = self._frame.column_array(column)[pos]
+                columns[out_name].append(self._resolve(column, func)(values))
+        return DataFrame({name: vals for name, vals in columns.items()})

@@ -1,0 +1,143 @@
+"""CSV input with pandas-style type inference.
+
+``read_csv`` infers int64 / float64 / object column types from the content,
+honours ``na_values`` (plus the empty string), and detects the
+index-column-without-header layout used by the compas and adult datasets
+(the header row has one field fewer than the data rows; the surplus first
+column holds pandas row numbers and becomes the index).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frame.dataframe import DataFrame
+
+__all__ = ["read_csv", "infer_column_type"]
+
+
+def _parse_int(text: str) -> int | None:
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def _parse_float(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def infer_column_type(values: Iterable[str | None]) -> str:
+    """Classify a column of raw strings as ``'int'``, ``'float'`` or ``'str'``.
+
+    Nulls are ignored; an all-null column is classified as ``'str'``.
+    """
+    seen_any = False
+    could_be_int = True
+    could_be_float = True
+    for text in values:
+        if text is None:
+            continue
+        seen_any = True
+        if could_be_int and _parse_int(text) is None:
+            could_be_int = False
+        if not could_be_int and could_be_float and _parse_float(text) is None:
+            could_be_float = False
+        if not could_be_float:
+            break
+    if not seen_any:
+        return "str"
+    if could_be_int:
+        return "int"
+    if could_be_float:
+        return "float"
+    return "str"
+
+
+def _build_column(raw: list[str | None], kind: str) -> np.ndarray:
+    has_null = any(v is None for v in raw)
+    if kind == "int" and not has_null:
+        return np.array([int(v) for v in raw], dtype=np.int64)
+    if kind in ("int", "float"):
+        return np.array(
+            [float(v) if v is not None else np.nan for v in raw], dtype=np.float64
+        )
+    out = np.empty(len(raw), dtype=object)
+    for i, v in enumerate(raw):
+        out[i] = v
+    return out
+
+
+def read_csv(
+    path: str | os.PathLike,
+    na_values: str | Sequence[str] | None = None,
+    sep: str = ",",
+    nrows: int | None = None,
+) -> DataFrame:
+    """Load a CSV file with a header row into a :class:`DataFrame`.
+
+    ``nrows`` limits the number of data rows read (the SQL backend uses
+    this to deduce schemas from a small sample, §4 of the paper).
+    """
+    nulls = {""}
+    if na_values is not None:
+        if isinstance(na_values, str):
+            nulls.add(na_values)
+        else:
+            nulls.update(na_values)
+
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=sep)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise FrameError(f"empty CSV file: {path}") from None
+        if nrows is None:
+            rows = list(reader)
+        else:
+            rows = []
+            for row in reader:
+                if len(rows) >= nrows:
+                    break
+                rows.append(row)
+
+    has_index_column = bool(rows) and len(rows[0]) == len(header) + 1
+    names = list(header)
+    n_fields = len(names) + (1 if has_index_column else 0)
+
+    raw_columns: list[list[str | None]] = [[] for _ in range(n_fields)]
+    for line_no, row in enumerate(rows, start=2):
+        if not row:
+            continue  # pandas skips blank lines by default
+        if len(row) != n_fields:
+            raise FrameError(
+                f"{path}: line {line_no} has {len(row)} fields, "
+                f"expected {n_fields}"
+            )
+        for j, cell in enumerate(row):
+            raw_columns[j].append(None if cell in nulls else cell)
+
+    index = None
+    if has_index_column:
+        index_raw = raw_columns.pop(0)
+        if any(v is None for v in index_raw) or infer_column_type(index_raw) != "int":
+            raise FrameError(f"{path}: detected index column is not integral")
+        index = np.array([int(v) for v in index_raw], dtype=np.int64)
+
+    columns: dict[str, np.ndarray] = {}
+    for name, raw in zip(names, raw_columns):
+        columns[name] = _build_column(raw, infer_column_type(raw))
+    frame = DataFrame(columns)
+    if index is not None:
+        frame._index = index
+    elif not columns:
+        frame._index = np.arange(len(rows), dtype=np.int64)
+    return frame

@@ -1,0 +1,160 @@
+"""Hash-join based ``merge`` with pandas semantics.
+
+pandas treats null as a joinable value (a null key on the left matches a
+null key on the right) — the paper mimics this in SQL by extending the join
+condition with ``(l.c IS NULL AND r.c IS NULL)``.  The hash join below
+normalises nulls to a sentinel so they compare equal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frame import missing
+from repro.frame.dataframe import DataFrame
+
+__all__ = ["merge", "merge_from_positions", "merge_with_positions"]
+
+_NULL_KEY = object()  # sentinel making null join keys equal to each other
+
+
+def _key_tuple(arrays: list[np.ndarray], position: int) -> tuple:
+    out = []
+    for arr in arrays:
+        value = arr[position]
+        if missing.is_na_scalar(value):
+            out.append(_NULL_KEY)
+        else:
+            out.append(value)
+    return tuple(out)
+
+
+def merge_with_positions(
+    left: DataFrame,
+    right: DataFrame,
+    on: str | Sequence[str] | None = None,
+    how: str = "inner",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute join row positions.
+
+    Returns ``(left_positions, right_positions)`` with -1 marking an outer
+    row without a partner.  Inner joins preserve left-row order, matching
+    pandas.
+    """
+    if how == "cross":
+        n_left, n_right = len(left), len(right)
+        left_pos = np.repeat(np.arange(n_left), n_right)
+        right_pos = np.tile(np.arange(n_right), n_left)
+        return left_pos, right_pos
+    if on is None:
+        raise FrameError("merge requires 'on' columns (except how='cross')")
+    keys = [on] if isinstance(on, str) else list(on)
+    for key in keys:
+        if key not in left:
+            raise FrameError(f"merge key {key!r} missing from left frame")
+        if key not in right:
+            raise FrameError(f"merge key {key!r} missing from right frame")
+    left_arrays = [left.column_array(k) for k in keys]
+    right_arrays = [right.column_array(k) for k in keys]
+
+    table: dict[tuple, list[int]] = {}
+    for j in range(len(right)):
+        table.setdefault(_key_tuple(right_arrays, j), []).append(j)
+
+    left_pos: list[int] = []
+    right_pos: list[int] = []
+    matched_right: set[int] = set()
+    for i in range(len(left)):
+        partners = table.get(_key_tuple(left_arrays, i))
+        if partners:
+            for j in partners:
+                left_pos.append(i)
+                right_pos.append(j)
+                matched_right.add(j)
+        elif how in ("left", "outer"):
+            left_pos.append(i)
+            right_pos.append(-1)
+    if how in ("right", "outer"):
+        for j in range(len(right)):
+            if j not in matched_right:
+                left_pos.append(-1)
+                right_pos.append(j)
+    elif how not in ("inner", "left"):
+        raise FrameError(f"unsupported join type: {how!r}")
+    return (
+        np.asarray(left_pos, dtype=np.int64),
+        np.asarray(right_pos, dtype=np.int64),
+    )
+
+
+def _take(arr: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Gather with -1 producing null."""
+    has_missing = (positions < 0).any()
+    safe = np.where(positions < 0, 0, positions)
+    out = arr[safe]
+    if has_missing:
+        out = missing.promote_for_null(out)
+        if out.dtype.kind == "f":
+            out[positions < 0] = np.nan
+        else:
+            out = out.astype(object)
+            out[positions < 0] = None
+    return out
+
+
+def merge(
+    left: DataFrame,
+    right: DataFrame,
+    on: str | Sequence[str] | None = None,
+    how: str = "inner",
+    suffixes: tuple[str, str] = ("_x", "_y"),
+) -> DataFrame:
+    """Join two frames on equal key values (pandas ``DataFrame.merge``)."""
+    left_pos, right_pos = merge_with_positions(left, right, on=on, how=how)
+    return merge_from_positions(left, right, left_pos, right_pos, on, how, suffixes)
+
+
+def merge_from_positions(
+    left: DataFrame,
+    right: DataFrame,
+    left_pos: np.ndarray,
+    right_pos: np.ndarray,
+    on: str | Sequence[str] | None = None,
+    how: str = "inner",
+    suffixes: tuple[str, str] = ("_x", "_y"),
+) -> DataFrame:
+    """Assemble the merge result from precomputed row positions.
+
+    Split out so lineage tracking can reuse the position arrays without
+    running the hash join twice.
+    """
+    keys = [] if on is None else ([on] if isinstance(on, str) else list(on))
+    key_set = set(keys)
+
+    columns: dict[str, np.ndarray] = {}
+    left_names = left.columns
+    right_names = [c for c in right.columns if c not in key_set]
+    collisions = (set(left_names) - key_set) & set(right_names)
+
+    for name in left_names:
+        source = left.column_array(name)
+        if name in key_set:
+            values = _take(source, left_pos)
+            if how in ("right", "outer"):
+                fallback = _take(right.column_array(name), right_pos)
+                fill = missing.isnull_array(values)
+                if fill.any():
+                    values = values.astype(object)
+                    values[fill] = fallback[fill]
+            columns[name] = values
+        else:
+            out_name = name + suffixes[0] if name in collisions else name
+            columns[out_name] = _take(source, left_pos)
+    for name in right_names:
+        out_name = name + suffixes[1] if name in collisions else name
+        columns[out_name] = _take(right.column_array(name), right_pos)
+    index = np.arange(len(left_pos), dtype=np.int64)
+    return DataFrame._from_arrays(columns, index)

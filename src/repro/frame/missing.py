@@ -1,0 +1,78 @@
+"""Null handling for the dataframe substrate.
+
+The column model mirrors pandas 1.x:
+
+* float64 columns encode nulls as ``NaN``;
+* object columns (strings, arrays, mixed values) encode nulls as ``None``
+  (``NaN`` objects are normalised to ``None`` on construction);
+* int64 and bool columns cannot hold nulls — introducing a null promotes an
+  int column to float64 and a bool column to object.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "NA",
+    "is_na_scalar",
+    "isnull_array",
+    "normalise_array",
+    "promote_for_null",
+]
+
+#: Sentinel used in user-facing APIs for "missing" (mirrors ``np.nan``).
+NA = float("nan")
+
+
+def is_na_scalar(value: Any) -> bool:
+    """Return True when *value* represents a missing scalar (None or NaN)."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, np.floating) and np.isnan(value):
+        return True
+    return False
+
+
+def isnull_array(values: np.ndarray) -> np.ndarray:
+    """Element-wise null test returning a bool ndarray."""
+    if values.dtype.kind == "f":
+        return np.isnan(values)
+    if values.dtype == object:
+        return np.fromiter(
+            (is_na_scalar(v) for v in values), dtype=bool, count=len(values)
+        )
+    return np.zeros(len(values), dtype=bool)
+
+
+def normalise_array(values: np.ndarray) -> np.ndarray:
+    """Canonicalise an array so nulls follow the column model.
+
+    Object arrays get NaN objects replaced by ``None``; other dtypes are
+    returned unchanged.
+    """
+    if values.dtype == object:
+        out = values.copy()
+        for i, v in enumerate(out):
+            if v is not None and is_na_scalar(v):
+                out[i] = None
+        return out
+    return values
+
+
+def promote_for_null(values: np.ndarray) -> np.ndarray:
+    """Return an array of a dtype that can represent nulls.
+
+    int -> float64, bool -> object; float and object stay as they are.
+    """
+    kind = values.dtype.kind
+    if kind in ("i", "u"):
+        return values.astype(np.float64)
+    if kind == "b":
+        return values.astype(object)
+    return values

@@ -1,0 +1,461 @@
+"""One-dimensional labelled column, mirroring ``pandas.Series``.
+
+Only behaviour exercised by the paper's pipelines is implemented, but that
+behaviour follows pandas semantics:
+
+* comparisons involving nulls evaluate to ``False``;
+* arithmetic involving nulls propagates null;
+* binary operations between two series align positionally (the pipelines
+  only combine columns of the same frame, where positional and label
+  alignment coincide).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frame import missing
+
+__all__ = ["Series"]
+
+
+def _coerce_values(data: Any) -> np.ndarray:
+    """Build a canonical 1-D value array from arbitrary input data."""
+    if isinstance(data, Series):
+        return data.values.copy()
+    if isinstance(data, np.ndarray):
+        values = data
+    else:
+        items = list(data)
+        has_null = any(missing.is_na_scalar(v) for v in items)
+        non_null = [v for v in items if not missing.is_na_scalar(v)]
+        if non_null and all(isinstance(v, bool) for v in non_null):
+            dtype = object if has_null else bool
+        elif non_null and all(
+            isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+            for v in non_null
+        ):
+            dtype = np.float64 if has_null else np.int64
+        elif non_null and all(
+            isinstance(v, (int, float, np.integer, np.floating))
+            and not isinstance(v, bool)
+            for v in non_null
+        ):
+            dtype = np.float64
+        else:
+            dtype = object
+        if dtype == object:
+            values = np.empty(len(items), dtype=object)
+            for i, v in enumerate(items):
+                values[i] = None if missing.is_na_scalar(v) else v
+            return values
+        values = np.array(
+            [np.nan if missing.is_na_scalar(v) else v for v in items], dtype=dtype
+        )
+        return values
+    if values.ndim != 1:
+        raise FrameError(f"Series data must be 1-D, got shape {values.shape}")
+    if values.dtype.kind in ("U", "S"):
+        values = values.astype(object)
+    return missing.normalise_array(values)
+
+
+class Series:
+    """A named, indexed column of values backed by a numpy array."""
+
+    __slots__ = ("_values", "_name", "_index")
+
+    def __init__(
+        self,
+        data: Any,
+        name: str | None = None,
+        index: np.ndarray | None = None,
+    ) -> None:
+        self._values = _coerce_values(data)
+        self._name = name
+        if index is None:
+            self._index = np.arange(len(self._values), dtype=np.int64)
+        else:
+            self._index = np.asarray(index, dtype=np.int64)
+            if len(self._index) != len(self._values):
+                raise FrameError(
+                    "index length does not match data length: "
+                    f"{len(self._index)} != {len(self._values)}"
+                )
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying numpy array (shared, not copied)."""
+        return self._values
+
+    @property
+    def name(self) -> str | None:
+        return self._name
+
+    @property
+    def index(self) -> np.ndarray:
+        """Integer row labels surviving from the original frame."""
+        return self._index
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._values.dtype
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        head = ", ".join(repr(v) for v in self._values[:8])
+        more = ", ..." if len(self) > 8 else ""
+        return f"Series(name={self._name!r}, n={len(self)}, [{head}{more}])"
+
+    def copy(self) -> "Series":
+        return Series(self._values.copy(), name=self._name, index=self._index.copy())
+
+    def rename(self, name: str) -> "Series":
+        return Series(self._values, name=name, index=self._index)
+
+    def to_numpy(self) -> np.ndarray:
+        return self._values.copy()
+
+    def __array__(self, dtype: Any = None, copy: Any = None) -> np.ndarray:
+        """numpy interop so e.g. ``np.asarray(series, dtype=float)`` works."""
+        values = self._values
+        if values.dtype == object and dtype is not None:
+            values = np.array(
+                [np.nan if missing.is_na_scalar(v) else v for v in values]
+            )
+        return values.astype(dtype) if dtype is not None else values.copy()
+
+    def tolist(self) -> list:
+        return [None if missing.is_na_scalar(v) else v for v in self._values]
+
+    def head(self, n: int = 5) -> "Series":
+        return Series(self._values[:n], name=self._name, index=self._index[:n])
+
+    def astype(self, dtype: Any) -> "Series":
+        if dtype in (str, "str"):
+            out = np.empty(len(self), dtype=object)
+            nulls = self.isnull().values
+            for i, v in enumerate(self._values):
+                out[i] = None if nulls[i] else str(v)
+            return Series(out, name=self._name, index=self._index)
+        return Series(
+            self._values.astype(dtype), name=self._name, index=self._index
+        )
+
+    # -- null handling -----------------------------------------------------
+
+    def isnull(self) -> "Series":
+        return Series(
+            missing.isnull_array(self._values), name=self._name, index=self._index
+        )
+
+    isna = isnull
+
+    def notnull(self) -> "Series":
+        return Series(
+            ~missing.isnull_array(self._values), name=self._name, index=self._index
+        )
+
+    notna = notnull
+
+    def fillna(self, value: Any) -> "Series":
+        nulls = missing.isnull_array(self._values)
+        if not nulls.any():
+            return self.copy()
+        out = self._values.copy()
+        if out.dtype.kind == "f" and isinstance(value, (int, float)):
+            out[nulls] = float(value)
+        else:
+            out = out.astype(object)
+            out[nulls] = value
+        return Series(out, name=self._name, index=self._index)
+
+    def dropna(self) -> "Series":
+        keep = ~missing.isnull_array(self._values)
+        return Series(self._values[keep], name=self._name, index=self._index[keep])
+
+    # -- element-wise operations --------------------------------------------
+
+    def _other_values(self, other: Any) -> tuple[np.ndarray | Any, bool]:
+        """Return (values, is_elementwise) for a binary-op right operand."""
+        if isinstance(other, Series):
+            if len(other) != len(self):
+                raise FrameError(
+                    "cannot align series of different lengths: "
+                    f"{len(self)} and {len(other)}"
+                )
+            return other.values, True
+        if isinstance(other, np.ndarray):
+            if other.ndim != 1 or len(other) != len(self):
+                raise FrameError("operand array must be 1-D of the same length")
+            return other, True
+        return other, False
+
+    def _compare(self, other: Any, op: Callable[[Any, Any], bool]) -> "Series":
+        rhs, elementwise = self._other_values(other)
+        lhs = self._values
+        out = np.zeros(len(lhs), dtype=bool)
+        null_l = missing.isnull_array(lhs)
+        if elementwise:
+            null_r = missing.isnull_array(rhs)
+            valid = ~(null_l | null_r)
+            if lhs.dtype != object and rhs.dtype != object:
+                with np.errstate(invalid="ignore"):
+                    out[valid] = op(lhs[valid], rhs[valid])
+            else:
+                idx = np.flatnonzero(valid)
+                for i in idx:
+                    out[i] = bool(op(lhs[i], rhs[i]))
+        else:
+            if missing.is_na_scalar(rhs):
+                return Series(out, name=self._name, index=self._index)
+            valid = ~null_l
+            if lhs.dtype != object:
+                with np.errstate(invalid="ignore"):
+                    out[valid] = op(lhs[valid], rhs)
+            else:
+                for i in np.flatnonzero(valid):
+                    try:
+                        out[i] = bool(op(lhs[i], rhs))
+                    except TypeError:
+                        out[i] = False
+        return Series(out, name=self._name, index=self._index)
+
+    def __eq__(self, other: Any) -> "Series":  # type: ignore[override]
+        return self._compare(other, lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> "Series":  # type: ignore[override]
+        result = self._compare(other, lambda a, b: a == b)
+        nulls = missing.isnull_array(self._values)
+        if isinstance(other, (Series, np.ndarray)):
+            rhs = other.values if isinstance(other, Series) else other
+            nulls = nulls | missing.isnull_array(rhs)
+        out = ~result.values
+        out[nulls] = False
+        return Series(out, name=self._name, index=self._index)
+
+    def __lt__(self, other: Any) -> "Series":
+        return self._compare(other, lambda a, b: a < b)
+
+    def __le__(self, other: Any) -> "Series":
+        return self._compare(other, lambda a, b: a <= b)
+
+    def __gt__(self, other: Any) -> "Series":
+        return self._compare(other, lambda a, b: a > b)
+
+    def __ge__(self, other: Any) -> "Series":
+        return self._compare(other, lambda a, b: a >= b)
+
+    def _arith(self, other: Any, op: Callable, reflected: bool = False) -> "Series":
+        rhs, elementwise = self._other_values(other)
+        lhs = self._values
+        null_l = missing.isnull_array(lhs)
+        if elementwise:
+            null_r = missing.isnull_array(rhs)
+        else:
+            if missing.is_na_scalar(rhs):
+                out = np.full(len(lhs), np.nan)
+                return Series(out, name=self._name, index=self._index)
+            null_r = np.zeros(len(lhs), dtype=bool)
+        any_null = null_l | null_r
+        a, b = (rhs, lhs) if reflected else (lhs, rhs)
+        if lhs.dtype != object and (not elementwise or rhs.dtype != object):
+            with np.errstate(invalid="ignore", divide="ignore"):
+                result = op(a, b)
+            result = np.asarray(result)
+            if any_null.any():
+                result = missing.promote_for_null(result)
+                if result.dtype.kind == "f":
+                    result[any_null] = np.nan
+                else:
+                    result = result.astype(object)
+                    result[any_null] = None
+            return Series(result, name=self._name, index=self._index)
+        out = np.empty(len(lhs), dtype=object)
+        for i in range(len(lhs)):
+            if any_null[i]:
+                out[i] = None
+            elif elementwise:
+                out[i] = op(rhs[i], lhs[i]) if reflected else op(lhs[i], rhs[i])
+            else:
+                out[i] = op(rhs, lhs[i]) if reflected else op(lhs[i], rhs)
+        return Series(out, name=self._name, index=self._index)
+
+    def __add__(self, other: Any) -> "Series":
+        return self._arith(other, lambda a, b: a + b)
+
+    def __radd__(self, other: Any) -> "Series":
+        return self._arith(other, lambda a, b: a + b, reflected=True)
+
+    def __sub__(self, other: Any) -> "Series":
+        return self._arith(other, lambda a, b: a - b)
+
+    def __rsub__(self, other: Any) -> "Series":
+        return self._arith(other, lambda a, b: a - b, reflected=True)
+
+    def __mul__(self, other: Any) -> "Series":
+        return self._arith(other, lambda a, b: a * b)
+
+    def __rmul__(self, other: Any) -> "Series":
+        return self._arith(other, lambda a, b: a * b, reflected=True)
+
+    def __truediv__(self, other: Any) -> "Series":
+        return self._arith(other, lambda a, b: a / b)
+
+    def __rtruediv__(self, other: Any) -> "Series":
+        return self._arith(other, lambda a, b: a / b, reflected=True)
+
+    def __mod__(self, other: Any) -> "Series":
+        return self._arith(other, lambda a, b: a % b)
+
+    def __neg__(self) -> "Series":
+        return self._arith(-1, lambda a, b: a * b)
+
+    def _bool_values(self) -> np.ndarray:
+        if self._values.dtype.kind == "b":
+            return self._values
+        if self._values.dtype == object:
+            nulls = missing.isnull_array(self._values)
+            out = np.zeros(len(self), dtype=bool)
+            for i in np.flatnonzero(~nulls):
+                out[i] = bool(self._values[i])
+            return out
+        raise FrameError(
+            f"cannot interpret dtype {self._values.dtype} as boolean mask"
+        )
+
+    def __and__(self, other: Any) -> "Series":
+        rhs = other._bool_values() if isinstance(other, Series) else other
+        return Series(self._bool_values() & rhs, name=self._name, index=self._index)
+
+    def __or__(self, other: Any) -> "Series":
+        rhs = other._bool_values() if isinstance(other, Series) else other
+        return Series(self._bool_values() | rhs, name=self._name, index=self._index)
+
+    def __invert__(self) -> "Series":
+        return Series(~self._bool_values(), name=self._name, index=self._index)
+
+    # -- pandas-style helpers -------------------------------------------------
+
+    def isin(self, values: Iterable[Any]) -> "Series":
+        """Membership test; nulls never match (pandas semantics)."""
+        lookup = set()
+        for v in values:
+            if not missing.is_na_scalar(v):
+                lookup.add(v)
+        nulls = missing.isnull_array(self._values)
+        out = np.zeros(len(self), dtype=bool)
+        for i in np.flatnonzero(~nulls):
+            out[i] = self._values[i] in lookup
+        return Series(out, name=self._name, index=self._index)
+
+    def replace(self, to_replace: Any, value: Any = None, regex: bool = False) -> "Series":
+        """Replace whole values; with ``regex=True`` match full strings."""
+        if isinstance(to_replace, dict):
+            mapping = to_replace
+        else:
+            mapping = {to_replace: value}
+        out = self._values.astype(object).copy()
+        if regex:
+            compiled = [(re.compile(str(k)), v) for k, v in mapping.items()]
+            for i, cell in enumerate(out):
+                if isinstance(cell, str):
+                    for pattern, repl in compiled:
+                        new = pattern.sub(str(repl), cell)
+                        if new != cell:
+                            out[i] = new
+                            break
+        else:
+            for i, cell in enumerate(out):
+                if cell is not None and cell in mapping:
+                    out[i] = mapping[cell]
+        return Series(out, name=self._name, index=self._index)
+
+    def map(self, mapping: dict | Callable) -> "Series":
+        func = mapping if callable(mapping) else lambda v: mapping.get(v)
+        out = np.empty(len(self), dtype=object)
+        nulls = missing.isnull_array(self._values)
+        for i, v in enumerate(self._values):
+            out[i] = None if nulls[i] else func(v)
+        return Series(out, name=self._name, index=self._index)
+
+    def unique(self) -> list:
+        seen: dict[Any, None] = {}
+        has_null = False
+        for v in self._values:
+            if missing.is_na_scalar(v):
+                has_null = True
+            else:
+                seen.setdefault(v, None)
+        result = list(seen)
+        if has_null:
+            result.append(None)
+        return result
+
+    def nunique(self) -> int:
+        return len([v for v in self.unique() if v is not None])
+
+    def value_counts(self) -> dict:
+        """Counts per non-null value, most frequent first (stable)."""
+        counts: dict[Any, int] = {}
+        for v in self._values:
+            if not missing.is_na_scalar(v):
+                counts[v] = counts.get(v, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+    # -- aggregations ----------------------------------------------------------
+
+    def _non_null(self) -> np.ndarray:
+        return self._values[~missing.isnull_array(self._values)]
+
+    def count(self) -> int:
+        return int((~missing.isnull_array(self._values)).sum())
+
+    def sum(self) -> Any:
+        vals = self._non_null()
+        return vals.sum() if len(vals) else 0
+
+    def mean(self) -> float:
+        vals = self._non_null().astype(np.float64)
+        return float(vals.mean()) if len(vals) else float("nan")
+
+    def median(self) -> float:
+        vals = self._non_null().astype(np.float64)
+        return float(np.median(vals)) if len(vals) else float("nan")
+
+    def std(self, ddof: int = 1) -> float:
+        vals = self._non_null().astype(np.float64)
+        if len(vals) <= ddof:
+            return float("nan")
+        return float(vals.std(ddof=ddof))
+
+    def min(self) -> Any:
+        vals = self._non_null()
+        return vals.min() if len(vals) else None
+
+    def max(self) -> Any:
+        vals = self._non_null()
+        return vals.max() if len(vals) else None
+
+    def mode(self) -> Any:
+        """Most frequent non-null value (smallest on ties, like sklearn)."""
+        counts = self.value_counts()
+        if not counts:
+            return None
+        best = max(counts.values())
+        candidates = [k for k, c in counts.items() if c == best]
+        try:
+            return min(candidates)
+        except TypeError:
+            return candidates[0]

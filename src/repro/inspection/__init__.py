@@ -1,0 +1,46 @@
+"""``repro.inspection`` — the mlinspect-style pipeline inspection framework.
+
+Provides :class:`PipelineInspector` (the fluent entry point), the dataflow
+DAG model, inspections (histograms, lineage, row materialisation), and
+checks (bias introduction, illegal features).  Monkey patching intercepts
+``repro.frame``/``repro.learn`` calls without modifying user pipelines.
+"""
+
+from repro.inspection.annotations import Lineage
+from repro.inspection.backend import InspectionBackend
+from repro.inspection.checks import (
+    BiasDistributionChange,
+    Check,
+    CheckResult,
+    CheckStatus,
+    NoBiasIntroducedFor,
+    NoIllegalFeatures,
+)
+from repro.inspection.inspections import (
+    HistogramForColumns,
+    Inspection,
+    MaterializeFirstOutputRows,
+    RowLineage,
+)
+from repro.inspection.inspector import PipelineInspector
+from repro.inspection.operators import DagNode, OperatorType
+from repro.inspection.result import InspectorResult
+
+__all__ = [
+    "BiasDistributionChange",
+    "Check",
+    "CheckResult",
+    "CheckStatus",
+    "DagNode",
+    "HistogramForColumns",
+    "Inspection",
+    "InspectionBackend",
+    "InspectorResult",
+    "Lineage",
+    "MaterializeFirstOutputRows",
+    "NoBiasIntroducedFor",
+    "NoIllegalFeatures",
+    "OperatorType",
+    "PipelineInspector",
+    "RowLineage",
+]

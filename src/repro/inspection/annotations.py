@@ -1,0 +1,107 @@
+"""Row-lineage annotations for tuple tracking in the Python path.
+
+Each tracked dataframe/series/matrix carries, per *source table*, the
+original row id of every current row — the Python counterpart of the
+paper's propagated ``<view>_ctid`` columns.  After aggregations a row maps
+to *many* source rows, mirrored by the SQL ``array_agg(ctid)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["Lineage"]
+
+_MISSING = -1
+
+
+@dataclass
+class Lineage:
+    """Per-source row provenance for one tracked object.
+
+    ``simple[source]`` is an int64 array: row position → original row id
+    (-1 when the row has no counterpart, e.g. outer-join padding).
+    ``grouped[source]`` is an object array of int lists after aggregation.
+    """
+
+    n_rows: int
+    simple: dict[str, np.ndarray] = field(default_factory=dict)
+    grouped: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @classmethod
+    def source(cls, name: str, n_rows: int) -> "Lineage":
+        return cls(n_rows, {name: np.arange(n_rows, dtype=np.int64)})
+
+    @property
+    def sources(self) -> list[str]:
+        return list(self.simple) + list(self.grouped)
+
+    def gather(self, positions: np.ndarray) -> "Lineage":
+        """Lineage after a row subset / reorder / duplication.
+
+        Positions of -1 (outer-join padding) map to missing lineage.
+        """
+        out = Lineage(len(positions))
+        hole = positions < 0
+        safe = np.where(hole, 0, positions)
+        for name, ids in self.simple.items():
+            gathered = ids[safe].copy()
+            gathered[hole] = _MISSING
+            out.simple[name] = gathered
+        for name, groups in self.grouped.items():
+            gathered_groups = groups[safe].copy()
+            gathered_groups[hole] = None
+            out.grouped[name] = gathered_groups
+        return out
+
+    def merged_with(self, other: "Lineage", n_rows: int) -> "Lineage":
+        """Combine lineages of two join sides (already gathered).
+
+        On source-name collision (self join) the left side wins — the SQL
+        backend resolves the same situation through its execution tree.
+        """
+        out = Lineage(n_rows)
+        out.simple.update(other.simple)
+        out.simple.update(self.simple)
+        out.grouped.update(other.grouped)
+        out.grouped.update(self.grouped)
+        return out
+
+    def group(self, positions_per_group: Iterable[Iterable[int]]) -> "Lineage":
+        """Lineage after aggregation: each output row covers many rows."""
+        groups = [np.asarray(list(p), dtype=np.int64) for p in positions_per_group]
+        out = Lineage(len(groups))
+        for name, ids in self.simple.items():
+            collected = np.empty(len(groups), dtype=object)
+            for g, members in enumerate(groups):
+                collected[g] = [int(ids[m]) for m in members if ids[m] != _MISSING]
+            out.grouped[name] = collected
+        for name, nested in self.grouped.items():
+            collected = np.empty(len(groups), dtype=object)
+            for g, members in enumerate(groups):
+                flat: list[int] = []
+                for m in members:
+                    if nested[m] is not None:
+                        flat.extend(nested[m])
+                collected[g] = flat
+            out.grouped[name] = collected
+        return out
+
+    def row_ids_for(self, source: str, position: int) -> list[int]:
+        """Original row ids of *source* contributing to one output row."""
+        if source in self.simple:
+            row_id = int(self.simple[source][position])
+            return [] if row_id == _MISSING else [row_id]
+        if source in self.grouped:
+            group = self.grouped[source][position]
+            return list(group) if group is not None else []
+        return []
+
+    def copy(self) -> "Lineage":
+        out = Lineage(self.n_rows)
+        out.simple = {k: v.copy() for k, v in self.simple.items()}
+        out.grouped = {k: v.copy() for k, v in self.grouped.items()}
+        return out

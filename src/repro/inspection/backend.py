@@ -1,0 +1,103 @@
+"""Backend interface invoked by the monkey-patching layer.
+
+Every patched library function routes through one of these hooks.  The
+contract (from §4 of the paper): *each patched function returns exactly
+what the original would return*, so inspection can never distort pipeline
+results.  Two implementations exist:
+
+* :class:`repro.inspection.tracker.PythonBackend` — runs the original
+  operations and performs row-wise inspection in Python (mlinspect's
+  default behaviour);
+* :class:`repro.core.sql_backend.SQLBackend` — translates operations to
+  SQL, offloads execution and inspection to a database system, and keeps
+  sample-sized dummy objects flowing through the pipeline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = ["InspectionBackend"]
+
+
+class InspectionBackend:
+    """Hook surface; default implementations just call the original."""
+
+    def __init__(self) -> None:
+        self._suppress_depth = 0
+
+    # -- re-entrancy control ------------------------------------------------
+
+    @property
+    def suppressed(self) -> bool:
+        return self._suppress_depth > 0
+
+    @contextmanager
+    def suppress(self) -> Iterator[None]:
+        """Run library-internal work without recording nested calls."""
+        self._suppress_depth += 1
+        try:
+            yield
+        finally:
+            self._suppress_depth -= 1
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Called once after the pipeline source finished executing."""
+
+    # -- pandas-level hooks -----------------------------------------------------
+
+    def read_csv(self, original, path, na_values, lineno) -> Any:
+        return original(path, na_values=na_values)
+
+    def frame_created(self, frame, lineno) -> None:
+        """A DataFrame was constructed directly in the pipeline source."""
+
+    def frame_getitem(self, original, frame, key, lineno) -> Any:
+        return original(frame, key)
+
+    def frame_setitem(self, original, frame, key, value, lineno) -> None:
+        return original(frame, key, value)
+
+    def frame_merge(self, original, left, right, on, how, suffixes, lineno) -> Any:
+        return original(left, right, on=on, how=how, suffixes=suffixes)
+
+    def frame_dropna(self, original, frame, subset, lineno) -> Any:
+        return original(frame, subset=subset)
+
+    def frame_replace(self, original, obj, to_replace, value, regex, lineno) -> Any:
+        return original(obj, to_replace, value, regex=regex)
+
+    def groupby_agg(self, original, groupby, spec, named, lineno) -> Any:
+        return original(groupby, spec, **named)
+
+    def series_binop(self, original, op, left, right, lineno) -> Any:
+        return original(left, right)
+
+    def series_unop(self, original, op, operand, lineno) -> Any:
+        return original(operand)
+
+    def series_isin(self, original, series, values, lineno) -> Any:
+        return original(series, values)
+
+    # -- sklearn-level hooks -------------------------------------------------------
+
+    def transformer_fit_transform(self, original, transformer, X, y, lineno) -> Any:
+        return original(transformer, X, y)
+
+    def transformer_transform(self, original, transformer, X, lineno) -> Any:
+        return original(transformer, X)
+
+    def label_binarize(self, original, y, classes, lineno) -> Any:
+        return original(y, classes=classes)
+
+    def train_test_split(self, original, arrays, kwargs, lineno) -> Any:
+        return original(*arrays, **kwargs)
+
+    def estimator_fit(self, original, estimator, X, y, lineno) -> Any:
+        return original(estimator, X, y)
+
+    def estimator_score(self, original, estimator, X, y, lineno) -> Any:
+        return original(estimator, X, y)

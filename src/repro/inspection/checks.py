@@ -1,0 +1,254 @@
+"""Checks: pipeline-level verdicts computed from inspection results.
+
+``NoBiasIntroducedFor`` implements the paper's central check: for every
+operator that can change row counts, compare the distribution frequency
+(ratio) of each sensitive column before and after; flag the operator when
+any group's ratio moved by at least the threshold (the paper's example uses
+25%).  ``NoIllegalFeatures`` flags blacklisted feature names entering
+transformers/estimators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from repro.inspection.inspections import HistogramForColumns, Inspection
+from repro.inspection.operators import DagNode, OperatorType
+
+__all__ = [
+    "BiasDistributionChange",
+    "Check",
+    "CheckResult",
+    "CheckStatus",
+    "DEFAULT_ILLEGAL_FEATURES",
+    "NoBiasIntroducedFor",
+    "NoIllegalFeatures",
+]
+
+
+class CheckStatus(Enum):
+    SUCCESS = "success"
+    FAILURE = "failure"
+
+
+@dataclass
+class CheckResult:
+    check: "Check"
+    status: CheckStatus
+    description: str = ""
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BiasDistributionChange:
+    """Ratio movement of one sensitive column at one operator."""
+
+    node: DagNode
+    column: str
+    before: dict[Any, float]  # value -> ratio before the operator
+    after: dict[Any, float]  # value -> ratio after the operator
+    max_abs_change: float
+    acceptable: bool
+
+    def changes(self) -> dict[Any, float]:
+        """Per-value ratio delta (after - before)."""
+        keys = set(self.before) | set(self.after)
+        return {
+            key: self.after.get(key, 0.0) - self.before.get(key, 0.0)
+            for key in keys
+        }
+
+
+class Check:
+    """Base class; subclasses must be hashable value objects."""
+
+    def required_inspections(self) -> list[Inspection]:
+        return []
+
+    def evaluate(
+        self,
+        dag,
+        inspection_results: dict[DagNode, dict[Inspection, Any]],
+    ) -> CheckResult:
+        raise NotImplementedError
+
+
+def _ratios(histogram: dict[Any, int]) -> dict[Any, float]:
+    total = sum(histogram.values())
+    if total == 0:
+        return {}
+    return {key: count / total for key, count in histogram.items()}
+
+
+class NoBiasIntroducedFor(Check):
+    """Fail when an operator shifts a sensitive ratio by >= threshold."""
+
+    def __init__(
+        self, sensitive_columns: list[str], threshold: float = 0.25
+    ) -> None:
+        self.sensitive_columns = tuple(sensitive_columns)
+        self.threshold = threshold
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.sensitive_columns, self.threshold))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, NoBiasIntroducedFor)
+            and other.sensitive_columns == self.sensitive_columns
+            and other.threshold == self.threshold
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NoBiasIntroducedFor({list(self.sensitive_columns)}, "
+            f"threshold={self.threshold})"
+        )
+
+    def required_inspections(self) -> list[Inspection]:
+        return [HistogramForColumns(list(self.sensitive_columns))]
+
+    def evaluate(
+        self,
+        dag,
+        inspection_results: dict[DagNode, dict[Inspection, Any]],
+    ) -> CheckResult:
+        histogram_inspection = HistogramForColumns(list(self.sensitive_columns))
+        changes: list[BiasDistributionChange] = []
+        failed: list[BiasDistributionChange] = []
+        for node in sorted(dag.nodes, key=lambda n: n.node_id):
+            if not node.operator_type.can_change_row_counts:
+                continue
+            parents = list(dag.predecessors(node))
+            if not parents:
+                continue
+            after_histograms = inspection_results.get(node, {}).get(
+                histogram_inspection
+            )
+            if not after_histograms:
+                continue
+            for column in self.sensitive_columns:
+                after = after_histograms.get(column)
+                if after is None:
+                    continue
+                before = self._parent_histogram(
+                    parents, column, inspection_results, histogram_inspection
+                )
+                if before is None:
+                    continue
+                before_ratios = _ratios(before)
+                after_ratios = _ratios(after)
+                keys = set(before_ratios) | set(after_ratios)
+                max_change = max(
+                    (
+                        abs(
+                            after_ratios.get(k, 0.0) - before_ratios.get(k, 0.0)
+                        )
+                        for k in keys
+                    ),
+                    default=0.0,
+                )
+                change = BiasDistributionChange(
+                    node,
+                    column,
+                    before_ratios,
+                    after_ratios,
+                    max_change,
+                    acceptable=max_change < self.threshold,
+                )
+                changes.append(change)
+                if not change.acceptable:
+                    failed.append(change)
+        status = CheckStatus.FAILURE if failed else CheckStatus.SUCCESS
+        description = (
+            "no bias introduced"
+            if not failed
+            else "; ".join(
+                f"line {c.node.lineno}: column {c.column!r} ratio moved by "
+                f"{c.max_abs_change:.3f}"
+                for c in failed
+            )
+        )
+        return CheckResult(
+            self,
+            status,
+            description,
+            details={"distribution_changes": changes, "failed": failed},
+        )
+
+    @staticmethod
+    def _parent_histogram(
+        parents: list[DagNode],
+        column: str,
+        inspection_results: dict[DagNode, dict[Inspection, Any]],
+        inspection: HistogramForColumns,
+    ) -> Optional[dict[Any, int]]:
+        """Histogram before the operator.
+
+        For joins (several parents) the paper compares against the side
+        that owns the column; we pick the first parent that recorded a
+        histogram for it.
+        """
+        for parent in parents:
+            histograms = inspection_results.get(parent, {}).get(inspection)
+            if histograms and column in histograms:
+                return histograms[column]
+        return None
+
+
+#: features mlinspect considers illegal to train on out of the box
+DEFAULT_ILLEGAL_FEATURES = frozenset(
+    {"race", "gender", "sex", "religion", "ethnicity", "nationality"}
+)
+
+
+class NoIllegalFeatures(Check):
+    """Fail when a blacklisted column feeds a transformer/estimator."""
+
+    def __init__(self, additional_names: Optional[list[str]] = None) -> None:
+        self.additional_names = tuple(additional_names or ())
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.additional_names))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, NoIllegalFeatures)
+            and other.additional_names == self.additional_names
+        )
+
+    def __repr__(self) -> str:
+        return f"NoIllegalFeatures({list(self.additional_names)})"
+
+    def evaluate(
+        self,
+        dag,
+        inspection_results: dict[DagNode, dict[Inspection, Any]],
+    ) -> CheckResult:
+        illegal = set(DEFAULT_ILLEGAL_FEATURES) | {
+            name.lower() for name in self.additional_names
+        }
+        offending: dict[DagNode, list[str]] = {}
+        for node in dag.nodes:
+            if node.operator_type not in (
+                OperatorType.TRANSFORMER,
+                OperatorType.ESTIMATOR,
+            ):
+                continue
+            bad = [c for c in node.columns if c.lower() in illegal]
+            if bad:
+                offending[node] = bad
+        status = CheckStatus.FAILURE if offending else CheckStatus.SUCCESS
+        description = (
+            "no illegal features"
+            if not offending
+            else "; ".join(
+                f"line {node.lineno}: {sorted(bad)}"
+                for node, bad in offending.items()
+            )
+        )
+        return CheckResult(
+            self, status, description, details={"offending": offending}
+        )

@@ -1,0 +1,187 @@
+"""Inspections: per-operator observers collecting runtime information.
+
+These mirror mlinspect's three inspections (§3 of the paper):
+
+* :class:`HistogramForColumns` — value counts of sensitive columns after
+  every operator, restoring removed columns through row lineage (the
+  Python counterpart of the ctid join in Listings 2/5);
+* :class:`RowLineage` — per-row provenance for the first *k* rows;
+* :class:`MaterializeFirstOutputRows` — the first *k* output rows.
+
+Counting is deliberately row-at-a-time Python (dict updates per row): this
+is how mlinspect's inspection visitors work and is the baseline the paper's
+SQL offloading accelerates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+import numpy as np
+
+from repro.frame import is_na_scalar
+from repro.frame.dataframe import DataFrame
+from repro.frame.series import Series
+from repro.inspection.annotations import Lineage
+from repro.inspection.operators import DagNode
+
+__all__ = [
+    "HistogramForColumns",
+    "Inspection",
+    "MaterializeFirstOutputRows",
+    "RowLineage",
+    "SourceResolver",
+]
+
+
+class SourceResolver(Protocol):
+    """Lookup interface into the original (source) tables."""
+
+    def column_source(self, column: str) -> Optional[str]:
+        """Name of the source table owning *column* (None if unknown)."""
+
+    def source_values(self, source: str, column: str) -> np.ndarray:
+        """The full original column array of a source table."""
+
+
+class Inspection:
+    """Base class; subclasses must be hashable value objects."""
+
+    def visit(
+        self,
+        node: DagNode,
+        data: Any,
+        lineage: Optional[Lineage],
+        resolver: SourceResolver,
+    ) -> Any:
+        raise NotImplementedError
+
+
+def _named_columns(data: Any) -> dict[str, np.ndarray]:
+    if isinstance(data, DataFrame):
+        return {name: data.column_array(name) for name in data.columns}
+    if isinstance(data, Series):
+        name = data.name or "series"
+        return {name: data.values}
+    return {}
+
+
+class HistogramForColumns(Inspection):
+    """Distribution frequencies of sensitive columns after an operator."""
+
+    def __init__(self, sensitive_columns: list[str]) -> None:
+        self.sensitive_columns = tuple(sensitive_columns)
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.sensitive_columns))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HistogramForColumns)
+            and other.sensitive_columns == self.sensitive_columns
+        )
+
+    def __repr__(self) -> str:
+        return f"HistogramForColumns({list(self.sensitive_columns)})"
+
+    def visit(
+        self,
+        node: DagNode,
+        data: Any,
+        lineage: Optional[Lineage],
+        resolver: SourceResolver,
+    ) -> dict[str, dict[Any, int]]:
+        histograms: dict[str, dict[Any, int]] = {}
+        present = _named_columns(data)
+        for column in self.sensitive_columns:
+            if column in present:
+                counts: dict[Any, int] = {}
+                for value in present[column]:  # row-at-a-time, like mlinspect
+                    key = None if is_na_scalar(value) else value
+                    counts[key] = counts.get(key, 0) + 1
+                histograms[column] = counts
+                continue
+            if lineage is None:
+                continue
+            source = resolver.column_source(column)
+            if source is None or source not in lineage.sources:
+                continue
+            values = resolver.source_values(source, column)
+            counts = {}
+            for position in range(lineage.n_rows):
+                for row_id in lineage.row_ids_for(source, position):
+                    value = values[row_id]
+                    key = None if is_na_scalar(value) else value
+                    counts[key] = counts.get(key, 0) + 1
+            histograms[column] = counts
+        return histograms
+
+
+class RowLineage(Inspection):
+    """Materialise provenance of the first *row_count* rows per operator."""
+
+    def __init__(self, row_count: int = 5) -> None:
+        self.row_count = row_count
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.row_count))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowLineage) and other.row_count == self.row_count
+
+    def __repr__(self) -> str:
+        return f"RowLineage({self.row_count})"
+
+    def visit(
+        self,
+        node: DagNode,
+        data: Any,
+        lineage: Optional[Lineage],
+        resolver: SourceResolver,
+    ) -> list[dict[str, Any]]:
+        if lineage is None:
+            return []
+        rows = []
+        named = _named_columns(data)
+        for position in range(min(self.row_count, lineage.n_rows)):
+            provenance = {
+                source: lineage.row_ids_for(source, position)
+                for source in lineage.sources
+            }
+            row_values = {name: values[position] for name, values in named.items()}
+            rows.append({"row": row_values, "lineage": provenance})
+        return rows
+
+
+class MaterializeFirstOutputRows(Inspection):
+    """Keep the first *row_count* output rows of every operator."""
+
+    def __init__(self, row_count: int = 5) -> None:
+        self.row_count = row_count
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.row_count))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MaterializeFirstOutputRows)
+            and other.row_count == self.row_count
+        )
+
+    def __repr__(self) -> str:
+        return f"MaterializeFirstOutputRows({self.row_count})"
+
+    def visit(
+        self,
+        node: DagNode,
+        data: Any,
+        lineage: Optional[Lineage],
+        resolver: SourceResolver,
+    ) -> Any:
+        if isinstance(data, DataFrame):
+            return data.head(self.row_count)
+        if isinstance(data, Series):
+            return data.head(self.row_count)
+        if isinstance(data, np.ndarray):
+            return data[: self.row_count].copy()
+        return None

@@ -1,0 +1,166 @@
+"""`PipelineInspector` — the user-facing entry point (mirrors mlinspect).
+
+Typical use (Listing 6 of the paper)::
+
+    from repro.inspection import PipelineInspector
+    from repro.inspection.checks import NoBiasIntroducedFor
+
+    result = (
+        PipelineInspector.on_pipeline_from_py_file("healthcare.py")
+        .add_check(NoBiasIntroducedFor(["race", "age_group"]))
+        .execute()                      # native Python execution, or:
+        # .execute_in_sql(dbms_connector=conn, mode="VIEW", materialize=True)
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import InspectionError
+from repro.inspection.backend import InspectionBackend
+from repro.inspection.checks import Check
+from repro.inspection.inspections import Inspection
+from repro.inspection.monkeypatch import patched_libraries
+from repro.inspection.result import InspectorResult
+from repro.inspection.tracker import PythonBackend
+
+__all__ = ["PipelineInspector"]
+
+
+class PipelineInspector:
+    """Fluent builder configuring and running an inspected pipeline."""
+
+    def __init__(self, source: str, filename: str) -> None:
+        self._source = source
+        self._filename = filename
+        self._checks: list[Check] = []
+        self._inspections: list[Inspection] = []
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def on_pipeline_from_py_file(path: str) -> "PipelineInspector":
+        with open(path) as handle:
+            return PipelineInspector(handle.read(), path)
+
+    @staticmethod
+    def on_pipeline_from_string(
+        source: str, filename: str = "<pipeline>"
+    ) -> "PipelineInspector":
+        return PipelineInspector(source, filename)
+
+    def add_check(self, check: Check) -> "PipelineInspector":
+        self._checks.append(check)
+        return self
+
+    def add_checks(self, checks: list[Check]) -> "PipelineInspector":
+        self._checks.extend(checks)
+        return self
+
+    def add_required_inspection(self, inspection: Inspection) -> "PipelineInspector":
+        self._inspections.append(inspection)
+        return self
+
+    def add_required_inspections(
+        self, inspections: list[Inspection]
+    ) -> "PipelineInspector":
+        self._inspections.extend(inspections)
+        return self
+
+    # -- execution -------------------------------------------------------------
+
+    def _all_inspections(self) -> list[Inspection]:
+        inspections: list[Inspection] = []
+        for inspection in self._inspections:
+            if inspection not in inspections:
+                inspections.append(inspection)
+        for check in self._checks:
+            for inspection in check.required_inspections():
+                if inspection not in inspections:
+                    inspections.append(inspection)
+        return inspections
+
+    def _run_pipeline(self, backend: InspectionBackend) -> dict[str, Any]:
+        code = compile(self._source, self._filename, "exec")
+        pipeline_globals: dict[str, Any] = {
+            "__name__": "__main__",
+            "__file__": self._filename,
+        }
+        with patched_libraries(backend, self._filename):
+            exec(code, pipeline_globals)  # noqa: S102 - running user pipelines is the point
+        backend.finish()
+        return pipeline_globals
+
+    def execute(self) -> InspectorResult:
+        """Run the pipeline natively with Python (mlinspect-style) inspection."""
+        backend = PythonBackend(self._all_inspections())
+        pipeline_globals = self._run_pipeline(backend)
+        check_results = {
+            check: check.evaluate(backend.dag, backend.inspection_results)
+            for check in self._checks
+        }
+        return InspectorResult(
+            backend.dag,
+            backend.inspection_results,
+            check_results,
+            extras={"pipeline_globals": pipeline_globals},
+        )
+
+    def execute_in_sql(
+        self,
+        dbms_connector: Any = None,
+        mode: str = "CTE",
+        materialize: bool = False,
+        sample_rows: int = 10,
+        cte_not_materialized: bool = False,
+    ) -> InspectorResult:
+        """Run the pipeline with SQL offloading (the paper's contribution).
+
+        ``dbms_connector`` is a connector from :mod:`repro.core.connectors`
+        (defaults to an in-process PostgreSQL-profile connector); ``mode``
+        chooses one view or one CTE per pipeline line (§3.4.1);
+        ``materialize`` materialises reusable views/fitting parameters
+        (§3.4.2).
+        """
+        from repro.core.connectors import PostgresqlConnector
+        from repro.core.sql_backend import SQLBackend
+
+        if mode not in ("CTE", "VIEW"):
+            raise InspectionError("mode must be 'CTE' or 'VIEW'")
+        connector = dbms_connector or PostgresqlConnector()
+        backend = SQLBackend(
+            self._all_inspections(),
+            connector,
+            mode=mode,
+            materialize=materialize,
+            sample_rows=sample_rows,
+            cte_not_materialized=cte_not_materialized,
+        )
+        pipeline_globals = self._run_pipeline(backend)
+        check_results = {
+            check: check.evaluate(backend.dag, backend.inspection_results)
+            for check in self._checks
+        }
+        return InspectorResult(
+            backend.dag,
+            backend.inspection_results,
+            check_results,
+            sql_source=backend.generated_sql(),
+            extras={
+                "backend": backend,
+                "container": backend.container,
+                "pipeline_globals": pipeline_globals,
+            },
+        )
+
+    def to_sql(self, mode: str = "CTE", materialize: bool = False) -> str:
+        """Generate the inspection-enabled SQL without executing it.
+
+        Uses an in-process connector purely for schema deduction and
+        returns the full generated SQL script (the paper's
+        generate-without-execution feature).
+        """
+        result = self.execute_in_sql(mode=mode, materialize=materialize)
+        assert result.sql_source is not None
+        return result.sql_source

@@ -1,0 +1,60 @@
+"""Dataflow DAG node model (mlinspect's operator abstraction)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional
+
+__all__ = ["OperatorType", "DagNode"]
+
+
+class OperatorType(Enum):
+    """Kind of pipeline operation a DAG node represents."""
+
+    DATA_SOURCE = auto()  # read_csv
+    SELECTION = auto()  # boolean-mask getitem, dropna, isin filters
+    PROJECTION = auto()  # column getitem
+    PROJECTION_MODIFY = auto()  # setitem / replace / binary ops
+    JOIN = auto()  # merge
+    GROUP_BY_AGG = auto()  # groupby().agg()
+    TRAIN_TEST_SPLIT = auto()
+    TRANSFORMER = auto()  # sklearn-style fit_transform / transform
+    CONCATENATION = auto()  # ColumnTransformer output stacking
+    ESTIMATOR = auto()  # model fit
+    SCORE = auto()  # model score
+
+    @property
+    def can_change_row_counts(self) -> bool:
+        """Operators that can add/remove rows and hence introduce bias."""
+        return self in (
+            OperatorType.SELECTION,
+            OperatorType.JOIN,
+            OperatorType.GROUP_BY_AGG,
+            OperatorType.TRAIN_TEST_SPLIT,
+        )
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One node of the extracted dataflow DAG.
+
+    Equality/hash by ``node_id`` so nodes can key inspection-result maps.
+    """
+
+    node_id: int
+    operator_type: OperatorType
+    description: str
+    source_code: str = ""
+    lineno: Optional[int] = None
+    columns: tuple[str, ...] = field(default=())
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DagNode) and other.node_id == self.node_id
+
+    def __repr__(self) -> str:
+        line = f", line {self.lineno}" if self.lineno else ""
+        return f"DagNode({self.node_id}, {self.operator_type.name}{line}: {self.description})"

@@ -1,0 +1,50 @@
+"""``repro.learn`` — a scikit-learn-style preprocessing and model library.
+
+Implements the transformers of §5.2 of the paper (`SimpleImputer`,
+`OneHotEncoder`, `StandardScaler`, `KBinsDiscretizer`, `Binarizer`,
+`label_binarize`) plus composition (`ColumnTransformer`, `Pipeline`),
+splitting, metrics and the downstream models used by the evaluation
+pipelines (logistic regression, SGD, decision tree, a small MLP standing in
+for the Keras network).
+"""
+
+from repro.learn.base import BaseEstimator, TransformerMixin
+from repro.learn.compose import ColumnTransformer
+from repro.learn.impute import SimpleImputer
+from repro.learn.linear_model import LogisticRegression, SGDClassifier
+from repro.learn.metrics import accuracy_score, log_loss
+from repro.learn.model_selection import train_test_split
+from repro.learn.neural_network import MLPClassifier
+from repro.learn.pipeline import Pipeline
+from repro.learn.preprocessing import (
+    Binarizer,
+    FunctionTransformer,
+    KBinsDiscretizer,
+    LabelBinarizer,
+    OneHotEncoder,
+    StandardScaler,
+    label_binarize,
+)
+from repro.learn.tree import DecisionTreeClassifier
+
+__all__ = [
+    "BaseEstimator",
+    "Binarizer",
+    "ColumnTransformer",
+    "DecisionTreeClassifier",
+    "FunctionTransformer",
+    "KBinsDiscretizer",
+    "LabelBinarizer",
+    "LogisticRegression",
+    "MLPClassifier",
+    "OneHotEncoder",
+    "Pipeline",
+    "SGDClassifier",
+    "SimpleImputer",
+    "StandardScaler",
+    "TransformerMixin",
+    "accuracy_score",
+    "label_binarize",
+    "log_loss",
+    "train_test_split",
+]

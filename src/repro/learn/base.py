@@ -1,0 +1,62 @@
+"""Estimator base classes mirroring the scikit-learn fit/transform contract."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.frame.dataframe import DataFrame
+from repro.frame.series import Series
+
+__all__ = ["BaseEstimator", "TransformerMixin", "check_is_fitted", "as_matrix"]
+
+
+def as_matrix(X: Any) -> np.ndarray:
+    """Coerce DataFrame / Series / array-like input to a 2-D object matrix.
+
+    Transformers work on object matrices so that string categories and
+    nulls survive; numeric transformers cast as needed.
+    """
+    if isinstance(X, DataFrame):
+        return X.to_numpy(dtype=object)
+    if isinstance(X, Series):
+        return X.values.astype(object).reshape(-1, 1)
+    arr = np.asarray(X)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected 2-D input, got shape {arr.shape}")
+    return arr.astype(object)
+
+
+class BaseEstimator:
+    """Minimal parameter container matching sklearn's introspection style."""
+
+    def get_params(self) -> dict[str, Any]:
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and not key.endswith("_")
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+class TransformerMixin:
+    """Provides ``fit_transform`` for transformers defining fit + transform."""
+
+    def fit_transform(self, X: Any, y: Any = None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+
+def check_is_fitted(estimator: Any, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless *attribute* exists on the estimator."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} must be fitted before use "
+            f"(missing {attribute!r})"
+        )

@@ -1,0 +1,57 @@
+"""Column-wise transformer composition (scikit-learn ``ColumnTransformer``)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import LearnError
+from repro.frame.dataframe import DataFrame
+from repro.learn.base import BaseEstimator, TransformerMixin
+
+__all__ = ["ColumnTransformer"]
+
+
+class ColumnTransformer(BaseEstimator, TransformerMixin):
+    """Apply different transformers to different columns of a DataFrame.
+
+    ``transformers`` is a list of ``(name, transformer, columns)`` triples;
+    outputs are horizontally stacked in list order, matching sklearn.
+    """
+
+    def __init__(self, transformers: Sequence[tuple[str, Any, Sequence[str]]]) -> None:
+        names = [name for name, _, _ in transformers]
+        if len(set(names)) != len(names):
+            raise LearnError("transformer names must be unique")
+        self.transformers = list(transformers)
+        self.fitted_: bool | None = None
+
+    def _slice(self, X: DataFrame, columns: Sequence[str]) -> DataFrame:
+        if not isinstance(X, DataFrame):
+            raise LearnError("ColumnTransformer requires a DataFrame input")
+        return X[list(columns)]
+
+    def fit(self, X: DataFrame, y: Any = None) -> "ColumnTransformer":
+        for _, transformer, columns in self.transformers:
+            transformer.fit(self._slice(X, columns))
+        self.fitted_ = True
+        return self
+
+    def transform(self, X: DataFrame) -> np.ndarray:
+        if self.fitted_ is None:
+            raise LearnError("ColumnTransformer must be fitted before transform")
+        blocks = []
+        for _, transformer, columns in self.transformers:
+            block = np.asarray(
+                transformer.transform(self._slice(X, columns)), dtype=np.float64
+            )
+            if block.ndim == 1:
+                block = block.reshape(-1, 1)
+            blocks.append(block)
+        if not blocks:
+            return np.zeros((len(X), 0))
+        return np.hstack(blocks)
+
+    def fit_transform(self, X: DataFrame, y: Any = None) -> np.ndarray:
+        return self.fit(X, y).transform(X)

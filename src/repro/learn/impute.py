@@ -1,0 +1,67 @@
+"""Missing-value imputation (scikit-learn's ``SimpleImputer``).
+
+The fitting step computes one substitute per column (§5.2.1 of the paper);
+the SQL translation reproduces the same statistic with an aggregating
+subquery wrapped in ``COALESCE``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.frame import missing
+from repro.frame.series import Series
+from repro.learn.base import BaseEstimator, TransformerMixin, as_matrix, check_is_fitted
+
+__all__ = ["SimpleImputer"]
+
+_STRATEGIES = ("mean", "median", "most_frequent", "constant")
+
+
+class SimpleImputer(BaseEstimator, TransformerMixin):
+    """Replace nulls with a per-column statistic computed at fit time.
+
+    Parameters follow scikit-learn: ``strategy`` is one of ``mean``,
+    ``median``, ``most_frequent`` or ``constant`` (with ``fill_value``).
+    """
+
+    def __init__(self, strategy: str = "mean", fill_value: Any = None) -> None:
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; use one of {_STRATEGIES}")
+        self.strategy = strategy
+        self.fill_value = fill_value
+        self.statistics_: list[Any] | None = None
+
+    def _column_statistic(self, column: np.ndarray) -> Any:
+        series = Series(column)
+        if self.strategy == "mean":
+            return series.mean()
+        if self.strategy == "median":
+            return series.median()
+        if self.strategy == "most_frequent":
+            return series.mode()
+        return self.fill_value
+
+    def fit(self, X: Any, y: Any = None) -> "SimpleImputer":
+        matrix = as_matrix(X)
+        self.statistics_ = [
+            self._column_statistic(matrix[:, j]) for j in range(matrix.shape[1])
+        ]
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "statistics_")
+        matrix = as_matrix(X).copy()
+        if matrix.shape[1] != len(self.statistics_):
+            raise ValueError(
+                f"fitted on {len(self.statistics_)} columns, "
+                f"got {matrix.shape[1]}"
+            )
+        for j, substitute in enumerate(self.statistics_):
+            column = matrix[:, j]
+            for i in range(len(column)):
+                if missing.is_na_scalar(column[i]):
+                    matrix[i, j] = substitute
+        return matrix

@@ -1,0 +1,129 @@
+"""Linear classifiers trained with gradient descent.
+
+``LogisticRegression`` uses full-batch gradient descent with L2
+regularisation (deterministic given the data); ``SGDClassifier`` uses
+seeded stochastic updates.  Both expose the sklearn predict/score surface
+used by the compas and adult pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.learn.base import BaseEstimator
+from repro.learn.metrics import accuracy_score
+
+__all__ = ["LogisticRegression", "SGDClassifier"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.tanh(0.5 * z))
+
+
+def _prepare_xy(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if len(X) != len(y):
+        raise ValueError("X and y must have the same number of rows")
+    return X, y
+
+
+class _BinaryLinearClassifier(BaseEstimator):
+    """Shared surface of the binary linear classifiers."""
+
+    coef_: np.ndarray | None = None
+    intercept_: float | None = None
+
+    def decision_function(self, X: Any) -> np.ndarray:
+        if self.coef_ is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        p1 = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X: Any) -> np.ndarray:
+        return (self.decision_function(X) > 0.0).astype(np.int64)
+
+    def score(self, X: Any, y: Any) -> float:
+        return accuracy_score(y, self.predict(X))
+
+
+class LogisticRegression(_BinaryLinearClassifier):
+    """Binary logistic regression via full-batch gradient descent."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        max_iter: int = 500,
+        learning_rate: float = 0.5,
+        tol: float = 1e-6,
+    ) -> None:
+        self.C = C
+        self.max_iter = max_iter
+        self.learning_rate = learning_rate
+        self.tol = tol
+
+    def fit(self, X: Any, y: Any) -> "LogisticRegression":
+        X, y = _prepare_xy(X, y)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        l2 = 1.0 / (self.C * n)
+        for _ in range(self.max_iter):
+            p = _sigmoid(X @ w + b)
+            error = p - y
+            grad_w = X.T @ error / n + l2 * w
+            grad_b = float(error.mean())
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+            if np.abs(grad_w).max(initial=abs(grad_b)) < self.tol:
+                break
+        self.coef_ = w
+        self.intercept_ = b
+        return self
+
+
+class SGDClassifier(_BinaryLinearClassifier):
+    """Logistic-loss stochastic gradient descent classifier."""
+
+    def __init__(
+        self,
+        alpha: float = 1e-4,
+        max_iter: int = 20,
+        eta0: float = 0.1,
+        random_state: int | None = None,
+    ) -> None:
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.eta0 = eta0
+        self.random_state = random_state
+
+    def fit(self, X: Any, y: Any) -> "SGDClassifier":
+        X, y = _prepare_xy(X, y)
+        n, d = X.shape
+        rng = np.random.default_rng(self.random_state)
+        w = np.zeros(d)
+        b = 0.0
+        step = 0
+        for _ in range(self.max_iter):
+            order = rng.permutation(n)
+            for i in order:
+                step += 1
+                eta = self.eta0 / (1.0 + 0.01 * step)
+                p = _sigmoid(float(X[i] @ w + b))
+                error = p - y[i]
+                w -= eta * (error * X[i] + self.alpha * w)
+                b -= eta * error
+        self.coef_ = w
+        self.intercept_ = b
+        return self

@@ -1,0 +1,34 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["accuracy_score", "log_loss"]
+
+
+def _flatten_labels(y: Any) -> np.ndarray:
+    arr = np.asarray(y)
+    if arr.ndim == 2 and arr.shape[1] == 1:
+        arr = arr.ravel()
+    return arr
+
+
+def accuracy_score(y_true: Any, y_pred: Any) -> float:
+    """Fraction of exactly matching labels."""
+    t = _flatten_labels(y_true)
+    p = _flatten_labels(y_pred)
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if len(t) == 0:
+        return 0.0
+    return float(np.mean(t.astype(np.float64) == p.astype(np.float64)))
+
+
+def log_loss(y_true: Any, proba: Any, eps: float = 1e-12) -> float:
+    """Binary cross-entropy of predicted probabilities."""
+    t = _flatten_labels(y_true).astype(np.float64)
+    p = np.clip(_flatten_labels(proba).astype(np.float64), eps, 1.0 - eps)
+    return float(-np.mean(t * np.log(p) + (1.0 - t) * np.log(1.0 - p)))

@@ -1,0 +1,67 @@
+"""Dataset splitting utilities (scikit-learn ``train_test_split``)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import LearnError
+from repro.frame.dataframe import DataFrame
+from repro.frame.series import Series
+
+__all__ = ["split_positions", "train_test_split"]
+
+
+def _take(data: Any, positions: np.ndarray) -> Any:
+    if isinstance(data, DataFrame):
+        cols = {name: data.column_array(name)[positions] for name in data.columns}
+        return DataFrame._from_arrays(cols, data.index[positions])
+    if isinstance(data, Series):
+        return Series(
+            data.values[positions], name=data.name, index=data.index[positions]
+        )
+    return np.asarray(data)[positions]
+
+
+def split_positions(
+    n: int,
+    test_size: float = 0.25,
+    random_state: int | None = None,
+    shuffle: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row positions for (train, test); deterministic given random_state."""
+    if not 0.0 < test_size < 1.0:
+        raise LearnError("test_size must be a fraction in (0, 1)")
+    n_test = max(1, int(round(n * test_size)))
+    positions = np.arange(n)
+    if shuffle:
+        rng = np.random.default_rng(random_state)
+        rng.shuffle(positions)
+    return positions[n_test:], positions[:n_test]
+
+
+def train_test_split(
+    *arrays: Any,
+    test_size: float = 0.25,
+    random_state: int | None = None,
+    shuffle: bool = True,
+) -> list[Any]:
+    """Split each input into a train and a test part along rows.
+
+    Returns ``[a_train, a_test, b_train, b_test, ...]`` like sklearn.
+    """
+    if not arrays:
+        raise LearnError("train_test_split requires at least one array")
+    n = len(arrays[0])
+    for arr in arrays[1:]:
+        if len(arr) != n:
+            raise LearnError("all inputs must have the same number of rows")
+    train_positions, test_positions = split_positions(
+        n, test_size, random_state, shuffle
+    )
+    out: list[Any] = []
+    for arr in arrays:
+        out.append(_take(arr, train_positions))
+        out.append(_take(arr, test_positions))
+    return out

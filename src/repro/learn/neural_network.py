@@ -1,0 +1,107 @@
+"""A small feed-forward neural network (stand-in for the paper's Keras model).
+
+The healthcare pipeline trains a neural classifier after preprocessing; the
+paper only needs *a* trainable model downstream of the transpiled pipeline.
+``MLPClassifier`` is a numpy implementation of a single-hidden-layer ReLU
+network with a sigmoid output trained by Adam on binary cross-entropy.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.learn.base import BaseEstimator
+from repro.learn.metrics import accuracy_score
+
+__all__ = ["MLPClassifier"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.tanh(0.5 * z))
+
+
+class MLPClassifier(BaseEstimator):
+    """One-hidden-layer ReLU network with sigmoid output, trained by Adam."""
+
+    def __init__(
+        self,
+        hidden_size: int = 16,
+        epochs: int = 50,
+        batch_size: int = 32,
+        learning_rate: float = 1e-2,
+        random_state: int | None = None,
+    ) -> None:
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+        self._params: dict[str, np.ndarray] | None = None
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        p = self._params
+        hidden = np.maximum(0.0, X @ p["W1"] + p["b1"])
+        out = _sigmoid(hidden @ p["W2"] + p["b2"]).ravel()
+        return hidden, out
+
+    def fit(self, X: Any, y: Any) -> "MLPClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        n, d = X.shape
+        rng = np.random.default_rng(self.random_state)
+        h = self.hidden_size
+        self._params = {
+            "W1": rng.normal(0.0, np.sqrt(2.0 / max(d, 1)), size=(d, h)),
+            "b1": np.zeros(h),
+            "W2": rng.normal(0.0, np.sqrt(1.0 / h), size=(h, 1)),
+            "b2": np.zeros(1),
+        }
+        moments = {k: (np.zeros_like(v), np.zeros_like(v)) for k, v in self._params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                Xb, yb = X[batch], y[batch]
+                hidden, out = self._forward(Xb)
+                m = len(batch)
+                delta_out = (out - yb).reshape(-1, 1) / m
+                grads = {
+                    "W2": hidden.T @ delta_out,
+                    "b2": delta_out.sum(axis=0),
+                }
+                delta_hidden = (delta_out @ self._params["W2"].T) * (hidden > 0)
+                grads["W1"] = Xb.T @ delta_hidden
+                grads["b1"] = delta_hidden.sum(axis=0)
+                step += 1
+                for key, grad in grads.items():
+                    m1, m2 = moments[key]
+                    m1[:] = beta1 * m1 + (1 - beta1) * grad
+                    m2[:] = beta2 * m2 + (1 - beta2) * grad * grad
+                    m1_hat = m1 / (1 - beta1**step)
+                    m2_hat = m2 / (1 - beta2**step)
+                    self._params[key] -= (
+                        self.learning_rate * m1_hat / (np.sqrt(m2_hat) + eps)
+                    )
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        if self._params is None:
+            raise NotFittedError("MLPClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        _, out = self._forward(X)
+        return np.column_stack([1.0 - out, out])
+
+    def predict(self, X: Any) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] > 0.5).astype(np.int64)
+
+    def score(self, X: Any, y: Any) -> float:
+        return accuracy_score(y, self.predict(X))

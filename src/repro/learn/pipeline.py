@@ -1,0 +1,62 @@
+"""Chained estimator pipeline (scikit-learn ``Pipeline``)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import LearnError
+from repro.learn.base import BaseEstimator
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline(BaseEstimator):
+    """Sequentially apply transformers, ending in an optional estimator.
+
+    All steps but the last must provide ``fit``/``transform``; the final
+    step may be a transformer or a predictor (``fit``/``predict``/``score``).
+    """
+
+    def __init__(self, steps: Sequence[tuple[str, Any]]) -> None:
+        if not steps:
+            raise LearnError("Pipeline requires at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise LearnError("step names must be unique")
+        self.steps = list(steps)
+
+    @property
+    def named_steps(self) -> dict[str, Any]:
+        return dict(self.steps)
+
+    def _transform_until_last(self, X: Any) -> Any:
+        for _, step in self.steps[:-1]:
+            X = step.transform(X)
+        return X
+
+    def fit(self, X: Any, y: Any = None) -> "Pipeline":
+        for _, step in self.steps[:-1]:
+            X = step.fit_transform(X, y)
+        self.steps[-1][1].fit(X, y)
+        return self
+
+    def transform(self, X: Any) -> Any:
+        X = self._transform_until_last(X)
+        return self.steps[-1][1].transform(X)
+
+    def fit_transform(self, X: Any, y: Any = None) -> Any:
+        for _, step in self.steps[:-1]:
+            X = step.fit_transform(X, y)
+        return self.steps[-1][1].fit_transform(X, y)
+
+    def predict(self, X: Any) -> Any:
+        X = self._transform_until_last(X)
+        return self.steps[-1][1].predict(X)
+
+    def predict_proba(self, X: Any) -> Any:
+        X = self._transform_until_last(X)
+        return self.steps[-1][1].predict_proba(X)
+
+    def score(self, X: Any, y: Any) -> float:
+        X = self._transform_until_last(X)
+        return self.steps[-1][1].score(X, y)

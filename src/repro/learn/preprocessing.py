@@ -1,0 +1,228 @@
+"""Feature preprocessing transformers (scikit-learn subset of §5.2).
+
+Each transformer here has an SQL translation in
+``repro.core.translators.sklearn_ops``; tests assert that the SQL output is
+numerically identical to these reference implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.frame import missing
+from repro.learn.base import BaseEstimator, TransformerMixin, as_matrix, check_is_fitted
+
+__all__ = [
+    "Binarizer",
+    "FunctionTransformer",
+    "KBinsDiscretizer",
+    "LabelBinarizer",
+    "OneHotEncoder",
+    "StandardScaler",
+    "label_binarize",
+]
+
+
+class OneHotEncoder(BaseEstimator, TransformerMixin):
+    """Encode categorical columns as dense one-hot vectors.
+
+    Categories are the sorted distinct non-null values seen at fit time
+    (sklearn's default ``categories='auto'``); unknown values at transform
+    time raise unless ``handle_unknown='ignore'``.
+    """
+
+    def __init__(self, sparse: bool = False, handle_unknown: str = "error") -> None:
+        if sparse:
+            raise ValueError("sparse output is not supported; use sparse=False")
+        self.sparse = sparse
+        self.handle_unknown = handle_unknown
+        self.categories_: list[list[Any]] | None = None
+
+    def fit(self, X: Any, y: Any = None) -> "OneHotEncoder":
+        matrix = as_matrix(X)
+        categories = []
+        for j in range(matrix.shape[1]):
+            distinct = {
+                v for v in matrix[:, j] if not missing.is_na_scalar(v)
+            }
+            try:
+                categories.append(sorted(distinct))
+            except TypeError:
+                categories.append(sorted(distinct, key=str))
+        self.categories_ = categories
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "categories_")
+        matrix = as_matrix(X)
+        if matrix.shape[1] != len(self.categories_):
+            raise ValueError("column count changed between fit and transform")
+        blocks = []
+        for j, categories in enumerate(self.categories_):
+            positions = {c: k for k, c in enumerate(categories)}
+            block = np.zeros((matrix.shape[0], len(categories)))
+            for i, value in enumerate(matrix[:, j]):
+                if missing.is_na_scalar(value):
+                    continue
+                k = positions.get(value)
+                if k is None:
+                    if self.handle_unknown == "ignore":
+                        continue
+                    raise ValueError(f"unknown category {value!r} in column {j}")
+                block[i, k] = 1.0
+            blocks.append(block)
+        return np.hstack(blocks) if blocks else np.zeros((matrix.shape[0], 0))
+
+
+class StandardScaler(BaseEstimator, TransformerMixin):
+    """Standard score ``z = (x - mean) / stddev_pop`` (§5.2.3)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: Any, y: Any = None) -> "StandardScaler":
+        matrix = as_matrix(X).astype(np.float64)
+        if matrix.shape[0] == 0:
+            self.mean_ = np.zeros(matrix.shape[1])
+            self.scale_ = np.ones(matrix.shape[1])
+            return self
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            self.mean_ = np.nanmean(matrix, axis=0)
+            # sklearn uses the population standard deviation (ddof=0) and
+            # maps zero deviation to 1 so constant columns pass unscaled.
+            scale = np.nanstd(matrix, axis=0, ddof=0)
+        self.mean_ = np.nan_to_num(self.mean_)
+        scale = np.nan_to_num(scale)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "mean_")
+        matrix = as_matrix(X).astype(np.float64)
+        return (matrix - self.mean_) / self.scale_
+
+
+class KBinsDiscretizer(BaseEstimator, TransformerMixin):
+    """Uniform-width binning (§5.2.4), with ordinal or one-hot output.
+
+    Only ``strategy='uniform'`` is implemented — the same restriction the
+    paper states for its SQL translation.
+    """
+
+    def __init__(
+        self,
+        n_bins: int = 5,
+        encode: str = "ordinal",
+        strategy: str = "uniform",
+    ) -> None:
+        if strategy != "uniform":
+            raise ValueError("only strategy='uniform' is implemented")
+        if encode not in ("ordinal", "onehot-dense"):
+            raise ValueError("encode must be 'ordinal' or 'onehot-dense'")
+        if n_bins < 2:
+            raise ValueError("n_bins must be at least 2")
+        self.n_bins = n_bins
+        self.encode = encode
+        self.strategy = strategy
+        self.min_: np.ndarray | None = None
+        self.max_: np.ndarray | None = None
+
+    def fit(self, X: Any, y: Any = None) -> "KBinsDiscretizer":
+        matrix = as_matrix(X).astype(np.float64)
+        self.min_ = np.nanmin(matrix, axis=0)
+        self.max_ = np.nanmax(matrix, axis=0)
+        return self
+
+    def bin_indices(self, X: Any) -> np.ndarray:
+        """Ordinal bin per value: ``floor((x - min) / step)`` clamped to range."""
+        check_is_fitted(self, "min_")
+        matrix = as_matrix(X).astype(np.float64)
+        step = (self.max_ - self.min_) / self.n_bins
+        step = np.where(step == 0.0, 1.0, step)
+        raw = np.floor((matrix - self.min_) / step)
+        return np.clip(raw, 0, self.n_bins - 1)
+
+    def transform(self, X: Any) -> np.ndarray:
+        bins = self.bin_indices(X)
+        if self.encode == "ordinal":
+            return bins
+        rows, cols = bins.shape
+        out = np.zeros((rows, cols * self.n_bins))
+        for j in range(cols):
+            for i in range(rows):
+                if not np.isnan(bins[i, j]):
+                    out[i, j * self.n_bins + int(bins[i, j])] = 1.0
+        return out
+
+
+class Binarizer(BaseEstimator, TransformerMixin):
+    """Threshold values to {0, 1}: 1 when ``x > threshold`` (sklearn rule).
+
+    Note Listing 19 in the paper prints ``>=``; we follow scikit-learn's
+    strict inequality, and the SQL translator emits the matching predicate.
+    """
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        self.threshold = threshold
+
+    def fit(self, X: Any, y: Any = None) -> "Binarizer":
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        matrix = as_matrix(X).astype(np.float64)
+        return (matrix > self.threshold).astype(np.float64)
+
+
+class LabelBinarizer(BaseEstimator, TransformerMixin):
+    """Binarise labels; binary problems produce a single 0/1 column."""
+
+    def __init__(self) -> None:
+        self.classes_: list[Any] | None = None
+
+    def fit(self, y: Any, _: Any = None) -> "LabelBinarizer":
+        values = np.asarray(y).ravel()
+        self.classes_ = sorted({v for v in values if not missing.is_na_scalar(v)})
+        return self
+
+    def transform(self, y: Any) -> np.ndarray:
+        check_is_fitted(self, "classes_")
+        return label_binarize(y, classes=self.classes_)
+
+
+def label_binarize(y: Any, classes: Sequence[Any]) -> np.ndarray:
+    """Functional label binarisation (sklearn ``label_binarize``)."""
+    values = np.asarray(list(y), dtype=object).ravel()
+    classes = list(classes)
+    if len(classes) == 2:
+        out = np.zeros((len(values), 1))
+        for i, v in enumerate(values):
+            if v == classes[1]:
+                out[i, 0] = 1.0
+        return out
+    out = np.zeros((len(values), len(classes)))
+    positions = {c: j for j, c in enumerate(classes)}
+    for i, v in enumerate(values):
+        j = positions.get(v)
+        if j is not None:
+            out[i, j] = 1.0
+    return out
+
+
+class FunctionTransformer(BaseEstimator, TransformerMixin):
+    """Apply an arbitrary callable (identity by default)."""
+
+    def __init__(self, func: Callable | None = None) -> None:
+        self.func = func
+
+    def fit(self, X: Any, y: Any = None) -> "FunctionTransformer":
+        return self
+
+    def transform(self, X: Any) -> Any:
+        return X if self.func is None else self.func(X)

@@ -1,0 +1,134 @@
+"""A small CART decision-tree classifier (used by the adult-simple pipeline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.learn.base import BaseEstimator
+from repro.learn.metrics import accuracy_score
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    prediction: float
+    feature: int | None = None
+    threshold: float | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTreeClassifier(BaseEstimator):
+    """Binary CART with gini impurity and axis-aligned threshold splits."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        max_thresholds: int = 32,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_thresholds = max_thresholds
+        self._root: _Node | None = None
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        n, d = X.shape
+        parent_counts = np.array([(y == 0).sum(), (y == 1).sum()])
+        parent_gini = _gini(parent_counts)
+        best: tuple[int, float, float] | None = None
+        for j in range(d):
+            column = X[:, j]
+            values = np.unique(column)
+            if len(values) < 2:
+                continue
+            if len(values) > self.max_thresholds:
+                quantiles = np.linspace(0, 1, self.max_thresholds + 2)[1:-1]
+                candidates = np.unique(np.quantile(column, quantiles))
+            else:
+                candidates = (values[:-1] + values[1:]) / 2.0
+            for threshold in candidates:
+                left = column <= threshold
+                n_left = int(left.sum())
+                if n_left == 0 or n_left == n:
+                    continue
+                y_left, y_right = y[left], y[~left]
+                gain = parent_gini - (
+                    n_left / n * _gini(np.array([(y_left == 0).sum(), (y_left == 1).sum()]))
+                    + (n - n_left) / n * _gini(
+                        np.array([(y_right == 0).sum(), (y_right == 1).sum()])
+                    )
+                )
+                if best is None or gain > best[2]:
+                    best = (j, float(threshold), float(gain))
+        if best is None or best[2] <= 1e-12:
+            return None
+        return best
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        prediction = float(y.mean()) if len(y) else 0.0
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or prediction in (0.0, 1.0)
+        ):
+            return _Node(prediction)
+        split = self._best_split(X, y)
+        if split is None:
+            return _Node(prediction)
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        return _Node(
+            prediction,
+            feature=feature,
+            threshold=threshold,
+            left=self._grow(X[mask], y[mask], depth + 1),
+            right=self._grow(X[~mask], y[~mask], depth + 1),
+        )
+
+    def fit(self, X: Any, y: Any) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        self._root = self._grow(X, y, depth=0)
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        p1 = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            p1[i] = node.prediction
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X: Any) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] > 0.5).astype(np.int64)
+
+    def score(self, X: Any, y: Any) -> float:
+        return accuracy_score(y, self.predict(X))

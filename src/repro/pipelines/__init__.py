@@ -1,0 +1,30 @@
+"""``repro.pipelines`` — the four evaluation pipelines of Table 1.
+
+Each function renders runnable pipeline *source code* (a string) against a
+data directory, because the inspection framework — like mlinspect —
+consumes pipelines as unmodified Python source.  The ``upto`` parameter
+truncates a pipeline at the stage boundaries the paper benchmarks
+separately:
+
+* ``"pandas"`` — only the pandas operations (§6.1);
+* ``"sklearn"`` — plus the scikit-learn preprocessing (§6.2/§6.3);
+* ``"full"``  — plus model training and scoring (§6.4).
+"""
+
+from repro.pipelines.sources import (
+    PIPELINE_BUILDERS,
+    adult_complex_source,
+    adult_simple_source,
+    compas_source,
+    healthcare_source,
+    taxi_source,
+)
+
+__all__ = [
+    "PIPELINE_BUILDERS",
+    "adult_complex_source",
+    "adult_simple_source",
+    "compas_source",
+    "healthcare_source",
+    "taxi_source",
+]

@@ -1,0 +1,234 @@
+"""Source-code builders for the evaluation pipelines (Table 1).
+
+The healthcare pipeline follows Listing 4 of the paper line by line; the
+compas and adult pipelines follow the mlinspect example pipelines the paper
+benchmarks.  Deviations forced by the offline substrate are marked with
+``# substitution:`` comments (e.g. the Keras network becomes
+``MLPClassifier``, the word2vec embedding of ``last_name`` is dropped).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PIPELINE_BUILDERS",
+    "adult_complex_source",
+    "adult_simple_source",
+    "compas_source",
+    "healthcare_source",
+    "taxi_source",
+]
+
+_STAGES = ("pandas", "sklearn", "full")
+
+
+def _check_stage(upto: str) -> None:
+    if upto not in _STAGES:
+        raise ReproError(f"upto must be one of {_STAGES}, got {upto!r}")
+
+
+def healthcare_source(data_dir: str, upto: str = "full") -> str:
+    """The healthcare pipeline (Listing 4 + training)."""
+    _check_stage(upto)
+    pandas_part = f'''\
+import repro.frame as pd
+
+COUNTIES_OF_INTEREST = ['county2', 'county3']
+
+patients = pd.read_csv({data_dir + "/patients.csv"!r}, na_values='?')
+histories = pd.read_csv({data_dir + "/histories.csv"!r}, na_values='?')
+
+data = patients.merge(histories, on=['ssn'])
+complications = data.groupby('age_group').agg(
+    mean_complications=('complications', 'mean'))
+data = data.merge(complications, on=['age_group'])
+data['label'] = (
+    data['complications'] > 1.2 * data['mean_complications'])
+data = data[['smoker', 'last_name', 'county',
+             'num_children', 'race', 'income', 'label']]
+data = data[data['county'].isin(COUNTIES_OF_INTEREST)]
+'''
+    if upto == "pandas":
+        return pandas_part
+    sklearn_part = '''
+from repro.learn import (ColumnTransformer, OneHotEncoder, Pipeline,
+                         SimpleImputer, StandardScaler)
+
+impute_and_one_hot = Pipeline([
+    ('impute', SimpleImputer(strategy='most_frequent')),
+    ('encode', OneHotEncoder(handle_unknown='ignore'))])
+# substitution: the original featurisation also embeds 'last_name' with
+# word2vec; no embedding substrate exists offline, so that column is
+# projected away before featurisation instead.
+featurisation = ColumnTransformer(transformers=[
+    ('impute_and_one_hot', impute_and_one_hot, ['smoker', 'county', 'race']),
+    ('numeric', StandardScaler(), ['num_children', 'income']),
+])
+features = featurisation.fit_transform(data)
+labels = data['label']
+'''
+    if upto == "sklearn":
+        return pandas_part + sklearn_part
+    training_part = '''
+from repro.learn import MLPClassifier, train_test_split
+
+X_train, X_test, y_train, y_test = train_test_split(
+    features, labels, test_size=0.2, random_state=42)
+# substitution: Keras sequential network -> numpy MLPClassifier
+neural_net = MLPClassifier(hidden_size=16, epochs=60, random_state=42)
+neural_net.fit(X_train, y_train)
+score = neural_net.score(X_test, y_test)
+'''
+    return pandas_part + sklearn_part + training_part
+
+
+def compas_source(data_dir: str, upto: str = "full") -> str:
+    """The compas pipeline (train on compas_train, score on compas_test)."""
+    _check_stage(upto)
+    pandas_part = f'''\
+import repro.frame as pd
+
+train = pd.read_csv({data_dir + "/compas_train.csv"!r}, na_values='?')
+
+train = train[['sex', 'dob', 'age', 'c_charge_degree', 'race', 'score_text',
+               'priors_count', 'days_b_screening_arrest', 'decile_score',
+               'is_recid', 'two_year_recid', 'c_jail_in', 'c_jail_out']]
+train = train[(train['days_b_screening_arrest'] <= 30)
+              & (train['days_b_screening_arrest'] >= -30)]
+train = train[train['is_recid'] != -1]
+train = train[train['c_charge_degree'] != 'O']
+train = train[train['score_text'] != 'N/A']
+train = train.replace('Medium', 'Low')
+'''
+    if upto == "pandas":
+        return pandas_part
+    sklearn_part = '''
+from repro.learn import (ColumnTransformer, KBinsDiscretizer, OneHotEncoder,
+                         Pipeline, SimpleImputer, label_binarize)
+
+train_labels = label_binarize(train['score_text'], classes=['High', 'Low'])
+impute1_and_onehot = Pipeline([
+    ('imputer1', SimpleImputer(strategy='most_frequent')),
+    ('onehot', OneHotEncoder(handle_unknown='ignore'))])
+impute2_and_bin = Pipeline([
+    ('imputer2', SimpleImputer(strategy='mean')),
+    ('discretizer', KBinsDiscretizer(n_bins=4, encode='ordinal',
+                                     strategy='uniform'))])
+featurizer = ColumnTransformer(transformers=[
+    ('impute1_and_onehot', impute1_and_onehot, ['is_recid']),
+    ('impute2_and_bin', impute2_and_bin, ['age']),
+])
+train_features = featurizer.fit_transform(train)
+'''
+    if upto == "sklearn":
+        return pandas_part + sklearn_part
+    training_part = f'''
+from repro.learn import LogisticRegression
+
+model = LogisticRegression()
+model.fit(train_features, train_labels)
+
+test = pd.read_csv({data_dir + "/compas_test.csv"!r}, na_values='?')
+test = test[test['score_text'] != 'N/A']
+test = test.replace('Medium', 'Low')
+test_labels = label_binarize(test['score_text'], classes=['High', 'Low'])
+test_features = featurizer.transform(test)
+score = model.score(test_features, test_labels)
+'''
+    return pandas_part + sklearn_part + training_part
+
+
+def adult_simple_source(data_dir: str, upto: str = "full") -> str:
+    """The adult-simple pipeline (Table 1: read, dropna, binarize, scale)."""
+    _check_stage(upto)
+    pandas_part = f'''\
+import repro.frame as pd
+
+raw_data = pd.read_csv({data_dir + "/adult_train.csv"!r}, na_values='?')
+data = raw_data.dropna()
+'''
+    if upto == "pandas":
+        return pandas_part
+    sklearn_part = '''
+from repro.learn import StandardScaler, label_binarize
+
+labels = label_binarize(data['income-per-year'], classes=['<=50K', '>50K'])
+feature_data = data[['age', 'education-num', 'hours-per-week']]
+features = StandardScaler().fit_transform(feature_data)
+'''
+    if upto == "sklearn":
+        return pandas_part + sklearn_part
+    training_part = '''
+from repro.learn import DecisionTreeClassifier, train_test_split
+
+X_train, X_test, y_train, y_test = train_test_split(
+    features, labels, test_size=0.25, random_state=42)
+model = DecisionTreeClassifier(max_depth=8)
+model.fit(X_train, y_train)
+score = model.score(X_test, y_test)
+'''
+    return pandas_part + sklearn_part + training_part
+
+
+def adult_complex_source(data_dir: str, upto: str = "full") -> str:
+    """The adult-complex pipeline (separate train/test files, MLP)."""
+    _check_stage(upto)
+    pandas_part = f'''\
+import repro.frame as pd
+
+train = pd.read_csv({data_dir + "/adult_train.csv"!r}, na_values='?')
+'''
+    if upto == "pandas":
+        return pandas_part
+    sklearn_part = '''
+from repro.learn import (ColumnTransformer, OneHotEncoder, Pipeline,
+                         SimpleImputer, StandardScaler, label_binarize)
+
+train_labels = label_binarize(
+    train['income-per-year'], classes=['<=50K', '>50K'])
+nested_categorical = Pipeline([
+    ('impute', SimpleImputer(strategy='most_frequent')),
+    ('encode', OneHotEncoder(handle_unknown='ignore'))])
+featurisation = ColumnTransformer(transformers=[
+    ('categorical', nested_categorical,
+     ['workclass', 'education', 'occupation']),
+    ('numeric', StandardScaler(), ['age', 'hours-per-week']),
+])
+train_features = featurisation.fit_transform(train)
+'''
+    if upto == "sklearn":
+        return pandas_part + sklearn_part
+    training_part = f'''
+from repro.learn import MLPClassifier
+
+# substitution: Keras sequential network -> numpy MLPClassifier
+model = MLPClassifier(hidden_size=16, epochs=15, random_state=42)
+model.fit(train_features, train_labels)
+
+test = pd.read_csv({data_dir + "/adult_test.csv"!r}, na_values='?')
+test_labels = label_binarize(
+    test['income-per-year'], classes=['<=50K', '>50K'])
+test_features = featurisation.transform(test)
+score = model.score(test_features, test_labels)
+'''
+    return pandas_part + sklearn_part + training_part
+
+
+def taxi_source(data_dir: str, upto: str = "pandas") -> str:
+    """The §6.6 taxi micro-pipeline: a single selection."""
+    return f'''\
+import repro.frame as pd
+
+data = pd.read_csv({data_dir + "/taxi.csv"!r})
+data = data[data['passenger_count'] > 1]
+'''
+
+
+PIPELINE_BUILDERS = {
+    "healthcare": healthcare_source,
+    "compas": compas_source,
+    "adult_simple": adult_simple_source,
+    "adult_complex": adult_complex_source,
+    "taxi": taxi_source,
+}

@@ -1,0 +1,262 @@
+"""Abstract syntax tree of the supported SQL dialect.
+
+All nodes are frozen-ish dataclasses (mutable where the planner annotates).
+Structural equality on expressions is used by the planner to match GROUP BY
+expressions against select items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+__all__ = [
+    "Between",
+    "BinaryOp",
+    "Case",
+    "Cast",
+    "ColumnRef",
+    "ColumnDef",
+    "Copy",
+    "CreateTable",
+    "CreateView",
+    "Cte",
+    "Drop",
+    "Expr",
+    "FuncCall",
+    "InList",
+    "Insert",
+    "IsNull",
+    "JoinSource",
+    "Literal",
+    "NamedTable",
+    "OrderItem",
+    "ScalarSubquery",
+    "Select",
+    "SelectItem",
+    "Star",
+    "Statement",
+    "SubquerySource",
+    "TableSource",
+    "UnaryOp",
+    "WindowCall",
+]
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any  # int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``alias.*`` select item."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str
+    args: tuple["Expr", ...] = ()
+    star: bool = False  # count(*)
+    distinct: bool = False  # count(DISTINCT x)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # arithmetic, comparison, 'and', 'or', 'like', '||'
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # 'not', '-', '+'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: "Expr"
+    items: tuple["Expr", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    operand: "Expr"
+    low: "Expr"
+    high: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Case:
+    whens: tuple[tuple["Expr", "Expr"], ...]
+    else_: Optional["Expr"] = None
+
+
+@dataclass(frozen=True)
+class Cast:
+    operand: "Expr"
+    type_name: str
+
+
+@dataclass(frozen=True)
+class ScalarSubquery:
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class WindowCall:
+    """``func() OVER (PARTITION BY ... ORDER BY ...)`` (rank/row_number)."""
+
+    name: str
+    partition_by: tuple["Expr", ...] = ()
+    order_by: tuple[tuple["Expr", bool], ...] = ()  # (expr, ascending)
+
+
+Expr = Union[
+    Literal,
+    ColumnRef,
+    Star,
+    FuncCall,
+    BinaryOp,
+    UnaryOp,
+    IsNull,
+    InList,
+    Between,
+    Case,
+    Cast,
+    ScalarSubquery,
+    WindowCall,
+]
+
+
+# -- query structure ----------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class NamedTable:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubquerySource:
+    query: "Select"
+    alias: str
+
+
+@dataclass
+class JoinSource:
+    left: "TableSource"
+    right: "TableSource"
+    kind: str  # 'inner' | 'left' | 'right' | 'full' | 'cross'
+    condition: Optional[Expr] = None
+
+
+TableSource = Union[NamedTable, SubquerySource, JoinSource]
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Cte:
+    name: str
+    query: "Select"
+    materialized: Optional[bool] = None  # None = engine default
+
+
+@dataclass
+class Select:
+    items: list[SelectItem] = field(default_factory=list)
+    ctes: list[Cte] = field(default_factory=list)
+    sources: list[TableSource] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+    union_all_with: Optional["Select"] = None
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str  # normalised lower-case type
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: list[ColumnDef]
+
+
+@dataclass
+class CreateView:
+    name: str
+    query: Select
+    materialized: bool = False
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: list[str]
+    rows: list[list[Expr]]
+
+
+@dataclass
+class Copy:
+    table: str
+    columns: list[str]
+    path: str
+    delimiter: str = ","
+    null_text: str = ""
+    header: bool = True
+
+
+@dataclass
+class Drop:
+    kind: str  # 'table' | 'view'
+    name: str
+    if_exists: bool = False
+
+
+Statement = Union[Select, CreateTable, CreateView, Insert, Copy, Drop]

@@ -1,0 +1,245 @@
+"""Catalog: base tables, views and materialised views.
+
+Base tables store column vectors plus the synthetic ``ctid`` system column
+(an int64 row identifier standing in for PostgreSQL's physical tuple id —
+the paper only relies on it as a consistent logical identifier, captured
+once in the first CTE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import CatalogError, SQLExecutionError
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.vector import Vector, from_values
+
+__all__ = ["Table", "View", "Catalog", "CTID", "coerce_to_type", "normalise_type"]
+
+#: name of the system column exposing the tuple identifier
+CTID = "ctid"
+
+_INT_TYPES = {"int", "integer", "bigint", "smallint"}
+_SERIAL_TYPES = {"serial", "bigserial"}
+_FLOAT_TYPES = {"float", "real", "numeric", "decimal", "double", "double precision"}
+_TEXT_TYPES = {"text", "varchar", "char", "date", "timestamp"}
+_BOOL_TYPES = {"boolean", "bool"}
+
+
+def normalise_type(type_name: str) -> str:
+    """Map a declared SQL type to the engine's storage class."""
+    base = type_name.strip().lower()
+    if base.endswith("[]"):
+        return "array"
+    if base in _INT_TYPES:
+        return "int"
+    if base in _SERIAL_TYPES:
+        return "serial"
+    if base in _FLOAT_TYPES:
+        return "float"
+    if base in _TEXT_TYPES:
+        return "text"
+    if base in _BOOL_TYPES:
+        return "bool"
+    raise CatalogError(f"unsupported column type {type_name!r}")
+
+
+def coerce_to_type(raw: Any, storage: str) -> Any:
+    """Coerce one Python value (from COPY/INSERT) to a storage class."""
+    if raw is None:
+        return None
+    if storage in ("int", "serial"):
+        return int(float(raw))
+    if storage == "float":
+        return float(raw)
+    if storage == "bool":
+        if isinstance(raw, bool):
+            return raw
+        text = str(raw).strip().lower()
+        if text in ("t", "true", "1"):
+            return True
+        if text in ("f", "false", "0"):
+            return False
+        raise SQLExecutionError(f"cannot interpret {raw!r} as boolean")
+    if storage == "array":
+        if isinstance(raw, list):
+            return raw
+        raise SQLExecutionError(f"cannot interpret {raw!r} as array")
+    return str(raw)
+
+
+def _coerce_column(raw: list[Any], storage: str, name: str) -> Vector:
+    """Coerce one COPY column to its storage class, vectorised."""
+    n = len(raw)
+    if storage in ("int", "serial", "float"):
+        try:
+            values = np.fromiter(
+                (np.nan if v is None else float(v) for v in raw),
+                dtype=np.float64,
+                count=n,
+            )
+        except (TypeError, ValueError) as exc:
+            raise SQLExecutionError(
+                f"column {name!r}: cannot interpret a value as a number "
+                f"({exc})"
+            ) from None
+        nulls = np.isnan(values)
+        return Vector(values, nulls)
+    if storage == "bool":
+        return from_values([coerce_to_type(v, storage) for v in raw])
+    values = np.array(raw, dtype=object)
+    nulls = np.fromiter((v is None for v in raw), dtype=bool, count=n)
+    return Vector(values, nulls)
+
+
+@dataclass
+class Table:
+    """A stored base table."""
+
+    name: str
+    column_names: list[str]
+    column_types: list[str]  # storage classes
+    columns: dict[str, Vector] = field(default_factory=dict)
+    n_rows: int = 0
+    _next_serial: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.column_names)) != len(self.column_names):
+            raise CatalogError(f"duplicate column names in table {self.name!r}")
+        for name in self.column_names:
+            if name == CTID:
+                raise CatalogError("'ctid' is reserved for the system column")
+        if not self.columns:
+            for name in self.column_names:
+                self.columns[name] = from_values([])
+
+    @property
+    def ctid(self) -> Vector:
+        values = np.arange(self.n_rows, dtype=np.float64)
+        return Vector(values, np.zeros(self.n_rows, dtype=bool))
+
+    def storage_of(self, column: str) -> str:
+        try:
+            return self.column_types[self.column_names.index(column)]
+        except ValueError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    def append_columns(self, data: dict[str, list[Any]], n_new: int) -> None:
+        """Columnar bulk append (the COPY fast path).
+
+        ``data`` maps provided column names to equally long value lists;
+        absent serial columns are auto-numbered, other absent columns fill
+        with NULL.  Coercion is done column-at-a-time without per-cell
+        function dispatch.
+        """
+        for name, storage in zip(self.column_names, self.column_types):
+            if name in data:
+                raw = data[name]
+                if len(raw) != n_new:
+                    raise SQLExecutionError(
+                        f"COPY column {name!r} has {len(raw)} values, "
+                        f"expected {n_new}"
+                    )
+                vector = _coerce_column(raw, storage, name)
+            elif storage == "serial":
+                counter = self._next_serial.get(name, 0)
+                values = np.arange(counter, counter + n_new, dtype=np.float64)
+                self._next_serial[name] = counter + n_new
+                vector = Vector(values, np.zeros(n_new, dtype=bool))
+            else:
+                vector = Vector(
+                    np.full(n_new, np.nan), np.ones(n_new, dtype=bool)
+                )
+            if self.n_rows:
+                from repro.sqldb.vector import concat_vectors
+
+                self.columns[name] = concat_vectors(
+                    [self.columns[name], vector]
+                )
+            else:
+                self.columns[name] = vector
+        self.n_rows += n_new
+
+    def append_rows(self, rows: list[dict[str, Any]]) -> None:
+        """Append row dicts; absent serial columns are auto-numbered."""
+        new_data: dict[str, list[Any]] = {name: [] for name in self.column_names}
+        for row in rows:
+            for name, storage in zip(self.column_names, self.column_types):
+                if name in row:
+                    new_data[name].append(coerce_to_type(row[name], storage))
+                elif storage == "serial":
+                    counter = self._next_serial.get(name, 0)
+                    new_data[name].append(counter)
+                    self._next_serial[name] = counter + 1
+                else:
+                    new_data[name].append(None)
+        for name in self.column_names:
+            existing = self.columns[name].tolist() if self.n_rows else []
+            self.columns[name] = from_values(existing + new_data[name])
+        self.n_rows += len(rows)
+
+
+@dataclass
+class View:
+    """A stored view definition; materialised views cache their result."""
+
+    name: str
+    query: ast.Select
+    materialized: bool = False
+    #: populated on first use for materialised views: (schema names, vectors)
+    snapshot: Optional[tuple[list[str], dict[str, Vector], int]] = None
+
+
+class Catalog:
+    """Name → table/view registry with PostgreSQL-style single namespace."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, View] = {}
+
+    def create_table(self, table: Table) -> None:
+        if table.name in self._tables or table.name in self._views:
+            raise CatalogError(f"relation {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def create_view(self, view: View) -> None:
+        if view.name in self._tables or view.name in self._views:
+            raise CatalogError(f"relation {view.name!r} already exists")
+        self._views[view.name] = view
+
+    def drop(self, name: str, kind: str, if_exists: bool = False) -> None:
+        store = self._tables if kind == "table" else self._views
+        if name not in store:
+            if if_exists:
+                return
+            raise CatalogError(f"{kind} {name!r} does not exist")
+        del store[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def resolve(self, name: str) -> Table | View:
+        if name in self._tables:
+            return self._tables[name]
+        if name in self._views:
+            return self._views[name]
+        raise CatalogError(f"relation {name!r} does not exist")
+
+    def has(self, name: str) -> bool:
+        return name in self._tables or name in self._views
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    @property
+    def view_names(self) -> list[str]:
+        return sorted(self._views)

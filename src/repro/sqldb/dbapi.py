@@ -1,0 +1,111 @@
+"""DB-API 2.0 style adapter over the engine (the psycopg2 stand-in).
+
+The paper's measurements "enclose a call to the psycopg2 adapter to run the
+query"; the benchmark harness talks to the engine through this module so
+the measured path has the same shape (connect → cursor → execute →
+fetchall).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.errors import SQLError
+from repro.sqldb.engine import Database, Result
+from repro.sqldb.profile import POSTGRES, Profile
+
+__all__ = ["connect", "Connection", "Cursor"]
+
+
+class Cursor:
+    """Minimal DB-API cursor."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._result: Optional[Result] = None
+        self._position = 0
+        self.arraysize = 1
+
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        if self._result is None or not self._result.columns:
+            return None
+        return [(name, None, None, None, None, None, None) for name in self._result.columns]
+
+    @property
+    def rowcount(self) -> int:
+        return -1 if self._result is None else self._result.rowcount
+
+    def execute(self, sql: str, parameters: Sequence[Any] | None = None) -> "Cursor":
+        if parameters:
+            raise SQLError("parameter binding is not supported; inline literals")
+        results = self._database.run_script(sql)
+        self._result = results[-1] if results else None
+        self._position = 0
+        return self
+
+    def fetchone(self) -> Optional[tuple]:
+        if self._result is None or self._position >= len(self._result.rows):
+            return None
+        row = self._result.rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        size = size or self.arraysize
+        out = []
+        for _ in range(size):
+            row = self.fetchone()
+            if row is None:
+                break
+            out.append(row)
+        return out
+
+    def fetchall(self) -> list[tuple]:
+        if self._result is None:
+            return []
+        rows = self._result.rows[self._position :]
+        self._position = len(self._result.rows)
+        return rows
+
+    def close(self) -> None:
+        self._result = None
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class Connection:
+    """Minimal DB-API connection wrapping one :class:`Database`."""
+
+    def __init__(self, profile: Profile | str = POSTGRES) -> None:
+        self.database = Database(profile)
+        self._closed = False
+
+    def cursor(self) -> Cursor:
+        if self._closed:
+            raise SQLError("connection is closed")
+        return Cursor(self.database)
+
+    def commit(self) -> None:  # transactions are implicit; kept for API shape
+        pass
+
+    def rollback(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def connect(profile: Profile | str = POSTGRES) -> Connection:
+    """Open a connection to a fresh in-process database."""
+    return Connection(profile)

@@ -1,0 +1,353 @@
+"""Database façade: statement execution over a catalog with a profile.
+
+``Database("postgres")`` behaves like the paper's PostgreSQL 12 (CTEs
+materialise by default, operators materialise their outputs, views inline);
+``Database("umbra")`` behaves like Umbra (everything inlines and pipelines).
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import SQLExecutionError
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.catalog import Catalog, Table, View, normalise_type
+from repro.sqldb.executor import ExecContext, execute_plan
+from repro.sqldb.optimizer import prune_plan, prune_shared_plans
+from repro.sqldb.parser import parse_script, parse_statement
+from repro.sqldb.plan import Batch, PlanNode
+from repro.sqldb.planner import Planner
+from repro.sqldb.profile import POSTGRES, Profile, profile_by_name
+from repro.sqldb.vector import Vector
+
+__all__ = ["Database", "Result"]
+
+
+@dataclass
+class Result:
+    """Query result: column names plus Python-value row tuples."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    #: rows affected / loaded for DML, row count for queries
+    rowcount: int = 0
+    statement: str = ""
+
+    def scalar(self) -> Any:
+        """Single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SQLExecutionError(
+                f"expected a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+class Database:
+    """An in-process SQL database with a pluggable execution profile."""
+
+    def __init__(self, profile: Profile | str = POSTGRES) -> None:
+        if isinstance(profile, str):
+            profile = profile_by_name(profile)
+        self.profile = profile
+        self.catalog = Catalog()
+        #: cumulative wall-clock seconds spent executing statements
+        self.total_execution_time = 0.0
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        """Parse and execute a single SQL statement."""
+        statement = parse_statement(sql)
+        return self._execute_statement(statement, sql)
+
+    def run_script(self, sql: str) -> list[Result]:
+        """Execute a ``;``-separated script, returning one result each."""
+        return [
+            self._execute_statement(statement, sql)
+            for statement in parse_script(sql)
+        ]
+
+    def explain(self, sql: str) -> str:
+        """Plan a SELECT and return the (pruned) plan tree as text."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise SQLExecutionError("EXPLAIN only supports SELECT statements")
+        plan = self._plan_select(statement)
+        return plan.to_text()
+
+    # -- statement dispatch -----------------------------------------------------
+
+    def _execute_statement(self, statement: ast.Statement, sql: str) -> Result:
+        started = time.perf_counter()
+        try:
+            if isinstance(statement, ast.Select):
+                result = self._execute_select(statement)
+            elif isinstance(statement, ast.CreateTable):
+                result = self._execute_create_table(statement)
+            elif isinstance(statement, ast.CreateView):
+                result = self._execute_create_view(statement)
+            elif isinstance(statement, ast.Insert):
+                result = self._execute_insert(statement)
+            elif isinstance(statement, ast.Copy):
+                result = self._execute_copy(statement)
+            elif isinstance(statement, ast.Drop):
+                self.catalog.drop(statement.name, statement.kind, statement.if_exists)
+                result = Result()
+            else:
+                raise SQLExecutionError(
+                    f"unsupported statement {type(statement).__name__}"
+                )
+        finally:
+            self.total_execution_time += time.perf_counter() - started
+        result.statement = sql.strip().split("\n", 1)[0][:120]
+        return result
+
+    # -- SELECT -------------------------------------------------------------------
+
+    def _plan_select(self, statement: ast.Select) -> PlanNode:
+        planner = Planner(self.catalog, self.profile)
+        plan = planner.plan_select(statement)
+        visible = {out.key for out in plan.schema if not out.hidden}
+        plan = prune_plan(plan, visible)
+        prune_shared_plans(plan, planner.shared_plans, planner.subquery_plans)
+        return plan
+
+    def _execute_select(self, statement: ast.Select) -> Result:
+        plan = self._plan_select(statement)
+        ctx = ExecContext(self.catalog, self.profile)
+        batch = execute_plan(plan, ctx)
+        return _batch_to_result(plan, batch)
+
+    # -- DDL / DML --------------------------------------------------------------------
+
+    def _execute_create_table(self, statement: ast.CreateTable) -> Result:
+        names = [c.name for c in statement.columns]
+        types = [normalise_type(c.type_name) for c in statement.columns]
+        self.catalog.create_table(Table(statement.name, names, types))
+        return Result()
+
+    def _execute_create_view(self, statement: ast.CreateView) -> Result:
+        view = View(statement.name, statement.query, statement.materialized)
+        if statement.materialized:
+            plan = self._plan_select(statement.query)
+            ctx = ExecContext(self.catalog, self.profile)
+            batch = execute_plan(plan, ctx)
+            names: list[str] = []
+            data: dict[str, Vector] = {}
+            for out in plan.schema:
+                if out.hidden:
+                    continue
+                if out.name in data:
+                    raise SQLExecutionError(
+                        f"materialized view {view.name!r} has duplicate "
+                        f"column {out.name!r}"
+                    )
+                names.append(out.name)
+                data[out.name] = batch.columns[out.key]
+            view.snapshot = (names, data, batch.length)
+        self.catalog.create_view(view)
+        return Result()
+
+    def _execute_insert(self, statement: ast.Insert) -> Result:
+        table = self.catalog.table(statement.table)
+        columns = statement.columns or [
+            name
+            for name, storage in zip(table.column_names, table.column_types)
+            if storage != "serial" or statement.columns
+        ]
+        rows: list[dict[str, Any]] = []
+        for row_exprs in statement.rows:
+            if len(row_exprs) != len(columns):
+                raise SQLExecutionError(
+                    f"INSERT row has {len(row_exprs)} values, "
+                    f"expected {len(columns)}"
+                )
+            row = {}
+            for name, expr in zip(columns, row_exprs):
+                row[name] = _literal_value(expr)
+            rows.append(row)
+        table.append_rows(rows)
+        self._invalidate_dependent_snapshots(statement.table)
+        return Result(rowcount=len(rows))
+
+    def _execute_copy(self, statement: ast.Copy) -> Result:
+        table = self.catalog.table(statement.table)
+        columns = statement.columns or list(table.column_names)
+        with open(statement.path, newline="") as handle:
+            reader = csv.reader(handle, delimiter=statement.delimiter)
+            raw_rows = list(reader)
+        if statement.header and raw_rows:
+            raw_rows = raw_rows[1:]
+        raw_rows = [row for row in raw_rows if row]
+        for line_no, raw in enumerate(raw_rows, start=2):
+            if len(raw) != len(columns):
+                raise SQLExecutionError(
+                    f"{statement.path}: line {line_no} has {len(raw)} fields, "
+                    f"expected {len(columns)}"
+                )
+        null_text = statement.null_text
+        data: dict[str, list[Any]] = {}
+        for j, name in enumerate(columns):
+            # CSV format: the NULL text and the unquoted empty field both
+            # read as NULL (PostgreSQL's CSV-mode default)
+            data[name] = [
+                None if row[j] == null_text or row[j] == "" else row[j]
+                for row in raw_rows
+            ]
+        table.append_columns(data, len(raw_rows))
+        self._invalidate_dependent_snapshots(statement.table)
+        return Result(rowcount=len(raw_rows))
+
+    def _invalidate_dependent_snapshots(self, changed_table: str) -> None:
+        """Refresh materialised views that (transitively) read a table.
+
+        PostgreSQL keeps stale snapshots until ``REFRESH MATERIALIZED
+        VIEW``; the transpiler never mutates base tables after creating
+        views over them, so eager dependency-aware refresh is a safe
+        simplification.
+        """
+        dirty = {changed_table}
+        # views may reference other views; iterate until fixpoint
+        ordered = list(self.catalog.view_names)
+        changed = True
+        refreshed: set[str] = set()
+        while changed:
+            changed = False
+            for name in ordered:
+                if name in refreshed:
+                    continue
+                view = self.catalog.resolve(name)
+                if not isinstance(view, View):
+                    continue
+                references = _referenced_relations(view.query)
+                if references & dirty:
+                    dirty.add(name)
+                    refreshed.add(name)
+                    changed = True
+                    if view.materialized:
+                        plan = self._plan_select(view.query)
+                        ctx = ExecContext(self.catalog, self.profile)
+                        batch = execute_plan(plan, ctx)
+                        names = [
+                            out.name for out in plan.schema if not out.hidden
+                        ]
+                        data = {
+                            out.name: batch.columns[out.key]
+                            for out in plan.schema
+                            if not out.hidden
+                        }
+                        view.snapshot = (names, data, batch.length)
+
+
+def _referenced_relations(select: ast.Select) -> set[str]:
+    """All table/view/CTE names a SELECT references (transitively in its
+    own text, not through the catalog)."""
+    names: set[str] = set()
+
+    def walk_source(source: ast.TableSource) -> None:
+        if isinstance(source, ast.NamedTable):
+            names.add(source.name)
+        elif isinstance(source, ast.SubquerySource):
+            walk_select(source.query)
+        elif isinstance(source, ast.JoinSource):
+            walk_source(source.left)
+            walk_source(source.right)
+            if source.condition is not None:
+                walk_expr(source.condition)
+
+    def walk_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.ScalarSubquery):
+            walk_select(expr.query)
+        elif isinstance(expr, ast.BinaryOp):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, ast.UnaryOp):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.IsNull):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.InList):
+            walk_expr(expr.operand)
+            for item in expr.items:
+                walk_expr(item)
+        elif isinstance(expr, ast.Between):
+            walk_expr(expr.operand)
+            walk_expr(expr.low)
+            walk_expr(expr.high)
+        elif isinstance(expr, ast.Case):
+            for condition, result in expr.whens:
+                walk_expr(condition)
+                walk_expr(result)
+            if expr.else_ is not None:
+                walk_expr(expr.else_)
+        elif isinstance(expr, ast.Cast):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.FuncCall):
+            for arg in expr.args:
+                walk_expr(arg)
+
+    def walk_select(node: ast.Select) -> None:
+        for cte in node.ctes:
+            walk_select(cte.query)
+        for source in node.sources:
+            walk_source(source)
+        for item in node.items:
+            if not isinstance(item.expr, ast.Star):
+                walk_expr(item.expr)
+        if node.where is not None:
+            walk_expr(node.where)
+        for expr in node.group_by:
+            walk_expr(expr)
+        if node.having is not None:
+            walk_expr(node.having)
+        for order in node.order_by:
+            walk_expr(order.expr)
+        if node.union_all_with is not None:
+            walk_select(node.union_all_with)
+
+    walk_select(select)
+    return names
+
+
+def _literal_value(expr: ast.Expr) -> Any:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        inner = _literal_value(expr.operand)
+        if isinstance(inner, (int, float)):
+            return -inner
+    raise SQLExecutionError("INSERT values must be literals")
+
+
+def _batch_to_result(plan: PlanNode, batch: Batch) -> Result:
+    visible = [out for out in plan.schema if not out.hidden]
+    columns = [out.name for out in visible]
+    converted = []
+    for out in visible:
+        vector = batch.columns[out.key]
+        values = vector.values
+        if values.dtype.kind == "f":
+            # integral floats surface as Python ints (like psycopg2 would
+            # for INT columns); done vectorised for large results
+            as_object = values.astype(object)
+            integral = np.isfinite(values) & (np.floor(values) == values)
+            if integral.any():
+                ints = values[integral].astype(np.int64)
+                as_object[integral] = ints
+        elif values.dtype.kind == "b":
+            as_object = values.astype(object)
+        else:
+            as_object = values.copy()
+        if vector.nulls.any():
+            as_object[vector.nulls] = None
+        converted.append(as_object)
+    rows = list(zip(*converted)) if converted else []
+    return Result(columns=columns, rows=rows, rowcount=batch.length)

@@ -1,0 +1,432 @@
+"""Vectorised plan executor.
+
+One executor serves both engine profiles; the profile only controls
+materialisation behaviour (see :mod:`repro.sqldb.profile`):
+
+* ``copy_operator_output`` — the PostgreSQL profile copies every operator's
+  output vectors, modelling tuple materialisation in a buffer-backed
+  executor; the Umbra profile pipelines references through.
+* materialised CTEs are computed once per query and cached in the
+  execution context.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import SQLExecutionError
+from repro.sqldb.catalog import CTID, Catalog
+from repro.sqldb.plan import (
+    Aggregate,
+    Batch,
+    CteRef,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    OneRow,
+    PlanNode,
+    Project,
+    ScanSnapshot,
+    ScanTable,
+    Sort,
+    UnionAll,
+    Window,
+)
+from repro.sqldb.profile import Profile
+from repro.sqldb.vector import Vector, concat_vectors, from_values, gather
+from repro.sqldb import functions, hashing
+
+__all__ = ["ExecContext", "execute_plan"]
+
+
+@dataclass
+class ExecContext:
+    catalog: Catalog
+    profile: Profile
+    cte_cache: dict[int, Batch] = field(default_factory=dict)
+    subquery_cache: dict[int, Any] = field(default_factory=dict)
+
+    def scalar_subquery(self, plan: PlanNode) -> Any:
+        """Execute an uncorrelated scalar subquery once, caching the value."""
+        key = id(plan)
+        if key not in self.subquery_cache:
+            batch = execute_plan(plan, self)
+            visible = [out for out in plan.schema if not out.hidden]
+            if len(visible) != 1:
+                raise SQLExecutionError(
+                    "scalar subquery must return exactly one column"
+                )
+            if batch.length > 1:
+                raise SQLExecutionError("scalar subquery returned more than one row")
+            if batch.length == 0:
+                self.subquery_cache[key] = None
+            else:
+                self.subquery_cache[key] = batch.columns[visible[0].key].item(0)
+        return self.subquery_cache[key]
+
+
+def execute_plan(plan: PlanNode, ctx: ExecContext) -> Batch:
+    """Execute *plan* to completion and return its output batch."""
+    batch = _dispatch(plan, ctx)
+    if ctx.profile.copy_operator_output:
+        batch = Batch(
+            batch.length, {k: v.copy() for k, v in batch.columns.items()}
+        )
+    return batch
+
+
+def _dispatch(plan: PlanNode, ctx: ExecContext) -> Batch:
+    if isinstance(plan, ScanTable):
+        return _exec_scan_table(plan, ctx)
+    if isinstance(plan, ScanSnapshot):
+        return _exec_scan_snapshot(plan, ctx)
+    if isinstance(plan, CteRef):
+        return _exec_cte_ref(plan, ctx)
+    if isinstance(plan, Project):
+        return _exec_project(plan, ctx)
+    if isinstance(plan, Filter):
+        return _exec_filter(plan, ctx)
+    if isinstance(plan, Join):
+        return _exec_join(plan, ctx)
+    if isinstance(plan, Aggregate):
+        return _exec_aggregate(plan, ctx)
+    if isinstance(plan, Distinct):
+        return _exec_distinct(plan, ctx)
+    if isinstance(plan, Sort):
+        return _exec_sort(plan, ctx)
+    if isinstance(plan, Limit):
+        return _exec_limit(plan, ctx)
+    if isinstance(plan, Window):
+        return _exec_window(plan, ctx)
+    if isinstance(plan, UnionAll):
+        return _exec_union_all(plan, ctx)
+    if isinstance(plan, OneRow):
+        return Batch(1, {})
+    raise SQLExecutionError(f"cannot execute plan node {type(plan).__name__}")
+
+
+def _exec_scan_table(plan: ScanTable, ctx: ExecContext) -> Batch:
+    table = ctx.catalog.table(plan.table_name)
+    columns: dict[str, Vector] = {}
+    for name, key in plan.keys.items():
+        columns[key] = table.ctid if name == CTID else table.columns[name]
+    return Batch(table.n_rows, columns)
+
+
+def _exec_scan_snapshot(plan: ScanSnapshot, ctx: ExecContext) -> Batch:
+    view = ctx.catalog.resolve(plan.view_name)
+    if view.snapshot is None:  # type: ignore[union-attr]
+        raise SQLExecutionError(
+            f"materialized view {plan.view_name!r} has no snapshot"
+        )
+    names, data, length = view.snapshot  # type: ignore[union-attr]
+    columns = {key: data[name] for name, key in plan.keys.items()}
+    return Batch(length, columns)
+
+
+def _exec_cte_ref(plan: CteRef, ctx: ExecContext) -> Batch:
+    cached = ctx.cte_cache.get(id(plan.plan))
+    if cached is None:
+        cached = execute_plan(plan.plan, ctx)
+        ctx.cte_cache[id(plan.plan)] = cached
+    columns = {dst: cached.columns[src] for src, dst in plan.rename.items()}
+    return Batch(cached.length, columns)
+
+
+def _exec_project(plan: Project, ctx: ExecContext) -> Batch:
+    child = execute_plan(plan.child, ctx)
+    columns: dict[str, Vector] = {}
+    for out, expr in plan.items:
+        columns[out.key] = expr(child, ctx)
+    if not plan.unnest_keys:
+        return Batch(child.length, columns)
+    return _expand_unnest(child.length, columns, plan.unnest_keys)
+
+
+def _expand_unnest(
+    length: int, columns: dict[str, Vector], unnest_keys: list[str]
+) -> Batch:
+    """PostgreSQL select-list unnest: expand rows by array elements."""
+    lead = columns[unnest_keys[0]]
+    counts = np.zeros(length, dtype=np.int64)
+    lead_nulls = lead.nulls
+    lead_values = lead.values
+    for i in range(length):
+        if not lead_nulls[i]:
+            value = lead_values[i]
+            if not isinstance(value, list):
+                raise SQLExecutionError("unnest argument is not an array")
+            counts[i] = len(value)
+    total = int(counts.sum())
+    repeats = np.repeat(np.arange(length), counts)
+    out: dict[str, Vector] = {}
+    for key, vec in columns.items():
+        if key in unnest_keys:
+            pieces = [
+                vec.values[i] for i in range(length) if counts[i]
+            ]
+            flat = list(itertools.chain.from_iterable(pieces))
+            out[key] = from_values(flat)
+            if len(out[key]) != total:
+                raise SQLExecutionError("unnest arrays have mismatched lengths")
+        else:
+            out[key] = gather(vec, repeats)
+    return Batch(total, out)
+
+
+def _exec_filter(plan: Filter, ctx: ExecContext) -> Batch:
+    child = execute_plan(plan.child, ctx)
+    predicate = plan.predicate(child, ctx)
+    keep = predicate.values.astype(bool, copy=False) & ~predicate.nulls
+    positions = np.flatnonzero(keep)
+    columns = {k: gather(v, positions) for k, v in child.columns.items()}
+    return Batch(len(positions), columns)
+
+
+def _equi_join_positions(
+    left_codes: np.ndarray,
+    right_codes: np.ndarray,
+    kind: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised hash/sort join over pre-factorised key codes.
+
+    Returns matching (left, right) row positions; -1 marks outer padding.
+    Inner matches preserve left-row order (and right order within a key).
+    """
+    order = np.argsort(right_codes, kind="stable")
+    sorted_codes = right_codes[order]
+    # discard invalid (null, non-null-safe) build rows
+    first_valid = np.searchsorted(sorted_codes, 0, side="left")
+    order = order[first_valid:]
+    sorted_codes = sorted_codes[first_valid:]
+
+    probe_codes = np.where(left_codes < 0, np.int64(-1), left_codes)
+    starts = np.searchsorted(sorted_codes, probe_codes, side="left")
+    ends = np.searchsorted(sorted_codes, probe_codes, side="right")
+    counts = ends - starts
+    counts[left_codes < 0] = 0
+
+    total = int(counts.sum())
+    left_pos = np.repeat(np.arange(len(left_codes), dtype=np.int64), counts)
+    prefix = np.zeros(len(counts), dtype=np.int64)
+    if len(counts) > 1:
+        prefix[1:] = np.cumsum(counts[:-1])
+    offsets = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(prefix, counts)
+        + np.repeat(starts, counts)
+    )
+    right_pos = order[offsets]
+
+    if kind in ("left", "full"):
+        unmatched = np.flatnonzero(counts == 0)
+        if len(unmatched):
+            left_pos = np.concatenate([left_pos, unmatched])
+            right_pos = np.concatenate(
+                [right_pos, np.full(len(unmatched), -1, dtype=np.int64)]
+            )
+            # keep left-row order (matched and padded rows interleaved)
+            order = np.argsort(left_pos, kind="stable")
+            left_pos = left_pos[order]
+            right_pos = right_pos[order]
+    if kind in ("right", "full"):
+        matched = np.zeros(len(right_codes), dtype=bool)
+        matched[right_pos[right_pos >= 0]] = True
+        unmatched = np.flatnonzero(~matched)
+        left_pos = np.concatenate(
+            [left_pos, np.full(len(unmatched), -1, dtype=np.int64)]
+        )
+        right_pos = np.concatenate([right_pos, unmatched])
+    return left_pos, right_pos
+
+
+def _exec_join(plan: Join, ctx: ExecContext) -> Batch:
+    left = execute_plan(plan.left, ctx)
+    right = execute_plan(plan.right, ctx)
+
+    if plan.left_keys:
+        left_vectors = [k(left, ctx) for k in plan.left_keys]
+        right_vectors = [k(right, ctx) for k in plan.right_keys]
+        left_codes, right_codes = hashing.factorize_columns(
+            list(zip(left_vectors, right_vectors)), plan.null_safe
+        )
+        lp, rp = _equi_join_positions(left_codes, right_codes, plan.kind)
+    else:
+        if plan.kind not in ("cross", "inner"):
+            raise SQLExecutionError(
+                f"{plan.kind} join requires at least one equality condition"
+            )
+        lp = np.repeat(np.arange(left.length, dtype=np.int64), right.length)
+        rp = np.tile(np.arange(right.length, dtype=np.int64), left.length)
+
+    columns: dict[str, Vector] = {}
+    for key, vec in left.columns.items():
+        columns[key] = gather(vec, lp, missing_null=True)
+    for key, vec in right.columns.items():
+        columns[key] = gather(vec, rp, missing_null=True)
+    batch = Batch(len(lp), columns)
+
+    if plan.residual is not None:
+        if plan.kind not in ("inner", "cross"):
+            raise SQLExecutionError(
+                "non-equality conditions on outer joins are not supported"
+            )
+        predicate = plan.residual(batch, ctx)
+        keep = predicate.values.astype(bool, copy=False) & ~predicate.nulls
+        positions = np.flatnonzero(keep)
+        batch = Batch(
+            len(positions),
+            {k: gather(v, positions) for k, v in batch.columns.items()},
+        )
+    return batch
+
+
+def _exec_aggregate(plan: Aggregate, ctx: ExecContext) -> Batch:
+    child = execute_plan(plan.child, ctx)
+    group_vectors = [expr(child, ctx) for _, expr in plan.groups]
+    if group_vectors:
+        codes, positions = hashing.group_codes(group_vectors)
+        n_groups = len(positions)
+    else:
+        codes = np.zeros(child.length, dtype=np.int64)
+        n_groups = 1
+        positions = np.zeros(0, dtype=np.int64)
+
+    columns: dict[str, Vector] = {}
+    for (out, _), vec in zip(plan.groups, group_vectors):
+        columns[out.key] = gather(vec, positions)
+    for item in plan.aggregates:
+        arg = item.arg(child, ctx) if item.arg is not None else None
+        columns[item.out.key] = functions.compute_aggregate(
+            item.func, arg, codes, n_groups, item.distinct
+        )
+    return Batch(n_groups, columns)
+
+
+def _exec_distinct(plan: Distinct, ctx: ExecContext) -> Batch:
+    child = execute_plan(plan.child, ctx)
+    if child.length == 0:
+        return child
+    vectors = [child.columns[out.key] for out in plan.schema]
+    _, positions = hashing.group_codes(vectors)
+    columns = {k: gather(v, positions) for k, v in child.columns.items()}
+    return Batch(len(positions), columns)
+
+
+def _exec_sort(plan: Sort, ctx: ExecContext) -> Batch:
+    child = execute_plan(plan.child, ctx)
+    key_vectors = [(expr(child, ctx), asc) for expr, asc in plan.keys]
+
+    def sort_key(i: int):
+        parts = []
+        for vec, asc in key_vectors:
+            null = bool(vec.nulls[i])
+            value = None if null else vec.values[i]
+            # nulls sort last for ASC, first for DESC (PostgreSQL default)
+            rank = (1 if null else 0, value)
+            parts.append(rank)
+        return parts
+
+    order = list(range(child.length))
+    # multi-key sort with per-key direction: stable sorts from last key first
+    for position in range(len(key_vectors) - 1, -1, -1):
+        vec, asc = key_vectors[position]
+
+        def single_key(i: int, v=vec):
+            null = bool(v.nulls[i])
+            value = None if null else v.values[i]
+            return (1 if null else 0, value)
+
+        try:
+            order.sort(key=single_key, reverse=not asc)
+        except TypeError:
+            order.sort(key=lambda i, v=vec: (
+                1 if v.nulls[i] else 0,
+                str(v.values[i]) if not v.nulls[i] else "",
+            ), reverse=not asc)
+    positions = np.asarray(order, dtype=np.int64)
+    columns = {k: gather(v, positions) for k, v in child.columns.items()}
+    return Batch(child.length, columns)
+
+
+def _exec_limit(plan: Limit, ctx: ExecContext) -> Batch:
+    child = execute_plan(plan.child, ctx)
+    start = plan.offset
+    stop = child.length if plan.count is None else min(start + plan.count, child.length)
+    positions = np.arange(start, max(stop, start), dtype=np.int64)
+    columns = {k: gather(v, positions) for k, v in child.columns.items()}
+    return Batch(len(positions), columns)
+
+
+def _exec_window(plan: Window, ctx: ExecContext) -> Batch:
+    child = execute_plan(plan.child, ctx)
+    columns = dict(child.columns)
+    n = child.length
+    for item in plan.windows:
+        if item.partition:
+            part_codes, _ = hashing.group_codes(
+                [expr(child, ctx) for expr in item.partition]
+            )
+        else:
+            part_codes = np.zeros(n, dtype=np.int64)
+        order_vectors = [(expr(child, ctx), asc) for expr, asc in item.order]
+        positions = list(range(n))
+        # stable multi-key sort: last key first, partition last
+        for vec, asc in reversed(order_vectors):
+            positions.sort(
+                key=lambda i, v=vec: (
+                    (1 if v.nulls[i] else 0, v.values[i])
+                    if not v.nulls[i]
+                    else (1, None)
+                ),
+                reverse=not asc,
+            )
+        positions.sort(key=lambda i: part_codes[i])
+
+        def order_key(i: int) -> tuple:
+            return tuple(
+                (bool(vec.nulls[i]), None if vec.nulls[i] else vec.values[i])
+                for vec, _ in order_vectors
+            )
+
+        out = np.zeros(n, dtype=np.float64)
+        current_partition = None
+        row_number = rank = dense = 0
+        previous_key: Any = object()
+        for i in positions:
+            if part_codes[i] != current_partition:
+                current_partition = part_codes[i]
+                row_number = rank = dense = 0
+                previous_key = object()
+            row_number += 1
+            key = order_key(i)
+            if key != previous_key:
+                rank = row_number
+                dense += 1
+                previous_key = key
+            if item.func == "row_number":
+                out[i] = row_number
+            elif item.func == "rank":
+                out[i] = rank
+            else:  # dense_rank
+                out[i] = dense
+        columns[item.out.key] = Vector(out, np.zeros(n, dtype=bool))
+    return Batch(n, columns)
+
+
+def _exec_union_all(plan: UnionAll, ctx: ExecContext) -> Batch:
+    batches = [execute_plan(part, ctx) for part in plan.parts]
+    columns: dict[str, Vector] = {}
+    for position, out in enumerate(plan.schema):
+        parts = []
+        for part, batch in zip(plan.parts, batches):
+            part_key = part.schema[position].key
+            parts.append(batch.columns[part_key])
+        columns[out.key] = concat_vectors(parts)
+    total = sum(batch.length for batch in batches)
+    return Batch(total, columns)

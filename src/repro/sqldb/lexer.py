@@ -1,0 +1,141 @@
+"""SQL tokenizer.
+
+Produces a flat token stream with PostgreSQL conventions: unquoted
+identifiers are folded to lower case, double-quoted identifiers preserve
+case, single-quoted strings use ``''`` for an embedded quote, and both
+``--`` line comments and ``/* */`` block comments are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import SQLSyntaxError
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS"]
+
+
+class TokenKind(Enum):
+    KEYWORD = auto()
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+KEYWORDS = {
+    "all", "and", "as", "asc", "between", "by", "case", "cast", "copy",
+    "create", "cross", "csv", "delimiter", "desc", "distinct", "drop", "else",
+    "end", "exists", "false", "format", "from", "full", "group", "having",
+    "header", "if", "in", "inner", "insert", "into", "is", "join", "left",
+    "like", "limit", "materialized", "not", "null", "offset", "on", "or",
+    "order", "outer", "over", "partition", "recursive", "right", "select",
+    "table", "then", "true", "union", "values", "view", "when", "where",
+    "with",
+}
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "::", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = {"(", ")", ",", ";", ".", "[", "]"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+    def matches_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value == word
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize *sql*; raises :class:`SQLSyntaxError` on malformed input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                raise SQLSyntaxError(f"unterminated block comment at offset {i}")
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError(f"unterminated string literal at offset {i}")
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token(TokenKind.STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j < 0:
+                raise SQLSyntaxError(f"unterminated quoted identifier at offset {i}")
+            tokens.append(Token(TokenKind.IDENT, sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    if j + 1 < n and (sql[j + 1].isdigit() or sql[j + 1] in "+-"):
+                        seen_exp = True
+                        j += 2
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token(TokenKind.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j].lower()
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, i))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenKind.OPERATOR, "<>" if op == "!=" else op, i))
+                i += len(op)
+                break
+        else:
+            if ch in _PUNCT:
+                tokens.append(Token(TokenKind.PUNCT, ch, i))
+                i += 1
+            else:
+                raise SQLSyntaxError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

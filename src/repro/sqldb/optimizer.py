@@ -1,0 +1,185 @@
+"""Plan optimisation: column pruning.
+
+Pruning removes projection items (and aggregate outputs) whose keys are not
+needed upstream.  It flows through inlined views/CTEs, filters and joins —
+this is the "holistic query optimisation" that makes the VIEW mode faster
+than the CTE mode in PostgreSQL (§6.6 of the paper) — and deliberately
+stops at materialised-CTE boundaries (:class:`CteRef`), which is exactly
+PostgreSQL 12's optimisation barrier.
+"""
+
+from __future__ import annotations
+
+from repro.sqldb.plan import (
+    Aggregate,
+    CteRef,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    OneRow,
+    PlanNode,
+    Project,
+    ScanSnapshot,
+    ScanTable,
+    Sort,
+    UnionAll,
+    Window,
+)
+
+__all__ = ["prune_plan", "prune_shared_plans"]
+
+
+def _collect_shared_needs(plan: PlanNode, needs: dict[int, set[str]]) -> None:
+    """Record which output keys each shared CTE/view plan must provide.
+
+    Does not descend into the shared plans themselves — they are processed
+    separately in reverse creation order (references only ever point from
+    newer plans to older ones).
+    """
+    if isinstance(plan, CteRef):
+        entry = needs.setdefault(id(plan.plan), set())
+        if plan.barrier:
+            # optimisation barrier: the full width must be computed
+            entry.update(out.key for out in plan.plan.schema)
+        else:
+            entry.update(plan.rename.keys())
+        return
+    for child in plan.children():
+        _collect_shared_needs(child, needs)
+
+
+def prune_shared_plans(
+    top: PlanNode,
+    shared_plans: list[tuple[str, PlanNode, bool]],
+    subquery_plans: list[PlanNode],
+) -> None:
+    """Holistically prune shared CTE/view plans by their combined needs.
+
+    Non-barrier plans (inlined CTEs, views) are pruned to the union of all
+    reference requirements; barrier plans (PG12-materialised CTEs) stay at
+    full width.  Each shared plan is executed exactly once per query by the
+    executor's plan cache.
+    """
+    needs: dict[int, set[str]] = {}
+    _collect_shared_needs(top, needs)
+    for sub in subquery_plans:
+        _collect_shared_needs(sub, needs)
+    for _, plan, barrier in reversed(shared_plans):
+        needed = needs.get(id(plan))
+        if needed is None:
+            continue  # never referenced -> never executed
+        if not barrier:
+            prune_plan(plan, set(needed))
+        _collect_shared_needs(plan, needs)
+
+
+def prune_plan(plan: PlanNode, needed: set[str]) -> PlanNode:
+    """Return *plan* with unneeded projection work removed.
+
+    Mutates nodes in place (plans are single-use) and returns the root.
+    """
+    if isinstance(plan, (ScanTable, ScanSnapshot, OneRow)):
+        return plan
+
+    if isinstance(plan, CteRef):
+        # optimisation barrier: the shared CTE plan is computed in full.
+        # Only this reference's rename map shrinks.
+        plan.rename = {
+            src: dst for src, dst in plan.rename.items() if dst in needed
+        }
+        plan.schema = [out for out in plan.schema if out.key in needed]
+        return plan
+
+    if isinstance(plan, Project):
+        kept = [
+            (out, expr)
+            for out, expr in plan.items
+            if out.key in needed or out.key in plan.unnest_keys
+        ]
+        if not kept:
+            # keep one item so the row count is preserved
+            kept = plan.items[:1]
+        plan.items = kept
+        plan.schema = [out for out, _ in kept]
+        child_needed: set[str] = set()
+        for _, expr in kept:
+            child_needed |= expr.refs
+        plan.child = prune_plan(plan.child, child_needed)
+        return plan
+
+    if isinstance(plan, Filter):
+        plan.schema = [out for out in plan.schema if out.key in needed]
+        plan.child = prune_plan(plan.child, needed | set(plan.predicate.refs))
+        return plan
+
+    if isinstance(plan, Join):
+        child_needed = set(needed)
+        for key_expr in plan.left_keys:
+            child_needed |= key_expr.refs
+        for key_expr in plan.right_keys:
+            child_needed |= key_expr.refs
+        if plan.residual is not None:
+            child_needed |= plan.residual.refs
+        left_keys = {out.key for out in plan.left.schema}
+        right_keys = {out.key for out in plan.right.schema}
+        plan.schema = [out for out in plan.schema if out.key in needed]
+        plan.left = prune_plan(plan.left, child_needed & left_keys)
+        plan.right = prune_plan(plan.right, child_needed & right_keys)
+        return plan
+
+    if isinstance(plan, Aggregate):
+        plan.aggregates = [
+            item for item in plan.aggregates if item.out.key in needed
+        ]
+        child_needed = set()
+        for _, expr in plan.groups:
+            child_needed |= expr.refs
+        for item in plan.aggregates:
+            if item.arg is not None:
+                child_needed |= item.arg.refs
+        plan.schema = [out for out, _ in plan.groups] + [
+            item.out for item in plan.aggregates
+        ]
+        plan.child = prune_plan(plan.child, child_needed)
+        return plan
+
+    if isinstance(plan, Distinct):
+        # DISTINCT semantics depend on the full row: no pruning through it
+        plan.child = prune_plan(
+            plan.child, {out.key for out in plan.child.schema}
+        )
+        return plan
+
+    if isinstance(plan, Sort):
+        child_needed = set(needed)
+        for expr, _ in plan.keys:
+            child_needed |= expr.refs
+        plan.schema = [out for out in plan.schema if out.key in child_needed or out.key in needed]
+        plan.child = prune_plan(plan.child, child_needed)
+        return plan
+
+    if isinstance(plan, Limit):
+        plan.schema = [out for out in plan.schema if out.key in needed]
+        plan.child = prune_plan(plan.child, needed)
+        return plan
+
+    if isinstance(plan, Window):
+        plan.windows = [w for w in plan.windows if w.out.key in needed]
+        child_needed = set(needed) - {w.out.key for w in plan.windows}
+        for item in plan.windows:
+            for expr in item.partition:
+                child_needed |= expr.refs
+            for expr, _ in item.order:
+                child_needed |= expr.refs
+        plan.schema = [out for out in plan.schema if out.key in needed]
+        plan.child = prune_plan(plan.child, child_needed)
+        return plan
+
+    if isinstance(plan, UnionAll):
+        # positional correspondence across arms: keep everything
+        for part in plan.parts:
+            prune_plan(part, {out.key for out in part.schema})
+        return plan
+
+    return plan

@@ -1,0 +1,272 @@
+"""Physical plan representation shared by planner and executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sqldb.vector import Vector
+
+__all__ = [
+    "Aggregate",
+    "AggregateItem",
+    "Batch",
+    "CompiledExpr",
+    "CteRef",
+    "Distinct",
+    "Filter",
+    "Join",
+    "Limit",
+    "OneRow",
+    "OutputColumn",
+    "PlanNode",
+    "Project",
+    "ScanSnapshot",
+    "ScanTable",
+    "Sort",
+    "UnionAll",
+    "Window",
+    "WindowItem",
+]
+
+
+@dataclass
+class Batch:
+    """A set of equally long column vectors keyed by unique plan keys."""
+
+    length: int
+    columns: dict[str, Vector] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """SQL-visible column name plus its unique key inside batches."""
+
+    name: str
+    key: str
+    hidden: bool = False  # system columns (ctid) excluded from SELECT *
+
+
+@dataclass
+class CompiledExpr:
+    """A bound scalar expression: batch -> vector, with its key footprint."""
+
+    fn: Callable
+    refs: frozenset[str]
+    text: str = "?"  # best-effort SQL text for EXPLAIN output
+
+    def __call__(self, batch: Batch, ctx) -> Vector:
+        return self.fn(batch, ctx)
+
+
+class PlanNode:
+    """Base class; every node carries an output schema."""
+
+    schema: list[OutputColumn]
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def to_text(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.to_text(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class ScanTable(PlanNode):
+    table_name: str
+    schema: list[OutputColumn] = field(default_factory=list)
+    #: column name in storage -> batch key
+    keys: dict[str, str] = field(default_factory=dict)
+
+    def label(self) -> str:
+        return f"ScanTable({self.table_name})"
+
+
+@dataclass
+class ScanSnapshot(PlanNode):
+    """Scan of a materialised view's cached result."""
+
+    view_name: str
+    schema: list[OutputColumn] = field(default_factory=list)
+    keys: dict[str, str] = field(default_factory=dict)  # snapshot key -> batch key
+
+    def label(self) -> str:
+        return f"ScanSnapshot({self.view_name})"
+
+
+@dataclass
+class CteRef(PlanNode):
+    """Reference to a shared CTE/view plan (computed once per query).
+
+    ``barrier=True`` marks a PostgreSQL-12-style materialised CTE: an
+    optimisation barrier whose plan is kept at full width (no column
+    pruning through it).  ``barrier=False`` marks an inlined CTE or view:
+    the shared plan is pruned by the union of all references' needs
+    (holistic optimisation).
+    """
+
+    cte_name: str
+    plan: PlanNode
+    #: plan output key -> this reference's fresh key
+    rename: dict[str, str] = field(default_factory=dict)
+    schema: list[OutputColumn] = field(default_factory=list)
+    barrier: bool = True
+
+    def children(self) -> list[PlanNode]:
+        return [self.plan]
+
+    def label(self) -> str:
+        kind = "materialized" if self.barrier else "inlined"
+        return f"CteRef({self.cte_name}, {kind})"
+
+
+@dataclass
+class Project(PlanNode):
+    child: PlanNode
+    items: list[tuple[OutputColumn, CompiledExpr]] = field(default_factory=list)
+    #: keys of items wrapped in unnest() requiring row expansion
+    unnest_keys: list[str] = field(default_factory=list)
+    schema: list[OutputColumn] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        names = ", ".join(out.name for out, _ in self.items[:8])
+        suffix = ", ..." if len(self.items) > 8 else ""
+        kind = "ProjectUnnest" if self.unnest_keys else "Project"
+        return f"{kind}({names}{suffix})"
+
+
+@dataclass
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: CompiledExpr = None  # type: ignore[assignment]
+    schema: list[OutputColumn] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Filter({self.predicate.text})"
+
+
+@dataclass
+class Join(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    kind: str  # inner | left | right | full | cross
+    #: key expressions evaluated against the respective side's batch
+    left_keys: list[CompiledExpr] = field(default_factory=list)
+    right_keys: list[CompiledExpr] = field(default_factory=list)
+    null_safe: list[bool] = field(default_factory=list)
+    residual: Optional[CompiledExpr] = None
+    schema: list[OutputColumn] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return f"Join({self.kind}, keys={len(self.left_keys)})"
+
+
+@dataclass
+class AggregateItem:
+    out: OutputColumn
+    func: str
+    arg: Optional[CompiledExpr]  # None for count(*)
+    distinct: bool = False
+
+
+@dataclass
+class Aggregate(PlanNode):
+    child: PlanNode
+    groups: list[tuple[OutputColumn, CompiledExpr]] = field(default_factory=list)
+    aggregates: list[AggregateItem] = field(default_factory=list)
+    schema: list[OutputColumn] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        aggs = ", ".join(f"{item.func}" for item in self.aggregates)
+        return f"Aggregate(groups={len(self.groups)}, [{aggs}])"
+
+
+@dataclass
+class Distinct(PlanNode):
+    child: PlanNode
+    schema: list[OutputColumn] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class Sort(PlanNode):
+    child: PlanNode
+    keys: list[tuple[CompiledExpr, bool]] = field(default_factory=list)
+    schema: list[OutputColumn] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class Limit(PlanNode):
+    child: PlanNode
+    count: Optional[int] = None
+    offset: int = 0
+    schema: list[OutputColumn] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Limit({self.count}, offset={self.offset})"
+
+
+@dataclass
+class WindowItem:
+    out: OutputColumn
+    func: str  # rank | dense_rank | row_number
+    partition: list[CompiledExpr] = field(default_factory=list)
+    order: list[tuple[CompiledExpr, bool]] = field(default_factory=list)
+
+
+@dataclass
+class Window(PlanNode):
+    """Appends window-function columns (rank/row_number) to the child."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    windows: list[WindowItem] = field(default_factory=list)
+    schema: list[OutputColumn] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        funcs = ", ".join(item.func for item in self.windows)
+        return f"Window({funcs})"
+
+
+@dataclass
+class OneRow(PlanNode):
+    """Single-row, zero-column input for FROM-less selects."""
+
+    schema: list[OutputColumn] = field(default_factory=list)
+
+
+@dataclass
+class UnionAll(PlanNode):
+    parts: list[PlanNode] = field(default_factory=list)
+    schema: list[OutputColumn] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return list(self.parts)

@@ -1,0 +1,19 @@
+"""Shared fixtures for SQL-backend tests."""
+
+import pytest
+
+from repro.datasets import generate_adult, generate_compas, generate_healthcare
+from repro.pipelines import (
+    adult_simple_source,
+    compas_source,
+    healthcare_source,
+)
+
+
+@pytest.fixture(scope="session")
+def data_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("data"))
+    generate_healthcare(directory, n_patients=150, seed=0)
+    generate_compas(directory, n_train=200, n_test=80, seed=0)
+    generate_adult(directory, n_train=250, n_test=80, seed=0)
+    return directory

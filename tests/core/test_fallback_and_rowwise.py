@@ -1,0 +1,181 @@
+"""SQL backend: graceful fallback paths and §5.1.8 row-wise operations."""
+
+import os
+
+import pytest
+
+from repro.core.connectors import UmbraConnector
+from repro.inspection import PipelineInspector
+
+
+
+def _w(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)
+
+def _sql_run(source):
+    return PipelineInspector.on_pipeline_from_string(
+        source, "<test>"
+    ).execute_in_sql(dbms_connector=UmbraConnector(), mode="CTE")
+
+
+@pytest.fixture
+def indexed_csvs(tmp_path):
+    """Two files with the pandas row-number layout (§5.1.8 requirement)."""
+    a = tmp_path / "tb1.csv"
+    a.write_text("colA\n0,a1\n1,a2\n2,a3\n")
+    b = tmp_path / "tb2.csv"
+    b.write_text("colB\n0,10\n1,20\n2,30\n")
+    return str(a), str(b)
+
+
+class TestRowWiseOperations:
+    def test_cross_table_assignment(self, indexed_csvs):
+        a, b = indexed_csvs
+        source = f"""
+import repro.frame as pd
+
+tb1 = pd.read_csv({a!r})
+tb2 = pd.read_csv({b!r})
+tb1['new_column'] = tb2['colB']
+"""
+        result = _sql_run(source)
+        backend = result.extras["backend"]
+        real = backend.materialize_object(
+            result.extras["pipeline_globals"]["tb1"]
+        )
+        assert real["new_column"].tolist() == [10, 20, 30]
+
+    def test_generated_sql_joins_on_index(self, indexed_csvs):
+        a, b = indexed_csvs
+        source = f"""
+import repro.frame as pd
+
+tb1 = pd.read_csv({a!r})
+tb2 = pd.read_csv({b!r})
+tb1['new_column'] = tb2['colB']
+"""
+        sql = _sql_run(source).sql_source
+        assert 'ON tb1."index_" = tb2."index_"' in sql
+
+    def test_missing_index_column_raises(self, tmp_path):
+        a = str(tmp_path / "x.csv")
+        _w(a, "colA\na1\na2\n")  # no row-number column
+        b = str(tmp_path / "y.csv")
+        _w(b, "colB\n1\n2\n")
+        source = f"""
+import repro.frame as pd
+
+tb1 = pd.read_csv({a!r})
+tb2 = pd.read_csv({b!r})
+tb1['new_column'] = tb2['colB']
+"""
+        from repro.errors import TranslationError
+
+        with pytest.raises(TranslationError):
+            _sql_run(source)
+
+
+class TestFallbacks:
+    def test_plain_dataframe_falls_back_to_python(self):
+        source = """
+from repro.frame import DataFrame
+
+data = DataFrame({'a': [3, 1, 2]})
+data['b'] = data['a'] * 10
+out = data[data['b'] > 10]
+"""
+        result = _sql_run(source)
+        out = result.extras["pipeline_globals"]["out"]
+        assert out["b"].tolist() == [30, 20]
+        # nothing was transpiled: the container stays empty
+        assert result.extras["container"].blocks == []
+
+    def test_median_imputer_untranslatable_raises(self, tmp_path):
+        path = str(tmp_path / "n.csv")
+        _w(path, "v\n1\n\n3\n")
+        source = f"""
+import repro.frame as pd
+from repro.learn import SimpleImputer
+
+data = pd.read_csv({path!r})
+out = SimpleImputer(strategy='median').fit_transform(data[['v']])
+"""
+        from repro.errors import TranslationError
+
+        with pytest.raises(TranslationError):
+            _sql_run(source)
+
+    def test_mixed_pipeline_sql_then_python(self, tmp_path):
+        """The extraction boundary: SQL before fit, Python after."""
+        path = str(tmp_path / "d.csv")
+        _w(path, 
+            "x,label\n" + "".join(f"{i % 10},{i % 2}\n" for i in range(200))
+        )
+        source = f"""
+import repro.frame as pd
+from repro.learn import LogisticRegression
+
+data = pd.read_csv({path!r})
+data = data[data['x'] > 0]
+model = LogisticRegression()
+model.fit(data[['x']], data['label'])
+training_accuracy = model.score(data[['x']], data['label'])
+"""
+        result = _sql_run(source)
+        accuracy = result.extras["pipeline_globals"]["training_accuracy"]
+        assert 0.0 <= accuracy <= 1.0
+        # the selection was transpiled...
+        assert any(
+            b.name.startswith("block_") for b in result.extras["container"].blocks
+        )
+        # ...and the extraction queries were issued at the fit boundary
+        assert result.extras["backend"]._did_extract
+
+    def test_scalar_assignment_translated(self, tmp_path):
+        path = str(tmp_path / "d.csv")
+        _w(path, "x\n1\n2\n")
+        source = f"""
+import repro.frame as pd
+
+data = pd.read_csv({path!r})
+data['constant'] = 7
+"""
+        result = _sql_run(source)
+        assert "AS \"constant\"" in result.sql_source
+        backend = result.extras["backend"]
+        real = backend.materialize_object(
+            result.extras["pipeline_globals"]["data"]
+        )
+        assert real["constant"].tolist() == [7, 7]
+
+    def test_series_replace_expression(self, tmp_path):
+        path = str(tmp_path / "d.csv")
+        _w(path, "s\nMedium\nHigh\n")
+        source = f"""
+import repro.frame as pd
+
+data = pd.read_csv({path!r})
+data['s'] = data['s'].replace('Medium', 'Low')
+"""
+        result = _sql_run(source)
+        assert "REGEXP_REPLACE" in result.sql_source
+        backend = result.extras["backend"]
+        real = backend.materialize_object(
+            result.extras["pipeline_globals"]["data"]
+        )
+        assert real["s"].tolist() == ["Low", "High"]
+
+    def test_inverted_mask_selection(self, tmp_path):
+        path = str(tmp_path / "d.csv")
+        _w(path, "x\n1\n2\n3\n")
+        source = f"""
+import repro.frame as pd
+
+data = pd.read_csv({path!r})
+out = data[~(data['x'] > 1)]
+"""
+        result = _sql_run(source)
+        backend = result.extras["backend"]
+        real = backend.materialize_object(result.extras["pipeline_globals"]["out"])
+        assert real["x"].tolist() == [1]

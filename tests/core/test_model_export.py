@@ -1,0 +1,114 @@
+"""Tests for in-database inference (the §7 outlook extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_export import (
+    accuracy_query,
+    decision_tree_to_sql,
+    linear_model_to_sql,
+    model_to_sql,
+)
+from repro.errors import TranslationError
+from repro.learn import (
+    DecisionTreeClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    SGDClassifier,
+)
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def features():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 3))
+    y = ((0.8 * X[:, 0] - 0.5 * X[:, 1] + 0.3 * X[:, 2]) > 0.1).astype(float)
+    return X, y
+
+
+def _load_features(X, y):
+    db = Database("umbra")
+    db.execute("CREATE TABLE features (f0 float, f1 float, f2 float, label int)")
+    rows = ", ".join(
+        f"({float(x[0])!r}, {float(x[1])!r}, {float(x[2])!r}, {int(label)})"
+        for x, label in zip(X, y)
+    )
+    db.execute(f"INSERT INTO features VALUES {rows}")
+    return db
+
+
+class TestLinearExport:
+    def test_sql_predictions_match_python(self, features):
+        X, y = features
+        model = LogisticRegression().fit(X, y)
+        db = _load_features(X, y)
+        expr = linear_model_to_sql(model, ["f0", "f1", "f2"])
+        rows = db.execute(
+            f"SELECT {expr} AS p FROM features ORDER BY ctid"
+        ).column("p")
+        assert rows == model.predict(X).tolist()
+
+    def test_sgd_export(self, features):
+        X, y = features
+        model = SGDClassifier(random_state=0).fit(X, y)
+        db = _load_features(X, y)
+        expr = linear_model_to_sql(model, ["f0", "f1", "f2"])
+        rows = db.execute(
+            f"SELECT {expr} AS p FROM features ORDER BY ctid"
+        ).column("p")
+        assert rows == model.predict(X).tolist()
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(TranslationError):
+            linear_model_to_sql(LogisticRegression(), ["a"])
+
+    def test_arity_mismatch_rejected(self, features):
+        X, y = features
+        model = LogisticRegression().fit(X, y)
+        with pytest.raises(TranslationError):
+            linear_model_to_sql(model, ["only_one"])
+
+
+class TestTreeExport:
+    def test_sql_predictions_match_python(self, features):
+        X, y = features
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        db = _load_features(X, y)
+        expr = decision_tree_to_sql(model, ["f0", "f1", "f2"])
+        rows = db.execute(
+            f"SELECT {expr} AS p FROM features ORDER BY ctid"
+        ).column("p")
+        assert rows == model.predict(X).tolist()
+
+    def test_nested_case_structure(self, features):
+        X, y = features
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        expr = decision_tree_to_sql(model, ["f0", "f1", "f2"])
+        assert expr.count("CASE WHEN") >= 1
+        assert expr.count("CASE") == expr.count("END")
+
+
+class TestAccuracyInDatabase:
+    def test_accuracy_matches_python_score(self, features):
+        X, y = features
+        model = LogisticRegression().fit(X, y)
+        db = _load_features(X, y)
+        query = accuracy_query(model, "features", ["f0", "f1", "f2"], "label")
+        in_db = db.execute(query).scalar()
+        assert in_db == pytest.approx(model.score(X, y))
+
+    def test_works_over_view(self, features):
+        X, y = features
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        db = _load_features(X, y)
+        db.execute(
+            "CREATE VIEW test_set AS SELECT * FROM features WHERE ctid >= 200"
+        )
+        query = accuracy_query(model, "test_set", ["f0", "f1", "f2"], "label")
+        in_db = db.execute(query).scalar()
+        assert in_db == pytest.approx(model.score(X[200:], y[200:]))
+
+    def test_dispatch_rejects_mlp(self):
+        with pytest.raises(TranslationError):
+            model_to_sql(MLPClassifier(), ["a"])

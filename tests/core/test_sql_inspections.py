@@ -1,0 +1,73 @@
+"""SQL-side implementations of RowLineage and MaterializeFirstOutputRows."""
+
+import pytest
+
+from repro.core.connectors import PostgresqlConnector
+from repro.inspection import (
+    MaterializeFirstOutputRows,
+    PipelineInspector,
+    RowLineage,
+)
+
+
+def _w(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+@pytest.fixture
+def source(tmp_path):
+    path = str(tmp_path / "d.csv")
+    _w(path, "a,g\n1,x\n2,x\n3,y\n4,y\n")
+    return f"""
+import repro.frame as pd
+
+data = pd.read_csv({path!r})
+kept = data[data['a'] > 1]
+"""
+
+
+def _run(source, inspection):
+    return (
+        PipelineInspector.on_pipeline_from_string(source, "<t>")
+        .add_required_inspection(inspection)
+        .execute_in_sql(dbms_connector=PostgresqlConnector(), mode="VIEW")
+    )
+
+
+class TestMaterializeFirstOutputRowsInSql:
+    def test_rows_from_database(self, source):
+        inspection = MaterializeFirstOutputRows(2)
+        result = _run(source, inspection)
+        per_node = result.histograms_for(inspection)
+        materialised = [rows for rows in per_node.values() if rows]
+        assert materialised[0] == [(1, "x"), (2, "x")]
+        # the selection's first rows reflect the filtered data
+        assert materialised[-1][0][0] == 2
+
+    def test_limit_respected(self, source):
+        inspection = MaterializeFirstOutputRows(3)
+        result = _run(source, inspection)
+        for rows in result.histograms_for(inspection).values():
+            if rows:
+                assert len(rows) <= 3
+
+
+class TestRowLineageInSql:
+    def test_ctids_reported(self, source):
+        inspection = RowLineage(4)
+        result = _run(source, inspection)
+        per_node = result.histograms_for(inspection)
+        with_lineage = [rows for rows in per_node.values() if rows]
+        assert with_lineage, "no lineage recorded"
+        # after the selection the surviving rows map to source rows 1..3
+        final = with_lineage[-1]
+        ids = [list(row["lineage"].values())[0] for row in final]
+        assert ids == [1, 2, 3]
+
+    def test_lineage_column_names_are_ctid_names(self, source):
+        inspection = RowLineage(1)
+        result = _run(source, inspection)
+        rows = [r for r in result.histograms_for(inspection).values() if r]
+        key = list(rows[-1][0]["lineage"].keys())[0]
+        assert key.endswith("_ctid")

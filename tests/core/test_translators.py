@@ -1,0 +1,212 @@
+"""Unit tests for the pandas/sklearn SQL translation rules (§5)."""
+
+import pytest
+
+from repro.core.table_info import SeriesExpr, TableInfo
+from repro.core.translators import pandas_ops, sklearn_ops
+from repro.errors import TranslationError
+
+
+@pytest.fixture
+def info():
+    return TableInfo(
+        "block_a",
+        ["k", "v", "label"],
+        {"k": "TEXT", "v": "DOUBLE PRECISION", "label": "TEXT"},
+        {"t1_ctid": False},
+        {"v"},
+    )
+
+
+class TestLiterals:
+    def test_string_escaped(self):
+        assert pandas_ops.sql_literal("it's") == "'it''s'"
+
+    def test_none_is_null(self):
+        assert pandas_ops.sql_literal(None) == "NULL"
+
+    def test_bool(self):
+        assert pandas_ops.sql_literal(True) == "TRUE"
+
+    def test_number(self):
+        assert pandas_ops.sql_literal(1.5) == "1.5"
+
+
+class TestProjection:
+    def test_keeps_ctids(self, info):
+        body, out = pandas_ops.translate_projection(info, ["v"], "block_b")
+        assert '"v"' in body
+        assert '"t1_ctid"' in body
+        assert out.columns == ["v"]
+        assert out.ctids == {"t1_ctid": False}
+
+    def test_unknown_column_rejected(self, info):
+        with pytest.raises(TranslationError):
+            pandas_ops.translate_projection(info, ["nope"], "b")
+
+
+class TestSelection:
+    def test_where_clause(self, info):
+        condition = SeriesExpr(info, '("v" > 1)', sql_type="BOOLEAN")
+        body, out = pandas_ops.translate_selection(info, condition, "block_b")
+        assert 'WHERE ("v" > 1)' in body
+        assert out.columns == info.columns
+
+    def test_foreign_condition_rejected(self, info):
+        other = TableInfo("other", ["x"], {"x": "INT"})
+        condition = SeriesExpr(other, '"x" > 1')
+        with pytest.raises(TranslationError):
+            pandas_ops.translate_selection(info, condition, "b")
+
+
+class TestMerge:
+    @pytest.fixture
+    def right(self):
+        return TableInfo(
+            "block_r",
+            ["k", "w"],
+            {"k": "TEXT", "w": "INT"},
+            {"t2_ctid": False},
+        )
+
+    def test_inner_join_sql(self, info, right):
+        body, out = pandas_ops.translate_merge(
+            info, right, ["k"], "inner", ("_x", "_y"), "block_j"
+        )
+        assert "INNER JOIN" in body
+        assert 'tb1."k" = tb2."k"' in body
+        assert out.columns == ["k", "v", "label", "w"]
+        assert set(out.ctids) == {"t1_ctid", "t2_ctid"}
+
+    def test_null_safe_clause_for_nullable_key(self, info, right):
+        info.nullable.add("k")
+        body, _ = pandas_ops.translate_merge(
+            info, right, ["k"], "inner", ("_x", "_y"), "block_j"
+        )
+        assert 'tb1."k" IS NULL AND tb2."k" IS NULL' in body
+
+    def test_collision_suffixes(self, info, right):
+        right.columns.append("v")
+        right.column_types["v"] = "INT"
+        _, out = pandas_ops.translate_merge(
+            info, right, ["k"], "inner", ("_x", "_y"), "block_j"
+        )
+        assert "v_x" in out.columns
+        assert "v_y" in out.columns
+
+    def test_ctid_collision_left_wins(self, info):
+        right = TableInfo(
+            "block_r", ["k"], {"k": "TEXT"}, {"t1_ctid": True}
+        )
+        _, out = pandas_ops.translate_merge(
+            info, right, ["k"], "inner", ("_x", "_y"), "block_j"
+        )
+        assert out.ctids == {"t1_ctid": False}
+
+    def test_unsupported_how(self, info, right):
+        with pytest.raises(TranslationError):
+            pandas_ops.translate_merge(
+                info, right, ["k"], "anti", ("_x", "_y"), "b"
+            )
+
+
+class TestGroupByAgg:
+    def test_array_aggs_ctids(self, info):
+        body, out = pandas_ops.translate_groupby_agg(
+            info, ["k"], [("m", "v", "mean")], "block_g"
+        )
+        assert 'array_agg("t1_ctid") AS "t1_ctid"' in body
+        assert 'AVG("v") AS "m"' in body
+        assert out.ctids == {"t1_ctid": True}
+        assert out.columns == ["k", "m"]
+
+    def test_std_maps_to_sample_stddev(self, info):
+        body, _ = pandas_ops.translate_groupby_agg(
+            info, ["k"], [("s", "v", "std")], "b"
+        )
+        assert "STDDEV_SAMP" in body
+
+    def test_unknown_aggregation(self, info):
+        with pytest.raises(TranslationError):
+            pandas_ops.translate_groupby_agg(
+                info, ["k"], [("x", "v", "mode")], "b"
+            )
+
+
+class TestDropnaReplace:
+    def test_dropna_conjunction(self, info):
+        body, out = pandas_ops.translate_dropna(info, "b")
+        assert '"k" IS NOT NULL AND "v" IS NOT NULL' in body
+        assert out.nullable == set()
+
+    def test_replace_only_text_columns(self, info):
+        body, _ = pandas_ops.translate_replace(info, "Medium", "Low", "b")
+        assert "REGEXP_REPLACE" in body
+        assert "'^Medium$'" in body
+        # the numeric column passes through untouched
+        assert 'REGEXP_REPLACE("v"' not in body
+
+
+class TestSetitem:
+    def test_new_column_appended(self, info):
+        expr = SeriesExpr(info, '("v" * 2)', sql_type="DOUBLE PRECISION")
+        body, out = pandas_ops.translate_setitem(info, "double", expr, "b")
+        assert '("v" * 2) AS "double"' in body
+        assert out.columns[-1] == "double"
+
+    def test_existing_column_replaced_once(self, info):
+        expr = SeriesExpr(info, "('x')", sql_type="TEXT")
+        body, out = pandas_ops.translate_setitem(info, "label", expr, "b")
+        assert out.columns.count("label") == 1
+
+
+class TestSklearnTranslations:
+    def test_imputer_most_frequent_fit(self, info):
+        body = sklearn_ops.fit_imputer(info, "label", "most_frequent", None)
+        assert "ORDER BY cnt DESC" in body
+        assert "LIMIT 1" in body
+
+    def test_imputer_constant_needs_no_view(self, info):
+        assert sklearn_ops.fit_imputer(info, "v", "constant", 0) is None
+
+    def test_imputer_median_untranslatable(self, info):
+        with pytest.raises(TranslationError):
+            sklearn_ops.fit_imputer(info, "v", "median", None)
+
+    def test_imputer_expression_coalesce(self):
+        expr = sklearn_ops.imputer_expression("v", "fit_v", "mean", None)
+        assert expr.startswith('COALESCE("v"')
+
+    def test_onehot_fit_self_join_rank(self, info):
+        body = sklearn_ops.fit_onehot(info, "label")
+        assert "b.value <= a.value" in body
+        assert "count(DISTINCT" in body
+
+    def test_onehot_expression_array_fill(self):
+        expr = sklearn_ops.onehot_expression("fit_l", "f0")
+        assert "array_fill(0, f0.rank - 1) || 1" in expr
+
+    def test_scaler_listing17(self, info):
+        body = sklearn_ops.fit_scaler(info, "v")
+        assert "STDDEV_POP" in body
+        expr = sklearn_ops.scaler_expression("v", "fit_v")
+        assert "NULLIF" in expr  # constant column maps to scale 1
+
+    def test_kbins_listing18(self, info):
+        expr = sklearn_ops.kbins_expression("v", "fit_v", 4)
+        assert "LEAST(GREATEST(FLOOR(" in expr
+        assert ", 3)" in expr  # clamped to n_bins - 1
+
+    def test_binarize_strict_greater(self):
+        expr = sklearn_ops.binarize_expression('"v"', 50)
+        assert '("v") > 50.0' in expr
+
+    def test_label_binarize_positive_class(self):
+        expr = sklearn_ops.label_binarize_expression(
+            '"score_text"', ["High", "Low"]
+        )
+        assert "= 'Low'" in expr
+
+    def test_label_binarize_multiclass_rejected(self):
+        with pytest.raises(TranslationError):
+            sklearn_ops.label_binarize_expression('"x"', ["a", "b", "c"])

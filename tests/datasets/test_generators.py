@@ -1,0 +1,140 @@
+"""Tests for the synthetic dataset generators (Table 2 schemas)."""
+
+import csv
+
+import pytest
+
+from repro.datasets import (
+    ADULT_COLUMNS,
+    COMPAS_COLUMNS,
+    TAXI_COLUMNS,
+    generate_adult,
+    generate_compas,
+    generate_healthcare,
+    generate_taxi,
+)
+from repro.frame import read_csv
+
+
+def _header(path):
+    with open(path) as handle:
+        return next(csv.reader(handle))
+
+
+class TestHealthcare:
+    @pytest.fixture(scope="class")
+    def paths(self, tmp_path_factory):
+        return generate_healthcare(
+            str(tmp_path_factory.mktemp("hc")), n_patients=120, seed=3
+        )
+
+    def test_schemas_match_table2(self, paths):
+        assert _header(paths["patients"]) == [
+            "id", "first_name", "last_name", "race", "county",
+            "num_children", "income", "age_group", "ssn",
+        ]
+        assert _header(paths["histories"]) == ["smoker", "complications", "ssn"]
+
+    def test_row_counts(self, paths):
+        patients = read_csv(paths["patients"], na_values="?")
+        histories = read_csv(paths["histories"], na_values="?")
+        assert len(patients) == 120
+        assert len(histories) >= 120  # orphans make the join non-trivial
+
+    def test_join_covers_all_patients(self, paths):
+        patients = read_csv(paths["patients"], na_values="?")
+        histories = read_csv(paths["histories"], na_values="?")
+        merged = patients.merge(histories, on=["ssn"])
+        assert len(merged) == 120
+
+    def test_smoker_has_missing_values(self, paths):
+        histories = read_csv(paths["histories"], na_values="?")
+        assert histories["smoker"].isnull().values.any()
+
+    def test_ssn_stays_textual(self, paths):
+        patients = read_csv(paths["patients"], na_values="?")
+        assert patients["ssn"].dtype == object
+
+    def test_deterministic_given_seed(self, tmp_path):
+        a = generate_healthcare(str(tmp_path / "a"), 50, seed=7)
+        b = generate_healthcare(str(tmp_path / "b"), 50, seed=7)
+        assert open(a["patients"]).read() == open(b["patients"]).read()
+
+    def test_county_age_correlation_present(self, paths):
+        """The documented bias driver: older groups live in the counties
+        of interest."""
+        patients = read_csv(paths["patients"], na_values="?")
+        selected = patients[patients["county"].isin(["county2", "county3"])]
+        young = (patients["age_group"] == "age_group_1").values.mean()
+        young_selected = (selected["age_group"] == "age_group_1").values.mean()
+        assert young_selected < young
+
+
+class TestCompas:
+    @pytest.fixture(scope="class")
+    def paths(self, tmp_path_factory):
+        return generate_compas(
+            str(tmp_path_factory.mktemp("compas")), n_train=150, n_test=50, seed=0
+        )
+
+    def test_full_wide_schema(self, paths):
+        assert _header(paths["train"]) == COMPAS_COLUMNS
+        assert len(COMPAS_COLUMNS) > 40  # Table 2's wide schema
+
+    def test_row_number_index_column(self, paths):
+        frame = read_csv(paths["train"], na_values="?")
+        assert list(frame.index[:3]) == [0, 1, 2]
+        assert frame.columns == COMPAS_COLUMNS
+
+    def test_pipeline_relevant_values(self, paths):
+        frame = read_csv(paths["train"], na_values="?")
+        assert set(frame["score_text"].unique()) <= {
+            "Low", "Medium", "High", "N/A",
+        }
+        assert set(frame["c_charge_degree"].unique()) <= {"F", "M", "O"}
+        assert -1 in frame["is_recid"].unique()
+
+    def test_score_correlates_with_recidivism(self, paths):
+        frame = read_csv(paths["train"], na_values="?")
+        high = frame[frame["score_text"] == "High"]
+        low = frame[frame["score_text"] == "Low"]
+        assert high["is_recid"].mean() > low["is_recid"].mean()
+
+
+class TestAdult:
+    @pytest.fixture(scope="class")
+    def paths(self, tmp_path_factory):
+        return generate_adult(
+            str(tmp_path_factory.mktemp("adult")), n_train=300, n_test=100, seed=0
+        )
+
+    def test_schema(self, paths):
+        assert _header(paths["train"]) == ADULT_COLUMNS
+
+    def test_missing_marker_is_question_mark(self, paths):
+        frame = read_csv(paths["train"], na_values="?")
+        assert frame["workclass"].isnull().values.any()
+
+    def test_income_labels_binary(self, paths):
+        frame = read_csv(paths["train"], na_values="?")
+        assert set(frame["income-per-year"].unique()) == {"<=50K", ">50K"}
+
+    def test_income_correlates_with_education(self, paths):
+        frame = read_csv(paths["train"], na_values="?")
+        rich = frame[frame["income-per-year"] == ">50K"]
+        poor = frame[frame["income-per-year"] == "<=50K"]
+        assert rich["education-num"].mean() > poor["education-num"].mean()
+
+
+class TestTaxi:
+    def test_schema_and_size(self, tmp_path):
+        path = generate_taxi(str(tmp_path), n_rows=500, seed=0)
+        assert _header(path) == TAXI_COLUMNS
+        frame = read_csv(path)
+        assert len(frame) == 500
+
+    def test_selection_filters_majority(self, tmp_path):
+        path = generate_taxi(str(tmp_path), n_rows=2000, seed=0)
+        frame = read_csv(path)
+        kept = frame[frame["passenger_count"] > 1]
+        assert 0 < len(kept) < len(frame) * 0.5

@@ -1,0 +1,180 @@
+"""Unit tests for repro.frame.dataframe."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import DataFrame, Series, concat
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "a": [1, 2, 3, 4],
+            "s": ["x", "y", "x", None],
+            "v": [1.0, None, 3.0, 4.0],
+        }
+    )
+
+
+class TestBasics:
+    def test_shape_and_len(self, frame):
+        assert frame.shape == (4, 3)
+        assert len(frame) == 4
+
+    def test_columns(self, frame):
+        assert frame.columns == ["a", "s", "v"]
+
+    def test_contains(self, frame):
+        assert "a" in frame
+        assert "missing" not in frame
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(FrameError):
+            DataFrame({"a": [1], "b": [1, 2]})
+
+    def test_copy_is_independent(self, frame):
+        clone = frame.copy()
+        clone["a"] = Series([9, 9, 9, 9])
+        assert frame["a"].tolist() == [1, 2, 3, 4]
+
+    def test_empty(self):
+        assert DataFrame({}).empty
+
+
+class TestSelection:
+    def test_getitem_column(self, frame):
+        s = frame["a"]
+        assert isinstance(s, Series)
+        assert s.name == "a"
+        assert s.tolist() == [1, 2, 3, 4]
+
+    def test_getitem_missing_column(self, frame):
+        with pytest.raises(FrameError):
+            frame["missing"]
+
+    def test_projection(self, frame):
+        out = frame[["s", "a"]]
+        assert out.columns == ["s", "a"]
+
+    def test_selection_mask(self, frame):
+        out = frame[frame["a"] > 2]
+        assert out["a"].tolist() == [3, 4]
+
+    def test_selection_preserves_index_labels(self, frame):
+        out = frame[frame["a"] > 2]
+        assert list(out.index) == [2, 3]
+
+    def test_selection_mask_length_mismatch(self, frame):
+        with pytest.raises(FrameError):
+            frame[Series([True])]
+
+    def test_chained_selection(self, frame):
+        out = frame[frame["a"] > 1]
+        out = out[out["s"] == "x"]
+        assert out["a"].tolist() == [3]
+
+
+class TestAssignment:
+    def test_set_new_column_from_series(self, frame):
+        frame["b"] = frame["a"] * 2
+        assert frame["b"].tolist() == [2, 4, 6, 8]
+
+    def test_set_scalar(self, frame):
+        frame["c"] = 7
+        assert frame["c"].tolist() == [7, 7, 7, 7]
+
+    def test_overwrite_column(self, frame):
+        frame["a"] = frame["v"]
+        assert frame["a"].tolist() == [1.0, None, 3.0, 4.0]
+
+    def test_length_mismatch(self, frame):
+        with pytest.raises(FrameError):
+            frame["b"] = Series([1])
+
+    def test_binary_op_assignment_like_pipeline(self, frame):
+        # the Listing 9 pattern: data['x'] = data['a'] > 1.2 * data['v']
+        frame["x"] = frame["a"] > 1.2 * frame["v"]
+        assert frame["x"].tolist() == [False, False, False, False]
+
+
+class TestDropnaReplace:
+    def test_dropna_all_columns(self, frame):
+        out = frame.dropna()
+        assert len(out) == 2
+        assert out["a"].tolist() == [1, 3]
+
+    def test_dropna_subset(self, frame):
+        out = frame.dropna(subset=["s"])
+        assert out["a"].tolist() == [1, 2, 3]
+
+    def test_replace_only_touches_object_columns(self, frame):
+        out = frame.replace("x", "z")
+        assert out["s"].tolist() == ["z", "y", "z", None]
+        assert out["a"].tolist() == [1, 2, 3, 4]
+
+    def test_rename(self, frame):
+        out = frame.rename({"a": "alpha"})
+        assert out.columns == ["alpha", "s", "v"]
+
+    def test_drop_columns(self, frame):
+        out = frame.drop(["s"])
+        assert out.columns == ["a", "v"]
+
+    def test_drop_unknown_column(self, frame):
+        with pytest.raises(FrameError):
+            frame.drop(["nope"])
+
+
+class TestConversion:
+    def test_to_numpy_float(self):
+        frame = DataFrame({"a": [1, 2], "b": [0.5, 1.5]})
+        out = frame.to_numpy()
+        assert out.dtype == np.float64
+        assert out.tolist() == [[1.0, 0.5], [2.0, 1.5]]
+
+    def test_to_numpy_null_becomes_nan(self):
+        frame = DataFrame({"a": [1.0, None]})
+        out = frame.to_numpy()
+        assert np.isnan(out[1, 0])
+
+    def test_to_dict(self, frame):
+        assert frame.to_dict()["s"] == ["x", "y", "x", None]
+
+    def test_iterrows(self, frame):
+        rows = list(frame.iterrows())
+        assert rows[0][0] == 0
+        assert rows[0][1][0] == 1
+
+    def test_head(self, frame):
+        assert len(frame.head(2)) == 2
+
+    def test_equals(self, frame):
+        assert frame.equals(frame.copy())
+        other = frame.copy()
+        other["a"] = Series([9, 9, 9, 9])
+        assert not frame.equals(other)
+
+    def test_sort_values(self, frame):
+        out = frame.sort_values("a", ascending=False)
+        assert out["a"].tolist() == [4, 3, 2, 1]
+
+    def test_sort_values_nulls_last(self, frame):
+        out = frame.sort_values("v")
+        assert out["v"].tolist()[-1] is None
+
+
+class TestConcat:
+    def test_concat_two_frames(self):
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"x": [3]})
+        assert concat([a, b])["x"].tolist() == [1, 2, 3]
+
+    def test_concat_column_mismatch(self):
+        with pytest.raises(FrameError):
+            concat([DataFrame({"x": [1]}), DataFrame({"y": [1]})])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(FrameError):
+            concat([])

@@ -1,0 +1,89 @@
+"""Unit tests for CSV reading with type inference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import read_csv
+from repro.frame.io import infer_column_type
+
+
+def _write(tmp_path, text, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestTypeInference:
+    def test_int(self):
+        assert infer_column_type(["1", "2"]) == "int"
+
+    def test_float(self):
+        assert infer_column_type(["1", "2.5"]) == "float"
+
+    def test_str(self):
+        assert infer_column_type(["1", "x"]) == "str"
+
+    def test_nulls_ignored(self):
+        assert infer_column_type([None, "3"]) == "int"
+
+    def test_all_null_is_str(self):
+        assert infer_column_type([None, None]) == "str"
+
+    def test_scientific_notation(self):
+        assert infer_column_type(["1e3"]) == "float"
+
+
+class TestReadCsv:
+    def test_basic(self, tmp_path):
+        path = _write(tmp_path, "a,b,c\n1,2.5,x\n2,3.5,y\n")
+        frame = read_csv(path)
+        assert frame.columns == ["a", "b", "c"]
+        assert frame["a"].dtype == np.int64
+        assert frame["b"].dtype == np.float64
+        assert frame["c"].tolist() == ["x", "y"]
+
+    def test_na_values(self, tmp_path):
+        path = _write(tmp_path, "a,b\n?,x\n2,?\n")
+        frame = read_csv(path, na_values="?")
+        assert frame["a"].tolist() == [None, 2.0]
+        assert frame["b"].tolist() == ["x", None]
+
+    def test_empty_string_is_null(self, tmp_path):
+        path = _write(tmp_path, "a,b\n,x\n5,y\n")
+        frame = read_csv(path)
+        assert frame["a"].tolist() == [None, 5.0]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = _write(tmp_path, "a\n1\n\n2\n")
+        frame = read_csv(path)
+        assert frame["a"].tolist() == [1, 2]
+
+    def test_index_column_detection(self, tmp_path):
+        # compas/adult layout: header has one fewer field than the rows
+        path = _write(tmp_path, "a,b\n0,1,x\n1,2,y\n")
+        frame = read_csv(path)
+        assert frame.columns == ["a", "b"]
+        assert list(frame.index) == [0, 1]
+        assert frame["a"].tolist() == [1, 2]
+
+    def test_quoted_fields_with_commas(self, tmp_path):
+        path = _write(tmp_path, 'a,b\n"x,y",2\n')
+        frame = read_csv(path)
+        assert frame["a"].tolist() == ["x,y"]
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = _write(tmp_path, "a,b\n1\n")
+        with pytest.raises(FrameError):
+            read_csv(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = _write(tmp_path, "")
+        with pytest.raises(FrameError):
+            read_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = _write(tmp_path, "a,b\n")
+        frame = read_csv(path)
+        assert frame.columns == ["a", "b"]
+        assert len(frame) == 0

@@ -1,0 +1,178 @@
+"""Unit tests for merge and groupby/agg."""
+
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import DataFrame
+
+
+@pytest.fixture
+def patients():
+    return DataFrame(
+        {
+            "ssn": ["1", "2", "3", None],
+            "race": ["r1", "r2", "r2", "r3"],
+        }
+    )
+
+
+@pytest.fixture
+def histories():
+    return DataFrame(
+        {
+            "ssn": ["2", "2", "3", None, "9"],
+            "complications": [1, 2, 3, 4, 5],
+        }
+    )
+
+
+class TestMerge:
+    def test_inner_join(self, patients, histories):
+        out = patients.merge(histories, on=["ssn"])
+        assert out.columns == ["ssn", "race", "complications"]
+        assert out["complications"].tolist() == [1, 2, 3, 4]
+
+    def test_null_keys_join_each_other(self, patients, histories):
+        out = patients.merge(histories, on=["ssn"])
+        # pandas (and the paper's SQL translation) treat null as joinable
+        matched = [
+            (s, c)
+            for s, c in zip(out["ssn"].tolist(), out["complications"].tolist())
+            if s is None
+        ]
+        assert matched == [(None, 4)]
+
+    def test_inner_preserves_left_order(self):
+        left = DataFrame({"k": [3, 1, 2]})
+        right = DataFrame({"k": [1, 2, 3], "v": ["a", "b", "c"]})
+        out = left.merge(right, on="k")
+        assert out["v"].tolist() == ["c", "a", "b"]
+
+    def test_left_join_fills_nulls(self):
+        left = DataFrame({"k": [1, 2]})
+        right = DataFrame({"k": [1], "v": [10]})
+        out = left.merge(right, on="k", how="left")
+        assert out["v"].tolist() == [10, None]
+
+    def test_right_join(self):
+        left = DataFrame({"k": [1], "v": ["x"]})
+        right = DataFrame({"k": [1, 2]})
+        out = left.merge(right, on="k", how="right")
+        assert out["k"].tolist() == [1, 2]
+        assert out["v"].tolist() == ["x", None]
+
+    def test_outer_join(self):
+        left = DataFrame({"k": [1, 2], "l": [10, 20]})
+        right = DataFrame({"k": [2, 3], "r": [200, 300]})
+        out = left.merge(right, on="k", how="outer")
+        assert out["k"].tolist() == [1, 2, 3]
+        assert out["l"].tolist() == [10, 20, None]
+        assert out["r"].tolist() == [None, 200, 300]
+
+    def test_cross_join(self):
+        left = DataFrame({"a": [1, 2]})
+        right = DataFrame({"b": ["x", "y"]})
+        out = left.merge(right, how="cross")
+        assert len(out) == 4
+
+    def test_duplicate_column_suffixes(self):
+        left = DataFrame({"k": [1], "v": [1]})
+        right = DataFrame({"k": [1], "v": [2]})
+        out = left.merge(right, on="k")
+        assert out.columns == ["k", "v_x", "v_y"]
+
+    def test_missing_key_raises(self):
+        with pytest.raises(FrameError):
+            DataFrame({"a": [1]}).merge(DataFrame({"b": [1]}), on="a")
+
+    def test_requires_on_for_non_cross(self):
+        with pytest.raises(FrameError):
+            DataFrame({"a": [1]}).merge(DataFrame({"a": [1]}))
+
+    def test_unsupported_how(self):
+        with pytest.raises(FrameError):
+            DataFrame({"a": [1]}).merge(DataFrame({"a": [1]}), on="a", how="anti")
+
+    def test_multi_key_join(self):
+        left = DataFrame({"a": [1, 1], "b": ["x", "y"], "l": [1, 2]})
+        right = DataFrame({"a": [1], "b": ["y"], "r": [9]})
+        out = left.merge(right, on=["a", "b"])
+        assert out["l"].tolist() == [2]
+
+
+class TestGroupBy:
+    def test_named_agg_mean(self):
+        frame = DataFrame({"g": ["a", "a", "b"], "v": [1.0, 3.0, 10.0]})
+        out = frame.groupby("g").agg(m=("v", "mean"))
+        assert out.columns == ["g", "m"]
+        assert out["m"].tolist() == [2.0, 10.0]
+
+    def test_keys_sorted(self):
+        frame = DataFrame({"g": ["b", "a"], "v": [1, 2]})
+        out = frame.groupby("g").agg(n=("v", "count"))
+        assert out["g"].tolist() == ["a", "b"]
+
+    def test_null_group_dropped(self):
+        frame = DataFrame({"g": ["a", None], "v": [1, 2]})
+        out = frame.groupby("g").agg(n=("v", "count"))
+        assert out["g"].tolist() == ["a"]
+
+    def test_multiple_keys(self):
+        frame = DataFrame(
+            {"g": ["a", "a", "b"], "h": [1, 2, 1], "v": [1, 2, 3]}
+        )
+        out = frame.groupby(["g", "h"]).agg(s=("v", "sum"))
+        assert len(out) == 3
+
+    def test_count_skips_nulls(self):
+        frame = DataFrame({"g": ["a", "a"], "v": [1.0, None]})
+        out = frame.groupby("g").agg(n=("v", "count"))
+        assert out["n"].tolist() == [1]
+
+    def test_size_counts_nulls(self):
+        frame = DataFrame({"g": ["a", "a"], "v": [1.0, None]})
+        out = frame.groupby("g").agg(n=("v", "size"))
+        assert out["n"].tolist() == [2]
+
+    def test_dict_spec(self):
+        frame = DataFrame({"g": ["a"], "v": [3]})
+        out = frame.groupby("g").agg({"v": "max"})
+        assert out["v"].tolist() == [3]
+
+    def test_unknown_agg_raises(self):
+        frame = DataFrame({"g": ["a"], "v": [1]})
+        with pytest.raises(FrameError):
+            frame.groupby("g").agg(x=("v", "frobnicate"))
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(FrameError):
+            DataFrame({"a": [1]}).groupby("nope")
+
+    def test_agg_requires_spec(self):
+        frame = DataFrame({"g": ["a"], "v": [1]})
+        with pytest.raises(FrameError):
+            frame.groupby("g").agg()
+
+    def test_groups_positions(self):
+        frame = DataFrame({"g": ["a", "b", "a"], "v": [1, 2, 3]})
+        groups = frame.groupby("g").groups()
+        assert groups[("a",)] == [0, 2]
+        assert groups[("b",)] == [1]
+
+    def test_healthcare_pattern(self):
+        # the paper's groupby/agg + merge-back pattern (Listing 4 lines 28-30)
+        data = DataFrame(
+            {
+                "age_group": ["g1", "g1", "g2"],
+                "complications": [1.0, 3.0, 5.0],
+            }
+        )
+        complications = data.groupby("age_group").agg(
+            mean_complications=("complications", "mean")
+        )
+        merged = data.merge(complications, on=["age_group"])
+        assert merged["mean_complications"].tolist() == [2.0, 2.0, 5.0]
+        merged["label"] = (
+            merged["complications"] > 1.2 * merged["mean_complications"]
+        )
+        assert merged["label"].tolist() == [False, True, False]

@@ -1,0 +1,100 @@
+"""Property-based tests for the dataframe substrate (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import DataFrame, Series
+
+values = st.one_of(
+    st.none(),
+    st.integers(min_value=-1_000, max_value=1_000),
+    st.text(alphabet="abcxyz", min_size=0, max_size=4),
+)
+numeric_values = st.one_of(
+    st.none(), st.integers(min_value=-1_000, max_value=1_000)
+)
+
+
+@given(st.lists(numeric_values, min_size=0, max_size=60))
+def test_series_roundtrip_preserves_values(items):
+    out = Series(items).tolist()
+    assert len(out) == len(items)
+    for original, roundtripped in zip(items, out):
+        if original is None:
+            assert roundtripped is None
+        else:
+            assert float(roundtripped) == float(original)
+
+
+@given(st.lists(numeric_values, min_size=0, max_size=60))
+def test_count_plus_nulls_is_length(items):
+    s = Series(items)
+    assert s.count() + int(s.isnull().values.sum()) == len(s)
+
+
+@given(st.lists(numeric_values, min_size=1, max_size=60))
+def test_mean_bounded_by_min_max(items):
+    s = Series(items)
+    if s.count() == 0:
+        assert math.isnan(s.mean())
+    else:
+        assert s.min() <= s.mean() <= s.max()
+
+
+@given(st.lists(numeric_values, min_size=0, max_size=60), st.integers(-5, 5))
+def test_comparison_never_true_for_null(items, threshold):
+    s = Series(items)
+    mask = (s > threshold).values
+    nulls = s.isnull().values
+    assert not (mask & nulls).any()
+
+
+@given(
+    st.lists(st.sampled_from(["a", "b", "c", None]), min_size=0, max_size=50),
+    st.lists(st.integers(0, 100), min_size=0, max_size=50),
+)
+def test_groupby_count_partitions_rows(keys, nums):
+    n = min(len(keys), len(nums))
+    if n == 0:
+        return
+    frame = DataFrame({"k": keys[:n], "v": [float(v) for v in nums[:n]]})
+    out = frame.groupby("k").agg(n=("k", "size"))
+    null_keys = sum(1 for k in keys[:n] if k is None)
+    assert sum(out["n"].tolist()) == n - null_keys
+
+
+@given(
+    st.lists(st.integers(0, 5), min_size=0, max_size=40),
+    st.lists(st.integers(0, 5), min_size=0, max_size=40),
+)
+def test_inner_merge_cardinality_matches_key_products(left_keys, right_keys):
+    left = DataFrame({"k": left_keys})
+    right = DataFrame({"k": right_keys})
+    out = left.merge(right, on="k")
+    expected = sum(
+        left_keys.count(k) * right_keys.count(k) for k in set(left_keys)
+    )
+    assert len(out) == expected
+
+
+@given(st.lists(values, min_size=0, max_size=60))
+@settings(max_examples=50)
+def test_selection_then_complement_partitions_frame(items):
+    frame = DataFrame({"v": items, "i": list(range(len(items)))})
+    mask = frame["v"].notnull()
+    kept = frame[mask]
+    dropped = frame[~mask]
+    assert len(kept) + len(dropped) == len(frame)
+    combined = sorted(kept["i"].tolist() + dropped["i"].tolist())
+    assert combined == list(range(len(items)))
+
+
+@given(st.lists(st.sampled_from(["u", "v", None]), min_size=0, max_size=50))
+def test_isin_equivalent_to_disjunction_of_eq(items):
+    s = Series(items)
+    via_isin = s.isin(["u", "v"]).tolist()
+    via_eq = ((s == "u") | (s == "v")).tolist()
+    assert via_isin == via_eq

@@ -1,0 +1,214 @@
+"""Unit tests for repro.frame.series."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import Series
+
+
+class TestConstruction:
+    def test_int_list(self):
+        s = Series([1, 2, 3])
+        assert s.dtype == np.int64
+        assert s.tolist() == [1, 2, 3]
+
+    def test_int_list_with_null_promotes_to_float(self):
+        s = Series([1, None, 3])
+        assert s.dtype == np.float64
+        assert s.tolist() == [1.0, None, 3.0]
+
+    def test_string_list(self):
+        s = Series(["a", None, "c"])
+        assert s.dtype == object
+        assert s.tolist() == ["a", None, "c"]
+
+    def test_bool_list(self):
+        s = Series([True, False])
+        assert s.dtype == bool
+
+    def test_nan_is_null(self):
+        s = Series([1.0, float("nan")])
+        assert s.isnull().tolist() == [False, True]
+
+    def test_mixed_types_to_object(self):
+        s = Series([1, "a"])
+        assert s.dtype == object
+
+    def test_numpy_unicode_array_becomes_object(self):
+        s = Series(np.array(["x", "y"]))
+        assert s.dtype == object
+
+    def test_default_index(self):
+        s = Series([10, 20, 30])
+        assert list(s.index) == [0, 1, 2]
+
+    def test_rejects_2d(self):
+        with pytest.raises(FrameError):
+            Series(np.zeros((2, 2)))
+
+    def test_index_length_mismatch(self):
+        with pytest.raises(FrameError):
+            Series([1, 2], index=np.array([0]))
+
+
+class TestComparisons:
+    def test_gt_scalar(self):
+        s = Series([1, 2, 3])
+        assert (s > 2).tolist() == [False, False, True]
+
+    def test_null_compares_false(self):
+        s = Series([1.0, None, 3.0])
+        assert (s > 0).tolist() == [True, False, True]
+
+    def test_eq_string(self):
+        s = Series(["a", "b", None])
+        assert (s == "a").tolist() == [True, False, False]
+
+    def test_ne_excludes_nulls(self):
+        s = Series(["a", "b", None])
+        assert (s != "a").tolist() == [False, True, False]
+
+    def test_series_vs_series(self):
+        a = Series([1, 2, 3])
+        b = Series([3, 2, 1])
+        assert (a >= b).tolist() == [False, True, True]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(FrameError):
+            Series([1, 2]) > Series([1, 2, 3])
+
+    def test_compare_against_nan_scalar_all_false(self):
+        s = Series([1.0, 2.0])
+        assert (s > float("nan")).tolist() == [False, False]
+
+
+class TestArithmetic:
+    def test_mul_scalar(self):
+        assert (Series([1, 2]) * 3).tolist() == [3, 6]
+
+    def test_rmul(self):
+        assert (1.2 * Series([10.0])).tolist() == [12.0]
+
+    def test_null_propagates(self):
+        out = Series([1.0, None]) + 1
+        assert out.tolist() == [2.0, None]
+
+    def test_series_plus_series(self):
+        assert (Series([1, 2]) + Series([10, 20])).tolist() == [11, 22]
+
+    def test_division(self):
+        assert (Series([4, 9]) / 2).tolist() == [2.0, 4.5]
+
+    def test_neg(self):
+        assert (-Series([1, -2])).tolist() == [-1, 2]
+
+    def test_string_concat(self):
+        out = Series(["a", "b"]) + "_x"
+        assert out.tolist() == ["a_x", "b_x"]
+
+
+class TestBooleanOps:
+    def test_and(self):
+        a = Series([True, True, False])
+        b = Series([True, False, False])
+        assert (a & b).tolist() == [True, False, False]
+
+    def test_or(self):
+        a = Series([True, False])
+        b = Series([False, False])
+        assert (a | b).tolist() == [True, False]
+
+    def test_invert(self):
+        assert (~Series([True, False])).tolist() == [False, True]
+
+    def test_non_bool_mask_raises(self):
+        with pytest.raises(FrameError):
+            Series([1.5]) & Series([True])
+
+
+class TestHelpers:
+    def test_isin(self):
+        s = Series(["x", "y", None, "z"])
+        assert s.isin(["x", "z"]).tolist() == [True, False, False, True]
+
+    def test_isin_null_never_matches(self):
+        s = Series([None, "a"])
+        assert s.isin([None, "a"]).tolist() == [False, True]
+
+    def test_replace_whole_value(self):
+        s = Series(["Medium", "Low", "MediumX"])
+        out = s.replace("Medium", "Low")
+        assert out.tolist() == ["Low", "Low", "MediumX"]
+
+    def test_replace_regex(self):
+        s = Series(["cat", "concat"])
+        out = s.replace("^cat$", "dog", regex=True)
+        assert out.tolist() == ["dog", "concat"]
+
+    def test_replace_dict(self):
+        s = Series(["a", "b"])
+        assert s.replace({"a": 1, "b": 2}).tolist() == [1, 2]
+
+    def test_fillna_numeric(self):
+        assert Series([1.0, None]).fillna(0).tolist() == [1.0, 0.0]
+
+    def test_fillna_string(self):
+        assert Series(["a", None]).fillna("?").tolist() == ["a", "?"]
+
+    def test_dropna_keeps_index(self):
+        s = Series([1.0, None, 3.0])
+        out = s.dropna()
+        assert out.tolist() == [1.0, 3.0]
+        assert list(out.index) == [0, 2]
+
+    def test_unique_and_nunique(self):
+        s = Series(["b", "a", "b", None])
+        assert s.unique() == ["b", "a", None]
+        assert s.nunique() == 2
+
+    def test_value_counts_sorted_desc(self):
+        s = Series(["a", "b", "b", None])
+        assert list(s.value_counts().items()) == [("b", 2), ("a", 1)]
+
+    def test_map_with_dict(self):
+        assert Series(["a", "b"]).map({"a": 1}).tolist() == [1, None]
+
+    def test_astype_str(self):
+        assert Series([1, 2]).astype(str).tolist() == ["1", "2"]
+
+
+class TestAggregations:
+    def test_mean_skips_nulls(self):
+        assert Series([1.0, None, 3.0]).mean() == 2.0
+
+    def test_sum(self):
+        assert Series([1, 2, 3]).sum() == 6
+
+    def test_count_non_null(self):
+        assert Series([1.0, None]).count() == 1
+
+    def test_std_sample(self):
+        assert Series([1.0, 3.0]).std() == pytest.approx(math.sqrt(2))
+
+    def test_std_single_value_nan(self):
+        assert math.isnan(Series([1.0]).std())
+
+    def test_median(self):
+        assert Series([1.0, 2.0, 10.0]).median() == 2.0
+
+    def test_min_max(self):
+        s = Series([5, 1, 9])
+        assert s.min() == 1
+        assert s.max() == 9
+
+    def test_mode_smallest_on_tie(self):
+        assert Series(["b", "a", "b", "a"]).mode() == "a"
+
+    def test_empty_aggregates(self):
+        s = Series([None, None])
+        assert s.count() == 0
+        assert math.isnan(s.mean())
+        assert s.min() is None

@@ -1,0 +1,23 @@
+"""Shared fixtures: a small dataset + pipeline for inspection tests."""
+
+import pytest
+
+from repro.datasets import generate_healthcare
+from repro.pipelines import healthcare_source
+
+
+@pytest.fixture(scope="session")
+def healthcare_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("healthcare")
+    generate_healthcare(str(directory), n_patients=200, seed=0)
+    return str(directory)
+
+
+@pytest.fixture(scope="session")
+def healthcare_pandas_source(healthcare_dir):
+    return healthcare_source(healthcare_dir, upto="pandas")
+
+
+@pytest.fixture(scope="session")
+def healthcare_full_source(healthcare_dir):
+    return healthcare_source(healthcare_dir, upto="full")

@@ -1,0 +1,119 @@
+"""Unit tests for the checks module (ratio math, verdict assembly)."""
+
+import networkx as nx
+import pytest
+
+from repro.inspection.checks import (
+    BiasDistributionChange,
+    CheckStatus,
+    NoBiasIntroducedFor,
+    NoIllegalFeatures,
+    _ratios,
+)
+from repro.inspection.inspections import HistogramForColumns
+from repro.inspection.operators import DagNode, OperatorType
+
+
+def _node(node_id, op, lineno=1, columns=()):
+    return DagNode(node_id, op, "test", lineno=lineno, columns=columns)
+
+
+def _dag_with_results(before, after, op=OperatorType.SELECTION):
+    source = _node(0, OperatorType.DATA_SOURCE)
+    sink = _node(1, op, lineno=5)
+    dag = nx.DiGraph()
+    dag.add_edge(source, sink)
+    inspection = HistogramForColumns(["s"])
+    results = {
+        source: {inspection: {"s": before}},
+        sink: {inspection: {"s": after}},
+    }
+    return dag, results
+
+
+class TestRatios:
+    def test_ratios_normalise(self):
+        assert _ratios({"a": 1, "b": 3}) == {"a": 0.25, "b": 0.75}
+
+    def test_empty_histogram(self):
+        assert _ratios({}) == {}
+
+
+class TestNoBiasIntroducedFor:
+    def test_passes_below_threshold(self):
+        dag, results = _dag_with_results({"x": 5, "y": 5}, {"x": 4, "y": 5})
+        check = NoBiasIntroducedFor(["s"], threshold=0.25)
+        outcome = check.evaluate(dag, results)
+        assert outcome.status is CheckStatus.SUCCESS
+
+    def test_fails_at_threshold_inclusive(self):
+        # the paper treats a change of exactly 25% as a bias
+        dag, results = _dag_with_results({"x": 2, "y": 2}, {"x": 3, "y": 1})
+        check = NoBiasIntroducedFor(["s"], threshold=0.25)
+        outcome = check.evaluate(dag, results)
+        assert outcome.status is CheckStatus.FAILURE
+        assert outcome.details["failed"][0].max_abs_change == pytest.approx(0.25)
+
+    def test_vanished_group_counts_as_full_change(self):
+        dag, results = _dag_with_results({"x": 1, "y": 9}, {"y": 9})
+        outcome = NoBiasIntroducedFor(["s"], 0.05).evaluate(dag, results)
+        assert outcome.status is CheckStatus.FAILURE
+
+    def test_non_row_changing_ops_ignored(self):
+        dag, results = _dag_with_results(
+            {"x": 9, "y": 1}, {"x": 1, "y": 9}, op=OperatorType.PROJECTION
+        )
+        outcome = NoBiasIntroducedFor(["s"], 0.05).evaluate(dag, results)
+        assert outcome.status is CheckStatus.SUCCESS
+        assert outcome.details["distribution_changes"] == []
+
+    def test_change_object_reports_deltas(self):
+        change = BiasDistributionChange(
+            _node(1, OperatorType.SELECTION),
+            "s",
+            {"x": 0.5, "y": 0.5},
+            {"x": 0.75, "y": 0.25},
+            0.25,
+            acceptable=False,
+        )
+        assert change.changes() == {"x": 0.25, "y": -0.25}
+
+    def test_description_names_line_and_column(self):
+        dag, results = _dag_with_results({"x": 1, "y": 1}, {"x": 2})
+        outcome = NoBiasIntroducedFor(["s"], 0.1).evaluate(dag, results)
+        assert "line 5" in outcome.description
+        assert "'s'" in outcome.description
+
+    def test_hashable_value_object(self):
+        assert NoBiasIntroducedFor(["a"], 0.2) == NoBiasIntroducedFor(["a"], 0.2)
+        assert hash(NoBiasIntroducedFor(["a"])) == hash(NoBiasIntroducedFor(["a"]))
+
+    def test_required_inspection_matches_columns(self):
+        check = NoBiasIntroducedFor(["race", "age_group"])
+        assert check.required_inspections() == [
+            HistogramForColumns(["race", "age_group"])
+        ]
+
+
+class TestNoIllegalFeatures:
+    def test_flags_default_blacklist(self):
+        dag = nx.DiGraph()
+        dag.add_node(
+            _node(0, OperatorType.TRANSFORMER, columns=("race", "income"))
+        )
+        outcome = NoIllegalFeatures().evaluate(dag, {})
+        assert outcome.status is CheckStatus.FAILURE
+
+    def test_additional_names_case_insensitive(self):
+        dag = nx.DiGraph()
+        dag.add_node(
+            _node(0, OperatorType.ESTIMATOR, columns=("County", "income"))
+        )
+        outcome = NoIllegalFeatures(["county"]).evaluate(dag, {})
+        assert outcome.status is CheckStatus.FAILURE
+
+    def test_ignores_non_model_operators(self):
+        dag = nx.DiGraph()
+        dag.add_node(_node(0, OperatorType.PROJECTION, columns=("race",)))
+        outcome = NoIllegalFeatures().evaluate(dag, {})
+        assert outcome.status is CheckStatus.SUCCESS

@@ -1,0 +1,108 @@
+"""Tests for the PipelineInspector builder API and result object."""
+
+import pytest
+
+from repro.errors import InspectionError
+from repro.inspection import (
+    HistogramForColumns,
+    MaterializeFirstOutputRows,
+    NoBiasIntroducedFor,
+    NoIllegalFeatures,
+    PipelineInspector,
+    RowLineage,
+)
+
+SOURCE = """
+from repro.frame import DataFrame
+
+data = DataFrame({'a': [1, 2, 3], 's': ['x', 'y', 'x']})
+out = data[data['a'] > 1]
+"""
+
+
+class TestBuilder:
+    def test_from_py_file(self, tmp_path):
+        path = tmp_path / "pipe.py"
+        path.write_text(SOURCE)
+        result = PipelineInspector.on_pipeline_from_py_file(str(path)).execute()
+        assert len(result.dag.nodes) > 0
+
+    def test_add_checks_plural(self):
+        inspector = PipelineInspector.on_pipeline_from_string(SOURCE)
+        inspector.add_checks(
+            [NoBiasIntroducedFor(["s"]), NoIllegalFeatures()]
+        )
+        result = inspector.execute()
+        assert len(result.check_to_check_results) == 2
+
+    def test_add_required_inspections_plural(self):
+        result = (
+            PipelineInspector.on_pipeline_from_string(SOURCE)
+            .add_required_inspections([RowLineage(2), MaterializeFirstOutputRows(2)])
+            .execute()
+        )
+        node = result.nodes_in_order()[0]
+        assert RowLineage(2) in result.dag_node_to_inspection_results[node]
+
+    def test_duplicate_inspections_deduplicated(self):
+        inspector = (
+            PipelineInspector.on_pipeline_from_string(SOURCE)
+            .add_required_inspection(HistogramForColumns(["s"]))
+            .add_check(NoBiasIntroducedFor(["s"]))  # requires the same one
+        )
+        assert len(inspector._all_inspections()) == 1
+
+    def test_invalid_sql_mode_rejected(self):
+        inspector = PipelineInspector.on_pipeline_from_string(SOURCE)
+        with pytest.raises(InspectionError):
+            inspector.execute_in_sql(mode="TABLES")
+
+    def test_default_connector_is_postgres(self):
+        result = PipelineInspector.on_pipeline_from_string(
+            "import repro.frame as pd"
+        ).execute_in_sql()
+        assert result.extras["backend"].connector.name == "postgres"
+
+    def test_to_sql_smoke(self, tmp_path):
+        csv = tmp_path / "d.csv"
+        csv.write_text("a,s\n1,x\n2,y\n")
+        source = (
+            "import repro.frame as pd\n"
+            f"data = pd.read_csv({str(csv)!r})\n"
+            "data = data[data['a'] > 1]\n"
+        )
+        sql = PipelineInspector.on_pipeline_from_string(source).to_sql(mode="CTE")
+        assert "CREATE TABLE" in sql
+        assert "WITH" in sql
+
+    def test_fluent_chaining_returns_self(self):
+        inspector = PipelineInspector.on_pipeline_from_string(SOURCE)
+        assert inspector.add_check(NoIllegalFeatures()) is inspector
+        assert inspector.add_required_inspection(RowLineage(1)) is inspector
+
+
+class TestResultObject:
+    def test_nodes_in_order_sorted(self):
+        result = PipelineInspector.on_pipeline_from_string(SOURCE).execute()
+        ids = [n.node_id for n in result.nodes_in_order()]
+        assert ids == sorted(ids)
+
+    def test_histograms_for_skips_other_inspections(self):
+        result = (
+            PipelineInspector.on_pipeline_from_string(SOURCE)
+            .add_required_inspection(RowLineage(1))
+            .execute()
+        )
+        assert result.histograms_for(HistogramForColumns(["s"])) == {}
+
+    def test_checks_passed_with_no_checks(self):
+        result = PipelineInspector.on_pipeline_from_string(SOURCE).execute()
+        assert result.checks_passed
+
+    def test_pipeline_globals_exposed(self):
+        result = PipelineInspector.on_pipeline_from_string(SOURCE).execute()
+        assert "out" in result.extras["pipeline_globals"]
+
+    def test_sql_source_absent_in_python_mode(self):
+        result = PipelineInspector.on_pipeline_from_string(SOURCE).execute()
+        assert result.sql_source is None

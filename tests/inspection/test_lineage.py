@@ -1,0 +1,84 @@
+"""Unit tests for the Lineage annotation container."""
+
+import numpy as np
+import pytest
+
+from repro.inspection.annotations import Lineage
+
+
+@pytest.fixture
+def lineage():
+    return Lineage.source("patients", 5)
+
+
+class TestSourceLineage:
+    def test_identity_row_ids(self, lineage):
+        assert lineage.row_ids_for("patients", 3) == [3]
+
+    def test_sources(self, lineage):
+        assert lineage.sources == ["patients"]
+
+    def test_unknown_source_empty(self, lineage):
+        assert lineage.row_ids_for("nope", 0) == []
+
+
+class TestGather:
+    def test_subset(self, lineage):
+        out = lineage.gather(np.array([4, 0]))
+        assert out.n_rows == 2
+        assert out.row_ids_for("patients", 0) == [4]
+        assert out.row_ids_for("patients", 1) == [0]
+
+    def test_duplication(self, lineage):
+        out = lineage.gather(np.array([2, 2, 2]))
+        assert [out.row_ids_for("patients", i) for i in range(3)] == [[2]] * 3
+
+    def test_outer_padding_gives_no_lineage(self, lineage):
+        out = lineage.gather(np.array([1, -1]))
+        assert out.row_ids_for("patients", 0) == [1]
+        assert out.row_ids_for("patients", 1) == []
+
+
+class TestMerge:
+    def test_two_sources_combined(self):
+        left = Lineage.source("a", 3).gather(np.array([0, 1]))
+        right = Lineage.source("b", 3).gather(np.array([2, 0]))
+        out = left.merged_with(right, 2)
+        assert sorted(out.sources) == ["a", "b"]
+        assert out.row_ids_for("a", 0) == [0]
+        assert out.row_ids_for("b", 0) == [2]
+
+    def test_collision_left_wins(self):
+        left = Lineage.source("a", 2)
+        right = Lineage.source("a", 2).gather(np.array([1, 0]))
+        out = left.merged_with(right, 2)
+        assert out.row_ids_for("a", 0) == [0]
+
+
+class TestGroup:
+    def test_groups_collect_members(self, lineage):
+        out = lineage.group([[0, 2], [1, 3, 4]])
+        assert out.n_rows == 2
+        assert out.row_ids_for("patients", 0) == [0, 2]
+        assert out.row_ids_for("patients", 1) == [1, 3, 4]
+
+    def test_group_then_gather(self, lineage):
+        grouped = lineage.group([[0, 1], [2, 3]])
+        out = grouped.gather(np.array([1, 1]))
+        assert out.row_ids_for("patients", 0) == [2, 3]
+        assert out.row_ids_for("patients", 1) == [2, 3]
+
+    def test_group_of_grouped_flattens(self, lineage):
+        grouped = lineage.group([[0, 1], [2], [3, 4]])
+        regrouped = grouped.group([[0, 2]])
+        assert regrouped.row_ids_for("patients", 0) == [0, 1, 3, 4]
+
+    def test_group_drops_missing(self, lineage):
+        padded = lineage.gather(np.array([0, -1, 2]))
+        grouped = padded.group([[0, 1, 2]])
+        assert grouped.row_ids_for("patients", 0) == [0, 2]
+
+    def test_copy_independent(self, lineage):
+        clone = lineage.copy()
+        clone.simple["patients"][0] = 99
+        assert lineage.row_ids_for("patients", 0) == [0]

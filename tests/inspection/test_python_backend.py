@@ -1,0 +1,236 @@
+"""Integration tests for the Python inspection path (DAG + inspections)."""
+
+import pytest
+
+from repro.inspection import (
+    HistogramForColumns,
+    MaterializeFirstOutputRows,
+    NoBiasIntroducedFor,
+    NoIllegalFeatures,
+    OperatorType,
+    PipelineInspector,
+    RowLineage,
+)
+from repro.inspection.checks import CheckStatus
+
+
+def _run(source, checks=(), inspections=()):
+    inspector = PipelineInspector.on_pipeline_from_string(source, "<test>")
+    for check in checks:
+        inspector = inspector.add_check(check)
+    for inspection in inspections:
+        inspector = inspector.add_required_inspection(inspection)
+    return inspector.execute()
+
+
+SIMPLE = """
+import repro.frame as pd
+from repro.frame import DataFrame
+
+data = DataFrame({'a': [1, 2, 3, 4], 's': ['x', 'x', 'y', 'y']})
+out = data[data['a'] > 2]
+"""
+
+
+class TestDagExtraction:
+    def test_node_types_in_order(self, healthcare_pandas_source):
+        result = _run(healthcare_pandas_source)
+        types = [n.operator_type for n in result.nodes_in_order()]
+        assert types[0] == OperatorType.DATA_SOURCE
+        assert types[1] == OperatorType.DATA_SOURCE
+        assert OperatorType.JOIN in types
+        assert OperatorType.GROUP_BY_AGG in types
+        assert types[-1] == OperatorType.SELECTION
+
+    def test_edges_follow_dataflow(self, healthcare_pandas_source):
+        result = _run(healthcare_pandas_source)
+        nodes = result.nodes_in_order()
+        join = next(
+            n for n in nodes if n.operator_type == OperatorType.JOIN
+        )
+        parents = list(result.dag.predecessors(join))
+        assert len(parents) == 2
+        assert all(
+            p.operator_type == OperatorType.DATA_SOURCE for p in parents
+        )
+
+    def test_line_numbers_recorded(self, healthcare_pandas_source):
+        result = _run(healthcare_pandas_source)
+        assert all(n.lineno is not None for n in result.nodes_in_order())
+
+    def test_full_pipeline_reaches_estimator_and_score(
+        self, healthcare_full_source
+    ):
+        result = _run(healthcare_full_source)
+        types = {n.operator_type for n in result.dag.nodes}
+        assert OperatorType.TRANSFORMER in types
+        assert OperatorType.CONCATENATION in types or OperatorType.TRANSFORMER in types
+        assert OperatorType.TRAIN_TEST_SPLIT in types
+        assert OperatorType.ESTIMATOR in types
+        assert OperatorType.SCORE in types
+
+    def test_pipeline_results_unchanged_by_inspection(self):
+        # "each patched function returns exactly what the original would"
+        result = _run(SIMPLE, inspections=[RowLineage(2)])
+        out = result.extras["pipeline_globals"]["out"]
+        assert out["a"].tolist() == [3, 4]
+
+
+class TestHistogramInspection:
+    def test_counts_on_data_source(self):
+        result = _run(SIMPLE, inspections=[HistogramForColumns(["s"])])
+        histograms = result.histograms_for(HistogramForColumns(["s"]))
+        source_node = result.nodes_in_order()[0]
+        assert histograms[source_node]["s"] == {"x": 2, "y": 2}
+
+    def test_counts_after_selection(self):
+        result = _run(SIMPLE, inspections=[HistogramForColumns(["s"])])
+        histograms = result.histograms_for(HistogramForColumns(["s"]))
+        last = result.nodes_in_order()[-1]
+        assert histograms[last]["s"] == {"y": 2}
+
+    def test_restores_projected_out_column(self):
+        source = """
+import repro.frame as pd
+from repro.frame import DataFrame
+
+data = DataFrame({'a': [1, 2, 3, 4], 's': ['x', 'x', 'y', 'y']})
+data = data[['a']]          # 's' removed
+data = data[data['a'] >= 2]  # still inspectable through lineage
+"""
+        result = _run(source, inspections=[HistogramForColumns(["s"])])
+        histograms = result.histograms_for(HistogramForColumns(["s"]))
+        last = result.nodes_in_order()[-1]
+        # would be impossible without tuple tracking: s not in the frame
+        assert histograms[last]["s"] == {"x": 1, "y": 2}
+
+    def test_join_multiplies_counts(self):
+        source = """
+from repro.frame import DataFrame
+
+left = DataFrame({'k': [1, 1, 2], 's': ['a', 'a', 'b']})
+right = DataFrame({'k': [1, 1, 2]})
+merged = left.merge(right, on='k')
+"""
+        result = _run(source, inspections=[HistogramForColumns(["s"])])
+        histograms = result.histograms_for(HistogramForColumns(["s"]))
+        last = result.nodes_in_order()[-1]
+        assert histograms[last]["s"] == {"a": 4, "b": 1}
+
+    def test_aggregated_rows_restore_all_members(self):
+        source = """
+from repro.frame import DataFrame
+
+data = DataFrame({'g': ['u', 'u', 'v'], 's': ['x', 'y', 'y'], 'n': [1, 2, 3]})
+agg = data.groupby('g').agg(total=('n', 'sum'))
+"""
+        result = _run(source, inspections=[HistogramForColumns(["s"])])
+        histograms = result.histograms_for(HistogramForColumns(["s"]))
+        last = result.nodes_in_order()[-1]
+        # 2 groups but 3 underlying tuples (like unnesting array_agg'd ctids)
+        assert histograms[last]["s"] == {"x": 1, "y": 2}
+
+
+class TestOtherInspections:
+    def test_materialize_first_rows(self):
+        result = _run(SIMPLE, inspections=[MaterializeFirstOutputRows(2)])
+        inspection = MaterializeFirstOutputRows(2)
+        per_node = result.histograms_for(inspection)
+        first = result.nodes_in_order()[0]
+        assert len(per_node[first]) == 2
+
+    def test_row_lineage_records_provenance(self):
+        result = _run(SIMPLE, inspections=[RowLineage(3)])
+        per_node = result.histograms_for(RowLineage(3))
+        last = result.nodes_in_order()[-1]
+        rows = per_node[last]
+        assert rows, "no lineage rows materialised"
+        assert all("lineage" in row for row in rows)
+
+
+class TestChecks:
+    def test_no_bias_check_passes_on_balanced_selection(self):
+        source = """
+from repro.frame import DataFrame
+
+data = DataFrame({'a': [1, 2, 3, 4], 's': ['x', 'y', 'x', 'y']})
+data = data[data['a'] > 2]   # removes one of each group
+"""
+        result = _run(source, checks=[NoBiasIntroducedFor(["s"], 0.25)])
+        check_result = next(iter(result.check_to_check_results.values()))
+        assert check_result.status is CheckStatus.SUCCESS
+
+    def test_no_bias_check_fails_on_skewed_selection(self):
+        source = """
+from repro.frame import DataFrame
+
+data = DataFrame({'a': [1, 2, 3, 4], 's': ['x', 'x', 'x', 'y']})
+data = data[data['a'] > 3]   # keeps only the 'y' row
+"""
+        result = _run(source, checks=[NoBiasIntroducedFor(["s"], 0.25)])
+        check_result = next(iter(result.check_to_check_results.values()))
+        assert check_result.status is CheckStatus.FAILURE
+        failed = check_result.details["failed"]
+        assert failed[0].column == "s"
+        assert failed[0].max_abs_change >= 0.25
+
+    def test_healthcare_bias_flagged_at_selection(self, healthcare_dir):
+        from repro.pipelines import healthcare_source
+
+        source = healthcare_source(healthcare_dir, upto="pandas")
+        result = _run(
+            source, checks=[NoBiasIntroducedFor(["race", "age_group"], 0.25)]
+        )
+        check_result = next(iter(result.check_to_check_results.values()))
+        flagged_columns = {c.column for c in check_result.details["failed"]}
+        assert flagged_columns == {"age_group"}  # race stays within bounds
+
+    def test_no_illegal_features_flags_race(self, healthcare_full_source):
+        result = _run(healthcare_full_source, checks=[NoIllegalFeatures()])
+        check_result = next(iter(result.check_to_check_results.values()))
+        # the healthcare featurisation one-hot-encodes 'race'
+        assert check_result.status is CheckStatus.FAILURE
+        assert "race" in check_result.description
+
+    def test_no_illegal_features_passes_without_them(self):
+        source = """
+from repro.frame import DataFrame
+from repro.learn import StandardScaler
+
+data = DataFrame({'income': [1.0, 2.0], 'age_x': [3.0, 4.0]})
+features = StandardScaler().fit_transform(data)
+"""
+        result = _run(source, checks=[NoIllegalFeatures()])
+        check_result = next(iter(result.check_to_check_results.values()))
+        assert check_result.status is CheckStatus.SUCCESS
+
+    def test_checks_passed_property(self, healthcare_pandas_source):
+        result = _run(
+            healthcare_pandas_source, checks=[NoBiasIntroducedFor(["race"], 0.9)]
+        )
+        assert result.checks_passed
+
+
+class TestMonkeyPatchingHygiene:
+    def test_patches_are_restored_after_execute(self):
+        import repro.frame as frame_module
+        from repro.frame.dataframe import DataFrame
+
+        original_getitem = DataFrame.__getitem__
+        original_read_csv = frame_module.read_csv
+        _run(SIMPLE)
+        assert DataFrame.__getitem__ is original_getitem
+        assert frame_module.read_csv is original_read_csv
+
+    def test_patches_restored_on_pipeline_error(self):
+        from repro.frame.dataframe import DataFrame
+
+        original_getitem = DataFrame.__getitem__
+        with pytest.raises(ZeroDivisionError):
+            _run("x = 1 / 0")
+        assert DataFrame.__getitem__ is original_getitem
+
+    def test_rerunning_same_source_is_isolated(self):
+        first = _run(SIMPLE, inspections=[HistogramForColumns(["s"])])
+        second = _run(SIMPLE, inspections=[HistogramForColumns(["s"])])
+        assert len(first.dag.nodes) == len(second.dag.nodes)

@@ -1,0 +1,221 @@
+"""Unit tests for models, pipelines, composition, splitting and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LearnError
+from repro.frame import DataFrame
+from repro.learn import (
+    ColumnTransformer,
+    DecisionTreeClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    OneHotEncoder,
+    Pipeline,
+    SGDClassifier,
+    SimpleImputer,
+    StandardScaler,
+    accuracy_score,
+    log_loss,
+    train_test_split,
+)
+
+
+def _linearly_separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + X[:, 1] > 0).astype(float)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self):
+        X, y = _linearly_separable()
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_predict_proba_sums_to_one(self):
+        X, y = _linearly_separable(50)
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic(self):
+        X, y = _linearly_separable(50)
+        a = LogisticRegression().fit(X, y)
+        b = LogisticRegression().fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)
+
+    def test_unfitted_raises(self):
+        from repro.errors import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+
+class TestSGDClassifier:
+    def test_learns_separable_data(self):
+        X, y = _linearly_separable()
+        model = SGDClassifier(random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_seeded_reproducibility(self):
+        X, y = _linearly_separable(80)
+        a = SGDClassifier(random_state=7).fit(X, y)
+        b = SGDClassifier(random_state=7).fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)
+
+
+class TestMLPClassifier:
+    def test_learns_xor(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 40, dtype=float)
+        y = np.array([0, 1, 1, 0] * 40, dtype=float)
+        model = MLPClassifier(hidden_size=16, epochs=200, random_state=1).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_seeded_reproducibility(self):
+        X, y = _linearly_separable(60)
+        a = MLPClassifier(random_state=3, epochs=5).fit(X, y)
+        b = MLPClassifier(random_state=3, epochs=5).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+
+class TestDecisionTree:
+    def test_learns_threshold_rule(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(300, 1))
+        y = (X[:, 0] > 0.4).astype(float)
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert model.score(X, y) > 0.98
+
+    def test_pure_leaf_short_circuits(self):
+        X = np.zeros((10, 1))
+        y = np.ones(10)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.predict(X).tolist() == [1] * 10
+
+
+class TestColumnTransformer:
+    def test_block_order_matches_spec(self):
+        frame = DataFrame({"num": [1.0, 3.0], "cat": ["a", "b"]})
+        ct = ColumnTransformer(
+            [
+                ("cat", OneHotEncoder(), ["cat"]),
+                ("num", StandardScaler(), ["num"]),
+            ]
+        )
+        out = ct.fit_transform(frame)
+        assert out.shape == (2, 3)
+        assert out[:, :2].tolist() == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(LearnError):
+            ColumnTransformer(
+                [("x", StandardScaler(), ["a"]), ("x", StandardScaler(), ["b"])]
+            )
+
+    def test_requires_dataframe(self):
+        ct = ColumnTransformer([("n", StandardScaler(), ["a"])])
+        with pytest.raises(LearnError):
+            ct.fit(np.zeros((2, 2)))
+
+    def test_unfitted_transform_raises(self):
+        ct = ColumnTransformer([("n", StandardScaler(), ["a"])])
+        with pytest.raises(LearnError):
+            ct.transform(DataFrame({"a": [1.0]}))
+
+
+class TestPipeline:
+    def test_impute_then_onehot(self):
+        frame = DataFrame({"c": ["a", None, "b"]})
+        pipe = Pipeline(
+            [
+                ("impute", SimpleImputer(strategy="most_frequent")),
+                ("encode", OneHotEncoder()),
+            ]
+        )
+        out = pipe.fit_transform(frame)
+        assert out.shape == (3, 2)
+        assert out.sum(axis=1).tolist() == [1.0, 1.0, 1.0]
+
+    def test_predict_through_pipeline(self):
+        X, y = _linearly_separable()
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("model", LogisticRegression())]
+        )
+        pipe.fit(X, y)
+        assert pipe.score(X, y) > 0.95
+
+    def test_named_steps(self):
+        pipe = Pipeline([("s", StandardScaler())])
+        assert "s" in pipe.named_steps
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(LearnError):
+            Pipeline([])
+
+    def test_duplicate_step_names_rejected(self):
+        with pytest.raises(LearnError):
+            Pipeline([("a", StandardScaler()), ("a", StandardScaler())])
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        train, test = train_test_split(X, test_size=0.25, random_state=0)
+        assert len(train) == 75
+        assert len(test) == 25
+
+    def test_partition_is_exact(self):
+        X = np.arange(50)
+        train, test = train_test_split(X, test_size=0.2, random_state=1)
+        assert sorted(list(train) + list(test)) == list(range(50))
+
+    def test_parallel_arrays_stay_aligned(self):
+        X = np.arange(40).reshape(-1, 1)
+        y = np.arange(40)
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            X, y, test_size=0.3, random_state=2
+        )
+        assert (X_tr.ravel() == y_tr).all()
+        assert (X_te.ravel() == y_te).all()
+
+    def test_dataframe_split(self):
+        frame = DataFrame({"a": list(range(10))})
+        train, test = train_test_split(frame, test_size=0.3, random_state=0)
+        assert len(train) + len(test) == 10
+
+    def test_seeded_reproducibility(self):
+        X = np.arange(30)
+        a = train_test_split(X, test_size=0.5, random_state=9)
+        b = train_test_split(X, test_size=0.5, random_state=9)
+        assert (a[0] == b[0]).all()
+
+    def test_length_mismatch(self):
+        with pytest.raises(LearnError):
+            train_test_split(np.arange(3), np.arange(4))
+
+    def test_bad_test_size(self):
+        with pytest.raises(LearnError):
+            train_test_split(np.arange(3), test_size=1.5)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_2d_single_column(self):
+        assert accuracy_score(np.array([[1], [0]]), [1, 0]) == 1.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_accuracy_empty(self):
+        assert accuracy_score([], []) == 0.0
+
+    def test_log_loss_perfect_prediction_near_zero(self):
+        assert log_loss([1, 0], [1.0, 0.0]) < 1e-9
+
+    def test_log_loss_penalises_confident_mistake(self):
+        assert log_loss([1], [0.01]) > log_loss([1], [0.9])

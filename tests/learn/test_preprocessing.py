@@ -1,0 +1,198 @@
+"""Unit tests for the preprocessing transformers (§5.2 reference behaviour)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.frame import DataFrame
+from repro.learn import (
+    Binarizer,
+    KBinsDiscretizer,
+    LabelBinarizer,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+    label_binarize,
+)
+
+
+class TestSimpleImputer:
+    def test_mean(self):
+        imputer = SimpleImputer(strategy="mean")
+        out = imputer.fit_transform(np.array([[1.0], [None], [3.0]], dtype=object))
+        assert [row[0] for row in out] == [1.0, 2.0, 3.0]
+
+    def test_median(self):
+        imputer = SimpleImputer(strategy="median")
+        out = imputer.fit_transform(
+            np.array([[1.0], [None], [2.0], [10.0]], dtype=object)
+        )
+        assert out[1][0] == 2.0
+
+    def test_most_frequent(self):
+        imputer = SimpleImputer(strategy="most_frequent")
+        out = imputer.fit_transform(
+            np.array([["a"], ["b"], ["b"], [None]], dtype=object)
+        )
+        assert out[3][0] == "b"
+
+    def test_most_frequent_tie_picks_smallest(self):
+        imputer = SimpleImputer(strategy="most_frequent")
+        imputer.fit(np.array([["b"], ["a"], [None]], dtype=object))
+        assert imputer.statistics_ == ["a"]
+
+    def test_constant(self):
+        imputer = SimpleImputer(strategy="constant", fill_value=0)
+        out = imputer.fit_transform(np.array([[None]], dtype=object))
+        assert out[0][0] == 0
+
+    def test_fit_transform_separation(self):
+        # fitting statistics must not be recomputed at transform time
+        imputer = SimpleImputer(strategy="mean")
+        imputer.fit(np.array([[2.0], [4.0]], dtype=object))
+        out = imputer.transform(np.array([[None], [100.0]], dtype=object))
+        assert out[0][0] == 3.0
+
+    def test_dataframe_input(self):
+        frame = DataFrame({"x": [1.0, None], "y": ["a", None]})
+        imputer = SimpleImputer(strategy="most_frequent").fit(frame)
+        assert imputer.statistics_ == [1.0, "a"]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            SimpleImputer(strategy="nope")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SimpleImputer().transform(np.zeros((1, 1)))
+
+    def test_column_count_mismatch(self):
+        imputer = SimpleImputer().fit(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            imputer.transform(np.zeros((2, 3)))
+
+
+class TestOneHotEncoder:
+    def test_categories_sorted(self):
+        enc = OneHotEncoder().fit(np.array([["b"], ["a"], ["b"]], dtype=object))
+        assert enc.categories_ == [["a", "b"]]
+
+    def test_transform_shape_and_values(self):
+        enc = OneHotEncoder()
+        out = enc.fit_transform(np.array([["b"], ["a"], ["b"]], dtype=object))
+        assert out.tolist() == [[0.0, 1.0], [1.0, 0.0], [0.0, 1.0]]
+
+    def test_multi_column(self):
+        data = np.array([["a", "x"], ["b", "y"]], dtype=object)
+        out = OneHotEncoder().fit_transform(data)
+        assert out.shape == (2, 4)
+        assert out.sum(axis=1).tolist() == [2.0, 2.0]
+
+    def test_unknown_raises(self):
+        enc = OneHotEncoder().fit(np.array([["a"]], dtype=object))
+        with pytest.raises(ValueError):
+            enc.transform(np.array([["zzz"]], dtype=object))
+
+    def test_handle_unknown_ignore(self):
+        enc = OneHotEncoder(handle_unknown="ignore").fit(
+            np.array([["a"]], dtype=object)
+        )
+        out = enc.transform(np.array([["zzz"]], dtype=object))
+        assert out.tolist() == [[0.0]]
+
+    def test_null_encodes_all_zero(self):
+        enc = OneHotEncoder().fit(np.array([["a"], [None]], dtype=object))
+        out = enc.transform(np.array([[None]], dtype=object))
+        assert out.tolist() == [[0.0]]
+
+    def test_sparse_not_supported(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(sparse=True)
+
+
+class TestStandardScaler:
+    def test_standardises_to_zero_mean_unit_var(self):
+        data = np.array([[1.0], [2.0], [3.0]])
+        out = StandardScaler().fit_transform(data)
+        assert out.mean() == pytest.approx(0.0)
+        assert out.std() == pytest.approx(1.0)
+
+    def test_population_stddev(self):
+        scaler = StandardScaler().fit(np.array([[1.0], [3.0]]))
+        # ddof=0: std of [1, 3] is 1, not sqrt(2)
+        assert scaler.scale_[0] == pytest.approx(1.0)
+
+    def test_constant_column_passes_through(self):
+        out = StandardScaler().fit_transform(np.array([[5.0], [5.0]]))
+        assert out.tolist() == [[0.0], [0.0]]
+
+    def test_fit_params_reused_on_new_data(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        out = scaler.transform(np.array([[4.0]]))
+        assert out[0][0] == pytest.approx(3.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+
+class TestKBinsDiscretizer:
+    def test_uniform_bins(self):
+        disc = KBinsDiscretizer(n_bins=4)
+        data = np.array([[0.0], [1.0], [2.0], [3.0], [4.0]])
+        out = disc.fit_transform(data)
+        assert out.ravel().tolist() == [0.0, 1.0, 2.0, 3.0, 3.0]
+
+    def test_out_of_range_clamped(self):
+        disc = KBinsDiscretizer(n_bins=4).fit(np.array([[0.0], [4.0]]))
+        out = disc.transform(np.array([[-10.0], [99.0]]))
+        assert out.ravel().tolist() == [0.0, 3.0]
+
+    def test_onehot_dense(self):
+        disc = KBinsDiscretizer(n_bins=2, encode="onehot-dense")
+        out = disc.fit_transform(np.array([[0.0], [10.0]]))
+        assert out.tolist() == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_constant_column(self):
+        disc = KBinsDiscretizer(n_bins=3)
+        out = disc.fit_transform(np.array([[7.0], [7.0]]))
+        assert out.ravel().tolist() == [0.0, 0.0]
+
+    def test_rejects_other_strategies(self):
+        with pytest.raises(ValueError):
+            KBinsDiscretizer(strategy="quantile")
+
+    def test_rejects_single_bin(self):
+        with pytest.raises(ValueError):
+            KBinsDiscretizer(n_bins=1)
+
+
+class TestBinarizer:
+    def test_strict_threshold(self):
+        out = Binarizer(threshold=50).fit_transform(
+            np.array([[49.0], [50.0], [51.0]])
+        )
+        # sklearn semantics: strictly greater than the threshold
+        assert out.ravel().tolist() == [0.0, 0.0, 1.0]
+
+    def test_default_threshold_zero(self):
+        out = Binarizer().fit_transform(np.array([[-1.0], [0.5]]))
+        assert out.ravel().tolist() == [0.0, 1.0]
+
+
+class TestLabelBinarize:
+    def test_binary_single_column(self):
+        out = label_binarize(["no", "yes", "no"], classes=["no", "yes"])
+        assert out.shape == (3, 1)
+        assert out.ravel().tolist() == [0.0, 1.0, 0.0]
+
+    def test_multiclass(self):
+        out = label_binarize(["a", "c"], classes=["a", "b", "c"])
+        assert out.tolist() == [[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]
+
+    def test_label_binarizer_class(self):
+        lb = LabelBinarizer().fit(["x", "y", "x"])
+        assert lb.classes_ == ["x", "y"]
+        assert lb.transform(["y"]).ravel().tolist() == [1.0]

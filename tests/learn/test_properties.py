@@ -1,0 +1,109 @@
+"""Property-based tests for the ML substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn import (
+    Binarizer,
+    KBinsDiscretizer,
+    LabelBinarizer,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+    label_binarize,
+    train_test_split,
+)
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+columns = st.lists(floats, min_size=2, max_size=50)
+
+
+@given(columns)
+@settings(max_examples=50)
+def test_scaler_output_zero_mean(values):
+    matrix = np.array(values).reshape(-1, 1)
+    out = StandardScaler().fit_transform(matrix)
+    assert abs(out.mean()) < 1e-6 or np.allclose(matrix, matrix[0])
+
+
+@given(columns)
+@settings(max_examples=50)
+def test_scaler_is_affine_invertible(values):
+    matrix = np.array(values).reshape(-1, 1)
+    scaler = StandardScaler().fit(matrix)
+    out = scaler.fit_transform(matrix)
+    restored = out * scaler.scale_ + scaler.mean_
+    assert np.allclose(restored, matrix, atol=1e-6 * (1 + np.abs(matrix).max()))
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=60))
+@settings(max_examples=50)
+def test_onehot_rows_sum_to_one(categories):
+    matrix = np.array(categories, dtype=object).reshape(-1, 1)
+    out = OneHotEncoder().fit_transform(matrix)
+    assert np.allclose(out.sum(axis=1), 1.0)
+    assert out.shape[1] == len(set(categories))
+
+
+@given(st.lists(st.sampled_from(["a", "b", None]), min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_imputer_removes_all_nulls(values):
+    matrix = np.array(values, dtype=object).reshape(-1, 1)
+    if all(v is None for v in values):
+        return  # no statistic to impute from
+    out = SimpleImputer(strategy="most_frequent").fit_transform(matrix)
+    assert all(v is not None for v in out[:, 0])
+
+
+@given(columns, st.integers(2, 8))
+@settings(max_examples=50)
+def test_kbins_output_in_range(values, n_bins):
+    matrix = np.array(values).reshape(-1, 1)
+    out = KBinsDiscretizer(n_bins=n_bins).fit_transform(matrix)
+    assert out.min() >= 0
+    assert out.max() <= n_bins - 1
+
+
+@given(columns, floats)
+@settings(max_examples=50)
+def test_binarizer_is_indicator_of_threshold(values, threshold):
+    matrix = np.array(values).reshape(-1, 1)
+    out = Binarizer(threshold=threshold).fit_transform(matrix)
+    expected = (matrix > threshold).astype(float)
+    assert np.array_equal(out, expected)
+
+
+@given(st.lists(st.sampled_from(["lo", "hi"]), min_size=1, max_size=50))
+@settings(max_examples=50)
+def test_label_binarize_roundtrip(labels):
+    out = label_binarize(labels, classes=["lo", "hi"])
+    restored = ["hi" if v else "lo" for v in out.ravel()]
+    assert restored == labels
+
+
+@given(
+    st.integers(min_value=4, max_value=80),
+    st.floats(min_value=0.1, max_value=0.9),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=50)
+def test_split_is_a_partition(n, test_size, seed):
+    X = np.arange(n)
+    train, test = train_test_split(X, test_size=test_size, random_state=seed)
+    assert sorted(np.concatenate([train, test]).tolist()) == list(range(n))
+    assert len(test) == max(1, int(round(n * test_size)))
+
+
+@given(st.lists(st.sampled_from(["x", "y", "z"]), min_size=2, max_size=40))
+@settings(max_examples=50)
+def test_label_binarizer_transform_consistent_with_classes(labels):
+    binarizer = LabelBinarizer().fit(labels)
+    if len(binarizer.classes_) != 2:
+        return
+    out = binarizer.transform(labels).ravel()
+    positive = binarizer.classes_[1]
+    assert all(
+        (v == 1.0) == (label == positive) for v, label in zip(out, labels)
+    )

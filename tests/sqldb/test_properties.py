@@ -1,0 +1,186 @@
+"""Property-based tests of the SQL engine (hypothesis).
+
+Two angles: differential testing between the two engine profiles (they
+must agree on every query result), and metamorphic/algebraic properties
+(selection partitions, join cardinalities, aggregate invariants).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import Database
+
+values = st.one_of(
+    st.none(),
+    st.integers(min_value=-50, max_value=50),
+    st.sampled_from(["a", "b", "c"]),
+)
+numeric = st.one_of(st.none(), st.integers(min_value=-50, max_value=50))
+
+
+def _load(db: Database, ints, texts):
+    db.execute("CREATE TABLE t (n int, s text)")
+    if ints:
+        rows = ", ".join(
+            f"({'NULL' if n is None else n}, "
+            f"{'NULL' if s is None else repr(s)})"
+            for n, s in zip(ints, texts)
+        )
+        db.execute(f"INSERT INTO t VALUES {rows}")
+
+
+def _pair(ints, texts):
+    pg, umbra = Database("postgres"), Database("umbra")
+    _load(pg, ints, texts)
+    _load(umbra, ints, texts)
+    return pg, umbra
+
+
+@st.composite
+def table_data(draw, max_rows=30):
+    n = draw(st.integers(min_value=0, max_value=max_rows))
+    ints = draw(st.lists(numeric, min_size=n, max_size=n))
+    texts = draw(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=n, max_size=n)
+    )
+    return ints, texts
+
+
+@given(table_data())
+@settings(max_examples=40, deadline=None)
+def test_profiles_agree_on_grouped_aggregates(data):
+    ints, texts = data
+    pg, umbra = _pair(ints, texts)
+    query = (
+        "SELECT s, count(*) AS c, sum(n) AS total, min(n) AS lo, "
+        "max(n) AS hi FROM t GROUP BY s ORDER BY s"
+    )
+    assert pg.execute(query).rows == umbra.execute(query).rows
+
+
+@given(table_data(), st.integers(-50, 50))
+@settings(max_examples=40, deadline=None)
+def test_selection_partitions_rows(data, threshold):
+    ints, texts = data
+    db = Database("umbra")
+    _load(db, ints, texts)
+    total = db.execute("SELECT count(*) FROM t").scalar()
+    above = db.execute(f"SELECT count(*) FROM t WHERE n > {threshold}").scalar()
+    below = db.execute(f"SELECT count(*) FROM t WHERE n <= {threshold}").scalar()
+    nulls = db.execute("SELECT count(*) FROM t WHERE n IS NULL").scalar()
+    # SQL three-valued logic: null rows fall out of both predicates
+    assert above + below + nulls == total
+
+
+@given(table_data())
+@settings(max_examples=30, deadline=None)
+def test_cte_equals_inline(data):
+    ints, texts = data
+    db = Database("postgres")
+    _load(db, ints, texts)
+    direct = db.execute("SELECT s, count(*) FROM t GROUP BY s ORDER BY s")
+    via_cte = db.execute(
+        "WITH base AS (SELECT * FROM t) "
+        "SELECT s, count(*) FROM base GROUP BY s ORDER BY s"
+    )
+    assert direct.rows == via_cte.rows
+
+
+@given(table_data())
+@settings(max_examples=30, deadline=None)
+def test_view_equals_base_query(data):
+    ints, texts = data
+    db = Database("umbra")
+    _load(db, ints, texts)
+    db.execute("CREATE VIEW v AS SELECT n, s FROM t WHERE n IS NOT NULL")
+    db.execute(
+        "CREATE MATERIALIZED VIEW m AS SELECT n, s FROM t WHERE n IS NOT NULL"
+    )
+    base = db.execute("SELECT count(*), sum(n) FROM t WHERE n IS NOT NULL")
+    view = db.execute("SELECT count(*), sum(n) FROM v")
+    mat = db.execute("SELECT count(*), sum(n) FROM m")
+    assert base.rows == view.rows == mat.rows
+
+
+@given(
+    st.lists(st.integers(0, 5), min_size=0, max_size=20),
+    st.lists(st.integers(0, 5), min_size=0, max_size=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_join_cardinality_is_key_product(left_keys, right_keys):
+    db = Database("umbra")
+    db.execute("CREATE TABLE l (k int)")
+    db.execute("CREATE TABLE r (k int)")
+    if left_keys:
+        db.execute(
+            "INSERT INTO l VALUES " + ", ".join(f"({k})" for k in left_keys)
+        )
+    if right_keys:
+        db.execute(
+            "INSERT INTO r VALUES " + ", ".join(f"({k})" for k in right_keys)
+        )
+    joined = db.execute(
+        "SELECT count(*) FROM l JOIN r ON l.k = r.k"
+    ).scalar()
+    expected = sum(
+        left_keys.count(k) * right_keys.count(k) for k in set(left_keys)
+    )
+    assert joined == expected
+
+
+@given(table_data())
+@settings(max_examples=30, deadline=None)
+def test_array_agg_roundtrips_through_unnest(data):
+    ints, texts = data
+    db = Database("umbra")
+    _load(db, ints, texts)
+    flattened = db.execute(
+        "WITH g AS (SELECT s, array_agg(ctid) AS ids FROM t GROUP BY s) "
+        "SELECT count(*) FROM (SELECT unnest(ids) AS i FROM g) u"
+    ).scalar()
+    total = db.execute("SELECT count(*) FROM t").scalar()
+    assert flattened == total
+
+
+@given(table_data())
+@settings(max_examples=30, deadline=None)
+def test_count_star_vs_column_vs_distinct(data):
+    ints, texts = data
+    db = Database("postgres")
+    _load(db, ints, texts)
+    star = db.execute("SELECT count(*) FROM t").scalar()
+    col = db.execute("SELECT count(n) FROM t").scalar()
+    distinct = db.execute("SELECT count(DISTINCT n) FROM t").scalar()
+    non_null = sum(1 for v in ints if v is not None)
+    assert star == len(ints)
+    assert col == non_null
+    assert distinct == len({v for v in ints if v is not None})
+
+
+@given(table_data())
+@settings(max_examples=30, deadline=None)
+def test_avg_consistent_with_sum_count(data):
+    ints, texts = data
+    db = Database("umbra")
+    _load(db, ints, texts)
+    row = db.execute("SELECT avg(n), sum(n), count(n) FROM t").rows[0]
+    avg, total, count = row
+    if count == 0:
+        assert avg is None and total is None
+    else:
+        assert avg == pytest.approx(total / count)
+
+
+@given(table_data(), st.integers(0, 10), st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_limit_offset_window(data, limit, offset):
+    ints, texts = data
+    db = Database("umbra")
+    _load(db, ints, texts)
+    all_rows = db.execute("SELECT ctid FROM t ORDER BY ctid").rows
+    window = db.execute(
+        f"SELECT ctid FROM t ORDER BY ctid LIMIT {limit} OFFSET {offset}"
+    ).rows
+    assert window == all_rows[offset : offset + limit]

@@ -1,0 +1,324 @@
+"""Query execution tests, run against both engine profiles."""
+
+import pytest
+
+from repro.errors import SQLBindError, SQLExecutionError
+from repro.sqldb import Database
+
+
+@pytest.fixture(params=["postgres", "umbra"])
+def db(request):
+    database = Database(request.param)
+    database.run_script(
+        """
+        CREATE TABLE people (name text, county text, age int, income float);
+        INSERT INTO people VALUES
+            ('ann', 'c1', 30, 10.0),
+            ('bob', 'c2', 40, 20.0),
+            ('cel', 'c2', 50, 30.0),
+            ('dan', 'c3', 60, NULL);
+        """
+    )
+    return database
+
+
+class TestProjectionSelection:
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM people")
+        assert result.columns == ["name", "county", "age", "income"]
+        assert result.rowcount == 4
+
+    def test_ctid_hidden_from_star(self, db):
+        result = db.execute("SELECT * FROM people")
+        assert "ctid" not in result.columns
+
+    def test_ctid_explicit(self, db):
+        result = db.execute("SELECT ctid FROM people")
+        assert result.column("ctid") == [0, 1, 2, 3]
+
+    def test_where(self, db):
+        result = db.execute("SELECT name FROM people WHERE age > 40")
+        assert result.column("name") == ["cel", "dan"]
+
+    def test_where_null_is_filtered(self, db):
+        result = db.execute("SELECT name FROM people WHERE income > 0")
+        assert result.column("name") == ["ann", "bob", "cel"]
+
+    def test_in_list(self, db):
+        result = db.execute(
+            "SELECT name FROM people WHERE county IN ('c1', 'c3')"
+        )
+        assert result.column("name") == ["ann", "dan"]
+
+    def test_computed_column(self, db):
+        result = db.execute("SELECT age * 2 AS double_age FROM people LIMIT 1")
+        assert result.scalar() == 60
+
+    def test_case_expression(self, db):
+        result = db.execute(
+            "SELECT (CASE WHEN age >= 50 THEN 1 ELSE 0 END) AS old FROM people"
+        )
+        assert result.column("old") == [0, 0, 1, 1]
+
+    def test_is_null(self, db):
+        result = db.execute("SELECT name FROM people WHERE income IS NULL")
+        assert result.column("name") == ["dan"]
+
+    def test_boolean_column(self, db):
+        result = db.execute("SELECT age > 35 AS older FROM people")
+        assert result.column("older") == [False, True, True, True]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT county FROM people")
+        assert sorted(result.column("county")) == ["c1", "c2", "c3"]
+
+    def test_order_by_desc(self, db):
+        result = db.execute("SELECT name FROM people ORDER BY age DESC")
+        assert result.column("name") == ["dan", "cel", "bob", "ann"]
+
+    def test_order_by_nulls_last_asc(self, db):
+        result = db.execute("SELECT name FROM people ORDER BY income")
+        assert result.column("name")[-1] == "dan"
+
+    def test_limit_offset(self, db):
+        result = db.execute("SELECT name FROM people ORDER BY age LIMIT 2 OFFSET 1")
+        assert result.column("name") == ["bob", "cel"]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 2 AS x").scalar() == 3
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(SQLBindError):
+            db.execute("SELECT nope FROM people")
+
+    def test_like(self, db):
+        result = db.execute("SELECT name FROM people WHERE name LIKE '%a%'")
+        assert result.column("name") == ["ann", "dan"]
+
+    def test_between(self, db):
+        result = db.execute(
+            "SELECT name FROM people WHERE age BETWEEN 40 AND 50"
+        )
+        assert result.column("name") == ["bob", "cel"]
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.execute("SELECT count(*) FROM people").scalar() == 4
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT count(income) FROM people").scalar() == 3
+
+    def test_group_by_count(self, db):
+        result = db.execute(
+            "SELECT county, count(*) AS cnt FROM people GROUP BY county "
+            "ORDER BY county"
+        )
+        assert result.rows == [("c1", 1), ("c2", 2), ("c3", 1)]
+
+    def test_avg(self, db):
+        assert db.execute("SELECT avg(income) FROM people").scalar() == 20.0
+
+    def test_sum_min_max(self, db):
+        result = db.execute(
+            "SELECT sum(age) AS s, min(age) AS lo, max(age) AS hi FROM people"
+        )
+        assert result.rows == [(180, 30, 60)]
+
+    def test_stddev_pop(self, db):
+        value = db.execute("SELECT stddev_pop(income) FROM people").scalar()
+        assert value == pytest.approx(8.16496580927726)
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT count(DISTINCT county) FROM people").scalar() == 3
+
+    def test_array_agg(self, db):
+        result = db.execute(
+            "SELECT county, array_agg(name) AS names FROM people "
+            "GROUP BY county ORDER BY county"
+        )
+        assert result.rows[1] == ("c2", ["bob", "cel"])
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT county FROM people GROUP BY county HAVING count(*) > 1"
+        )
+        assert result.column("county") == ["c2"]
+
+    def test_aggregate_of_expression(self, db):
+        assert db.execute("SELECT sum(age * 2) FROM people").scalar() == 360
+
+    def test_empty_table_count_star_is_zero(self, db):
+        db.execute("CREATE TABLE void (x int)")
+        assert db.execute("SELECT count(*) FROM void").scalar() == 0
+
+    def test_min_max_on_text(self, db):
+        result = db.execute("SELECT min(name) AS lo, max(name) AS hi FROM people")
+        assert result.rows == [("ann", "dan")]
+
+    def test_bare_column_not_in_group_by_raises(self, db):
+        with pytest.raises(SQLBindError):
+            db.execute("SELECT name, count(*) FROM people GROUP BY county")
+
+
+class TestJoins:
+    @pytest.fixture(autouse=True)
+    def _extra(self, db):
+        db.run_script(
+            """
+            CREATE TABLE counties (county text, region text);
+            INSERT INTO counties VALUES ('c1', 'north'), ('c2', 'south');
+            """
+        )
+
+    def test_inner_join(self, db):
+        result = db.execute(
+            "SELECT p.name, c.region FROM people p "
+            "JOIN counties c ON p.county = c.county ORDER BY p.name"
+        )
+        assert result.rows == [
+            ("ann", "north"),
+            ("bob", "south"),
+            ("cel", "south"),
+        ]
+
+    def test_left_join_null_padded(self, db):
+        result = db.execute(
+            "SELECT p.name, c.region FROM people p "
+            "LEFT JOIN counties c ON p.county = c.county "
+            "WHERE c.region IS NULL"
+        )
+        assert result.column("name") == ["dan"]
+
+    def test_right_outer_join(self, db):
+        db.execute("INSERT INTO counties VALUES ('c9', 'west')")
+        result = db.execute(
+            "SELECT c.region, p.name FROM people p "
+            "RIGHT OUTER JOIN counties c ON p.county = c.county "
+            "ORDER BY c.region"
+        )
+        regions = result.column("region")
+        assert "west" in regions
+
+    def test_cross_join(self, db):
+        result = db.execute("SELECT count(*) FROM people CROSS JOIN counties")
+        assert result.scalar() == 8
+
+    def test_comma_join_with_where(self, db):
+        result = db.execute(
+            "SELECT count(*) FROM people p, counties c "
+            "WHERE p.county = c.county"
+        )
+        assert result.scalar() == 3
+
+    def test_null_safe_join_condition(self, db):
+        # the transpiler's pandas-null-join pattern (§5.1.2)
+        db.run_script(
+            """
+            CREATE TABLE l (k text);
+            CREATE TABLE r (k text);
+            INSERT INTO l VALUES ('a'), (NULL);
+            INSERT INTO r VALUES (NULL), ('a');
+            """
+        )
+        plain = db.execute(
+            "SELECT count(*) FROM l JOIN r ON l.k = r.k"
+        ).scalar()
+        null_safe = db.execute(
+            "SELECT count(*) FROM l JOIN r ON l.k = r.k "
+            "OR (l.k IS NULL AND r.k IS NULL)"
+        ).scalar()
+        assert plain == 1
+        assert null_safe == 2
+
+    def test_non_equi_join(self, db):
+        result = db.execute(
+            "SELECT count(*) FROM counties a JOIN counties b ON b.county <= a.county"
+        )
+        assert result.scalar() == 3  # rank-style self join
+
+    def test_ambiguous_column_raises(self, db):
+        with pytest.raises(SQLBindError):
+            db.execute(
+                "SELECT county FROM people p JOIN counties c "
+                "ON p.county = c.county"
+            )
+
+
+class TestCtesViewsSubqueries:
+    def test_cte_chain(self, db):
+        result = db.execute(
+            "WITH adults AS (SELECT * FROM people WHERE age >= 40), "
+            "rich AS (SELECT * FROM adults WHERE income >= 20) "
+            "SELECT count(*) FROM rich"
+        )
+        assert result.scalar() == 2
+
+    def test_cte_referenced_twice(self, db):
+        result = db.execute(
+            "WITH base AS (SELECT age FROM people) "
+            "SELECT count(*) FROM base a JOIN base b ON a.age = b.age"
+        )
+        assert result.scalar() == 4
+
+    def test_scalar_subquery(self, db):
+        result = db.execute(
+            "SELECT name FROM people WHERE age > (SELECT avg(age) FROM people)"
+        )
+        assert result.column("name") == ["cel", "dan"]
+
+    def test_subquery_in_from(self, db):
+        result = db.execute(
+            "SELECT s.c FROM (SELECT count(*) AS c FROM people) s"
+        )
+        assert result.scalar() == 4
+
+    def test_view_roundtrip(self, db):
+        db.execute("CREATE VIEW adults AS SELECT * FROM people WHERE age >= 40")
+        assert db.execute("SELECT count(*) FROM adults").scalar() == 3
+
+    def test_view_sees_new_rows(self, db):
+        db.execute("CREATE VIEW adults AS SELECT * FROM people WHERE age >= 40")
+        db.execute("INSERT INTO people VALUES ('eve', 'c1', 70, 5.0)")
+        assert db.execute("SELECT count(*) FROM adults").scalar() == 4
+
+    def test_materialized_view(self, db):
+        db.execute(
+            "CREATE MATERIALIZED VIEW stats AS "
+            "SELECT county, count(*) AS cnt FROM people GROUP BY county"
+        )
+        result = db.execute("SELECT sum(cnt) FROM stats")
+        assert result.scalar() == 4
+
+    def test_union_all(self, db):
+        result = db.execute(
+            "SELECT name FROM people WHERE age < 40 "
+            "UNION ALL SELECT name FROM people WHERE age > 50"
+        )
+        assert sorted(result.column("name")) == ["ann", "dan"]
+
+    def test_unnest_expands_arrays(self, db):
+        result = db.execute(
+            "WITH grouped AS (SELECT county, array_agg(ctid) AS ids "
+            "FROM people GROUP BY county) "
+            "SELECT county, unnest(ids) AS id FROM grouped ORDER BY id"
+        )
+        assert result.rowcount == 4
+        assert result.column("id") == [0, 1, 2, 3]
+
+    def test_scalar_subquery_multi_row_raises(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT (SELECT age FROM people) FROM people")
+
+    def test_coalesce(self, db):
+        result = db.execute(
+            "SELECT coalesce(income, 0.0) AS inc FROM people ORDER BY ctid"
+        )
+        assert result.column("inc") == [10.0, 20.0, 30.0, 0.0]
+
+    def test_regexp_replace_whole_string(self, db):
+        result = db.execute(
+            "SELECT REGEXP_REPLACE(name, '^ann$', 'anna') AS n FROM people "
+            "ORDER BY ctid LIMIT 2"
+        )
+        assert result.column("n") == ["anna", "bob"]
