@@ -8,7 +8,7 @@ pipelined (beyond-main-memory) profile.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional, Sequence
 
 from repro.sqldb import dbapi
 from repro.sqldb.engine import Result
@@ -48,29 +48,51 @@ class DBConnector:
         return self.profile_name
 
     def reset(self) -> None:
-        """Drop all state by reconnecting to a fresh database."""
+        """Drop all data by reconnecting to a fresh database.
+
+        The statement cache survives the reconnect, so re-running the
+        same pipeline replays its DDL and then hits cached plans for
+        every inspection query.
+        """
+        previous = self._connection
         self._connection = dbapi.connect(self._profile())
+        if previous is not None:
+            self._connection.database.adopt_plan_cache(previous.database)
         self.statement_timings = []
 
-    def run(self, sql: str) -> Result:
-        """Execute a script, returning the last statement's result."""
+    def run(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> Result:
+        """Execute a script, returning the last statement's result.
+
+        ``params`` binds positional placeholders; repeated statement texts
+        hit the engine's plan cache, so re-running the same transpiled
+        query skips lexing/parsing/planning entirely.
+        """
         import time
 
         database = self.connection.database
         started = time.perf_counter()
-        results = database.run_script(sql)
+        results = database.run_script(sql, params)
         elapsed = time.perf_counter() - started
         head = sql.strip().split("\n", 1)[0][:120]
         self.statement_timings.append((head, elapsed))
         return results[-1] if results else Result()
 
-    def query_rows(self, sql: str) -> list[tuple]:
+    def query_rows(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> list[tuple]:
         cursor = self.connection.cursor()
-        cursor.execute(sql)
+        cursor.execute(sql, params)
         return cursor.fetchall()
 
     def query(self, sql: str) -> Result:
         return self.run(sql)
+
+    @property
+    def plan_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/size counters of the underlying engine's plan cache."""
+        return self.connection.database.plan_cache.stats
 
 
 class PostgresqlConnector(DBConnector):

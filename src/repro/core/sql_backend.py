@@ -128,6 +128,15 @@ class SQLBackend(PythonBackend):
         """The complete generated SQL script (DDL + table expressions)."""
         return self.container.full_script(self._final_select)
 
+    def plan_cache_stats(self) -> dict[str, int]:
+        """Engine plan-cache counters for this backend's connection.
+
+        Inspection queries are byte-identical across re-runs of the same
+        pipeline, so the hit count shows how much parsing/planning the
+        cache saved.
+        """
+        return self.connector.plan_cache_stats
+
     # -- DAG recording with SQL-side inspections ------------------------------------
 
     def _record_sql(

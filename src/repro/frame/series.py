@@ -380,7 +380,9 @@ class Series:
             for i, cell in enumerate(out):
                 if cell is not None and cell in mapping:
                     out[i] = mapping[cell]
-        return Series(out, name=self._name, index=self._index)
+        # Re-infer the dtype from the replaced values: pandas keeps int64
+        # when ints replace ints rather than degrading to object.
+        return Series(list(out), name=self._name, index=self._index)
 
     def map(self, mapping: dict | Callable) -> "Series":
         func = mapping if callable(mapping) else lambda v: mapping.get(v)

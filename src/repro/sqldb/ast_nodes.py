@@ -31,6 +31,7 @@ __all__ = [
     "Literal",
     "NamedTable",
     "OrderItem",
+    "Parameter",
     "ScalarSubquery",
     "Select",
     "SelectItem",
@@ -52,6 +53,13 @@ class Literal:
 
 
 @dataclass(frozen=True)
+class Parameter:
+    """Positional statement parameter (``?`` / ``%s``), bound at execution."""
+
+    index: int
+
+
+@dataclass(frozen=True)
 class ColumnRef:
     name: str
     table: Optional[str] = None
@@ -70,6 +78,8 @@ class FuncCall:
     args: tuple["Expr", ...] = ()
     star: bool = False  # count(*)
     distinct: bool = False  # count(DISTINCT x)
+    #: aggregate FILTER (WHERE ...) clause, None when absent
+    filter_where: Optional["Expr"] = None
 
 
 @dataclass(frozen=True)
@@ -134,6 +144,7 @@ class WindowCall:
 
 Expr = Union[
     Literal,
+    Parameter,
     ColumnRef,
     Star,
     FuncCall,
@@ -189,6 +200,9 @@ TableSource = Union[NamedTable, SubquerySource, JoinSource]
 class OrderItem:
     expr: Expr
     ascending: bool = True
+    #: explicit NULLS FIRST (True) / NULLS LAST (False); None = PostgreSQL
+    #: default (NULLS LAST for ASC, NULLS FIRST for DESC)
+    nulls_first: Optional[bool] = None
 
 
 @dataclass

@@ -201,16 +201,50 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, View] = {}
+        #: monotonically increasing counter, bumped on every change that can
+        #: invalidate a cached plan (DDL always; the engine also bumps it on
+        #: INSERT/COPY).  Plan-cache keys embed it, so stale entries simply
+        #: stop matching and age out of the LRU.
+        self.schema_version = 0
+        self._fingerprint = 0
+        self._fingerprint_version = -1
+
+    def bump_version(self) -> None:
+        self.schema_version += 1
+
+    def schema_fingerprint(self) -> int:
+        """Stable digest of every relation's schema (not its data).
+
+        Plan-cache keys embed it alongside ``schema_version`` so that a
+        cache shared across reconnects can only serve an entry to a
+        database whose relations have identical shapes.  Recomputed
+        lazily, at most once per version.
+        """
+        if self._fingerprint_version != self.schema_version:
+            parts: list[tuple] = []
+            for name in sorted(self._tables):
+                table = self._tables[name]
+                parts.append(
+                    (name, tuple(table.column_names), tuple(table.column_types))
+                )
+            for name in sorted(self._views):
+                view = self._views[name]
+                parts.append((name, view.materialized, repr(view.query)))
+            self._fingerprint = hash(tuple(parts))
+            self._fingerprint_version = self.schema_version
+        return self._fingerprint
 
     def create_table(self, table: Table) -> None:
         if table.name in self._tables or table.name in self._views:
             raise CatalogError(f"relation {table.name!r} already exists")
         self._tables[table.name] = table
+        self.bump_version()
 
     def create_view(self, view: View) -> None:
         if view.name in self._tables or view.name in self._views:
             raise CatalogError(f"relation {view.name!r} already exists")
         self._views[view.name] = view
+        self.bump_version()
 
     def drop(self, name: str, kind: str, if_exists: bool = False) -> None:
         store = self._tables if kind == "table" else self._views
@@ -219,6 +253,7 @@ class Catalog:
                 return
             raise CatalogError(f"{kind} {name!r} does not exist")
         del store[name]
+        self.bump_version()
 
     def table(self, name: str) -> Table:
         try:

@@ -37,10 +37,22 @@ class Cursor:
         return -1 if self._result is None else self._result.rowcount
 
     def execute(self, sql: str, parameters: Sequence[Any] | None = None) -> "Cursor":
-        if parameters:
-            raise SQLError("parameter binding is not supported; inline literals")
-        results = self._database.run_script(sql)
+        """Execute *sql*, binding ``?`` / ``%s`` placeholders to *parameters*.
+
+        Values are bound into the cached plan at execution time — they are
+        never spliced into the SQL text.
+        """
+        results = self._database.run_script(sql, parameters)
         self._result = results[-1] if results else None
+        self._position = 0
+        return self
+
+    def executemany(
+        self, sql: str, seq_of_parameters: Sequence[Sequence[Any]]
+    ) -> "Cursor":
+        """Execute *sql* once per parameter row, parsing and planning once."""
+        total = self._database.executemany(sql, seq_of_parameters)
+        self._result = Result(rowcount=total)
         self._position = 0
         return self
 

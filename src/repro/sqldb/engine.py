@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import csv
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -22,10 +23,11 @@ from repro.sqldb.optimizer import prune_plan, prune_shared_plans
 from repro.sqldb.parser import parse_script, parse_statement
 from repro.sqldb.plan import Batch, PlanNode
 from repro.sqldb.planner import Planner
+from repro.sqldb.prepared import bind_parameters, normalize_sql
 from repro.sqldb.profile import POSTGRES, Profile, profile_by_name
 from repro.sqldb.vector import Vector
 
-__all__ = ["Database", "Result"]
+__all__ = ["Database", "PlanCache", "Result"]
 
 
 @dataclass
@@ -51,30 +53,176 @@ class Result:
         return [row[index] for row in self.rows]
 
 
+@dataclass
+class _CachedStatement:
+    """One parsed statement plus its lazily built (pruned) plan."""
+
+    statement: ast.Statement
+    plan: Optional[PlanNode] = None
+
+
+@dataclass
+class _CacheEntry:
+    """Cached parse/plan state for one normalized statement text."""
+
+    statements: list[_CachedStatement]
+    n_params: Optional[int] = None
+
+
+class PlanCache:
+    """LRU cache of parsed statements and pruned logical plans.
+
+    Keys are ``(normalized SQL, profile name, catalog schema version,
+    schema fingerprint)``: any DDL — and, conservatively, INSERT/COPY —
+    bumps the version, so entries planned against a stale catalog stop
+    matching and age out; the fingerprint keeps a cache shared across
+    reconnects from matching a differently shaped schema.  ``maxsize=0``
+    (or ``enabled=False``) disables caching entirely.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = maxsize
+        self.enabled = maxsize > 0
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+
+    def get(self, key: tuple) -> Optional[_CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: _CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
+
 class Database:
     """An in-process SQL database with a pluggable execution profile."""
 
-    def __init__(self, profile: Profile | str = POSTGRES) -> None:
+    def __init__(
+        self,
+        profile: Profile | str = POSTGRES,
+        plan_cache_size: int = 128,
+    ) -> None:
         if isinstance(profile, str):
             profile = profile_by_name(profile)
         self.profile = profile
         self.catalog = Catalog()
+        self.plan_cache = PlanCache(plan_cache_size)
+        #: exact-text memo in front of the normalizer; normalization is
+        #: schema-independent, so entries never go stale
+        self._normalized: OrderedDict[str, tuple[str, int]] = OrderedDict()
         #: cumulative wall-clock seconds spent executing statements
         self.total_execution_time = 0.0
 
     # -- public API ----------------------------------------------------------
 
-    def execute(self, sql: str) -> Result:
-        """Parse and execute a single SQL statement."""
-        statement = parse_statement(sql)
-        return self._execute_statement(statement, sql)
+    def execute(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> Result:
+        """Parse and execute a single SQL statement.
 
-    def run_script(self, sql: str) -> list[Result]:
+        ``params`` binds positional ``?`` / ``%s`` placeholders.
+        """
+        entry = self._prepare(sql, params)
+        if len(entry.statements) != 1:
+            raise SQLExecutionError(
+                "execute() takes a single statement; use run_script()"
+            )
+        bound = bind_parameters(params, entry.n_params)
+        return self._execute_statement(entry.statements[0], sql, bound)
+
+    def run_script(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> list[Result]:
         """Execute a ``;``-separated script, returning one result each."""
+        entry = self._prepare(sql, params)
+        bound = bind_parameters(params, entry.n_params)
         return [
-            self._execute_statement(statement, sql)
-            for statement in parse_script(sql)
+            self._execute_statement(cached, sql, bound)
+            for cached in entry.statements
         ]
+
+    def executemany(
+        self, sql: str, seq_of_params: Iterable[Sequence[Any]]
+    ) -> int:
+        """Execute one statement per parameter row; parse and plan once.
+
+        Returns the summed rowcount (DB-API ``executemany`` semantics).
+        """
+        entry = self._prepare(sql, params=True)
+        total = 0
+        for params in seq_of_params:
+            bound = bind_parameters(params, entry.n_params)
+            for cached in entry.statements:
+                total += self._execute_statement(cached, sql, bound).rowcount
+        return total
+
+    def adopt_plan_cache(self, donor: "Database") -> None:
+        """Share another database's statement caches (connector reconnects).
+
+        Safe across databases: keys embed the catalog schema version and
+        fingerprint, so donor entries only match once this database has
+        replayed an identical DDL history, and plans resolve relations by
+        name at execution time.
+        """
+        self.plan_cache = donor.plan_cache
+        self._normalized = donor._normalized
+
+    def _prepare(
+        self, sql: str, params: Any = None
+    ) -> _CacheEntry:
+        """Fetch the cached parse/plan state for *sql*, or build it.
+
+        The cache key embeds the catalog schema version, so entries made
+        against a dropped/recreated schema never resurface.
+        """
+        use_cache = self.plan_cache.enabled
+        key: Optional[tuple] = None
+        n_params: Optional[int] = None
+        if use_cache or params is not None:
+            memo = self._normalized.get(sql)
+            if memo is None:
+                memo = normalize_sql(sql)
+                self._normalized[sql] = memo
+                while len(self._normalized) > 4 * max(self.plan_cache.maxsize, 1):
+                    self._normalized.popitem(last=False)
+            else:
+                self._normalized.move_to_end(sql)
+            normalized, n_params = memo
+            if use_cache:
+                key = (
+                    normalized,
+                    self.profile.name,
+                    self.catalog.schema_version,
+                    self.catalog.schema_fingerprint(),
+                )
+                entry = self.plan_cache.get(key)
+                if entry is not None:
+                    return entry
+        entry = _CacheEntry(
+            [_CachedStatement(s) for s in parse_script(sql)], n_params
+        )
+        if key is not None:
+            self.plan_cache.put(key, entry)
+        return entry
 
     def explain(self, sql: str) -> str:
         """Plan a SELECT and return the (pruned) plan tree as text."""
@@ -86,17 +234,22 @@ class Database:
 
     # -- statement dispatch -----------------------------------------------------
 
-    def _execute_statement(self, statement: ast.Statement, sql: str) -> Result:
+    def _execute_statement(
+        self, cached: _CachedStatement, sql: str, params: tuple = ()
+    ) -> Result:
+        statement = cached.statement
         started = time.perf_counter()
         try:
             if isinstance(statement, ast.Select):
-                result = self._execute_select(statement)
+                if cached.plan is None:
+                    cached.plan = self._plan_select(statement)
+                result = self._execute_select_plan(cached.plan, params)
             elif isinstance(statement, ast.CreateTable):
                 result = self._execute_create_table(statement)
             elif isinstance(statement, ast.CreateView):
                 result = self._execute_create_view(statement)
             elif isinstance(statement, ast.Insert):
-                result = self._execute_insert(statement)
+                result = self._execute_insert(statement, params)
             elif isinstance(statement, ast.Copy):
                 result = self._execute_copy(statement)
             elif isinstance(statement, ast.Drop):
@@ -121,9 +274,8 @@ class Database:
         prune_shared_plans(plan, planner.shared_plans, planner.subquery_plans)
         return plan
 
-    def _execute_select(self, statement: ast.Select) -> Result:
-        plan = self._plan_select(statement)
-        ctx = ExecContext(self.catalog, self.profile)
+    def _execute_select_plan(self, plan: PlanNode, params: tuple = ()) -> Result:
+        ctx = ExecContext(self.catalog, self.profile, params=params)
         batch = execute_plan(plan, ctx)
         return _batch_to_result(plan, batch)
 
@@ -157,7 +309,7 @@ class Database:
         self.catalog.create_view(view)
         return Result()
 
-    def _execute_insert(self, statement: ast.Insert) -> Result:
+    def _execute_insert(self, statement: ast.Insert, params: tuple = ()) -> Result:
         table = self.catalog.table(statement.table)
         columns = statement.columns or [
             name
@@ -173,9 +325,10 @@ class Database:
                 )
             row = {}
             for name, expr in zip(columns, row_exprs):
-                row[name] = _literal_value(expr)
+                row[name] = _literal_value(expr, params)
             rows.append(row)
         table.append_rows(rows)
+        self.catalog.bump_version()
         self._invalidate_dependent_snapshots(statement.table)
         return Result(rowcount=len(rows))
 
@@ -204,6 +357,7 @@ class Database:
                 for row in raw_rows
             ]
         table.append_columns(data, len(raw_rows))
+        self.catalog.bump_version()
         self._invalidate_dependent_snapshots(statement.table)
         return Result(rowcount=len(raw_rows))
 
@@ -317,14 +471,21 @@ def _referenced_relations(select: ast.Select) -> set[str]:
     return names
 
 
-def _literal_value(expr: ast.Expr) -> Any:
+def _literal_value(expr: ast.Expr, params: tuple = ()) -> Any:
     if isinstance(expr, ast.Literal):
         return expr.value
+    if isinstance(expr, ast.Parameter):
+        try:
+            return params[expr.index]
+        except IndexError:
+            raise SQLExecutionError(
+                f"statement parameter ${expr.index + 1} was not bound"
+            ) from None
     if isinstance(expr, ast.UnaryOp) and expr.op == "-":
-        inner = _literal_value(expr.operand)
+        inner = _literal_value(expr.operand, params)
         if isinstance(inner, (int, float)):
             return -inner
-    raise SQLExecutionError("INSERT values must be literals")
+    raise SQLExecutionError("INSERT values must be literals or parameters")
 
 
 def _batch_to_result(plan: PlanNode, batch: Batch) -> Result:

@@ -50,6 +50,8 @@ class ExecContext:
     profile: Profile
     cte_cache: dict[int, Batch] = field(default_factory=dict)
     subquery_cache: dict[int, Any] = field(default_factory=dict)
+    #: positional statement parameters bound to ``?`` / ``%s`` placeholders
+    params: tuple = ()
 
     def scalar_subquery(self, plan: PlanNode) -> Any:
         """Execute an uncorrelated scalar subquery once, caching the value."""
@@ -302,8 +304,19 @@ def _exec_aggregate(plan: Aggregate, ctx: ExecContext) -> Batch:
         columns[out.key] = gather(vec, positions)
     for item in plan.aggregates:
         arg = item.arg(child, ctx) if item.arg is not None else None
+        item_codes = codes
+        if item.where is not None:
+            # FILTER (WHERE ...) drops rows from this aggregate's input only;
+            # dropping (rather than null-masking) keeps count(*)/array_agg
+            # semantics right, since both observe null inputs
+            predicate = item.where(child, ctx)
+            keep = predicate.values.astype(bool, copy=False) & ~predicate.nulls
+            kept = np.flatnonzero(keep)
+            item_codes = codes[kept]
+            if arg is not None:
+                arg = gather(arg, kept)
         columns[item.out.key] = functions.compute_aggregate(
-            item.func, arg, codes, n_groups, item.distinct
+            item.func, arg, item_codes, n_groups, item.distinct
         )
     return Batch(n_groups, columns)
 
@@ -320,34 +333,27 @@ def _exec_distinct(plan: Distinct, ctx: ExecContext) -> Batch:
 
 def _exec_sort(plan: Sort, ctx: ExecContext) -> Batch:
     child = execute_plan(plan.child, ctx)
-    key_vectors = [(expr(child, ctx), asc) for expr, asc in plan.keys]
-
-    def sort_key(i: int):
-        parts = []
-        for vec, asc in key_vectors:
-            null = bool(vec.nulls[i])
-            value = None if null else vec.values[i]
-            # nulls sort last for ASC, first for DESC (PostgreSQL default)
-            rank = (1 if null else 0, value)
-            parts.append(rank)
-        return parts
-
     order = list(range(child.length))
     # multi-key sort with per-key direction: stable sorts from last key first
-    for position in range(len(key_vectors) - 1, -1, -1):
-        vec, asc = key_vectors[position]
+    for expr, asc, nulls_first in reversed(plan.keys):
+        vec = expr(child, ctx)
+        # PostgreSQL default: NULLS LAST for ASC, NULLS FIRST for DESC
+        nf = (not asc) if nulls_first is None else nulls_first
+        # marker for null rows relative to the 0 of non-null rows, chosen so
+        # that after the per-key ``reverse`` nulls land on the requested side
+        marker = (-1 if nf else 1) if asc else (1 if nf else -1)
 
-        def single_key(i: int, v=vec):
-            null = bool(v.nulls[i])
-            value = None if null else v.values[i]
-            return (1 if null else 0, value)
+        def single_key(i: int, v=vec, m=marker):
+            if v.nulls[i]:
+                return (m, None)
+            return (0, v.values[i])
 
         try:
             order.sort(key=single_key, reverse=not asc)
         except TypeError:
-            order.sort(key=lambda i, v=vec: (
-                1 if v.nulls[i] else 0,
-                str(v.values[i]) if not v.nulls[i] else "",
+            order.sort(key=lambda i, v=vec, m=marker: (
+                m if v.nulls[i] else 0,
+                "" if v.nulls[i] else str(v.values[i]),
             ), reverse=not asc)
     positions = np.asarray(order, dtype=np.int64)
     columns = {k: gather(v, positions) for k, v in child.columns.items()}

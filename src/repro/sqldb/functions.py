@@ -25,7 +25,38 @@ __all__ = [
     "SCALAR_FUNCTIONS",
     "compute_aggregate",
     "is_aggregate",
+    "pg_text",
 ]
+
+
+# ---------------------------------------------------------------------------
+# value -> text coercion
+# ---------------------------------------------------------------------------
+
+
+def pg_text(value: Any) -> Any:
+    """Render one SQL value as PostgreSQL's text cast would.
+
+    Every value→text coercion in the engine (``||``, ``CAST .. AS TEXT``,
+    ``LIKE`` operands, string functions) routes through here so integers
+    stored in float64-backed vectors print as ``'1'`` rather than ``'1.0'``.
+    Returns None for SQL NULL.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (bool, np.bool_)):
+        return "true" if value else "false"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        as_float = float(value)
+        if as_float.is_integer() and abs(as_float) < 1e16:
+            return str(int(as_float))
+        return repr(as_float)
+    if isinstance(value, list):
+        parts = ["NULL" if v is None else pg_text(v) for v in value]
+        return "{" + ",".join(parts) + "}"
+    return str(value)
 
 
 # ---------------------------------------------------------------------------
@@ -62,12 +93,14 @@ def _fn_regexp_replace(args: list[Vector]) -> Vector:
     nulls = text.nulls | pattern.nulls | replacement.nulls
     cache: dict[str, re.Pattern] = {}
     for i in np.flatnonzero(~nulls):
-        pat = str(pattern.values[i])
+        pat = pg_text(pattern.item(i))
         compiled = cache.get(pat)
         if compiled is None:
             compiled = re.compile(pat)
             cache[pat] = compiled
-        out[i] = compiled.sub(str(replacement.values[i]), str(text.values[i]), count=1)
+        out[i] = compiled.sub(
+            pg_text(replacement.item(i)), pg_text(text.item(i)), count=1
+        )
     return Vector(out, nulls)
 
 
@@ -186,7 +219,7 @@ def _string_unary(args: list[Vector], func: Callable[[str], Any], name: str) -> 
     arg = args[0]
     out = np.empty(len(arg), dtype=object)
     for i in np.flatnonzero(~arg.nulls):
-        out[i] = func(str(arg.values[i]))
+        out[i] = func(pg_text(arg.item(i)))
     return Vector(out, arg.nulls.copy())
 
 

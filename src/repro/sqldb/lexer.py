@@ -23,6 +23,7 @@ class TokenKind(Enum):
     STRING = auto()
     OPERATOR = auto()
     PUNCT = auto()
+    PARAM = auto()  # positional placeholder: ``?`` or psycopg2-style ``%s``
     EOF = auto()
 
 
@@ -56,10 +57,27 @@ def tokenize(sql: str) -> list[Token]:
     tokens: list[Token] = []
     i = 0
     n = len(sql)
+    n_params = 0
     while i < n:
         ch = sql[i]
         if ch.isspace():
             i += 1
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenKind.PARAM, str(n_params), i))
+            n_params += 1
+            i += 1
+            continue
+        if (
+            ch == "%"
+            and i + 1 < n
+            and sql[i + 1] == "s"
+            and (i + 2 >= n or not (sql[i + 2].isalnum() or sql[i + 2] == "_"))
+        ):
+            # psycopg2-style placeholder; ``a % score`` still lexes as modulo
+            tokens.append(Token(TokenKind.PARAM, str(n_params), i))
+            n_params += 1
+            i += 2
             continue
         if ch == "-" and sql.startswith("--", i):
             end = sql.find("\n", i)

@@ -138,6 +138,8 @@ def prune_plan(plan: PlanNode, needed: set[str]) -> PlanNode:
         for item in plan.aggregates:
             if item.arg is not None:
                 child_needed |= item.arg.refs
+            if item.where is not None:
+                child_needed |= item.where.refs
         plan.schema = [out for out, _ in plan.groups] + [
             item.out for item in plan.aggregates
         ]
@@ -153,7 +155,7 @@ def prune_plan(plan: PlanNode, needed: set[str]) -> PlanNode:
 
     if isinstance(plan, Sort):
         child_needed = set(needed)
-        for expr, _ in plan.keys:
+        for expr, _, _ in plan.keys:
             child_needed |= expr.refs
         plan.schema = [out for out in plan.schema if out.key in child_needed or out.key in needed]
         plan.child = prune_plan(plan.child, child_needed)

@@ -11,6 +11,7 @@ joins (inner/left/right/full/cross), grouping/having, ordering/limit,
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
 from typing import Optional
 
 from repro.errors import SQLSyntaxError
@@ -56,6 +57,18 @@ class _Parser:
     def _expect_keyword(self, word: str) -> None:
         if not self._accept_keyword(word):
             raise self._error(f"expected {word.upper()}")
+
+    def _accept_word(self, *words: str) -> Optional[str]:
+        """Accept a non-reserved word appearing as KEYWORD or IDENT.
+
+        Words like ``nulls``, ``first``, ``last`` and ``filter`` are not
+        reserved in PostgreSQL, so the lexer emits them as identifiers;
+        clause parsing must still recognise them positionally.
+        """
+        token = self._peek()
+        if token.kind in (TokenKind.KEYWORD, TokenKind.IDENT) and token.value in words:
+            return self._advance().value
+        return None
 
     def _accept_punct(self, value: str) -> bool:
         if self._peek().kind is TokenKind.PUNCT and self._peek().value == value:
@@ -293,7 +306,10 @@ class _Parser:
                     ascending = False
                 else:
                     self._accept_keyword("asc")
-                select.order_by.append(ast.OrderItem(expr, ascending))
+                nulls_first = self._parse_nulls_placement()
+                select.order_by.append(
+                    ast.OrderItem(expr, ascending, nulls_first)
+                )
                 if not self._accept_punct(","):
                     break
         if self._accept_keyword("limit"):
@@ -301,6 +317,15 @@ class _Parser:
         if self._accept_keyword("offset"):
             select.offset = self._expect_int()
         return select
+
+    def _parse_nulls_placement(self) -> Optional[bool]:
+        """Parse an optional ``NULLS FIRST`` / ``NULLS LAST`` suffix."""
+        if not self._accept_word("nulls"):
+            return None
+        word = self._accept_word("first", "last")
+        if word is None:
+            raise self._error("expected FIRST or LAST after NULLS")
+        return word == "first"
 
     def _expect_int(self) -> int:
         token = self._advance()
@@ -498,6 +523,9 @@ class _Parser:
         if token.matches_keyword("null"):
             self._advance()
             return ast.Literal(None)
+        if token.kind is TokenKind.PARAM:
+            self._advance()
+            return ast.Parameter(int(token.value))
         if token.matches_keyword("case"):
             return self._parse_case()
         if token.matches_keyword("cast"):
@@ -526,9 +554,13 @@ class _Parser:
                 self._advance()  # (
                 if self._accept_operator("*"):
                     self._expect_punct(")")
-                    return self._maybe_window(ast.FuncCall(name, star=True))
+                    return self._maybe_window(
+                        self._maybe_filter(ast.FuncCall(name, star=True))
+                    )
                 if self._accept_punct(")"):
-                    return self._maybe_window(ast.FuncCall(name))
+                    return self._maybe_window(
+                        self._maybe_filter(ast.FuncCall(name))
+                    )
                 distinct = bool(self._accept_keyword("distinct"))
                 args: list[ast.Expr] = []
                 while True:
@@ -537,7 +569,9 @@ class _Parser:
                         break
                 self._expect_punct(")")
                 return self._maybe_window(
-                    ast.FuncCall(name, tuple(args), distinct=distinct)
+                    self._maybe_filter(
+                        ast.FuncCall(name, tuple(args), distinct=distinct)
+                    )
                 )
             name = self._advance().value
             if self._accept_punct("."):
@@ -545,6 +579,27 @@ class _Parser:
                 return ast.ColumnRef(column, table=name)
             return ast.ColumnRef(name)
         raise self._error("expected an expression")
+
+    def _maybe_filter(self, call: ast.FuncCall) -> ast.FuncCall:
+        """Attach an aggregate ``FILTER (WHERE ...)`` clause if present.
+
+        ``filter`` is not reserved, so require the following ``(`` before
+        consuming; ``SELECT count(*) filter`` keeps working as an alias.
+        """
+        token = self._peek()
+        if not (
+            token.kind in (TokenKind.KEYWORD, TokenKind.IDENT)
+            and token.value == "filter"
+            and self._peek(1).kind is TokenKind.PUNCT
+            and self._peek(1).value == "("
+        ):
+            return call
+        self._advance()  # filter
+        self._expect_punct("(")
+        self._expect_keyword("where")
+        condition = self.parse_expression()
+        self._expect_punct(")")
+        return _dc_replace(call, filter_where=condition)
 
     def _maybe_window(self, call: ast.FuncCall) -> ast.Expr:
         """Attach an OVER clause, turning the call into a window function."""

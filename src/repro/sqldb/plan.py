@@ -182,6 +182,9 @@ class AggregateItem:
     func: str
     arg: Optional[CompiledExpr]  # None for count(*)
     distinct: bool = False
+    #: aggregate FILTER (WHERE ...) predicate; rows failing it are dropped
+    #: from this aggregate's input only
+    where: Optional[CompiledExpr] = None
 
 
 @dataclass
@@ -211,7 +214,12 @@ class Distinct(PlanNode):
 @dataclass
 class Sort(PlanNode):
     child: PlanNode
-    keys: list[tuple[CompiledExpr, bool]] = field(default_factory=list)
+    #: (expr, ascending, nulls_first) — ``nulls_first=None`` means the
+    #: PostgreSQL default (NULLS LAST when ascending, NULLS FIRST when
+    #: descending)
+    keys: list[tuple[CompiledExpr, bool, Optional[bool]]] = field(
+        default_factory=list
+    )
     schema: list[OutputColumn] = field(default_factory=list)
 
     def children(self) -> list[PlanNode]:

@@ -22,7 +22,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.errors import SQLBindError
+from repro.errors import SQLBindError, SQLExecutionError
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb import functions, vector
 from repro.sqldb.catalog import CTID, Catalog, Table, View
@@ -435,8 +435,19 @@ class Planner:
                         f"aggregate {call.name} takes exactly one argument"
                     )
                 arg = self.compile_expr(call.args[0], scope, env)
+            where = None
+            if call.filter_where is not None:
+                nested: list[ast.FuncCall] = []
+                _collect_aggregates(call.filter_where, nested)
+                if nested:
+                    raise SQLBindError(
+                        "aggregate functions are not allowed in FILTER"
+                    )
+                where = self.compile_expr(call.filter_where, scope, env)
             out = OutputColumn(call.name, self._fresh())
-            aggregates.append(AggregateItem(out, call.name, arg, call.distinct))
+            aggregates.append(
+                AggregateItem(out, call.name, arg, call.distinct, where)
+            )
             replace[call] = out.key
         schema = [out for out, _ in groups] + [item.out for item in aggregates]
         node = Aggregate(child, groups, aggregates, schema=schema)
@@ -468,7 +479,7 @@ class Planner:
         out_scope = Scope(
             [ScopeEntry(None, o.name, o.key, o.hidden) for o in child.schema]
         )
-        keys: list[tuple[CompiledExpr, bool]] = []
+        keys: list[tuple[CompiledExpr, bool, Optional[bool]]] = []
         for order in select.order_by:
             try:
                 compiled = self.compile_expr(order.expr, out_scope, env)
@@ -482,7 +493,7 @@ class Planner:
                         child.schema.append(out)
                 else:
                     raise
-            keys.append((compiled, order.ascending))
+            keys.append((compiled, order.ascending, order.nulls_first))
         return Sort(child, keys, schema=child.schema)
 
     _WINDOW_FUNCS = {"rank", "dense_rank", "row_number"}
@@ -606,6 +617,20 @@ class Planner:
 
             return CompiledExpr(fn_literal, frozenset(), text=repr(value))
 
+        if isinstance(expr, ast.Parameter):
+            index = expr.index
+
+            def fn_param(batch: Batch, ctx: Any) -> Vector:
+                try:
+                    value = ctx.params[index]
+                except IndexError:
+                    raise SQLExecutionError(
+                        f"statement parameter ${index + 1} was not bound"
+                    ) from None
+                return constant(value, batch.length)
+
+            return CompiledExpr(fn_param, frozenset(), text=f"${index + 1}")
+
         if isinstance(expr, ast.ColumnRef):
             key = scope.resolve(expr.name, expr.table)
             return self._column_passthrough(key)
@@ -719,9 +744,10 @@ class Planner:
                 out = np.zeros(batch.length, dtype=bool)
                 cache: dict[str, re.Pattern] = {}
                 for i in np.flatnonzero(~nulls):
-                    raw = str(pattern.values[i])
+                    raw = functions.pg_text(pattern.item(i))
                     compiled = cache.setdefault(raw, _like_to_regex(raw))
-                    out[i] = compiled.fullmatch(str(value.values[i])) is not None
+                    subject = functions.pg_text(value.item(i))
+                    out[i] = compiled.fullmatch(subject) is not None
                 return Vector(out, nulls)
 
             return CompiledExpr(fn_like, refs, text)
@@ -867,11 +893,7 @@ class Planner:
             if target in ("text", "varchar", "char"):
                 out = np.empty(batch.length, dtype=object)
                 for i in np.flatnonzero(~value.nulls):
-                    item = value.item(i)
-                    if isinstance(item, bool):
-                        out[i] = "true" if item else "false"
-                    else:
-                        out[i] = str(item)
+                    out[i] = functions.pg_text(value.item(i))
                 return Vector(out, value.nulls.copy())
             if target in ("bool", "boolean"):
                 out = np.zeros(batch.length, dtype=bool)
@@ -900,6 +922,10 @@ class Planner:
         if functions.is_aggregate(expr.name):
             raise SQLBindError(
                 f"aggregate {expr.name}() is not allowed in this context"
+            )
+        if expr.filter_where is not None:
+            raise SQLBindError(
+                f"FILTER is not allowed for the non-aggregate {expr.name}()"
             )
         if expr.name == "unnest":
             raise SQLBindError("unnest() is only allowed as a top-level select item")

@@ -1,0 +1,64 @@
+"""Statement normalization and parameter binding for prepared statements.
+
+The plan cache keys on *normalized* statement text, so the same logical
+statement hits the cache regardless of whitespace, comments, keyword case
+or identifier quoting style.  Normalization is collision-free: identifiers
+are always rendered double-quoted and strings single-quoted, so a quoted
+identifier can never collide with a keyword and a string literal can never
+collide with surrounding syntax.
+
+Placeholders: both ``?`` (DB-API qmark) and ``%s`` (psycopg2 style) lex to
+the same positional :class:`~repro.sqldb.ast_nodes.Parameter`; values are
+bound at execution time via ``ExecContext.params`` rather than being
+spliced into SQL text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.errors import SQLError
+from repro.sqldb.lexer import TokenKind, tokenize
+
+__all__ = ["bind_parameters", "normalize_sql"]
+
+
+def normalize_sql(sql: str) -> tuple[str, int]:
+    """Canonical text of *sql* plus its placeholder count.
+
+    Raises :class:`~repro.errors.SQLSyntaxError` on malformed input (same
+    lexer the parser uses, so anything that normalizes also tokenizes).
+    """
+    parts: list[str] = []
+    n_params = 0
+    for token in tokenize(sql):
+        if token.kind is TokenKind.EOF:
+            break
+        if token.kind is TokenKind.IDENT:
+            parts.append('"' + token.value + '"')
+        elif token.kind is TokenKind.STRING:
+            parts.append("'" + token.value.replace("'", "''") + "'")
+        elif token.kind is TokenKind.PARAM:
+            parts.append("?")
+            n_params += 1
+        else:
+            parts.append(token.value)
+    return " ".join(parts), n_params
+
+
+def bind_parameters(
+    params: Optional[Sequence[Any]], n_params: Optional[int]
+) -> tuple:
+    """Validate a parameter sequence against a placeholder count.
+
+    ``n_params`` is None when the statement was not normalized (cache
+    disabled and no parameters supplied); validation is then deferred to
+    execution, which raises on any unbound placeholder.
+    """
+    bound = tuple(params) if params is not None else ()
+    if n_params is not None and len(bound) != n_params:
+        raise SQLError(
+            f"statement expects {n_params} parameter"
+            f"{'s' if n_params != 1 else ''}, {len(bound)} given"
+        )
+    return bound

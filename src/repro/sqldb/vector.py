@@ -161,6 +161,9 @@ def arithmetic(op: str, left: Vector, right: Vector) -> Vector:
     """``+ - * / %`` with null propagation; ``||`` concatenates text/arrays."""
     nulls = left.nulls | right.nulls
     if op == "||":
+        # lazy import: functions imports this module at load time
+        from repro.sqldb.functions import pg_text
+
         out = np.empty(len(left), dtype=object)
         for i in np.flatnonzero(~nulls):
             a, b = left.values[i], right.values[i]
@@ -169,7 +172,7 @@ def arithmetic(op: str, left: Vector, right: Vector) -> Vector:
                 b_list = b if isinstance(b, list) else [b]
                 out[i] = a_list + b_list
             else:
-                out[i] = str(a) + str(b)
+                out[i] = pg_text(left.item(i)) + pg_text(right.item(i))
         return Vector(out, nulls.copy())
     a = _as_float(left, op)
     b = _as_float(right, op)

@@ -103,6 +103,40 @@ class TestConnectors:
         heads = [head for head, _ in connector.statement_timings]
         assert any("SELECT count(*)" in head for head in heads)
 
+    def test_run_with_params(self, connector):
+        assert connector.run("SELECT a FROM t WHERE a = ?", (2,)).rows == [(2,)]
+        assert connector.query_rows("SELECT a FROM t WHERE a > %s", (1,)) == [
+            (2,),
+            (3,),
+        ]
+
+
+class TestPlanCacheAcrossResets:
+    def _replay(self, connector):
+        connector.run("CREATE TABLE t (a int)")
+        connector.run("INSERT INTO t VALUES (1), (2), (3)")
+        return connector.run("SELECT sum(a) FROM t").scalar()
+
+    def test_cache_survives_reset_and_hits_on_replay(self):
+        connector = UmbraConnector()
+        assert self._replay(connector) == 6
+        connector.reset()
+        assert self._replay(connector) == 6
+        stats = connector.plan_cache_stats
+        assert stats["hits"] >= 3  # the whole replayed script is cached
+
+    def test_divergent_schema_never_serves_stale_plans(self):
+        connector = UmbraConnector()
+        connector.run("CREATE TABLE t (a int, b text)")
+        connector.run("INSERT INTO t VALUES (1, 'x')")
+        assert connector.run("SELECT * FROM t").columns == ["a", "b"]
+        connector.reset()
+        # same number of schema changes, different shape: the cached
+        # SELECT * plan must not resurface
+        connector.run("CREATE TABLE t (b text, a int)")
+        connector.run("INSERT INTO t VALUES ('x', 1)")
+        assert connector.run("SELECT * FROM t").columns == ["b", "a"]
+
 
 class TestContainer:
     def test_cte_mode_wraps_prefix(self, connector):

@@ -1,0 +1,52 @@
+"""Regression: Series.replace degraded every result to object dtype."""
+
+import numpy as np
+
+from repro.frame.series import Series
+
+
+class TestReplaceDtype:
+    def test_int_replacement_keeps_int64(self):
+        out = Series([1, 2, 3]).replace(2, 99)
+        assert out.dtype == np.int64
+        assert out.tolist() == [1, 99, 3]
+
+    def test_float_replacement_keeps_float64(self):
+        out = Series([1.0, 2.5, 3.0]).replace(2.5, 9.5)
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 9.5, 3.0]
+
+    def test_bool_replacement_keeps_bool(self):
+        out = Series([True, False, True]).replace(False, True)
+        assert out.dtype == np.bool_
+        assert out.tolist() == [True, True, True]
+
+    def test_mixed_replacement_becomes_object(self):
+        out = Series([1, 2, 3]).replace(2, "two")
+        assert out.dtype == object
+        assert out.tolist() == [1, "two", 3]
+
+    def test_replace_with_none_promotes_like_pandas(self):
+        out = Series([1, 2, 3]).replace(2, None)
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, None, 3.0]
+
+    def test_dict_replacement_keeps_int64(self):
+        out = Series([1, 2, 3]).replace({1: 10, 3: 30})
+        assert out.dtype == np.int64
+        assert out.tolist() == [10, 2, 30]
+
+    def test_string_replace_stays_object(self):
+        out = Series(["a", "b"]).replace("a", "z")
+        assert out.dtype == object
+        assert out.tolist() == ["z", "b"]
+
+    def test_regex_replace_unchanged_numeric_keeps_dtype(self):
+        # regex only inspects strings; a numeric series passes through intact
+        out = Series([1, 2]).replace("x", "y", regex=True)
+        assert out.dtype == np.int64
+
+    def test_nan_survives_replacement_of_other_values(self):
+        out = Series([1.0, float("nan"), 3.0]).replace(3.0, 4.0)
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, None, 4.0]

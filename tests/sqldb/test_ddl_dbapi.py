@@ -212,10 +212,15 @@ class TestDbApi:
         cursor.execute("INSERT INTO t VALUES (1), (2)")
         assert cursor.rowcount == 2
 
-    def test_parameters_unsupported(self):
+    def test_parameters_bind(self):
+        cursor = connect("umbra").cursor()
+        cursor.execute("SELECT %s", (1,))
+        assert cursor.fetchall() == [(1,)]
+
+    def test_parameter_count_mismatch(self):
         cursor = connect("umbra").cursor()
         with pytest.raises(SQLError):
-            cursor.execute("SELECT %s", (1,))
+            cursor.execute("SELECT ?", (1, 2))
 
     def test_closed_connection_rejects_cursor(self):
         conn = connect("umbra")

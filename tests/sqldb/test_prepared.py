@@ -1,0 +1,139 @@
+"""Prepared statements: normalization, parameter binding, executemany."""
+
+import pytest
+
+from repro.errors import SQLError, SQLExecutionError
+from repro.sqldb import Database, dbapi
+from repro.sqldb.prepared import bind_parameters, normalize_sql
+
+
+class TestNormalizeSql:
+    def test_whitespace_and_case_insensitive_keywords(self):
+        a, _ = normalize_sql("SELECT  a\nFROM t")
+        b, _ = normalize_sql("select a from t")
+        assert a == b
+
+    def test_unquoted_identifiers_fold_to_lowercase(self):
+        # PostgreSQL folds unquoted identifiers, so A and a share an entry
+        a, _ = normalize_sql("SELECT A FROM t")
+        b, _ = normalize_sql("SELECT a FROM t")
+        assert a == b
+
+    def test_quoted_mixed_case_identifier_distinct(self):
+        a, _ = normalize_sql('SELECT "A" FROM t')
+        b, _ = normalize_sql("SELECT a FROM t")
+        assert a != b
+
+    def test_quoted_identifier_vs_keyword_no_collision(self):
+        a, _ = normalize_sql('SELECT "select" FROM t')
+        b, _ = normalize_sql("SELECT select FROM t")
+        assert a != b
+
+    def test_string_vs_identifier_no_collision(self):
+        a, _ = normalize_sql("SELECT 'a' FROM t")
+        b, _ = normalize_sql("SELECT a FROM t")
+        assert a != b
+
+    def test_string_with_quote_roundtrip(self):
+        a, _ = normalize_sql("SELECT 'it''s'")
+        b, _ = normalize_sql("SELECT 'it'")
+        assert a != b
+
+    def test_placeholder_styles_normalize_identically(self):
+        a, n_a = normalize_sql("SELECT ? , ?")
+        b, n_b = normalize_sql("SELECT %s , %s")
+        assert a == b
+        assert n_a == n_b == 2
+
+    def test_modulo_is_not_a_placeholder(self):
+        _, n = normalize_sql("SELECT a % s FROM t")
+        assert n == 0
+
+
+class TestBindParameters:
+    def test_exact_count(self):
+        assert bind_parameters((1, 2), 2) == (1, 2)
+
+    def test_none_means_no_params(self):
+        assert bind_parameters(None, 0) == ()
+
+    def test_count_mismatch(self):
+        with pytest.raises(SQLError):
+            bind_parameters((1,), 2)
+        with pytest.raises(SQLError):
+            bind_parameters((1, 2, 3), 2)
+
+
+@pytest.fixture(params=["postgres", "umbra"])
+def db(request):
+    database = Database(request.param)
+    database.run_script(
+        """
+        CREATE TABLE t (a int, b text);
+        INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, NULL);
+        """
+    )
+    return database
+
+
+class TestExecuteWithParams:
+    def test_select_where_param(self, db):
+        result = db.execute("SELECT b FROM t WHERE a = ?", (2,))
+        assert result.rows == [("y",)]
+
+    def test_pyformat_placeholder(self, db):
+        result = db.execute("SELECT a FROM t WHERE b = %s", ("x",))
+        assert result.rows == [(1,)]
+
+    def test_param_in_select_list(self, db):
+        result = db.execute("SELECT ? + a FROM t WHERE a = 1", (10,))
+        assert result.rows == [(11,)]
+
+    def test_none_param_is_null(self, db):
+        result = db.execute("SELECT a FROM t WHERE b IS NULL AND ? IS NULL", (None,))
+        assert result.rows == [(3,)]
+
+    def test_same_text_different_params(self, db):
+        sql = "SELECT b FROM t WHERE a = ?"
+        assert db.execute(sql, (1,)).rows == [("x",)]
+        assert db.execute(sql, (2,)).rows == [("y",)]
+
+    def test_insert_with_params(self, db):
+        db.execute("INSERT INTO t VALUES (?, ?)", (9, "z"))
+        result = db.execute("SELECT b FROM t WHERE a = 9")
+        assert result.rows == [("z",)]
+
+    def test_missing_params_rejected(self, db):
+        with pytest.raises(SQLError):
+            db.execute("SELECT a FROM t WHERE a = ?")
+
+
+class TestExecutemany:
+    def test_insert_many(self, db):
+        total = db.executemany(
+            "INSERT INTO t VALUES (?, ?)", [(10, "p"), (11, "q"), (12, "r")]
+        )
+        assert total == 3
+        result = db.execute("SELECT b FROM t WHERE a >= 10 ORDER BY a")
+        assert result.column("b") == ["p", "q", "r"]
+
+    def test_count_validated_per_row(self, db):
+        with pytest.raises(SQLError):
+            db.executemany("INSERT INTO t VALUES (?, ?)", [(1, "a"), (2,)])
+
+
+class TestDbApiParams:
+    def test_cursor_execute_params(self):
+        cursor = dbapi.connect("postgres").cursor()
+        cursor.execute("CREATE TABLE t (a int)")
+        cursor.execute("INSERT INTO t VALUES (?)", (5,))
+        cursor.execute("SELECT a FROM t WHERE a = %s", (5,))
+        assert cursor.fetchall() == [(5,)]
+
+    def test_cursor_executemany(self):
+        cursor = dbapi.connect("postgres").cursor()
+        cursor.execute("CREATE TABLE t (a int)")
+        cursor.executemany("INSERT INTO t VALUES (?)", [(1,), (2,), (3,)])
+        assert cursor.rowcount == 3
+        cursor.execute("SELECT count(*) FROM t")
+        assert cursor.fetchone() == (3,)
