@@ -1,0 +1,178 @@
+"""Morsel-driven parallel execution benchmark (Fig-7a-style shape).
+
+Times a scan -> filter -> project -> aggregate query — the operator
+spine of the paper's Figure 7a pandas part — at 10^4..10^6 rows across
+worker counts, and writes machine-readable ``BENCH_parallel_exec.json``
+next to this file.  Every parallel run is checked row-identical to the
+serial reference before its timing is recorded.
+
+Scale control
+-------------
+``REPRO_BENCH_PARALLEL_SIZES``  comma list of row counts
+(default ``10000,100000,1000000``).
+``REPRO_BENCH_PARALLEL_WORKERS``  comma list of worker counts
+(default ``1,2,4,8``).
+
+Speedup is hardware-bound: on a single-CPU container the GIL and the
+lone core make >1x impossible, so the JSON records ``cpu_count`` next
+to the timings — interpret the numbers against it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import pytest
+
+from harness import print_table
+from repro.sqldb import Database
+
+QUERY = (
+    "SELECT grp, count(*) AS c, sum(d) AS total, avg(d) AS mean, "
+    "max(d) AS hi FROM "
+    "(SELECT grp, val * 2 AS d FROM t WHERE val > 10) s "
+    "GROUP BY grp ORDER BY grp"
+)
+MORSEL_SIZE = 65536
+REPEATS = 3
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_parallel_exec.json")
+
+
+def _sizes() -> list[int]:
+    raw = os.environ.get("REPRO_BENCH_PARALLEL_SIZES", "10000,100000,1000000")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _worker_counts() -> list[int]:
+    raw = os.environ.get("REPRO_BENCH_PARALLEL_WORKERS", "1,2,4,8")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _make_database(rows: int, workers: int) -> Database:
+    db = Database("umbra", workers=workers, morsel_size=MORSEL_SIZE)
+    db.execute("CREATE TABLE t (grp text, val double precision)")
+    groups = [f"g{i % 10}" for i in range(rows)]
+    values = [float((i * 37) % 100) for i in range(rows)]
+    db.catalog.table("t").append_columns({"grp": groups, "val": values}, rows)
+    db.catalog.bump_version()
+    return db
+
+
+def _time_query(db: Database) -> tuple[list[float], list[tuple]]:
+    db.execute(QUERY)  # warm the plan cache; timings measure execution only
+    timings = []
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = db.execute(QUERY)
+        timings.append(time.perf_counter() - started)
+    return timings, result.rows
+
+
+def run_sweep(sizes=None, worker_counts=None) -> dict:
+    sizes = sizes or _sizes()
+    worker_counts = worker_counts or _worker_counts()
+    results = []
+    for rows in sizes:
+        reference_rows = None
+        serial_best = None
+        for workers in worker_counts:
+            db = _make_database(rows, workers)
+            try:
+                timings, out_rows = _time_query(db)
+            finally:
+                db.close()
+            if reference_rows is None:
+                reference_rows = out_rows
+            assert out_rows == reference_rows, (
+                f"parallel result diverged at rows={rows} workers={workers}"
+            )
+            best = min(timings)
+            if workers == 1:
+                serial_best = best
+            results.append(
+                {
+                    "rows": rows,
+                    "workers": workers,
+                    # scans at or below one morsel stay serial by design
+                    "morselized": workers > 1 and rows > MORSEL_SIZE,
+                    "seconds": timings,
+                    "seconds_best": best,
+                    "speedup_vs_workers1": (
+                        serial_best / best if serial_best else None
+                    ),
+                }
+            )
+    return {
+        "benchmark": "bench_parallel_exec",
+        "query": QUERY,
+        "morsel_size": MORSEL_SIZE,
+        "repeats": REPEATS,
+        "profile": "umbra",
+        "determinism_checked": True,
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+
+
+def write_report(report: dict, path: str = OUT_PATH) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def _report_rows(report: dict) -> list[list]:
+    return [
+        [
+            entry["rows"],
+            entry["workers"],
+            entry["seconds_best"],
+            f"{entry['speedup_vs_workers1']:.2f}x"
+            if entry["speedup_vs_workers1"]
+            else "-",
+        ]
+        for entry in report["results"]
+    ]
+
+
+@pytest.mark.parametrize("rows", [10_000])
+def test_parallel_exec_smoke(rows):
+    """Cheap correctness gate: sweep one size, assert determinism held."""
+    report = run_sweep(sizes=[rows], worker_counts=[1, 4])
+    assert report["determinism_checked"]
+    assert len(report["results"]) == 2
+
+
+def test_report_parallel_exec(capsys):
+    report = run_sweep()
+    write_report(report)
+    with capsys.disabled():
+        print_table(
+            "Parallel morsel execution, runtime (s) "
+            f"[cpu_count={report['hardware']['cpu_count']}]",
+            ["tuples", "workers", "best (s)", "speedup"],
+            _report_rows(report),
+        )
+        print(f"wrote {OUT_PATH}")
+
+
+def main() -> None:
+    report = run_sweep()
+    write_report(report)
+    print_table(
+        "Parallel morsel execution, runtime (s) "
+        f"[cpu_count={report['hardware']['cpu_count']}]",
+        ["tuples", "workers", "best (s)", "speedup"],
+        _report_rows(report),
+    )
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,3 +4,21 @@ import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        default=None,
+        help=(
+            "morsel-execution worker count for the SQL connectors "
+            "(exported as REPRO_SQL_WORKERS so every bench picks it up)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    workers = config.getoption("--workers", default=None)
+    if workers is not None:
+        os.environ["REPRO_SQL_WORKERS"] = str(workers)

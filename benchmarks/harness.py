@@ -9,6 +9,11 @@ Scale control
 ``REPRO_BENCH_SIZES``  comma list of dataset sizes (default ``100,1000``;
 the paper sweeps 10^2..10^6 — set ``100,1000,10000,100000,1000000`` to
 reproduce the full sweep).
+
+``REPRO_SQL_WORKERS``  morsel-execution worker count picked up by every
+SQL connector (also settable per run via ``run_once(..., workers=N)`` or
+``pytest benchmarks --workers N``), so the existing Fig-7/8 benches can
+be re-run as parallel variants without edits.
 """
 
 from __future__ import annotations
@@ -102,12 +107,16 @@ def make_inspector(
     return inspector
 
 
-def _execute(inspector: PipelineInspector, backend: str):
+def _execute(
+    inspector: PipelineInspector, backend: str, workers: Optional[int] = None
+):
     if backend == "python":
         return inspector.execute()
     engine, _, variant = backend.partition("-")
     connector = (
-        PostgresqlConnector() if engine == "postgres" else UmbraConnector()
+        PostgresqlConnector(workers=workers)
+        if engine == "postgres"
+        else UmbraConnector(workers=workers)
     )
     mode = "CTE" if variant.startswith("cte") else "VIEW"
     materialize = variant.endswith("mat")
@@ -130,13 +139,19 @@ def run_once(
     with_inspection: bool = False,
     sensitive: Optional[Sequence[str]] = None,
     keep_result: bool = False,
+    workers: Optional[int] = None,
 ) -> RunOutcome:
-    """One timed end-to-end run of a pipeline configuration."""
+    """One timed end-to-end run of a pipeline configuration.
+
+    ``workers=None`` defers to ``REPRO_SQL_WORKERS`` and the engine
+    profile; an explicit count forces morsel-driven parallel execution
+    on the SQL backends (``python`` ignores it).
+    """
     inspector = make_inspector(
         pipeline, size, upto, with_inspection, sensitive
     )
     started = time.perf_counter()
-    result = _execute(inspector, backend)
+    result = _execute(inspector, backend, workers=workers)
     elapsed = time.perf_counter() - started
     return RunOutcome(elapsed, result if keep_result else None)
 

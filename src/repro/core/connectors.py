@@ -30,9 +30,18 @@ class DBConnector:
 
     profile_name = "postgres"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        morsel_size: Optional[int] = None,
+        collect_exec_stats: bool = False,
+    ) -> None:
         self._connection: Optional[dbapi.Connection] = None
         self.statement_timings: list[tuple[str, float]] = []
+        #: morsel-driven parallelism (None: REPRO_SQL_WORKERS, then profile)
+        self.workers = workers
+        self.morsel_size = morsel_size
+        self.collect_exec_stats = collect_exec_stats
 
     @property
     def name(self) -> str:
@@ -41,7 +50,12 @@ class DBConnector:
     @property
     def connection(self) -> dbapi.Connection:
         if self._connection is None:
-            self._connection = dbapi.connect(self._profile())
+            self._connection = dbapi.connect(
+                self._profile(),
+                workers=self.workers,
+                morsel_size=self.morsel_size,
+                collect_exec_stats=self.collect_exec_stats,
+            )
         return self._connection
 
     def _profile(self):
@@ -55,9 +69,15 @@ class DBConnector:
         every inspection query.
         """
         previous = self._connection
-        self._connection = dbapi.connect(self._profile())
+        self._connection = dbapi.connect(
+            self._profile(),
+            workers=self.workers,
+            morsel_size=self.morsel_size,
+            collect_exec_stats=self.collect_exec_stats,
+        )
         if previous is not None:
             self._connection.database.adopt_plan_cache(previous.database)
+            previous.close()
         self.statement_timings = []
 
     def run(
@@ -94,6 +114,18 @@ class DBConnector:
         """Hit/miss/size counters of the underlying engine's plan cache."""
         return self.connection.database.plan_cache.stats
 
+    @property
+    def exec_stats(self) -> dict[str, dict]:
+        """Cumulative per-operator runtime counters (rows/calls/seconds),
+        populated when the connector was built with ``collect_exec_stats``."""
+        return self.connection.database.operator_counters
+
+    def explain_analyze(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> str:
+        """Run one SELECT and return its plan with actual row/time stats."""
+        return self.connection.database.explain_analyze(sql, params)
+
 
 class PostgresqlConnector(DBConnector):
     """The paper's disk-based system ("blue elephant")."""
@@ -110,8 +142,18 @@ class UmbraConnector(DBConnector):
 class ProfileConnector(DBConnector):
     """Connector over an arbitrary engine profile (for ablation studies)."""
 
-    def __init__(self, profile) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        profile,
+        workers: Optional[int] = None,
+        morsel_size: Optional[int] = None,
+        collect_exec_stats: bool = False,
+    ) -> None:
+        super().__init__(
+            workers=workers,
+            morsel_size=morsel_size,
+            collect_exec_stats=collect_exec_stats,
+        )
         self._custom_profile = profile
         self.profile_name = profile.name
 

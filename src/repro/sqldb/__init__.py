@@ -17,8 +17,9 @@ The SQL dialect covers everything the paper's transpiler emits; see
 
 from repro.sqldb.catalog import CTID, Catalog, Table, View
 from repro.sqldb.dbapi import Connection, Cursor, connect
-from repro.sqldb.engine import Database, Result
+from repro.sqldb.engine import Database, Result, resolve_workers
 from repro.sqldb.profile import POSTGRES, UMBRA, Profile, profile_by_name
+from repro.sqldb.stats import ExecStats, OpStats
 
 __all__ = [
     "CTID",
@@ -26,6 +27,8 @@ __all__ = [
     "Connection",
     "Cursor",
     "Database",
+    "ExecStats",
+    "OpStats",
     "POSTGRES",
     "Profile",
     "Result",
@@ -34,4 +37,5 @@ __all__ = [
     "View",
     "connect",
     "profile_by_name",
+    "resolve_workers",
 ]

@@ -93,8 +93,19 @@ class Cursor:
 class Connection:
     """Minimal DB-API connection wrapping one :class:`Database`."""
 
-    def __init__(self, profile: Profile | str = POSTGRES) -> None:
-        self.database = Database(profile)
+    def __init__(
+        self,
+        profile: Profile | str = POSTGRES,
+        workers: Optional[int] = None,
+        morsel_size: Optional[int] = None,
+        collect_exec_stats: bool = False,
+    ) -> None:
+        self.database = Database(
+            profile,
+            workers=workers,
+            morsel_size=morsel_size,
+            collect_exec_stats=collect_exec_stats,
+        )
         self._closed = False
 
     def cursor(self) -> Cursor:
@@ -110,6 +121,7 @@ class Connection:
 
     def close(self) -> None:
         self._closed = True
+        self.database.close()
 
     def __enter__(self) -> "Connection":
         return self
@@ -118,6 +130,20 @@ class Connection:
         self.close()
 
 
-def connect(profile: Profile | str = POSTGRES) -> Connection:
-    """Open a connection to a fresh in-process database."""
-    return Connection(profile)
+def connect(
+    profile: Profile | str = POSTGRES,
+    workers: Optional[int] = None,
+    morsel_size: Optional[int] = None,
+    collect_exec_stats: bool = False,
+) -> Connection:
+    """Open a connection to a fresh in-process database.
+
+    ``workers`` > 1 enables morsel-driven parallel execution (defaults to
+    the ``REPRO_SQL_WORKERS`` environment variable, then the profile).
+    """
+    return Connection(
+        profile,
+        workers=workers,
+        morsel_size=morsel_size,
+        collect_exec_stats=collect_exec_stats,
+    )

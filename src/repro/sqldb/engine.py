@@ -8,8 +8,10 @@ materialise by default, operators materialise their outputs, views inline);
 from __future__ import annotations
 
 import csv
+import os
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
@@ -25,9 +27,30 @@ from repro.sqldb.plan import Batch, PlanNode
 from repro.sqldb.planner import Planner
 from repro.sqldb.prepared import bind_parameters, normalize_sql
 from repro.sqldb.profile import POSTGRES, Profile, profile_by_name
+from repro.sqldb.stats import ExecStats, merge_operator_counters
 from repro.sqldb.vector import Vector
 
-__all__ = ["Database", "PlanCache", "Result"]
+__all__ = ["Database", "PlanCache", "Result", "resolve_workers"]
+
+#: environment variable that opts a connection into parallel execution
+WORKERS_ENV = "REPRO_SQL_WORKERS"
+
+
+def resolve_workers(workers: Optional[int], profile: Profile) -> int:
+    """Worker count from (in precedence order) argument, environment
+    variable ``REPRO_SQL_WORKERS``, then the profile default."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV)
+        if raw is not None:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise SQLExecutionError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            workers = profile.parallelism
+    return max(1, int(workers))
 
 
 @dataclass
@@ -120,6 +143,9 @@ class Database:
         self,
         profile: Profile | str = POSTGRES,
         plan_cache_size: int = 128,
+        workers: Optional[int] = None,
+        morsel_size: Optional[int] = None,
+        collect_exec_stats: bool = False,
     ) -> None:
         if isinstance(profile, str):
             profile = profile_by_name(profile)
@@ -131,6 +157,52 @@ class Database:
         self._normalized: OrderedDict[str, tuple[str, int]] = OrderedDict()
         #: cumulative wall-clock seconds spent executing statements
         self.total_execution_time = 0.0
+        #: morsel-driven parallelism (resolve_workers: arg > env > profile)
+        self.workers = resolve_workers(workers, profile)
+        self.morsel_size = (
+            profile.morsel_size if morsel_size is None else max(1, int(morsel_size))
+        )
+        self._pool: Optional[ThreadPoolExecutor] = None
+        #: when set, every SELECT records per-operator runtime stats
+        self.collect_exec_stats = collect_exec_stats
+        #: cumulative per-operator counters across collected executions
+        self.operator_counters: dict[str, dict] = {}
+        #: stats of the most recent recorded execution
+        self.last_exec_stats: Optional[ExecStats] = None
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; the database stays usable
+        serially and will lazily recreate the pool if needed)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> Optional[ThreadPoolExecutor]:
+        if self.workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-sql-worker",
+            )
+        return self._pool
+
+    def _make_context(
+        self, params: tuple = (), stats: Optional[ExecStats] = None
+    ) -> ExecContext:
+        """One execution context per statement; pools and stats attach here
+        so cached plans stay immutable and re-executable concurrently."""
+        if stats is None and self.collect_exec_stats:
+            stats = ExecStats(workers=self.workers)
+        return ExecContext(
+            self.catalog,
+            self.profile,
+            params=params,
+            workers=self.workers,
+            morsel_size=self.morsel_size,
+            pool=self._ensure_pool(),
+            stats=stats,
+        )
 
     # -- public API ----------------------------------------------------------
 
@@ -275,9 +347,46 @@ class Database:
         return plan
 
     def _execute_select_plan(self, plan: PlanNode, params: tuple = ()) -> Result:
-        ctx = ExecContext(self.catalog, self.profile, params=params)
+        ctx = self._make_context(params)
+        started = time.perf_counter()
         batch = execute_plan(plan, ctx)
+        if ctx.stats is not None:
+            ctx.stats.wall_seconds = time.perf_counter() - started
+            self._record_exec_stats(ctx.stats)
         return _batch_to_result(plan, batch)
+
+    def _record_exec_stats(self, stats: ExecStats) -> None:
+        self.last_exec_stats = stats
+        merge_operator_counters(self.operator_counters, stats.by_operator())
+
+    def explain_analyze(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> str:
+        """Execute a SELECT and return its plan annotated with per-operator
+        actual row counts, call/morsel counts and wall time.
+
+        For morsel-parallel operators ``calls`` counts executed morsels and
+        ``time`` sums busy time across workers (so it can exceed the
+        query's wall time, like PostgreSQL's parallel EXPLAIN ANALYZE).
+        """
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise SQLExecutionError(
+                "EXPLAIN ANALYZE only supports SELECT statements"
+            )
+        plan = self._plan_select(statement)
+        bound = tuple(params) if params is not None else ()
+        stats = ExecStats(workers=self.workers)
+        ctx = self._make_context(bound, stats=stats)
+        started = time.perf_counter()
+        execute_plan(plan, ctx)
+        stats.wall_seconds = time.perf_counter() - started
+        self._record_exec_stats(stats)
+        footer = (
+            f"Execution time: {stats.wall_seconds * 1000.0:.3f} ms "
+            f"(workers={self.workers})"
+        )
+        return stats.annotate(plan) + "\n" + footer
 
     # -- DDL / DML --------------------------------------------------------------------
 
@@ -291,8 +400,7 @@ class Database:
         view = View(statement.name, statement.query, statement.materialized)
         if statement.materialized:
             plan = self._plan_select(statement.query)
-            ctx = ExecContext(self.catalog, self.profile)
-            batch = execute_plan(plan, ctx)
+            batch = execute_plan(plan, self._make_context())
             names: list[str] = []
             data: dict[str, Vector] = {}
             for out in plan.schema:
@@ -389,8 +497,7 @@ class Database:
                     changed = True
                     if view.materialized:
                         plan = self._plan_select(view.query)
-                        ctx = ExecContext(self.catalog, self.profile)
-                        batch = execute_plan(plan, ctx)
+                        batch = execute_plan(plan, self._make_context())
                         names = [
                             out.name for out in plan.schema if not out.hidden
                         ]

@@ -8,11 +8,23 @@ materialisation behaviour (see :mod:`repro.sqldb.profile`):
   executor; the Umbra profile pipelines references through.
 * materialised CTEs are computed once per query and cached in the
   execution context.
+
+Each operator is split into a *driver* (``_exec_*``: pulls child batches
+through :func:`execute_plan`) and a *kernel* (``*_batch``: transforms
+already-materialised batches).  The kernels are what the morsel-driven
+parallel mode (:mod:`repro.sqldb.parallel`) runs per row-range, so serial
+and parallel execution share one implementation of every operator.
+
+When an :class:`~repro.sqldb.stats.ExecStats` recorder is attached to the
+context, every operator dispatch records rows and (inclusive) wall time —
+the substrate of ``Database.explain_analyze``.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -22,6 +34,7 @@ from repro.errors import SQLExecutionError
 from repro.sqldb.catalog import CTID, Catalog
 from repro.sqldb.plan import (
     Aggregate,
+    AggregateItem,
     Batch,
     CteRef,
     Distinct,
@@ -38,10 +51,20 @@ from repro.sqldb.plan import (
     Window,
 )
 from repro.sqldb.profile import Profile
+from repro.sqldb.stats import ExecStats
 from repro.sqldb.vector import Vector, concat_vectors, from_values, gather
 from repro.sqldb import functions, hashing
 
-__all__ = ["ExecContext", "execute_plan"]
+__all__ = [
+    "ExecContext",
+    "execute_plan",
+    "aggregate_batch",
+    "filter_batch",
+    "join_batches",
+    "project_batch",
+    "slice_batch",
+    "copy_batch",
+]
 
 
 @dataclass
@@ -52,37 +75,93 @@ class ExecContext:
     subquery_cache: dict[int, Any] = field(default_factory=dict)
     #: positional statement parameters bound to ``?`` / ``%s`` placeholders
     params: tuple = ()
+    #: morsel-driven parallelism: worker count and shared thread pool
+    #: (``pool is None`` keeps every plan on the serial path)
+    workers: int = 1
+    morsel_size: int = 65536
+    pool: Any = None
+    #: optional per-operator runtime statistics recorder
+    stats: Optional[ExecStats] = None
+    #: guards the shared caches when morsel workers evaluate expressions
+    lock: threading.RLock = field(default_factory=threading.RLock)
 
     def scalar_subquery(self, plan: PlanNode) -> Any:
-        """Execute an uncorrelated scalar subquery once, caching the value."""
+        """Execute an uncorrelated scalar subquery once, caching the value.
+
+        Thread-safe: morsel workers evaluating the same expression race to
+        this cache, so the compute-and-store is serialised on the context
+        lock (re-entrant — a subquery may itself contain subqueries).
+        """
         key = id(plan)
-        if key not in self.subquery_cache:
-            batch = execute_plan(plan, self)
-            visible = [out for out in plan.schema if not out.hidden]
-            if len(visible) != 1:
-                raise SQLExecutionError(
-                    "scalar subquery must return exactly one column"
-                )
-            if batch.length > 1:
-                raise SQLExecutionError("scalar subquery returned more than one row")
-            if batch.length == 0:
-                self.subquery_cache[key] = None
-            else:
-                self.subquery_cache[key] = batch.columns[visible[0].key].item(0)
+        if key in self.subquery_cache:
+            return self.subquery_cache[key]
+        with self.lock:
+            if key not in self.subquery_cache:
+                batch = execute_plan(plan, self.serial())
+                visible = [out for out in plan.schema if not out.hidden]
+                if len(visible) != 1:
+                    raise SQLExecutionError(
+                        "scalar subquery must return exactly one column"
+                    )
+                if batch.length > 1:
+                    raise SQLExecutionError(
+                        "scalar subquery returned more than one row"
+                    )
+                if batch.length == 0:
+                    self.subquery_cache[key] = None
+                else:
+                    self.subquery_cache[key] = batch.columns[visible[0].key].item(0)
         return self.subquery_cache[key]
+
+    def serial(self) -> "ExecContext":
+        """A view of this context with parallel dispatch disabled.
+
+        Shares every cache (and the lock) with the parent; used inside
+        morsel workers so nested plan executions never re-enter the pool
+        (re-submission from a worker thread could deadlock a full pool).
+        """
+        if self.pool is None:
+            return self
+        clone = ExecContext(
+            self.catalog,
+            self.profile,
+            cte_cache=self.cte_cache,
+            subquery_cache=self.subquery_cache,
+            params=self.params,
+            workers=1,
+            morsel_size=self.morsel_size,
+            pool=None,
+            stats=self.stats,
+        )
+        clone.lock = self.lock
+        return clone
 
 
 def execute_plan(plan: PlanNode, ctx: ExecContext) -> Batch:
     """Execute *plan* to completion and return its output batch."""
     batch = _dispatch(plan, ctx)
     if ctx.profile.copy_operator_output:
-        batch = Batch(
-            batch.length, {k: v.copy() for k, v in batch.columns.items()}
-        )
+        batch = copy_batch(batch)
     return batch
 
 
 def _dispatch(plan: PlanNode, ctx: ExecContext) -> Batch:
+    if ctx.pool is not None:
+        # morsel-driven parallel mode: eligible pipelines execute per-morsel
+        from repro.sqldb.parallel import try_parallel
+
+        batch = try_parallel(plan, ctx)
+        if batch is not None:
+            return batch
+    if ctx.stats is None:
+        return _dispatch_serial(plan, ctx)
+    started = time.perf_counter()
+    batch = _dispatch_serial(plan, ctx)
+    ctx.stats.record(plan, batch.length, time.perf_counter() - started)
+    return batch
+
+
+def _dispatch_serial(plan: PlanNode, ctx: ExecContext) -> Batch:
     if isinstance(plan, ScanTable):
         return _exec_scan_table(plan, ctx)
     if isinstance(plan, ScanSnapshot):
@@ -90,13 +169,13 @@ def _dispatch(plan: PlanNode, ctx: ExecContext) -> Batch:
     if isinstance(plan, CteRef):
         return _exec_cte_ref(plan, ctx)
     if isinstance(plan, Project):
-        return _exec_project(plan, ctx)
+        return project_batch(plan, execute_plan(plan.child, ctx), ctx)
     if isinstance(plan, Filter):
-        return _exec_filter(plan, ctx)
+        return filter_batch(plan, execute_plan(plan.child, ctx), ctx)
     if isinstance(plan, Join):
         return _exec_join(plan, ctx)
     if isinstance(plan, Aggregate):
-        return _exec_aggregate(plan, ctx)
+        return aggregate_batch(plan, execute_plan(plan.child, ctx), ctx)
     if isinstance(plan, Distinct):
         return _exec_distinct(plan, ctx)
     if isinstance(plan, Sort):
@@ -110,6 +189,28 @@ def _dispatch(plan: PlanNode, ctx: ExecContext) -> Batch:
     if isinstance(plan, OneRow):
         return Batch(1, {})
     raise SQLExecutionError(f"cannot execute plan node {type(plan).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# batch helpers shared with the parallel executor
+# ---------------------------------------------------------------------------
+
+
+def slice_batch(batch: Batch, lo: int, hi: int) -> Batch:
+    """A zero-copy view of rows ``[lo, hi)`` (numpy slices share storage)."""
+    return Batch(
+        hi - lo, {k: Vector(v.values[lo:hi], v.nulls[lo:hi]) for k, v in batch.columns.items()}
+    )
+
+
+def copy_batch(batch: Batch) -> Batch:
+    """Deep-copy all vectors (the postgres profile's tuple materialisation)."""
+    return Batch(batch.length, {k: v.copy() for k, v in batch.columns.items()})
+
+
+# ---------------------------------------------------------------------------
+# scans and shared plans
+# ---------------------------------------------------------------------------
 
 
 def _exec_scan_table(plan: ScanTable, ctx: ExecContext) -> Batch:
@@ -132,16 +233,21 @@ def _exec_scan_snapshot(plan: ScanSnapshot, ctx: ExecContext) -> Batch:
 
 
 def _exec_cte_ref(plan: CteRef, ctx: ExecContext) -> Batch:
-    cached = ctx.cte_cache.get(id(plan.plan))
-    if cached is None:
-        cached = execute_plan(plan.plan, ctx)
-        ctx.cte_cache[id(plan.plan)] = cached
+    with ctx.lock:
+        cached = ctx.cte_cache.get(id(plan.plan))
+        if cached is None:
+            cached = execute_plan(plan.plan, ctx)
+            ctx.cte_cache[id(plan.plan)] = cached
     columns = {dst: cached.columns[src] for src, dst in plan.rename.items()}
     return Batch(cached.length, columns)
 
 
-def _exec_project(plan: Project, ctx: ExecContext) -> Batch:
-    child = execute_plan(plan.child, ctx)
+# ---------------------------------------------------------------------------
+# projection (with unnest expansion)
+# ---------------------------------------------------------------------------
+
+
+def project_batch(plan: Project, child: Batch, ctx: ExecContext) -> Batch:
     columns: dict[str, Vector] = {}
     for out, expr in plan.items:
         columns[out.key] = expr(child, ctx)
@@ -150,29 +256,44 @@ def _exec_project(plan: Project, ctx: ExecContext) -> Batch:
     return _expand_unnest(child.length, columns, plan.unnest_keys)
 
 
+#: C-looped length extraction over an object array of lists; -1 flags rows
+#: whose value is not an array
+_ARRAY_SIZES = np.frompyfunc(
+    lambda v: len(v) if isinstance(v, list) else -1, 1, 1
+)
+
+
 def _expand_unnest(
     length: int, columns: dict[str, Vector], unnest_keys: list[str]
 ) -> Batch:
-    """PostgreSQL select-list unnest: expand rows by array elements."""
+    """PostgreSQL select-list unnest: expand rows by array elements.
+
+    Vectorised: one array-length extraction pass over the lead column,
+    one ``np.repeat`` for the pass-through columns and one flatten pass
+    per unnested column (no per-row Python loop).
+    """
     lead = columns[unnest_keys[0]]
     counts = np.zeros(length, dtype=np.int64)
-    lead_nulls = lead.nulls
-    lead_values = lead.values
-    for i in range(length):
-        if not lead_nulls[i]:
-            value = lead_values[i]
-            if not isinstance(value, list):
-                raise SQLExecutionError("unnest argument is not an array")
-            counts[i] = len(value)
+    valid = ~lead.nulls
+    if valid.any():
+        sizes = _ARRAY_SIZES(lead.values[valid]).astype(np.int64)
+        if (sizes < 0).any():
+            raise SQLExecutionError("unnest argument is not an array")
+        counts[valid] = sizes
     total = int(counts.sum())
     repeats = np.repeat(np.arange(length), counts)
+    expanding = counts > 0
     out: dict[str, Vector] = {}
     for key, vec in columns.items():
         if key in unnest_keys:
-            pieces = [
-                vec.values[i] for i in range(length) if counts[i]
-            ]
-            flat = list(itertools.chain.from_iterable(pieces))
+            try:
+                flat = list(
+                    itertools.chain.from_iterable(vec.values[expanding])
+                )
+            except TypeError:
+                raise SQLExecutionError(
+                    "unnest argument is not an array"
+                ) from None
             out[key] = from_values(flat)
             if len(out[key]) != total:
                 raise SQLExecutionError("unnest arrays have mismatched lengths")
@@ -181,13 +302,22 @@ def _expand_unnest(
     return Batch(total, out)
 
 
-def _exec_filter(plan: Filter, ctx: ExecContext) -> Batch:
-    child = execute_plan(plan.child, ctx)
+# ---------------------------------------------------------------------------
+# filter
+# ---------------------------------------------------------------------------
+
+
+def filter_batch(plan: Filter, child: Batch, ctx: ExecContext) -> Batch:
     predicate = plan.predicate(child, ctx)
     keep = predicate.values.astype(bool, copy=False) & ~predicate.nulls
     positions = np.flatnonzero(keep)
     columns = {k: gather(v, positions) for k, v in child.columns.items()}
     return Batch(len(positions), columns)
+
+
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
 
 
 def _equi_join_positions(
@@ -247,10 +377,15 @@ def _equi_join_positions(
     return left_pos, right_pos
 
 
-def _exec_join(plan: Join, ctx: ExecContext) -> Batch:
-    left = execute_plan(plan.left, ctx)
-    right = execute_plan(plan.right, ctx)
+def join_batches(
+    plan: Join, left: Batch, right: Batch, ctx: ExecContext
+) -> Batch:
+    """Join two materialised batches (the probe kernel of morsel mode).
 
+    Output rows are ordered by left row (then right row within a key),
+    so probing morsels of the left side in order and concatenating
+    reproduces the serial output exactly.
+    """
     if plan.left_keys:
         left_vectors = [k(left, ctx) for k in plan.left_keys]
         right_vectors = [k(right, ctx) for k in plan.right_keys]
@@ -288,8 +423,37 @@ def _exec_join(plan: Join, ctx: ExecContext) -> Batch:
     return batch
 
 
-def _exec_aggregate(plan: Aggregate, ctx: ExecContext) -> Batch:
-    child = execute_plan(plan.child, ctx)
+def _exec_join(plan: Join, ctx: ExecContext) -> Batch:
+    left = execute_plan(plan.left, ctx)
+    right = execute_plan(plan.right, ctx)
+    return join_batches(plan, left, right, ctx)
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+
+def aggregate_item_inputs(
+    item: AggregateItem, child: Batch, ctx: ExecContext, codes: np.ndarray
+) -> tuple[np.ndarray, Optional[Vector]]:
+    """(group codes, argument vector) for one aggregate, FILTER applied."""
+    arg = item.arg(child, ctx) if item.arg is not None else None
+    item_codes = codes
+    if item.where is not None:
+        # FILTER (WHERE ...) drops rows from this aggregate's input only;
+        # dropping (rather than null-masking) keeps count(*)/array_agg
+        # semantics right, since both observe null inputs
+        predicate = item.where(child, ctx)
+        keep = predicate.values.astype(bool, copy=False) & ~predicate.nulls
+        kept = np.flatnonzero(keep)
+        item_codes = codes[kept]
+        if arg is not None:
+            arg = gather(arg, kept)
+    return item_codes, arg
+
+
+def aggregate_batch(plan: Aggregate, child: Batch, ctx: ExecContext) -> Batch:
     group_vectors = [expr(child, ctx) for _, expr in plan.groups]
     if group_vectors:
         codes, positions = hashing.group_codes(group_vectors)
@@ -303,22 +467,16 @@ def _exec_aggregate(plan: Aggregate, ctx: ExecContext) -> Batch:
     for (out, _), vec in zip(plan.groups, group_vectors):
         columns[out.key] = gather(vec, positions)
     for item in plan.aggregates:
-        arg = item.arg(child, ctx) if item.arg is not None else None
-        item_codes = codes
-        if item.where is not None:
-            # FILTER (WHERE ...) drops rows from this aggregate's input only;
-            # dropping (rather than null-masking) keeps count(*)/array_agg
-            # semantics right, since both observe null inputs
-            predicate = item.where(child, ctx)
-            keep = predicate.values.astype(bool, copy=False) & ~predicate.nulls
-            kept = np.flatnonzero(keep)
-            item_codes = codes[kept]
-            if arg is not None:
-                arg = gather(arg, kept)
+        item_codes, arg = aggregate_item_inputs(item, child, ctx, codes)
         columns[item.out.key] = functions.compute_aggregate(
             item.func, arg, item_codes, n_groups, item.distinct
         )
     return Batch(n_groups, columns)
+
+
+# ---------------------------------------------------------------------------
+# pipeline breakers (always serial)
+# ---------------------------------------------------------------------------
 
 
 def _exec_distinct(plan: Distinct, ctx: ExecContext) -> Batch:

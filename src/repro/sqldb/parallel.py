@@ -1,0 +1,552 @@
+"""Morsel-driven parallel pipeline execution.
+
+The executor hands every plan node to :func:`try_parallel` when a thread
+pool is attached to the context.  A node roots a *parallelizable pipeline*
+when it is a chain of ``Filter`` / ``Project`` (including unnest) /
+``Join``-probe operators over a morsel source (base-table scan, snapshot
+scan or materialised CTE).  The source is split into fixed-size morsels
+(row ranges) and the whole pipeline runs per-morsel on the pool — numpy
+kernels release the GIL, so morsels genuinely overlap.  ``Sort``,
+``Window``, ``Distinct``, right/full joins and non-decomposable aggregates
+are pipeline breakers and stay on the serial path.
+
+Determinism is a hard requirement: for every query the parallel result is
+byte-identical to the serial result, for any worker count.  Three
+mechanisms guarantee it:
+
+* **Fixed morsel boundaries.**  Morsels are ``[i*morsel_size,
+  (i+1)*morsel_size)`` row ranges — a function of the source length only,
+  never of the worker count or completion order.
+* **Order-preserving concat.**  Filter/project/join-probe kernels are
+  row-partitionable: the kernel applied to a row range yields exactly the
+  corresponding slice of the serial output, so concatenating morsel
+  outputs in morsel order reproduces the serial batch (joins order their
+  output by probe row; the build side is executed exactly once and
+  shared).
+* **Exact partial-aggregate merges.**  Partial aggregation states merge
+  only where floating-point arithmetic is provably order-independent:
+  counts and min/max merge exactly; ``sum``/``avg`` merge only under an
+  *exactness certificate* (every aggregated value is integral and finite
+  and every group's absolute sum stays below 2^53, so float64 addition is
+  exact in any association); ``array_agg`` concatenates per-group lists
+  in morsel order.  Whenever a certificate fails — or an aggregate is not
+  decomposable (``count(DISTINCT)``, ``stddev``/``var``) — the executor
+  falls back to concatenating the (already parallel-computed) pipeline
+  outputs and aggregating the combined batch serially, which is trivially
+  byte-identical.
+
+Group numbering mirrors the serial executor: serial group ids come from
+``np.unique`` over mixed-radix per-column codes, where numeric columns
+are coded in value order (reconstructible from group representatives) and
+object columns in first-appearance order over the *full* input.  The
+merge therefore carries, per object group column, the appearance-ordered
+distinct values of each morsel; concatenating those lists in morsel order
+reproduces the global appearance order, after which re-coding the group
+representatives and densifying with the same ``np.unique`` machinery
+yields the serial group numbering exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.sqldb import executor, functions, hashing
+from repro.sqldb.plan import (
+    Aggregate,
+    Batch,
+    CteRef,
+    Filter,
+    Join,
+    PlanNode,
+    Project,
+    ScanSnapshot,
+    ScanTable,
+)
+from repro.sqldb.vector import Vector, concat_vectors, gather
+
+__all__ = ["try_parallel", "MERGEABLE_AGGREGATES"]
+
+#: aggregate functions with an exact decomposition into partial states
+MERGEABLE_AGGREGATES = frozenset(
+    {"count", "sum", "avg", "min", "max", "array_agg"}
+)
+
+#: float64 adds integers exactly while every intermediate |sum| < 2^53
+_EXACT_SUM_BOUND = float(2**53)
+
+#: join kinds whose output order is a function of the probe (left) row
+#: order alone, so probing morsels in order reproduces the serial output
+_PROBE_KINDS = ("inner", "left", "cross")
+
+
+@dataclass
+class _Pipeline:
+    """A morselizable operator chain: ``spine`` bottom-up over ``source``."""
+
+    source: PlanNode
+    spine: list[PlanNode]
+
+
+def _find_pipeline(plan: PlanNode) -> Optional[_Pipeline]:
+    """The maximal Filter/Project/Join-probe chain under *plan*, if any."""
+    spine: list[PlanNode] = []
+    node = plan
+    while True:
+        if isinstance(node, (ScanTable, ScanSnapshot, CteRef)):
+            if not spine:
+                return None  # a bare scan: slicing it buys nothing
+            spine.reverse()
+            return _Pipeline(node, spine)
+        if isinstance(node, (Filter, Project)):
+            spine.append(node)
+            node = node.child
+        elif isinstance(node, Join) and node.kind in _PROBE_KINDS:
+            spine.append(node)
+            node = node.left
+        else:
+            return None
+
+
+def try_parallel(plan: PlanNode, ctx: "executor.ExecContext") -> Optional[Batch]:
+    """Execute *plan* morsel-parallel, or return None for the serial path."""
+    if ctx.pool is None:
+        return None
+    if isinstance(plan, Aggregate):
+        pipe = _find_pipeline(plan.child)
+        if pipe is None:
+            return None
+        return _run_aggregate(plan, pipe, ctx)
+    if isinstance(plan, (Filter, Project, Join)):
+        pipe = _find_pipeline(plan)
+        if pipe is None:
+            return None
+        return _run_pipeline(plan, pipe, ctx)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# morsel dispatch
+# ---------------------------------------------------------------------------
+
+
+def _execute_source(source: PlanNode, ctx: "executor.ExecContext") -> Batch:
+    sctx = ctx.serial()
+    if isinstance(source, ScanTable):
+        return executor._exec_scan_table(source, sctx)
+    if isinstance(source, ScanSnapshot):
+        return executor._exec_scan_snapshot(source, sctx)
+    return executor._exec_cte_ref(source, sctx)
+
+
+def _prepare(
+    pipe: _Pipeline, ctx: "executor.ExecContext"
+) -> Optional[tuple[Batch, list[tuple[int, int]], dict[int, Batch]]]:
+    """Materialise source and build sides; None when too small to morselize."""
+    source_batch = _execute_source(pipe.source, ctx)
+    n = source_batch.length
+    if n <= ctx.morsel_size:
+        return None
+    bounds = [
+        (lo, min(lo + ctx.morsel_size, n))
+        for lo in range(0, n, ctx.morsel_size)
+    ]
+    # build sides execute exactly once, before any probe morsel is
+    # submitted; the pooled context lets a build pipeline itself morselize
+    builds: dict[int, Batch] = {}
+    for node in pipe.spine:
+        if isinstance(node, Join):
+            builds[id(node)] = executor.execute_plan(node.right, ctx)
+    return source_batch, bounds, builds
+
+
+def _run_segment(
+    pipe: _Pipeline,
+    source_batch: Batch,
+    lo: int,
+    hi: int,
+    builds: dict[int, Batch],
+    ctx: "executor.ExecContext",
+    copy_last: bool,
+) -> Batch:
+    """One morsel through the whole pipeline (runs on a worker thread)."""
+    wctx = ctx.serial()
+    copy = ctx.profile.copy_operator_output
+    started = time.perf_counter()
+    batch = executor.slice_batch(source_batch, lo, hi)
+    if copy:
+        # the serial scan's output copy, paid per-morsel
+        batch = executor.copy_batch(batch)
+    if ctx.stats is not None:
+        now = time.perf_counter()
+        ctx.stats.record(pipe.source, batch.length, now - started)
+        started = now
+    last = len(pipe.spine) - 1
+    for i, node in enumerate(pipe.spine):
+        if isinstance(node, Filter):
+            batch = executor.filter_batch(node, batch, wctx)
+        elif isinstance(node, Project):
+            batch = executor.project_batch(node, batch, wctx)
+        else:
+            batch = executor.join_batches(node, batch, builds[id(node)], wctx)
+        if copy and (copy_last or i != last):
+            batch = executor.copy_batch(batch)
+        if ctx.stats is not None:
+            now = time.perf_counter()
+            ctx.stats.record(node, batch.length, now - started)
+            started = now
+    return batch
+
+
+def _map_morsels(
+    pipe: _Pipeline,
+    ctx: "executor.ExecContext",
+    copy_last: bool,
+) -> Optional[list[Batch]]:
+    prep = _prepare(pipe, ctx)
+    if prep is None:
+        return None
+    source_batch, bounds, builds = prep
+    futures = [
+        ctx.pool.submit(
+            _run_segment, pipe, source_batch, lo, hi, builds, ctx, copy_last
+        )
+        for lo, hi in bounds
+    ]
+    parts = [future.result() for future in futures]
+    if ctx.stats is not None:
+        for node in [pipe.source, *pipe.spine]:
+            ctx.stats.mark_parallel(node, len(bounds))
+    return parts
+
+
+def _concat_parts(parts: list[Batch]) -> Optional[Batch]:
+    """Concatenate morsel outputs in order; None on a dtype divergence.
+
+    Empty parts are dropped (an empty slice through e.g. unnest can carry
+    a placeholder dtype); the remaining parts must agree exactly on every
+    column's dtype so the concatenated batch matches the serial batch
+    byte-for-byte.  A divergence means some expression is not
+    dtype-stable under slicing — the caller re-executes serially.
+    """
+    chosen = [p for p in parts if p.length] or [parts[0]]
+    columns: dict[str, Vector] = {}
+    for key in chosen[0].columns:
+        vectors = [p.columns[key] for p in chosen]
+        if len({v.values.dtype for v in vectors}) > 1:
+            return None
+        columns[key] = concat_vectors(vectors)
+    return Batch(sum(p.length for p in chosen), columns)
+
+
+def _run_pipeline(
+    plan: PlanNode, pipe: _Pipeline, ctx: "executor.ExecContext"
+) -> Optional[Batch]:
+    parts = _map_morsels(pipe, ctx, copy_last=False)
+    if parts is None:
+        return None
+    batch = _concat_parts(parts)
+    if batch is None:
+        return executor._dispatch(plan, ctx.serial())
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# partial aggregation
+# ---------------------------------------------------------------------------
+
+
+def _appearance_values(values: np.ndarray, nulls: np.ndarray) -> list:
+    """Distinct non-null values in first-appearance order (object columns)."""
+    seen: dict = {}
+    for value in values[~nulls]:
+        if value not in seen:
+            seen[value] = len(seen)
+    return list(seen)
+
+
+@dataclass
+class _ItemState:
+    """Per-morsel partial state for one aggregate item."""
+
+    counts: np.ndarray  # kept (post-FILTER, non-null) rows per group
+    sums: Optional[np.ndarray] = None
+    abs_sums: Optional[np.ndarray] = None
+    partial: Optional[Vector] = None  # min/max per-group results
+    arg_dtype: Any = None
+    #: array_agg: group-sorted argument rows plus group boundaries, kept
+    #: raw so element conversion can follow the *global* null-presence
+    #: rule at merge time (tolist() vs per-element None substitution —
+    #: the serial kernel picks by ``arg.nulls.any()`` over the full input)
+    agg_values: Optional[np.ndarray] = None
+    agg_nulls: Optional[np.ndarray] = None
+    agg_boundaries: Optional[np.ndarray] = None
+
+
+@dataclass
+class _MorselState:
+    """Per-morsel partial aggregation state."""
+
+    n_groups: int
+    rep_vectors: list[Vector]  # group-key values at group representatives
+    appearance: list[Optional[list]]  # per object group column
+    items: list[Optional[_ItemState]]  # None = certificate failed
+
+
+def _partial_state(
+    plan: Aggregate, child: Batch, ctx: "executor.ExecContext"
+) -> _MorselState:
+    group_vectors = [expr(child, ctx) for _, expr in plan.groups]
+    if group_vectors:
+        codes, positions = hashing.group_codes(group_vectors)
+        n_groups = len(positions)
+    else:
+        codes = np.zeros(child.length, dtype=np.int64)
+        n_groups = 1
+        positions = np.zeros(0, dtype=np.int64)
+
+    rep_vectors = [gather(vec, positions) for vec in group_vectors]
+    appearance: list[Optional[list]] = [
+        _appearance_values(vec.values, vec.nulls)
+        if vec.values.dtype == object
+        else None
+        for vec in group_vectors
+    ]
+
+    items: list[Optional[_ItemState]] = []
+    for item in plan.aggregates:
+        item_codes, arg = executor.aggregate_item_inputs(item, child, ctx, codes)
+        if item.func == "count" and arg is None:
+            counts = np.bincount(item_codes, minlength=n_groups).astype(np.float64)
+            items.append(_ItemState(counts))
+            continue
+        if arg is None:  # serial path raises; reproduce it there
+            items.append(None)
+            continue
+        keep = ~arg.nulls
+        kept_codes = item_codes[keep]
+        counts = np.bincount(kept_codes, minlength=n_groups).astype(np.float64)
+        if item.func == "count":
+            items.append(_ItemState(counts))
+            continue
+        if item.func == "array_agg":
+            order = np.argsort(item_codes, kind="stable")
+            boundaries = np.searchsorted(
+                item_codes[order], np.arange(n_groups + 1), side="left"
+            )
+            items.append(
+                _ItemState(
+                    counts,
+                    arg_dtype=arg.values.dtype,
+                    agg_values=arg.values[order],
+                    agg_nulls=arg.nulls[order],
+                    agg_boundaries=boundaries,
+                )
+            )
+            continue
+        if arg.values.dtype == object:
+            # object min/max compares values in input order; merged
+            # comparisons could differ (or error differently) — fall back
+            items.append(None)
+            continue
+        kept_values = arg.values.astype(np.float64, copy=False)[keep]
+        if not np.isfinite(kept_values).all():
+            items.append(None)  # inf/nan break min/max and sum merges
+            continue
+        if item.func in ("min", "max"):
+            partial = functions.compute_aggregate(
+                item.func, arg, item_codes, n_groups, False
+            )
+            items.append(_ItemState(counts, partial=partial))
+            continue
+        # sum / avg: exactness certificate part 1 — integral values only
+        if not (kept_values == np.floor(kept_values)).all():
+            items.append(None)
+            continue
+        sums = np.bincount(kept_codes, weights=kept_values, minlength=n_groups)
+        abs_sums = np.bincount(
+            kept_codes, weights=np.abs(kept_values), minlength=n_groups
+        )
+        items.append(_ItemState(counts, sums=sums, abs_sums=abs_sums))
+    return _MorselState(n_groups, rep_vectors, appearance, items)
+
+
+def _global_group_ids(
+    plan: Aggregate, states: list[_MorselState]
+) -> Optional[tuple[int, list[np.ndarray]]]:
+    """Serial-identical global group ids for every (morsel, local group).
+
+    Returns (n_groups, per-morsel arrays mapping local → global id), or
+    None when the group keys cannot be re-coded reliably (dtype drift
+    between morsels).
+    """
+    n_cols = len(plan.groups)
+    if n_cols == 0:
+        return 1, [np.zeros(1, dtype=np.int64) for _ in states]
+    offsets = np.cumsum([0] + [s.n_groups for s in states])
+    parts: list[np.ndarray] = []
+    for c in range(n_cols):
+        vectors = [s.rep_vectors[c] for s in states]
+        if len({v.values.dtype for v in vectors}) > 1:
+            return None
+        values = np.concatenate([v.values for v in vectors])
+        nulls = np.concatenate([v.nulls for v in vectors])
+        if values.dtype == object:
+            # global first-appearance order = morsel-ordered merge of the
+            # per-morsel appearance lists (first global appearance of a
+            # value is in the first morsel that contains it)
+            order: dict = {}
+            for state in states:
+                for value in state.appearance[c]:  # type: ignore[union-attr]
+                    if value not in order:
+                        order[value] = len(order)
+            codes = np.empty(len(values), dtype=np.int64)
+            null_code = len(order)
+            for i in range(len(values)):
+                codes[i] = null_code if nulls[i] else order[values[i]]
+        else:
+            # value-order codes: the distinct values among representatives
+            # equal the distinct values of the full input, so ranks match
+            codes = hashing._factorize_values(values, nulls)
+            codes[codes == -2] = codes.max(initial=-1) + 1
+        parts.append(codes)
+    combined = hashing._combine(parts)  # densified ascending = serial order
+    n_groups = int(combined.max(initial=-1)) + 1
+    per_morsel = [
+        combined[offsets[m] : offsets[m + 1]] for m in range(len(states))
+    ]
+    return n_groups, per_morsel
+
+
+def _merge_partials(
+    plan: Aggregate,
+    states: list[_MorselState],
+    ctx: "executor.ExecContext",
+) -> Optional[Batch]:
+    if any(item is None for state in states for item in state.items):
+        return None
+    mapping = _global_group_ids(plan, states)
+    if mapping is None:
+        return None
+    n_groups, group_ids = mapping
+
+    columns: dict[str, Vector] = {}
+    # group-key columns: each group's value comes from its representative
+    # in the first morsel containing it (= the serial representative row)
+    for c, (out, _) in enumerate(plan.groups):
+        dtype = states[0].rep_vectors[c].values.dtype
+        values = np.empty(n_groups, dtype=dtype)
+        nulls = np.zeros(n_groups, dtype=bool)
+        claimed = np.zeros(n_groups, dtype=bool)
+        for state, ids in zip(states, group_ids):
+            fresh = ~claimed[ids]
+            targets = ids[fresh]
+            values[targets] = state.rep_vectors[c].values[fresh]
+            nulls[targets] = state.rep_vectors[c].nulls[fresh]
+            claimed[targets] = True
+        columns[out.key] = Vector(values, nulls)
+
+    for index, item in enumerate(plan.aggregates):
+        parts = [(state.items[index], ids) for state, ids in zip(states, group_ids)]
+        counts = np.zeros(n_groups, dtype=np.float64)
+        for part, ids in parts:
+            np.add.at(counts, ids, part.counts)  # type: ignore[union-attr]
+        empty = counts == 0
+        if item.func == "count":
+            columns[item.out.key] = Vector(counts, np.zeros(n_groups, dtype=bool))
+            continue
+        if item.func in ("sum", "avg"):
+            abs_total = np.zeros(n_groups, dtype=np.float64)
+            sums = np.zeros(n_groups, dtype=np.float64)
+            for part, ids in parts:
+                np.add.at(abs_total, ids, part.abs_sums)
+                np.add.at(sums, ids, part.sums)
+            if (abs_total >= _EXACT_SUM_BOUND).any():
+                return None  # certificate part 2 failed: merge inexact
+            if item.func == "sum":
+                columns[item.out.key] = Vector(np.where(empty, np.nan, sums), empty)
+            else:
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    means = sums / counts
+                columns[item.out.key] = Vector(np.where(empty, np.nan, means), empty)
+            continue
+        if item.func in ("min", "max"):
+            fill = np.inf if item.func == "min" else -np.inf
+            out_values = np.full(n_groups, fill)
+            reducer = np.minimum if item.func == "min" else np.maximum
+            for part, ids in parts:
+                mask = ~part.partial.nulls
+                reducer.at(out_values, ids[mask], part.partial.values[mask])
+            columns[item.out.key] = Vector(
+                np.where(empty, np.nan, out_values), empty
+            )
+            continue
+        # array_agg: per-group lists concatenate in morsel order, with the
+        # serial kernel's element conversion (keyed on global null presence)
+        if len({part.arg_dtype for part, _ in parts}) > 1:
+            return None
+        has_null = any(part.agg_nulls.any() for part, _ in parts)
+        buckets = np.empty(n_groups, dtype=object)
+        for g in range(n_groups):
+            buckets[g] = []
+        for part, ids in parts:
+            bnd = part.agg_boundaries
+            for local, g in enumerate(ids):
+                lo, hi = int(bnd[local]), int(bnd[local + 1])
+                segment = part.agg_values[lo:hi]
+                if has_null:
+                    nulls_seg = part.agg_nulls[lo:hi]
+                    buckets[g].extend(
+                        None if nulls_seg[k] else segment[k]
+                        for k in range(hi - lo)
+                    )
+                else:
+                    buckets[g].extend(segment.tolist())
+        columns[item.out.key] = Vector(buckets, np.zeros(n_groups, dtype=bool))
+    return Batch(n_groups, columns)
+
+
+def _run_aggregate(
+    plan: Aggregate, pipe: _Pipeline, ctx: "executor.ExecContext"
+) -> Optional[Batch]:
+    prep = _prepare(pipe, ctx)
+    if prep is None:
+        return None
+    source_batch, bounds, builds = prep
+    decomposable = all(
+        item.func in MERGEABLE_AGGREGATES and not item.distinct
+        for item in plan.aggregates
+    )
+
+    def segment(lo: int, hi: int) -> tuple[Batch, Optional[_MorselState]]:
+        batch = _run_segment(pipe, source_batch, lo, hi, builds, ctx, True)
+        state = None
+        if decomposable:
+            state = _partial_state(plan, batch, ctx.serial())
+        return batch, state
+
+    futures = [ctx.pool.submit(segment, lo, hi) for lo, hi in bounds]
+    results = [future.result() for future in futures]
+    if ctx.stats is not None:
+        for node in [pipe.source, *pipe.spine]:
+            ctx.stats.mark_parallel(node, len(bounds))
+
+    started = time.perf_counter()
+    merged = None
+    if decomposable:
+        merged = _merge_partials(plan, [state for _, state in results], ctx)
+    if merged is None:
+        # concat fallback: the combined child batch equals the serial child
+        # batch, so aggregating it serially is byte-identical by definition
+        child = _concat_parts([batch for batch, _ in results])
+        if child is None:
+            return executor._dispatch(plan, ctx.serial())
+        merged = executor.aggregate_batch(plan, child, ctx.serial())
+    elif ctx.stats is not None:
+        ctx.stats.mark_parallel(plan, len(bounds))
+    if ctx.stats is not None:
+        ctx.stats.record(plan, merged.length, time.perf_counter() - started)
+    return merged

@@ -1,4 +1,12 @@
-"""Physical plan representation shared by planner and executor."""
+"""Physical plan representation shared by planner and executor.
+
+Concurrency contract: once built (and pruned by the optimizer), a plan is
+immutable.  The executor never mutates plan nodes, which is what makes a
+cached plan safe to re-execute — including concurrently from morsel worker
+threads, which share one plan while the driving thread dispatches row
+ranges (see :mod:`repro.sqldb.parallel`).  Per-execution state lives in
+``ExecContext`` and ``Batch`` objects only.
+"""
 
 from __future__ import annotations
 
@@ -69,6 +77,12 @@ class PlanNode:
 
     def label(self) -> str:
         return type(self).__name__
+
+    def walk(self):
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
 
     def to_text(self, indent: int = 0) -> str:
         lines = ["  " * indent + self.label()]

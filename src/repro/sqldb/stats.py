@@ -1,0 +1,125 @@
+"""Per-operator runtime statistics (the EXPLAIN ANALYZE substrate).
+
+An :class:`ExecStats` instance rides along in the execution context and
+accumulates, per plan node, how often the operator ran, how many rows it
+produced and how much wall time it spent.  Serial execution records one
+sample per operator; morsel-driven parallel execution records one sample
+per morsel, so ``calls`` doubles as the morsel count and ``seconds`` is
+the *summed* busy time across workers (it can exceed the query's wall
+time, exactly like the per-worker totals of PostgreSQL's parallel
+EXPLAIN ANALYZE).
+
+The recorder is thread-safe: morsel workers share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.sqldb.plan import PlanNode
+
+__all__ = ["ExecStats", "OpStats", "merge_operator_counters"]
+
+
+@dataclass
+class OpStats:
+    """Accumulated counters for one plan node."""
+
+    label: str
+    calls: int = 0
+    rows: int = 0
+    seconds: float = 0.0
+    #: morsels executed in parallel (0 for serial-only operators)
+    parallel_morsels: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "calls": self.calls,
+            "rows": self.rows,
+            "seconds": self.seconds,
+            "parallel_morsels": self.parallel_morsels,
+        }
+
+
+@dataclass
+class ExecStats:
+    """Thread-safe per-operator counters for one (or many) executions."""
+
+    nodes: dict[int, OpStats] = field(default_factory=dict)
+    #: wall-clock seconds of the whole execution (set by the caller)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, plan: PlanNode, rows: int, seconds: float) -> None:
+        """Add one operator execution sample (one call or one morsel)."""
+        key = id(plan)
+        with self._lock:
+            entry = self.nodes.get(key)
+            if entry is None:
+                entry = OpStats(plan.label())
+                self.nodes[key] = entry
+            entry.calls += 1
+            entry.rows += rows
+            entry.seconds += seconds
+
+    def mark_parallel(self, plan: PlanNode, morsels: int) -> None:
+        """Tag *plan* (and its stats entry) as morsel-parallel executed."""
+        key = id(plan)
+        with self._lock:
+            entry = self.nodes.get(key)
+            if entry is None:
+                entry = OpStats(plan.label())
+                self.nodes[key] = entry
+            entry.parallel_morsels += morsels
+
+    # -- reporting -----------------------------------------------------------
+
+    def annotate(self, plan: PlanNode, indent: int = 0) -> str:
+        """The plan tree as text with per-node actual counters."""
+        entry = self.nodes.get(id(plan))
+        line = "  " * indent + plan.label()
+        if entry is not None:
+            line += (
+                f"  (actual rows={entry.rows} calls={entry.calls} "
+                f"time={entry.seconds * 1000.0:.3f}ms"
+            )
+            if entry.parallel_morsels:
+                line += f" morsels={entry.parallel_morsels}"
+            line += ")"
+        else:
+            line += "  (never executed)"
+        lines = [line]
+        for child in plan.children():
+            lines.append(self.annotate(child, indent + 1))
+        return "\n".join(lines)
+
+    def by_operator(self) -> dict[str, dict]:
+        """Counters aggregated by operator label (for backend counters)."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            for entry in self.nodes.values():
+                agg = out.setdefault(
+                    entry.label,
+                    {"calls": 0, "rows": 0, "seconds": 0.0, "parallel_morsels": 0},
+                )
+                agg["calls"] += entry.calls
+                agg["rows"] += entry.rows
+                agg["seconds"] += entry.seconds
+                agg["parallel_morsels"] += entry.parallel_morsels
+        return out
+
+
+def merge_operator_counters(
+    total: dict[str, dict], new: dict[str, dict]
+) -> dict[str, dict]:
+    """Fold one execution's ``by_operator`` summary into running totals."""
+    for label, counters in new.items():
+        agg = total.setdefault(
+            label, {"calls": 0, "rows": 0, "seconds": 0.0, "parallel_morsels": 0}
+        )
+        for key, value in counters.items():
+            agg[key] += value
+    return total

@@ -1,0 +1,71 @@
+"""Fast smoke test: serial vs parallel equality on a real pipeline.
+
+The healthcare inspection pipeline runs through the SQL backend once with
+the default serial connector and once with morsel-driven parallelism
+forced on (4 workers, tiny morsels so the small test dataset still
+splits).  Histograms and check verdicts must match exactly — the
+end-to-end counterpart of the per-query differential tests.
+"""
+
+import pytest
+
+from repro.core.connectors import UmbraConnector
+from repro.datasets import generate_healthcare
+from repro.inspection import (
+    HistogramForColumns,
+    NoBiasIntroducedFor,
+    PipelineInspector,
+)
+from repro.pipelines import PIPELINE_BUILDERS
+
+SENSITIVE = ["race", "age_group"]
+
+
+@pytest.fixture(scope="module")
+def source(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("parallel_smoke"))
+    generate_healthcare(directory, 150, seed=3)
+    return PIPELINE_BUILDERS["healthcare"](directory, upto="sklearn")
+
+
+def _run(source, connector):
+    return (
+        PipelineInspector.on_pipeline_from_string(source, "<healthcare>")
+        .add_check(NoBiasIntroducedFor(SENSITIVE))
+        .execute_in_sql(dbms_connector=connector, mode="CTE")
+    )
+
+
+def test_parallel_pipeline_matches_serial(source):
+    serial = _run(source, UmbraConnector())
+    parallel_connector = UmbraConnector(
+        workers=4, morsel_size=16, collect_exec_stats=True
+    )
+    parallel = _run(source, parallel_connector)
+
+    serial_check = next(iter(serial.check_to_check_results.values()))
+    parallel_check = next(iter(parallel.check_to_check_results.values()))
+    assert serial_check.status == parallel_check.status
+
+    inspection = HistogramForColumns(SENSITIVE)
+    serial_map = {
+        (n.lineno, n.operator_type.name): v
+        for n, v in serial.histograms_for(inspection).items()
+        if v
+    }
+    compared = 0
+    for node, histograms in parallel.histograms_for(inspection).items():
+        if not histograms:
+            continue
+        key = (node.lineno, node.operator_type.name)
+        assert key in serial_map
+        assert histograms == serial_map[key], key
+        compared += 1
+    assert compared >= 2, "too few comparable histograms"
+
+    # the parallel run must actually have morselized some operators
+    counters = parallel_connector.exec_stats
+    assert counters
+    assert any(c["parallel_morsels"] for c in counters.values()), (
+        "no operator executed morsel-parallel in the parallel run"
+    )

@@ -1,0 +1,300 @@
+"""Morsel-driven parallel execution: serial/parallel byte-identity.
+
+Every query in the corpus runs on a serial reference database and on
+parallel databases with several worker counts and a tiny morsel size (so
+even small tables split into many morsels).  Rows must compare equal AND
+repr-identical — the latter catches Python-level divergences (numpy
+scalar vs Python scalar, int vs float) that ``==`` would mask.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sqldb import Database
+from repro.sqldb.engine import WORKERS_ENV
+
+N_ROWS = 700
+MORSEL = 97  # forces 8 morsels with a ragged tail
+
+
+def _fill(db: Database, n=N_ROWS) -> None:
+    db.execute(
+        "CREATE TABLE t (id int, grp text, val double precision, "
+        "flag boolean, tag text)"
+    )
+    db.execute("CREATE TABLE dim (tag text, weight int)")
+    rng = np.random.RandomState(42)
+    data = {
+        "id": list(range(n)),
+        "grp": [f"g{rng.randint(0, 23)}" for _ in range(n)],
+        "val": [
+            None if rng.rand() < 0.08 else float(rng.randint(-500, 500))
+            for _ in range(n)
+        ],
+        "flag": [bool(rng.rand() < 0.5) for _ in range(n)],
+        "tag": [
+            None if rng.rand() < 0.05 else f"tag{rng.randint(0, 6)}"
+            for _ in range(n)
+        ],
+    }
+    db.catalog.table("t").append_columns(data, n)
+    db.catalog.table("dim").append_columns(
+        {"tag": [f"tag{i}" for i in range(6)], "weight": list(range(6))}, 6
+    )
+    db.catalog.bump_version()
+
+
+QUERIES = [
+    # pure pipelines: filter / project over a scan
+    "SELECT id, val FROM t WHERE val > 100",
+    "SELECT id, val * 2 AS v2, grp FROM t WHERE flag AND val IS NOT NULL",
+    "SELECT id FROM t WHERE grp = 'g3' OR tag = 'tag1'",
+    "SELECT id, CASE WHEN val > 0 THEN 'pos' ELSE 'neg' END AS sign FROM t "
+    "WHERE val IS NOT NULL",
+    # empty result (dtype of the empty batch must survive the concat)
+    "SELECT id, val FROM t WHERE val > 100000",
+    # grouped aggregates: exact merge path
+    "SELECT grp, count(*) AS c FROM t GROUP BY grp ORDER BY grp",
+    "SELECT grp, count(*) AS c, sum(val) AS s, min(val) AS lo, "
+    "max(val) AS hi, avg(val) AS mean FROM t GROUP BY grp ORDER BY grp",
+    "SELECT grp, tag, count(val) AS c FROM t GROUP BY grp, tag "
+    "ORDER BY grp, tag",
+    "SELECT tag, array_agg(id) AS ids FROM t GROUP BY tag ORDER BY tag",
+    "SELECT grp, count(*) FILTER (WHERE flag) AS flagged FROM t "
+    "GROUP BY grp ORDER BY grp",
+    # scalar aggregates
+    "SELECT count(*), sum(val), min(val), max(val), avg(val) FROM t",
+    "SELECT count(*) FROM t WHERE val > 0",
+    # non-decomposable aggregates: concat fallback path
+    "SELECT grp, count(DISTINCT tag) AS tags FROM t GROUP BY grp ORDER BY grp",
+    "SELECT grp, stddev(val) AS sd, var_pop(val) AS vp FROM t "
+    "GROUP BY grp ORDER BY grp",
+    # avg over non-integral values: exactness certificate fails -> fallback
+    "SELECT grp, avg(val / 3) AS m FROM t GROUP BY grp ORDER BY grp",
+    "SELECT grp, sum(val * 0.5) AS s FROM t GROUP BY grp ORDER BY grp",
+    # joins: morselized probe side, shared build side
+    "SELECT t.id, t.tag, dim.weight FROM t JOIN dim ON t.tag = dim.tag "
+    "WHERE t.val > 0",
+    "SELECT t.id, dim.weight FROM t LEFT JOIN dim ON t.tag = dim.tag "
+    "ORDER BY t.id LIMIT 40",
+    "SELECT a.id, b.id AS other FROM t a JOIN t b ON a.id = b.id "
+    "WHERE a.val > 400",
+    # join feeding an aggregate
+    "SELECT dim.weight, count(*) AS c FROM t JOIN dim ON t.tag = dim.tag "
+    "GROUP BY dim.weight ORDER BY dim.weight",
+    # pipeline breakers above a parallel pipeline
+    "SELECT id, val FROM t WHERE val > 250 ORDER BY val DESC, id",
+    "SELECT DISTINCT grp FROM t WHERE flag ORDER BY grp",
+    "SELECT id, val, row_number() OVER (PARTITION BY grp ORDER BY id) AS rn "
+    "FROM t WHERE val IS NOT NULL ORDER BY id LIMIT 60",
+    # set operations and CTEs
+    "SELECT id FROM t WHERE val > 450 UNION ALL SELECT id FROM t "
+    "WHERE val < -450",
+    "WITH big AS (SELECT id, grp, val FROM t WHERE val > 0) "
+    "SELECT grp, count(*) AS c FROM big GROUP BY grp ORDER BY grp",
+    "WITH big AS NOT MATERIALIZED (SELECT id, val FROM t WHERE val > 0) "
+    "SELECT count(*) FROM big WHERE val < 250",
+    # scalar subquery inside a parallel filter
+    "SELECT id FROM t WHERE val > (SELECT avg(val) FROM t) ORDER BY id "
+    "LIMIT 25",
+]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    dbs = {}
+    for profile in ("postgres", "umbra"):
+        db = Database(profile)
+        _fill(db)
+        dbs[profile] = db
+    return dbs
+
+
+@pytest.fixture(scope="module")
+def parallel_dbs():
+    dbs = {}
+    for profile in ("postgres", "umbra"):
+        for workers in (2, 8):
+            db = Database(profile, workers=workers, morsel_size=MORSEL)
+            _fill(db)
+            dbs[(profile, workers)] = db
+    yield dbs
+    for db in dbs.values():
+        db.close()
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("profile", ["postgres", "umbra"])
+@pytest.mark.parametrize("workers", [2, 8])
+def test_parallel_matches_serial(reference, parallel_dbs, query, profile, workers):
+    expected = reference[profile].execute(query)
+    got = parallel_dbs[(profile, workers)].execute(query)
+    assert got.columns == expected.columns
+    assert got.rows == expected.rows
+    # repr-identity: same Python types, not merely ==
+    assert [tuple(map(repr, row)) for row in got.rows] == [
+        tuple(map(repr, row)) for row in expected.rows
+    ]
+
+
+def test_morsel_boundary_edges():
+    """Source length exactly at / around a multiple of the morsel size."""
+    for n in (96, 97, 98, 194, 195):
+        serial = Database("umbra")
+        parallel = Database("umbra", workers=3, morsel_size=97)
+        for db in (serial, parallel):
+            db.execute("CREATE TABLE e (x int)")
+            db.catalog.table("e").append_columns({"x": list(range(n))}, n)
+            db.catalog.bump_version()
+        q = "SELECT x, x * x AS sq FROM e WHERE x % 2 = 0"
+        assert parallel.execute(q).rows == serial.execute(q).rows
+        q = "SELECT count(*) AS c, sum(x) AS s FROM e WHERE x > 3"
+        assert parallel.execute(q).rows == serial.execute(q).rows
+        parallel.close()
+
+
+def test_workers_env_variable(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "4")
+    db = Database("umbra")
+    assert db.workers == 4
+    monkeypatch.setenv(WORKERS_ENV, "banana")
+    with pytest.raises(Exception):
+        Database("umbra")
+    monkeypatch.delenv(WORKERS_ENV)
+    assert Database("umbra").workers == 1  # profile default stays serial
+    assert Database("umbra", workers=6).workers == 6  # arg beats env
+
+
+def test_parallel_execution_actually_morselizes():
+    db = Database("umbra", workers=4, morsel_size=50, collect_exec_stats=True)
+    _fill(db, n=400)
+    db.execute("SELECT grp, count(*) FROM t WHERE val > 0 GROUP BY grp")
+    stats = db.last_exec_stats
+    assert stats is not None
+    morselized = [s for s in stats.nodes.values() if s.parallel_morsels]
+    assert morselized, "no operator ran morsel-parallel"
+    assert any(s.parallel_morsels == 8 for s in morselized)  # 400 / 50
+    db.close()
+
+
+def test_explain_analyze_reports_counts():
+    db = Database("umbra", workers=2, morsel_size=100)
+    _fill(db, n=300)
+    text = db.explain_analyze("SELECT id FROM t WHERE val > 0")
+    assert "actual rows=" in text
+    assert "morsels=3" in text
+    assert "Execution time:" in text
+    # cumulative counters aggregate by operator label
+    assert db.operator_counters
+    assert any("Filter" in label for label in db.operator_counters)
+    db.close()
+
+
+def test_explain_analyze_serial_database():
+    db = Database("postgres")
+    _fill(db, n=40)
+    text = db.explain_analyze("SELECT grp, count(*) FROM t GROUP BY grp")
+    expected = db.execute("SELECT count(DISTINCT grp) FROM t").scalar()
+    assert f"actual rows={expected}" in text
+    assert "morsels" not in text
+
+
+def test_plan_cache_reexecution_with_workers():
+    """Cached plans must be re-executable under parallel dispatch."""
+    db = Database("umbra", workers=4, morsel_size=64)
+    _fill(db)
+    q = "SELECT grp, sum(val) AS s FROM t WHERE val > ? GROUP BY grp ORDER BY grp"
+    first = db.execute(q, [0])
+    again = db.execute(q, [0])
+    assert db.plan_cache.stats["hits"] >= 1
+    assert first.rows == again.rows
+    shifted = db.execute(q, [200])
+    assert shifted.rows != first.rows
+    db.close()
+
+
+# ---------------------------------------------------------------------------
+# vectorised unnest regressions (satellite 1)
+# ---------------------------------------------------------------------------
+
+
+def _unnest_db(profile="umbra", **kwargs) -> Database:
+    db = Database(profile, **kwargs)
+    db.execute("CREATE TABLE arrs (id int, xs text)")
+    return db
+
+
+def test_unnest_basic_expansion():
+    db = Database("umbra")
+    db.execute("CREATE TABLE s (g text)")
+    db.execute("INSERT INTO s VALUES ('a'), ('b'), ('a')")
+    result = db.execute(
+        "SELECT u.val FROM (SELECT unnest(array_agg(g)) AS val FROM s) u"
+    )
+    assert [r[0] for r in result.rows] == ["a", "b", "a"]
+
+
+def test_unnest_empty_arrays():
+    db = Database("umbra")
+    db.execute("CREATE TABLE s (g text, k int)")
+    db.execute("INSERT INTO s VALUES ('a', 1), ('b', 2)")
+    # array_agg FILTER produces an empty list for every group: zero rows out
+    result = db.execute(
+        "SELECT unnest(array_agg(g) FILTER (WHERE k > 5)) AS v, k FROM s "
+        "GROUP BY k"
+    )
+    assert result.rows == []
+
+
+def test_unnest_all_null_lead():
+    from repro.sqldb.executor import _expand_unnest
+    from repro.sqldb.vector import from_values
+
+    columns = {
+        "u": from_values([None, None]),
+        "k": from_values([1, 2]),
+    }
+    batch = _expand_unnest(2, columns, ["u"])
+    assert batch.length == 0
+
+
+def test_unnest_mismatched_lengths():
+    from repro.errors import SQLExecutionError
+    from repro.sqldb.executor import _expand_unnest
+    from repro.sqldb.vector import from_values
+
+    columns = {
+        "a": from_values([[1, 2], [3]]),
+        "b": from_values([[1], [2]]),
+    }
+    with pytest.raises(SQLExecutionError, match="mismatched"):
+        _expand_unnest(2, columns, ["a", "b"])
+
+
+def test_unnest_non_array_argument():
+    from repro.errors import SQLExecutionError
+    from repro.sqldb.executor import _expand_unnest
+    from repro.sqldb.vector import from_values
+
+    columns = {"a": from_values(["not-a-list", [1]])}
+    with pytest.raises(SQLExecutionError, match="not an array"):
+        _expand_unnest(2, columns, ["a"])
+
+
+def test_unnest_matches_serial_under_parallelism():
+    serial = Database("umbra")
+    parallel = Database("umbra", workers=4, morsel_size=7)
+    for db in (serial, parallel):
+        db.execute("CREATE TABLE s (g text, k int)")
+        n = 60
+        db.catalog.table("s").append_columns(
+            {"g": [f"v{i % 9}" for i in range(n)], "k": [i % 4 for i in range(n)]},
+            n,
+        )
+        db.catalog.bump_version()
+    q = (
+        "SELECT k2, unnest(vals) AS v FROM (SELECT k AS k2, array_agg(g) AS "
+        "vals FROM s GROUP BY k) sub"
+    )
+    assert parallel.execute(q).rows == serial.execute(q).rows
+    parallel.close()

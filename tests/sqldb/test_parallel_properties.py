@@ -1,0 +1,102 @@
+"""Property-based differential testing of morsel-driven parallelism.
+
+Random tables and a query pool run with ``workers ∈ {1, 2, 8}`` under both
+profiles; every configuration must produce rows identical to the serial
+reference — same values, same nulls, same Python value types (checked via
+repr, which distinguishes 1 from 1.0 and catches numpy scalars leaking
+out).  A tiny morsel size forces even 30-row inputs through the parallel
+machinery, including ragged final morsels and empty per-morsel results.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import Database
+
+numeric = st.one_of(st.none(), st.integers(min_value=-50, max_value=50))
+# a few floats exercise the sum/avg exactness-certificate fallback
+mixed_numeric = st.one_of(
+    st.none(),
+    st.integers(min_value=-50, max_value=50),
+    st.sampled_from([0.5, -2.25, 7.75]),
+)
+
+
+@st.composite
+def table_data(draw, max_rows=30):
+    n = draw(st.integers(min_value=0, max_value=max_rows))
+    ints = draw(st.lists(mixed_numeric, min_size=n, max_size=n))
+    texts = draw(
+        st.lists(
+            st.one_of(st.none(), st.sampled_from(["a", "b", "c", "d"])),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return ints, texts
+
+
+def _load(db: Database, ints, texts) -> None:
+    db.execute("CREATE TABLE t (n double precision, s text)")
+    if ints:
+        db.catalog.table("t").append_columns(
+            {"n": list(ints), "s": list(texts)}, len(ints)
+        )
+        db.catalog.bump_version()
+
+
+QUERIES = [
+    "SELECT n, s FROM t WHERE n > 0",
+    "SELECT n * 2 AS d, s FROM t WHERE s = 'a' OR n < -10",
+    "SELECT s, count(*) AS c, sum(n) AS total, min(n) AS lo, max(n) AS hi, "
+    "avg(n) AS mean FROM t GROUP BY s ORDER BY s",
+    "SELECT count(*) AS c, count(n) AS cn, sum(n) AS s FROM t",
+    "SELECT s, array_agg(n) AS ns FROM t GROUP BY s ORDER BY s",
+    "SELECT s, count(DISTINCT n) AS d FROM t GROUP BY s ORDER BY s",
+    "SELECT a.n, b.s FROM t a JOIN t b ON a.s = b.s WHERE a.n > 10",
+    "SELECT n FROM t WHERE n IS NOT NULL ORDER BY n, s",
+    "SELECT s, n, count(*) AS c FROM t GROUP BY s, n ORDER BY s, n",
+]
+
+
+def _rows_with_types(result):
+    return [tuple((repr(v), v) for v in row) for row in result.rows]
+
+
+@given(table_data())
+@settings(max_examples=25, deadline=None)
+@pytest.mark.parametrize("profile", ["postgres", "umbra"])
+def test_parallel_differential(profile, data):
+    ints, texts = data
+    serial = Database(profile)
+    _load(serial, ints, texts)
+    references = [
+        _rows_with_types(serial.execute(query)) for query in QUERIES
+    ]
+    for workers in (1, 2, 8):
+        db = Database(profile, workers=workers, morsel_size=5)
+        _load(db, ints, texts)
+        for query, expected in zip(QUERIES, references):
+            got = _rows_with_types(db.execute(query))
+            assert got == expected, (profile, workers, query)
+        db.close()
+
+
+@given(table_data(max_rows=40))
+@settings(max_examples=15, deadline=None)
+def test_parallel_differential_morsel_sizes(data):
+    """Worker count AND morsel size both leave results unchanged."""
+    ints, texts = data
+    serial = Database("umbra")
+    _load(serial, ints, texts)
+    query = (
+        "SELECT s, count(*) AS c, sum(n) AS total FROM t "
+        "WHERE n IS NOT NULL GROUP BY s ORDER BY s"
+    )
+    expected = _rows_with_types(serial.execute(query))
+    for morsel_size in (3, 7, 16):
+        db = Database("umbra", workers=4, morsel_size=morsel_size)
+        _load(db, ints, texts)
+        assert _rows_with_types(db.execute(query)) == expected, morsel_size
+        db.close()
