@@ -108,15 +108,18 @@ def make_inspector(
 
 
 def _execute(
-    inspector: PipelineInspector, backend: str, workers: Optional[int] = None
+    inspector: PipelineInspector,
+    backend: str,
+    workers: Optional[int] = None,
+    optimize: Optional[bool] = None,
 ):
     if backend == "python":
         return inspector.execute()
     engine, _, variant = backend.partition("-")
     connector = (
-        PostgresqlConnector(workers=workers)
+        PostgresqlConnector(workers=workers, optimize=optimize)
         if engine == "postgres"
-        else UmbraConnector(workers=workers)
+        else UmbraConnector(workers=workers, optimize=optimize)
     )
     mode = "CTE" if variant.startswith("cte") else "VIEW"
     materialize = variant.endswith("mat")
@@ -140,18 +143,21 @@ def run_once(
     sensitive: Optional[Sequence[str]] = None,
     keep_result: bool = False,
     workers: Optional[int] = None,
+    optimize: Optional[bool] = None,
 ) -> RunOutcome:
     """One timed end-to-end run of a pipeline configuration.
 
     ``workers=None`` defers to ``REPRO_SQL_WORKERS`` and the engine
     profile; an explicit count forces morsel-driven parallel execution
-    on the SQL backends (``python`` ignores it).
+    on the SQL backends (``python`` ignores it).  ``optimize`` toggles
+    the statistics-driven rewrite layer on the SQL backends (None:
+    profile default, i.e. off).
     """
     inspector = make_inspector(
         pipeline, size, upto, with_inspection, sensitive
     )
     started = time.perf_counter()
-    result = _execute(inspector, backend, workers=workers)
+    result = _execute(inspector, backend, workers=workers, optimize=optimize)
     elapsed = time.perf_counter() - started
     return RunOutcome(elapsed, result if keep_result else None)
 

@@ -35,6 +35,7 @@ class DBConnector:
         workers: Optional[int] = None,
         morsel_size: Optional[int] = None,
         collect_exec_stats: bool = False,
+        optimize: Optional[bool] = None,
     ) -> None:
         self._connection: Optional[dbapi.Connection] = None
         self.statement_timings: list[tuple[str, float]] = []
@@ -42,6 +43,8 @@ class DBConnector:
         self.workers = workers
         self.morsel_size = morsel_size
         self.collect_exec_stats = collect_exec_stats
+        #: statistics-driven rewrite layer (None: whatever the profile says)
+        self.optimize = optimize
 
     @property
     def name(self) -> str:
@@ -55,6 +58,7 @@ class DBConnector:
                 workers=self.workers,
                 morsel_size=self.morsel_size,
                 collect_exec_stats=self.collect_exec_stats,
+                optimize=self.optimize,
             )
         return self._connection
 
@@ -74,6 +78,7 @@ class DBConnector:
             workers=self.workers,
             morsel_size=self.morsel_size,
             collect_exec_stats=self.collect_exec_stats,
+            optimize=self.optimize,
         )
         if previous is not None:
             self._connection.database.adopt_plan_cache(previous.database)
@@ -126,6 +131,10 @@ class DBConnector:
         """Run one SELECT and return its plan with actual row/time stats."""
         return self.connection.database.explain_analyze(sql, params)
 
+    def analyze(self, table: Optional[str] = None) -> list[str]:
+        """Collect planner statistics (``ANALYZE``) on one or all tables."""
+        return self.connection.database.analyze(table)
+
 
 class PostgresqlConnector(DBConnector):
     """The paper's disk-based system ("blue elephant")."""
@@ -148,11 +157,13 @@ class ProfileConnector(DBConnector):
         workers: Optional[int] = None,
         morsel_size: Optional[int] = None,
         collect_exec_stats: bool = False,
+        optimize: Optional[bool] = None,
     ) -> None:
         super().__init__(
             workers=workers,
             morsel_size=morsel_size,
             collect_exec_stats=collect_exec_stats,
+            optimize=optimize,
         )
         self._custom_profile = profile
         self.profile_name = profile.name

@@ -22,6 +22,10 @@ from repro.frame import missing
 
 __all__ = ["Series"]
 
+#: sentinel distinguishing "no NA key in the replace mapping" from
+#: replacing nulls *with* None (a legal, if pointless, request)
+_NO_NA_REPLACEMENT = object()
+
 
 def _coerce_values(data: Any) -> np.ndarray:
     """Build a canonical 1-D value array from arbitrary input data."""
@@ -377,8 +381,19 @@ class Series:
                             out[i] = new
                             break
         else:
+            # NA keys (None / NaN) never match a dict lookup — NaN hashes but
+            # compares unequal to the boxed NaN cells, None was skipped — so
+            # route null cells through a dedicated replacement value.
+            na_replacement = next(
+                (v for k, v in mapping.items() if missing.is_na_scalar(k)),
+                _NO_NA_REPLACEMENT,
+            )
+            nulls = missing.isnull_array(self._values)
             for i, cell in enumerate(out):
-                if cell is not None and cell in mapping:
+                if nulls[i]:
+                    if na_replacement is not _NO_NA_REPLACEMENT:
+                        out[i] = na_replacement
+                elif cell in mapping:
                     out[i] = mapping[cell]
         # Re-infer the dtype from the replaced values: pandas keeps int64
         # when ints replace ints rather than degrading to object.

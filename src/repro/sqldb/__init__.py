@@ -15,7 +15,7 @@ The SQL dialect covers everything the paper's transpiler emits; see
 :mod:`repro.sqldb.parser` for the grammar.
 """
 
-from repro.sqldb.catalog import CTID, Catalog, Table, View
+from repro.sqldb.catalog import CTID, Catalog, ColumnStats, Table, TableStats, View
 from repro.sqldb.dbapi import Connection, Cursor, connect
 from repro.sqldb.engine import Database, Result, resolve_workers
 from repro.sqldb.profile import POSTGRES, UMBRA, Profile, profile_by_name
@@ -24,6 +24,7 @@ from repro.sqldb.stats import ExecStats, OpStats
 __all__ = [
     "CTID",
     "Catalog",
+    "ColumnStats",
     "Connection",
     "Cursor",
     "Database",
@@ -33,6 +34,7 @@ __all__ = [
     "Profile",
     "Result",
     "Table",
+    "TableStats",
     "UMBRA",
     "View",
     "connect",

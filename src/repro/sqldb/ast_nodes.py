@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
 __all__ = [
+    "Analyze",
     "Between",
     "BinaryOp",
     "Case",
@@ -273,4 +274,11 @@ class Drop:
     if_exists: bool = False
 
 
-Statement = Union[Select, CreateTable, CreateView, Insert, Copy, Drop]
+@dataclass
+class Analyze:
+    """``ANALYZE [table]`` — collect planner statistics (PostgreSQL-style)."""
+
+    table: Optional[str] = None  # None = every base table
+
+
+Statement = Union[Select, CreateTable, CreateView, Insert, Copy, Drop, Analyze]

@@ -17,7 +17,16 @@ from repro.errors import CatalogError, SQLExecutionError
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.vector import Vector, from_values
 
-__all__ = ["Table", "View", "Catalog", "CTID", "coerce_to_type", "normalise_type"]
+__all__ = [
+    "Table",
+    "View",
+    "Catalog",
+    "ColumnStats",
+    "TableStats",
+    "CTID",
+    "coerce_to_type",
+    "normalise_type",
+]
 
 #: name of the system column exposing the tuple identifier
 CTID = "ctid"
@@ -184,6 +193,72 @@ class Table:
         self.n_rows += len(rows)
 
 
+@dataclass(frozen=True)
+class ColumnStats:
+    """ANALYZE-collected per-column statistics.
+
+    ``ndv`` counts distinct non-null values; ``min_value``/``max_value``
+    are kept for numeric and text columns (None for arrays and for
+    columns without non-null values).
+    """
+
+    n_nulls: int
+    null_fraction: float
+    ndv: int
+    min_value: Optional[Any] = None
+    max_value: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """ANALYZE-collected per-table statistics snapshot."""
+
+    table: str
+    n_rows: int
+    columns: dict[str, ColumnStats]
+    #: catalog schema version at collection time (staleness indicator)
+    schema_version: int
+
+
+def _column_stats(vec: Vector, n_rows: int) -> ColumnStats:
+    n_nulls = int(vec.nulls.sum())
+    null_fraction = (n_nulls / n_rows) if n_rows else 0.0
+    values = vec.values[~vec.nulls]
+    if len(values) == 0:
+        return ColumnStats(n_nulls, null_fraction, 0)
+    kind = vec.values.dtype.kind
+    if kind in ("f", "i", "u"):
+        ndv = int(len(np.unique(values)))
+        return ColumnStats(
+            n_nulls, null_fraction, ndv, float(values.min()), float(values.max())
+        )
+    if kind == "b":
+        ndv = int(len(np.unique(values)))
+        return ColumnStats(
+            n_nulls, null_fraction, ndv, bool(values.min()), bool(values.max())
+        )
+    items = values.tolist()
+    try:
+        distinct = set(items)
+    except TypeError:
+        # unhashable cells (array columns): distinct by representation
+        return ColumnStats(n_nulls, null_fraction, len({repr(v) for v in items}))
+    if all(isinstance(v, str) for v in distinct):
+        return ColumnStats(
+            n_nulls, null_fraction, len(distinct), min(distinct), max(distinct)
+        )
+    return ColumnStats(n_nulls, null_fraction, len(distinct))
+
+
+def collect_table_stats(table: Table, schema_version: int) -> TableStats:
+    """One full-scan ANALYZE pass over a base table."""
+    columns = {
+        name: _column_stats(table.columns[name], table.n_rows)
+        for name in table.column_names
+    }
+    return TableStats(table.name, table.n_rows, columns, schema_version)
+
+
 @dataclass
 class View:
     """A stored view definition; materialised views cache their result."""
@@ -208,9 +283,40 @@ class Catalog:
         self.schema_version = 0
         self._fingerprint = 0
         self._fingerprint_version = -1
+        #: ANALYZE-collected statistics per base table; PostgreSQL-style,
+        #: they go stale on data change and refresh only on the next ANALYZE
+        self._table_stats: dict[str, TableStats] = {}
+        #: bumped on every ANALYZE so plan-cache keys embedding it stop
+        #: matching (a stats refresh can change the chosen plan)
+        self.stats_version = 0
 
     def bump_version(self) -> None:
         self.schema_version += 1
+
+    # -- ANALYZE statistics -------------------------------------------------
+
+    def analyze(self, name: Optional[str] = None) -> list[str]:
+        """Collect statistics for one base table (or all of them).
+
+        Returns the analyzed table names and bumps ``stats_version`` so
+        cached plans chosen under the old statistics are invalidated.
+        """
+        names = [name] if name is not None else self.table_names
+        for table_name in names:
+            table = self.table(table_name)
+            self._table_stats[table_name] = collect_table_stats(
+                table, self.schema_version
+            )
+        self.stats_version += 1
+        return names
+
+    def table_stats(self, name: str) -> Optional[TableStats]:
+        """The last ANALYZE snapshot for *name*, if any."""
+        return self._table_stats.get(name)
+
+    @property
+    def analyzed_tables(self) -> list[str]:
+        return sorted(self._table_stats)
 
     def schema_fingerprint(self) -> int:
         """Stable digest of every relation's schema (not its data).
@@ -253,6 +359,8 @@ class Catalog:
                 return
             raise CatalogError(f"{kind} {name!r} does not exist")
         del store[name]
+        if kind == "table":
+            self._table_stats.pop(name, None)
         self.bump_version()
 
     def table(self, name: str) -> Table:

@@ -99,12 +99,14 @@ class Connection:
         workers: Optional[int] = None,
         morsel_size: Optional[int] = None,
         collect_exec_stats: bool = False,
+        optimize: Optional[bool] = None,
     ) -> None:
         self.database = Database(
             profile,
             workers=workers,
             morsel_size=morsel_size,
             collect_exec_stats=collect_exec_stats,
+            optimize=optimize,
         )
         self._closed = False
 
@@ -135,15 +137,19 @@ def connect(
     workers: Optional[int] = None,
     morsel_size: Optional[int] = None,
     collect_exec_stats: bool = False,
+    optimize: Optional[bool] = None,
 ) -> Connection:
     """Open a connection to a fresh in-process database.
 
     ``workers`` > 1 enables morsel-driven parallel execution (defaults to
     the ``REPRO_SQL_WORKERS`` environment variable, then the profile).
+    ``optimize`` turns the statistics-driven rewrite layer on or off
+    (None: whatever the profile says).
     """
     return Connection(
         profile,
         workers=workers,
         morsel_size=morsel_size,
         collect_exec_stats=collect_exec_stats,
+        optimize=optimize,
     )

@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import os
 import time
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
@@ -21,7 +21,13 @@ from repro.errors import SQLExecutionError
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.catalog import Catalog, Table, View, normalise_type
 from repro.sqldb.executor import ExecContext, execute_plan
-from repro.sqldb.optimizer import prune_plan, prune_shared_plans
+from repro.sqldb.optimizer import (
+    estimate_plan_rows,
+    fold_select,
+    optimize_select_plan,
+    prune_plan,
+    prune_shared_plans,
+)
 from repro.sqldb.parser import parse_script, parse_statement
 from repro.sqldb.plan import Batch, PlanNode
 from repro.sqldb.planner import Planner
@@ -95,12 +101,14 @@ class _CacheEntry:
 class PlanCache:
     """LRU cache of parsed statements and pruned logical plans.
 
-    Keys are ``(normalized SQL, profile name, catalog schema version,
-    schema fingerprint)``: any DDL — and, conservatively, INSERT/COPY —
-    bumps the version, so entries planned against a stale catalog stop
-    matching and age out; the fingerprint keeps a cache shared across
-    reconnects from matching a differently shaped schema.  ``maxsize=0``
-    (or ``enabled=False``) disables caching entirely.
+    Keys are ``(normalized SQL, profile name, optimizer flag, catalog
+    schema version, statistics version, schema fingerprint)``: any DDL —
+    and, conservatively, INSERT/COPY — bumps the schema version and any
+    ``ANALYZE`` bumps the statistics version, so entries planned against
+    a stale catalog (or optimized under stale statistics) stop matching
+    and age out; the fingerprint keeps a cache shared across reconnects
+    from matching a differently shaped schema.  ``maxsize=0`` (or
+    ``enabled=False``) disables caching entirely.
     """
 
     def __init__(self, maxsize: int = 128) -> None:
@@ -146,10 +154,13 @@ class Database:
         workers: Optional[int] = None,
         morsel_size: Optional[int] = None,
         collect_exec_stats: bool = False,
+        optimize: Optional[bool] = None,
     ) -> None:
         if isinstance(profile, str):
             profile = profile_by_name(profile)
         self.profile = profile
+        #: statistics-driven rewrite layer (argument overrides the profile)
+        self.optimize = profile.optimize if optimize is None else bool(optimize)
         self.catalog = Catalog()
         self.plan_cache = PlanCache(plan_cache_size)
         #: exact-text memo in front of the normalizer; normalization is
@@ -283,7 +294,9 @@ class Database:
                 key = (
                     normalized,
                     self.profile.name,
+                    self.optimize,
                     self.catalog.schema_version,
+                    self.catalog.stats_version,
                     self.catalog.schema_fingerprint(),
                 )
                 entry = self.plan_cache.get(key)
@@ -327,6 +340,9 @@ class Database:
             elif isinstance(statement, ast.Drop):
                 self.catalog.drop(statement.name, statement.kind, statement.if_exists)
                 result = Result()
+            elif isinstance(statement, ast.Analyze):
+                names = self.catalog.analyze(statement.table)
+                result = Result(rowcount=len(names))
             else:
                 raise SQLExecutionError(
                     f"unsupported statement {type(statement).__name__}"
@@ -338,13 +354,49 @@ class Database:
 
     # -- SELECT -------------------------------------------------------------------
 
+    def analyze(self, table: Optional[str] = None) -> list[str]:
+        """Collect planner statistics (the ``ANALYZE`` statement's API
+        twin); bumps the catalog's statistics version so cached plans
+        re-optimize against the fresh statistics."""
+        return self.catalog.analyze(table)
+
     def _plan_select(self, statement: ast.Select) -> PlanNode:
+        plan, _ = self._plan_select_rewritten(statement)
+        return plan
+
+    def _plan_select_rewritten(
+        self, statement: ast.Select
+    ) -> tuple[PlanNode, list[str]]:
+        """Plan a SELECT; with ``optimize`` on, also run the rewrite layer.
+
+        Returns the plan plus the list of fired rewrite-rule names (empty
+        when the optimizer is off or nothing applied).
+        """
+        rewrites: list[str] = []
+        if self.optimize:
+            statement, folded = fold_select(statement)
+            if folded:
+                rewrites.append("constant-folding")
         planner = Planner(self.catalog, self.profile)
         plan = planner.plan_select(statement)
         visible = {out.key for out in plan.schema if not out.hidden}
         plan = prune_plan(plan, visible)
         prune_shared_plans(plan, planner.shared_plans, planner.subquery_plans)
-        return plan
+        if self.optimize:
+            plan = optimize_select_plan(
+                plan,
+                planner.shared_plans,
+                planner.subquery_plans,
+                self.catalog,
+                rewrites,
+            )
+            # pushdown can strand projection columns only the (now moved)
+            # filters needed; a second pruning pass reclaims them
+            plan = prune_plan(plan, visible)
+            prune_shared_plans(
+                plan, planner.shared_plans, planner.subquery_plans
+            )
+        return plan, rewrites
 
     def _execute_select_plan(self, plan: PlanNode, params: tuple = ()) -> Result:
         ctx = self._make_context(params)
@@ -374,7 +426,8 @@ class Database:
             raise SQLExecutionError(
                 "EXPLAIN ANALYZE only supports SELECT statements"
             )
-        plan = self._plan_select(statement)
+        plan, rewrites = self._plan_select_rewritten(statement)
+        estimates = estimate_plan_rows(plan, self.catalog)
         bound = tuple(params) if params is not None else ()
         stats = ExecStats(workers=self.workers)
         ctx = self._make_context(bound, stats=stats)
@@ -382,11 +435,19 @@ class Database:
         execute_plan(plan, ctx)
         stats.wall_seconds = time.perf_counter() - started
         self._record_exec_stats(stats)
+        if rewrites:
+            counts = Counter(rewrites)
+            fired = ", ".join(
+                f"{name} x{count}" for name, count in sorted(counts.items())
+            )
+        else:
+            fired = "none"
         footer = (
+            f"Rewrites: {fired}\n"
             f"Execution time: {stats.wall_seconds * 1000.0:.3f} ms "
             f"(workers={self.workers})"
         )
-        return stats.annotate(plan) + "\n" + footer
+        return stats.annotate(plan, estimates=estimates) + "\n" + footer
 
     # -- DDL / DML --------------------------------------------------------------------
 

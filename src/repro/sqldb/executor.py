@@ -308,6 +308,26 @@ def _expand_unnest(
 
 
 def filter_batch(plan: Filter, child: Batch, ctx: ExecContext) -> Batch:
+    if len(plan.conjuncts) > 1:
+        # sequential conjunct evaluation: each part runs on the survivors
+        # of the previous one.  Rows kept = rows where every conjunct is
+        # definitely TRUE — identical to the combined AND predicate under
+        # three-valued logic, but later (less selective) conjuncts touch
+        # fewer rows
+        batch = child
+        for conjunct in plan.conjuncts:
+            predicate = conjunct(batch, ctx)
+            keep = predicate.values.astype(bool, copy=False) & ~predicate.nulls
+            if keep.all():
+                continue
+            positions = np.flatnonzero(keep)
+            batch = Batch(
+                len(positions),
+                {k: gather(v, positions) for k, v in batch.columns.items()},
+            )
+        if batch is child:
+            return Batch(child.length, dict(child.columns))
+        return batch
     predicate = plan.predicate(child, ctx)
     keep = predicate.values.astype(bool, copy=False) & ~predicate.nulls
     positions = np.flatnonzero(keep)

@@ -28,7 +28,7 @@ class TokenKind(Enum):
 
 
 KEYWORDS = {
-    "all", "and", "as", "asc", "between", "by", "case", "cast", "copy",
+    "all", "analyze", "and", "as", "asc", "between", "by", "case", "cast", "copy",
     "create", "cross", "csv", "delimiter", "desc", "distinct", "drop", "else",
     "end", "exists", "false", "format", "from", "full", "group", "having",
     "header", "if", "in", "inner", "insert", "into", "is", "join", "left",

@@ -1,4 +1,4 @@
-"""Plan optimisation: column pruning.
+"""Plan optimisation: column pruning and statistics-driven rewrites.
 
 Pruning removes projection items (and aggregate outputs) whose keys are not
 needed upstream.  It flows through inlined views/CTEs, filters and joins —
@@ -6,12 +6,39 @@ this is the "holistic query optimisation" that makes the VIEW mode faster
 than the CTE mode in PostgreSQL (§6.6 of the paper) — and deliberately
 stops at materialised-CTE boundaries (:class:`CteRef`), which is exactly
 PostgreSQL 12's optimisation barrier.
+
+The rewrite layer (:func:`fold_select`, :func:`optimize_select_plan`) is
+enabled per database via the ``optimize`` knob and applies, in order:
+
+* constant folding of literal-only predicate subtrees on the AST, using
+  the very vector kernels the executor would run (so folded values are
+  bit-compatible with computed ones);
+* predicate pushdown: ``Filter`` conjuncts sink through ``Project``
+  pass-throughs, ``Sort``, ``Distinct``, the preserved side of outer
+  joins, both sides of inner/cross joins, and ``Aggregate`` group keys —
+  stopping at ``Limit``, ``Window``, ``UnionAll`` and materialised-CTE
+  barriers, exactly where pruning stops;
+* inlining of single-reference non-barrier CTE/view bodies so pushdown
+  can continue into them;
+* after ``ANALYZE`` has collected statistics: conjunct reordering by
+  estimated selectivity (cheapest-most-selective first) and inner-join
+  build-side selection by estimated cardinality.
+
+Every structural change is append-logged by rule name so
+``Database.explain_analyze`` can report which rewrites fired.
 """
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb import vector
+from repro.sqldb.catalog import Catalog
 from repro.sqldb.plan import (
     Aggregate,
+    Batch,
+    CompiledExpr,
     CteRef,
     Distinct,
     Filter,
@@ -25,9 +52,17 @@ from repro.sqldb.plan import (
     Sort,
     UnionAll,
     Window,
+    column_passthrough,
+    combine_conjuncts,
 )
 
-__all__ = ["prune_plan", "prune_shared_plans"]
+__all__ = [
+    "estimate_plan_rows",
+    "fold_select",
+    "optimize_select_plan",
+    "prune_plan",
+    "prune_shared_plans",
+]
 
 
 def _collect_shared_needs(plan: PlanNode, needs: dict[int, set[str]]) -> None:
@@ -185,3 +220,801 @@ def prune_plan(plan: PlanNode, needed: set[str]) -> PlanNode:
         return plan
 
     return plan
+
+
+# ---------------------------------------------------------------------------
+# constant folding (AST level)
+# ---------------------------------------------------------------------------
+
+#: sentinel for "this subtree cannot be folded"
+_NO_FOLD = object()
+
+
+def _scalar(out: vector.Vector) -> Any:
+    """Python value of a length-1 vector (None when null)."""
+    return None if out.nulls[0] else out.item(0)
+
+
+def _eval_binary(op: str, left: Any, right: Any) -> Any:
+    a = vector.constant(left, 1)
+    b = vector.constant(right, 1)
+    try:
+        if op in ("+", "-", "*", "/", "%", "||"):
+            return _scalar(vector.arithmetic(op, a, b))
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return _scalar(vector.compare(op, a, b))
+        if op == "and":
+            return _scalar(vector.logical_and(a, b))
+        if op == "or":
+            return _scalar(vector.logical_or(a, b))
+    except Exception:
+        return _NO_FOLD
+    return _NO_FOLD
+
+
+class _Folder:
+    """Non-mutating constant folder over predicate expressions.
+
+    Literal-only subtrees are evaluated through the same vector kernels
+    the executor would run on them row-by-row, so a folded literal is
+    indistinguishable from the computed value at execution time.  Only
+    type-safe short-circuits are applied to mixed subtrees (``x AND
+    FALSE``, ``x OR TRUE``); identities like ``x AND TRUE -> x`` are
+    deliberately skipped because they could change the column's dtype.
+    """
+
+    def __init__(self) -> None:
+        self.changed = False
+
+    def _mark(self, value: Any) -> ast.Literal:
+        self.changed = True
+        return ast.Literal(value)
+
+    def expr(self, e: ast.Expr) -> ast.Expr:
+        if isinstance(e, ast.BinaryOp):
+            left = self.expr(e.left)
+            right = self.expr(e.right)
+            if isinstance(left, ast.Literal) and isinstance(right, ast.Literal):
+                value = _eval_binary(e.op, left.value, right.value)
+                if value is not _NO_FOLD:
+                    return self._mark(value)
+            if e.op == "and":
+                for side in (left, right):
+                    if isinstance(side, ast.Literal) and side.value is False:
+                        return self._mark(False)
+            if e.op == "or":
+                for side in (left, right):
+                    if isinstance(side, ast.Literal) and side.value is True:
+                        return self._mark(True)
+            if left is not e.left or right is not e.right:
+                return ast.BinaryOp(e.op, left, right)
+            return e
+        if isinstance(e, ast.UnaryOp):
+            operand = self.expr(e.operand)
+            if isinstance(operand, ast.Literal):
+                if e.op == "not":
+                    try:
+                        value = _scalar(
+                            vector.logical_not(vector.constant(operand.value, 1))
+                        )
+                        return self._mark(value)
+                    except Exception:
+                        pass
+                elif e.op == "-":
+                    value = _eval_binary("*", operand.value, -1)
+                    if value is not _NO_FOLD:
+                        return self._mark(value)
+            if operand is not e.operand:
+                return ast.UnaryOp(e.op, operand)
+            return e
+        if isinstance(e, ast.IsNull):
+            operand = self.expr(e.operand)
+            if isinstance(operand, ast.Literal):
+                return self._mark((operand.value is None) != e.negated)
+            if operand is not e.operand:
+                return ast.IsNull(operand, e.negated)
+            return e
+        if isinstance(e, ast.Between):
+            operand = self.expr(e.operand)
+            low = self.expr(e.low)
+            high = self.expr(e.high)
+            if all(
+                isinstance(part, ast.Literal) for part in (operand, low, high)
+            ):
+                lo = _eval_binary(">=", operand.value, low.value)
+                hi = _eval_binary("<=", operand.value, high.value)
+                if lo is not _NO_FOLD and hi is not _NO_FOLD:
+                    value = _eval_binary("and", lo, hi)
+                    if value is not _NO_FOLD:
+                        if e.negated:
+                            value = _scalar(
+                                vector.logical_not(vector.constant(value, 1))
+                            )
+                        return self._mark(value)
+            if (
+                operand is not e.operand
+                or low is not e.low
+                or high is not e.high
+            ):
+                return ast.Between(operand, low, high, e.negated)
+            return e
+        if isinstance(e, ast.InList):
+            operand = self.expr(e.operand)
+            items = tuple(self.expr(item) for item in e.items)
+            if isinstance(operand, ast.Literal) and all(
+                isinstance(item, ast.Literal) for item in items
+            ):
+                result: Any = None
+                folded = True
+                for position, item in enumerate(items):
+                    hit = _eval_binary("=", operand.value, item.value)
+                    if hit is _NO_FOLD:
+                        folded = False
+                        break
+                    result = (
+                        hit
+                        if position == 0
+                        else _eval_binary("or", result, hit)
+                    )
+                    if result is _NO_FOLD:
+                        folded = False
+                        break
+                if folded:
+                    if e.negated:
+                        result = _scalar(
+                            vector.logical_not(vector.constant(result, 1))
+                        )
+                    return self._mark(result)
+            if operand is not e.operand or any(
+                new is not old for new, old in zip(items, e.items)
+            ):
+                return ast.InList(operand, items, e.negated)
+            return e
+        if isinstance(e, ast.Case):
+            whens = tuple(
+                (self.expr(cond), self.expr(result))
+                for cond, result in e.whens
+            )
+            else_ = self.expr(e.else_) if e.else_ is not None else None
+            if else_ is not e.else_ or any(
+                new_c is not old_c or new_r is not old_r
+                for (new_c, new_r), (old_c, old_r) in zip(whens, e.whens)
+            ):
+                return ast.Case(whens, else_)
+            return e
+        if isinstance(e, ast.Cast):
+            operand = self.expr(e.operand)
+            if operand is not e.operand:
+                return ast.Cast(operand, e.type_name)
+            return e
+        if isinstance(e, ast.FuncCall):
+            args = tuple(self.expr(arg) for arg in e.args)
+            filter_where = (
+                self.expr(e.filter_where)
+                if e.filter_where is not None
+                else None
+            )
+            if filter_where is not e.filter_where or any(
+                new is not old for new, old in zip(args, e.args)
+            ):
+                return ast.FuncCall(
+                    e.name, args, e.star, e.distinct, filter_where
+                )
+            return e
+        if isinstance(e, ast.ScalarSubquery):
+            query = self.select(e.query)
+            if query is not e.query:
+                return ast.ScalarSubquery(query)
+            return e
+        return e
+
+    def _source(self, source: ast.TableSource) -> ast.TableSource:
+        if isinstance(source, ast.SubquerySource):
+            query = self.select(source.query)
+            if query is not source.query:
+                return ast.SubquerySource(query, source.alias)
+            return source
+        if isinstance(source, ast.JoinSource):
+            left = self._source(source.left)
+            right = self._source(source.right)
+            condition = (
+                self.expr(source.condition)
+                if source.condition is not None
+                else None
+            )
+            if (
+                left is not source.left
+                or right is not source.right
+                or condition is not source.condition
+            ):
+                return ast.JoinSource(left, right, source.kind, condition)
+            return source
+        return source
+
+    def select(self, select: ast.Select) -> ast.Select:
+        """Fold WHERE/HAVING/ON predicates, recursing into nested queries.
+
+        Select items, GROUP BY and ORDER BY expressions are left alone:
+        the planner matches GROUP BY expressions against items by
+        structural equality, and folding only one side would break it.
+        """
+        ctes = [
+            ast.Cte(cte.name, self.select(cte.query), cte.materialized)
+            for cte in select.ctes
+        ]
+        sources = [self._source(source) for source in select.sources]
+        where = self.expr(select.where) if select.where is not None else None
+        having = self.expr(select.having) if select.having is not None else None
+        union = (
+            self.select(select.union_all_with)
+            if select.union_all_with is not None
+            else None
+        )
+        unchanged = (
+            where is select.where
+            and having is select.having
+            and union is select.union_all_with
+            and all(new is old for new, old in zip(ctes, select.ctes))
+            and all(new is old for new, old in zip(sources, select.sources))
+        )
+        if unchanged:
+            return select
+        return ast.Select(
+            items=select.items,
+            ctes=ctes,
+            sources=sources,
+            where=where,
+            group_by=select.group_by,
+            having=having,
+            order_by=select.order_by,
+            limit=select.limit,
+            offset=select.offset,
+            distinct=select.distinct,
+            union_all_with=union,
+        )
+
+
+def fold_select(select: ast.Select) -> tuple[ast.Select, bool]:
+    """Constant-fold a SELECT statement's predicates without mutating it.
+
+    Returns ``(folded, changed)``; when nothing folds, *select* itself is
+    returned so cached statements are never copied needlessly.
+    """
+    folder = _Folder()
+    return folder.select(select), folder.changed
+
+
+# ---------------------------------------------------------------------------
+# statistics: provenance, selectivity, cardinality estimation
+# ---------------------------------------------------------------------------
+
+#: textbook fallbacks used when a referenced column has no ANALYZE stats
+_DEFAULT_SELECTIVITY = {
+    "=": 0.1,
+    "<>": 0.9,
+    "isnull": 0.05,
+    "notnull": 0.95,
+    "in": 0.2,
+    "between": 0.25,
+    "<": 1.0 / 3.0,
+    "<=": 1.0 / 3.0,
+    ">": 1.0 / 3.0,
+    ">=": 1.0 / 3.0,
+}
+
+
+def _provenance(
+    plan: PlanNode, memo: dict[int, dict[str, tuple[str, str]]]
+) -> dict[str, tuple[str, str]]:
+    """Map batch keys to their originating ``(table, column)`` where the
+    key is a pure pass-through of a base-table column."""
+    cached = memo.get(id(plan))
+    if cached is not None:
+        return cached
+    prov: dict[str, tuple[str, str]] = {}
+    if isinstance(plan, ScanTable):
+        prov = {
+            key: (plan.table_name, column) for column, key in plan.keys.items()
+        }
+    elif isinstance(plan, Project):
+        child = _provenance(plan.child, memo)
+        for out, expr in plan.items:
+            if (
+                expr.is_column is not None
+                and expr.is_column in child
+                and out.key not in plan.unnest_keys
+            ):
+                prov[out.key] = child[expr.is_column]
+    elif isinstance(plan, (Filter, Sort, Distinct, Limit, Window)):
+        prov = _provenance(plan.child, memo)
+    elif isinstance(plan, Join):
+        prov = {
+            **_provenance(plan.left, memo),
+            **_provenance(plan.right, memo),
+        }
+    elif isinstance(plan, Aggregate):
+        child = _provenance(plan.child, memo)
+        for out, expr in plan.groups:
+            if expr.is_column is not None and expr.is_column in child:
+                prov[out.key] = child[expr.is_column]
+    elif isinstance(plan, CteRef):
+        body = _provenance(plan.plan, memo)
+        for src, dst in plan.rename.items():
+            if src in body:
+                prov[dst] = body[src]
+    memo[id(plan)] = prov
+    return prov
+
+
+def _range_fraction(value: Any, lo: Any, hi: Any) -> Optional[float]:
+    for part in (value, lo, hi):
+        if isinstance(part, bool) or not isinstance(part, (int, float)):
+            return None
+    if hi <= lo:
+        return 0.5
+    return min(1.0, max(0.0, (value - lo) / (hi - lo)))
+
+
+def _conjunct_selectivity(
+    expr: CompiledExpr,
+    prov: dict[str, tuple[str, str]],
+    catalog: Catalog,
+) -> float:
+    """Estimated fraction of rows a conjunct keeps (1.0 = keeps all)."""
+    cmp = expr.cmp
+    if cmp is None:
+        return 0.25
+    op, key, operand = cmp
+    if op == "const":
+        return 0.0 if operand is None or operand is False else 1.0
+    stats = None
+    source = prov.get(key) if key is not None else None
+    if source is not None:
+        table_stats = catalog.table_stats(source[0])
+        if table_stats is not None:
+            stats = table_stats.columns.get(source[1])
+    if stats is None:
+        return _DEFAULT_SELECTIVITY.get(op, 0.25)
+    notnull = 1.0 - stats.null_fraction
+    ndv = max(stats.ndv, 1)
+    if op == "=":
+        return notnull / ndv if stats.ndv else 0.0
+    if op == "<>":
+        return notnull * (1.0 - 1.0 / ndv)
+    if op == "isnull":
+        return stats.null_fraction
+    if op == "notnull":
+        return notnull
+    if op == "in":
+        return min(1.0, operand / ndv) * notnull
+    if op in ("<", "<=", ">", ">="):
+        fraction = _range_fraction(operand, stats.min_value, stats.max_value)
+        if fraction is None:
+            return _DEFAULT_SELECTIVITY[op]
+        return (fraction if op in ("<", "<=") else 1.0 - fraction) * notnull
+    if op == "between":
+        low, high = operand
+        f_low = _range_fraction(low, stats.min_value, stats.max_value)
+        f_high = _range_fraction(high, stats.min_value, stats.max_value)
+        if f_low is None or f_high is None:
+            return _DEFAULT_SELECTIVITY["between"]
+        return max(0.0, f_high - f_low) * notnull
+    return 0.25
+
+
+def estimate_plan_rows(plan: PlanNode, catalog: Catalog) -> dict[int, float]:
+    """Estimate output rows for every node, keyed by ``id(node)``.
+
+    Uses ANALYZE statistics where available and live table sizes
+    otherwise; shared CTE bodies are estimated once.
+    """
+    estimates: dict[int, float] = {}
+    prov_memo: dict[int, dict[str, tuple[str, str]]] = {}
+    _estimate(plan, catalog, estimates, prov_memo)
+    return estimates
+
+
+def _estimate(
+    plan: PlanNode,
+    catalog: Catalog,
+    estimates: dict[int, float],
+    prov_memo: dict[int, dict[str, tuple[str, str]]],
+) -> float:
+    cached = estimates.get(id(plan))
+    if cached is not None:
+        return cached
+    rows: float
+    if isinstance(plan, ScanTable):
+        stats = catalog.table_stats(plan.table_name)
+        if stats is not None:
+            rows = float(stats.n_rows)
+        else:
+            try:
+                rows = float(catalog.table(plan.table_name).n_rows)
+            except Exception:
+                rows = 0.0
+    elif isinstance(plan, ScanSnapshot):
+        try:
+            snapshot = catalog.resolve(plan.view_name).snapshot
+            rows = float(snapshot[2]) if snapshot is not None else 1000.0
+        except Exception:
+            rows = 1000.0
+    elif isinstance(plan, CteRef):
+        rows = _estimate(plan.plan, catalog, estimates, prov_memo)
+    elif isinstance(plan, Filter):
+        rows = _estimate(plan.child, catalog, estimates, prov_memo)
+        prov = _provenance(plan.child, prov_memo)
+        for conjunct in plan.conjuncts:
+            rows *= _conjunct_selectivity(conjunct, prov, catalog)
+    elif isinstance(plan, Project):
+        rows = _estimate(plan.child, catalog, estimates, prov_memo)
+    elif isinstance(plan, Join):
+        left = _estimate(plan.left, catalog, estimates, prov_memo)
+        right = _estimate(plan.right, catalog, estimates, prov_memo)
+        inner = max(left, right) if plan.left_keys else left * right
+        if plan.kind == "left":
+            rows = max(inner, left)
+        elif plan.kind == "right":
+            rows = max(inner, right)
+        elif plan.kind == "full":
+            rows = max(inner, left + right)
+        else:
+            rows = inner
+    elif isinstance(plan, Aggregate):
+        child = _estimate(plan.child, catalog, estimates, prov_memo)
+        if not plan.groups:
+            rows = 1.0
+        else:
+            prov = _provenance(plan.child, prov_memo)
+            product = 1.0
+            known = True
+            for _, expr in plan.groups:
+                source = (
+                    prov.get(expr.is_column)
+                    if expr.is_column is not None
+                    else None
+                )
+                column = None
+                if source is not None:
+                    table_stats = catalog.table_stats(source[0])
+                    if table_stats is not None:
+                        column = table_stats.columns.get(source[1])
+                if column is None:
+                    known = False
+                    break
+                product *= max(column.ndv + (1 if column.n_nulls else 0), 1)
+            rows = min(child, product) if known else child
+    elif isinstance(plan, (Distinct, Sort, Window)):
+        rows = _estimate(plan.child, catalog, estimates, prov_memo)
+    elif isinstance(plan, Limit):
+        child = _estimate(plan.child, catalog, estimates, prov_memo)
+        rows = max(child - plan.offset, 0.0)
+        if plan.count is not None:
+            rows = min(rows, float(plan.count))
+    elif isinstance(plan, UnionAll):
+        rows = sum(
+            _estimate(part, catalog, estimates, prov_memo)
+            for part in plan.parts
+        )
+    elif isinstance(plan, OneRow):
+        rows = 1.0
+    else:
+        rows = 1000.0
+    estimates[id(plan)] = rows
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# predicate pushdown, CTE inlining, conjunct reordering, join build side
+# ---------------------------------------------------------------------------
+
+
+def _remap_conjunct(
+    expr: CompiledExpr, mapping: dict[str, str]
+) -> CompiledExpr:
+    """Re-express a conjunct written against projection output keys in
+    terms of the child keys feeding those pass-through items.
+
+    The wrapper presents the child batch under the upper-level keys, so
+    the original compiled closure runs unchanged on the exact same
+    vectors — pushdown cannot alter evaluation semantics.
+    """
+    inner = expr
+    pairs = tuple(mapping.items())
+
+    def fn(batch: Batch, ctx: Any) -> vector.Vector:
+        view = Batch(
+            batch.length,
+            {above: batch.columns[below] for above, below in pairs},
+        )
+        return inner.fn(view, ctx)
+
+    refs = frozenset(mapping[r] for r in inner.refs)
+    cmp = inner.cmp
+    if cmp is not None and cmp[1] is not None:
+        below = mapping.get(cmp[1])
+        cmp = (cmp[0], below, cmp[2]) if below is not None else None
+    is_column = (
+        mapping.get(inner.is_column) if inner.is_column is not None else None
+    )
+    return CompiledExpr(fn, refs, text=inner.text, is_column=is_column, cmp=cmp)
+
+
+class _PendingConjunct:
+    """A conjunct travelling down the plan during pushdown."""
+
+    __slots__ = ("expr", "moved")
+
+    def __init__(self, expr: CompiledExpr, moved: bool = False) -> None:
+        self.expr = expr
+        self.moved = moved
+
+
+class _Rewriter:
+    def __init__(
+        self,
+        catalog: Catalog,
+        rewrites: list[str],
+        refcounts: dict[int, int],
+    ) -> None:
+        self.catalog = catalog
+        self.rewrites = rewrites
+        self.refcounts = refcounts
+        #: original shared-body id -> its (possibly replaced) pushed root
+        self.new_bodies: dict[int, PlanNode] = {}
+        self._prov_memo: dict[int, dict[str, tuple[str, str]]] = {}
+        #: conjunct reordering is statistics-driven: without ANALYZE data
+        #: the planner-given order (query text order) is preserved
+        self.use_stats = bool(catalog.analyzed_tables)
+
+    # -- pushdown ----------------------------------------------------------
+
+    def push(
+        self, plan: PlanNode, pending: list[_PendingConjunct]
+    ) -> PlanNode:
+        if isinstance(plan, Filter):
+            absorbed = [_PendingConjunct(c) for c in plan.conjuncts]
+            return self.push(plan.child, absorbed + pending)
+        if isinstance(plan, Project):
+            return self._push_project(plan, pending)
+        if isinstance(plan, Join):
+            return self._push_join(plan, pending)
+        if isinstance(plan, (Sort, Distinct)):
+            # stable sort commutes with filtering; DISTINCT dedups on the
+            # full row, so value-identical rows pass or fail together
+            for item in pending:
+                item.moved = True
+            plan.child = self.push(plan.child, pending)
+            return plan
+        if isinstance(plan, Aggregate):
+            return self._push_aggregate(plan, pending)
+        if isinstance(plan, CteRef):
+            return self._push_cte_ref(plan, pending)
+        if isinstance(plan, (Limit, Window, UnionAll)):
+            # barriers: filtering below a LIMIT changes which rows it
+            # keeps; Window values depend on the full partition; UNION
+            # arms use positional schemas
+            if isinstance(plan, UnionAll):
+                plan.parts = [self.push(part, []) for part in plan.parts]
+            else:
+                plan.child = self.push(plan.child, [])
+            return self._attach(plan, pending)
+        return self._attach(plan, pending)
+
+    def _push_project(
+        self, plan: Project, pending: list[_PendingConjunct]
+    ) -> PlanNode:
+        mapping: dict[str, str] = {}
+        for out, expr in plan.items:
+            if expr.is_column is not None and out.key not in plan.unnest_keys:
+                mapping.setdefault(out.key, expr.is_column)
+        down: list[_PendingConjunct] = []
+        stuck: list[_PendingConjunct] = []
+        for item in pending:
+            refs = item.expr.refs
+            if refs and all(r in mapping for r in refs):
+                item.expr = _remap_conjunct(
+                    item.expr, {r: mapping[r] for r in refs}
+                )
+                item.moved = True
+                down.append(item)
+            else:
+                stuck.append(item)
+        plan.child = self.push(plan.child, down)
+        return self._attach(plan, stuck)
+
+    def _push_join(
+        self, plan: Join, pending: list[_PendingConjunct]
+    ) -> PlanNode:
+        left_keys = {out.key for out in plan.left.schema}
+        right_keys = {out.key for out in plan.right.schema}
+        # a conjunct may only sink into a side whose rows the join
+        # preserves one-to-one: both sides of inner/cross, the row-
+        # preserved side of left/right outer joins, neither side of full
+        allow_left = plan.kind in ("inner", "cross", "left")
+        allow_right = plan.kind in ("inner", "cross", "right")
+        down_left: list[_PendingConjunct] = []
+        down_right: list[_PendingConjunct] = []
+        stuck: list[_PendingConjunct] = []
+        for item in pending:
+            refs = item.expr.refs
+            if refs and refs <= left_keys and allow_left:
+                item.moved = True
+                down_left.append(item)
+            elif refs and refs <= right_keys and allow_right:
+                item.moved = True
+                down_right.append(item)
+            else:
+                stuck.append(item)
+        plan.left = self.push(plan.left, down_left)
+        plan.right = self.push(plan.right, down_right)
+        return self._attach(plan, stuck)
+
+    def _push_aggregate(
+        self, plan: Aggregate, pending: list[_PendingConjunct]
+    ) -> PlanNode:
+        # HAVING conjuncts over pure group-key pass-throughs become WHERE:
+        # the predicate is constant within each group, so dropping the
+        # group's input rows and dropping the group row are equivalent
+        mapping: dict[str, str] = {}
+        for out, expr in plan.groups:
+            if expr.is_column is not None:
+                mapping.setdefault(out.key, expr.is_column)
+        down: list[_PendingConjunct] = []
+        stuck: list[_PendingConjunct] = []
+        for item in pending:
+            refs = item.expr.refs
+            if refs and all(r in mapping for r in refs):
+                item.expr = _remap_conjunct(
+                    item.expr, {r: mapping[r] for r in refs}
+                )
+                item.moved = True
+                down.append(item)
+            else:
+                stuck.append(item)
+        plan.child = self.push(plan.child, down)
+        return self._attach(plan, stuck)
+
+    def _push_cte_ref(
+        self, plan: CteRef, pending: list[_PendingConjunct]
+    ) -> PlanNode:
+        body = plan.plan
+        references = self.refcounts.get(id(body), 0)
+        plan.plan = self.new_bodies.get(id(body), body)
+        if plan.barrier or references != 1:
+            # materialised CTEs are optimisation barriers (PG12); multi-
+            # reference bodies execute once, so a per-reference filter
+            # cannot sink into them
+            return self._attach(plan, pending)
+        inverse = {dst: src for src, dst in plan.rename.items()}
+        items = [
+            (out, column_passthrough(inverse[out.key])) for out in plan.schema
+        ]
+        self.rewrites.append("inline-single-ref-cte")
+        project = Project(plan.plan, items, [], schema=list(plan.schema))
+        return self._push_project(project, pending)
+
+    def _attach(
+        self, node: PlanNode, pending: list[_PendingConjunct]
+    ) -> PlanNode:
+        kept: list[_PendingConjunct] = []
+        for item in pending:
+            cmp = item.expr.cmp
+            if cmp is not None and cmp[0] == "const" and cmp[2] is True:
+                self.rewrites.append("remove-trivial-filter")
+                continue
+            kept.append(item)
+        if not kept:
+            return node
+        for item in kept:
+            if item.moved:
+                self.rewrites.append("predicate-pushdown")
+        conjuncts = [item.expr for item in kept]
+        if len(conjuncts) > 1 and self.use_stats:
+            prov = _provenance(node, self._prov_memo)
+            order = sorted(
+                range(len(conjuncts)),
+                key=lambda i: _conjunct_selectivity(
+                    conjuncts[i], prov, self.catalog
+                ),
+            )
+            if order != list(range(len(conjuncts))):
+                self.rewrites.append("reorder-conjuncts")
+                conjuncts = [conjuncts[i] for i in order]
+        return Filter(
+            node,
+            combine_conjuncts(conjuncts),
+            schema=list(node.schema),
+            conjuncts=conjuncts,
+        )
+
+
+def _count_cte_refs(
+    top: PlanNode,
+    shared_plans: list[tuple[str, PlanNode, bool]],
+    subquery_plans: list[PlanNode],
+) -> dict[int, int]:
+    counts: dict[int, int] = {}
+
+    def visit(plan: PlanNode) -> None:
+        if isinstance(plan, CteRef):
+            counts[id(plan.plan)] = counts.get(id(plan.plan), 0) + 1
+            return  # body occurrences are counted via shared_plans below
+        for child in plan.children():
+            visit(child)
+
+    visit(top)
+    for sub in subquery_plans:
+        visit(sub)
+    seen: set[int] = set()
+    for _, body, _ in shared_plans:
+        if id(body) in seen:
+            continue
+        seen.add(id(body))
+        visit(body)
+    return counts
+
+
+def _swap_join_builds(
+    plan: PlanNode,
+    estimates: dict[int, float],
+    rewrites: list[str],
+    visited: set[int],
+) -> None:
+    """Make the estimated-smaller input the build (right) side of inner
+    equi-joins.  Value-preserving because join outputs are key-addressed;
+    output row *order* may change, which is why this only fires once
+    ANALYZE statistics exist (the caller gates on that)."""
+    if id(plan) in visited:
+        return
+    visited.add(id(plan))
+    if isinstance(plan, Join) and plan.kind == "inner" and plan.left_keys:
+        left_rows = estimates.get(id(plan.left))
+        right_rows = estimates.get(id(plan.right))
+        if (
+            left_rows is not None
+            and right_rows is not None
+            and right_rows > left_rows * 1.2
+        ):
+            plan.left, plan.right = plan.right, plan.left
+            plan.left_keys, plan.right_keys = (
+                plan.right_keys,
+                plan.left_keys,
+            )
+            rewrites.append("join-build-side")
+    for child in plan.children():
+        _swap_join_builds(child, estimates, rewrites, visited)
+
+
+def optimize_select_plan(
+    top: PlanNode,
+    shared_plans: list[tuple[str, PlanNode, bool]],
+    subquery_plans: list[PlanNode],
+    catalog: Catalog,
+    rewrites: list[str],
+) -> PlanNode:
+    """Apply the statistics-driven rewrite rules to a planned query.
+
+    Mutates the plan in place (plans are single-use until cached) and
+    returns the possibly-new root.  Fired rule names are appended to
+    *rewrites*.  Scalar-subquery roots are never replaced — their
+    compiled closures capture the root object (planner guarantees those
+    roots are Project-like, which pushdown preserves).
+    """
+    refcounts = _count_cte_refs(top, shared_plans, subquery_plans)
+    rewriter = _Rewriter(catalog, rewrites, refcounts)
+    for _, body, _ in shared_plans:
+        if id(body) in rewriter.new_bodies:
+            continue
+        rewriter.new_bodies[id(body)] = rewriter.push(body, [])
+    for sub in subquery_plans:
+        rewriter.push(sub, [])
+    top = rewriter.push(top, [])
+    if catalog.analyzed_tables:
+        estimates = estimate_plan_rows(top, catalog)
+        visited: set[int] = set()
+        _swap_join_builds(top, estimates, rewrites, visited)
+        for sub in subquery_plans:
+            estimates.update(estimate_plan_rows(sub, catalog))
+            _swap_join_builds(sub, estimates, rewrites, visited)
+    return top

@@ -44,6 +44,14 @@ distinct values of each morsel; concatenating those lists in morsel order
 reproduces the global appearance order, after which re-coding the group
 representatives and densifying with the same ``np.unique`` machinery
 yields the serial group numbering exactly.
+
+The statistics-driven rewrite layer (:mod:`repro.sqldb.optimizer`) is
+compatible by construction: all rewrites — pushdown, conjunct reordering,
+join build-side swaps — happen at *plan* time, so serial and parallel
+execution always see the same (rewritten) plan, and the byte-identical
+guarantee is between serial and parallel runs of that plan.  Filters with
+split conjuncts evaluate through :func:`executor.filter_batch` on both
+paths, so the sequential short-circuit order is identical per morsel.
 """
 
 from __future__ import annotations

@@ -118,7 +118,15 @@ class _Parser:
             return self._parse_copy()
         if token.value == "drop":
             return self._parse_drop()
+        if token.value == "analyze":
+            return self._parse_analyze()
         raise self._error(f"unsupported statement {token.value!r}")
+
+    def _parse_analyze(self) -> ast.Analyze:
+        self._expect_keyword("analyze")
+        if self._peek().kind is TokenKind.IDENT:
+            return ast.Analyze(self._advance().value)
+        return ast.Analyze()
 
     def _parse_create(self) -> ast.Statement:
         self._expect_keyword("create")

@@ -21,6 +21,8 @@ __all__ = [
     "Batch",
     "CompiledExpr",
     "CteRef",
+    "column_passthrough",
+    "combine_conjuncts",
     "Distinct",
     "Filter",
     "Join",
@@ -62,6 +64,13 @@ class CompiledExpr:
     fn: Callable
     refs: frozenset[str]
     text: str = "?"  # best-effort SQL text for EXPLAIN output
+    #: source batch key when this expression is a bare column pass-through;
+    #: lets the optimizer remap predicates through projections
+    is_column: Optional[str] = None
+    #: shape metadata for selectivity estimation: ``(op, key, operand)``
+    #: where op is a comparison operator, "isnull"/"notnull", "between",
+    #: "in" (operand = item count) or "const" (operand = the literal value)
+    cmp: Optional[tuple] = None
 
     def __call__(self, batch: Batch, ctx) -> Vector:
         return self.fn(batch, ctx)
@@ -163,12 +172,54 @@ class Filter(PlanNode):
     child: PlanNode
     predicate: CompiledExpr = None  # type: ignore[assignment]
     schema: list[OutputColumn] = field(default_factory=list)
+    #: AND-split predicate parts; with two or more entries the executor
+    #: evaluates them sequentially (each on the survivors of the previous
+    #: one), which keeps results identical to the combined predicate while
+    #: letting the optimizer order them by estimated selectivity
+    conjuncts: list[CompiledExpr] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.conjuncts and self.predicate is not None:
+            self.conjuncts = [self.predicate]
 
     def children(self) -> list[PlanNode]:
         return [self.child]
 
     def label(self) -> str:
         return f"Filter({self.predicate.text})"
+
+
+def column_passthrough(key: str) -> CompiledExpr:
+    """A compiled expression that reads one batch column unchanged."""
+
+    def fn(batch: Batch, ctx) -> Vector:
+        return batch.columns[key]
+
+    return CompiledExpr(fn, frozenset([key]), text=key, is_column=key)
+
+
+def combine_conjuncts(conjuncts: list[CompiledExpr]) -> CompiledExpr:
+    """AND-fold compiled conjuncts into one predicate expression.
+
+    Left-folding over :func:`~repro.sqldb.vector.logical_and` matches what
+    compiling the original ``AND`` tree produces (Kleene AND is associative
+    and ``logical_and`` emits the normalised values/nulls representation).
+    """
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    from repro.sqldb.vector import logical_and
+
+    refs = frozenset().union(*[c.refs for c in conjuncts])
+    parts = list(conjuncts)
+
+    def fn(batch: Batch, ctx) -> Vector:
+        out = parts[0](batch, ctx)
+        for part in parts[1:]:
+            out = logical_and(out, part(batch, ctx))
+        return out
+
+    text = "(" + " and ".join(c.text for c in conjuncts) + ")"
+    return CompiledExpr(fn, refs, text=text)
 
 
 @dataclass

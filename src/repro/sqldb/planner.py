@@ -44,6 +44,8 @@ from repro.sqldb.plan import (
     ScanTable,
     Sort,
     UnionAll,
+    column_passthrough,
+    combine_conjuncts,
 )
 from repro.sqldb.profile import Profile
 from repro.sqldb.vector import Vector, constant
@@ -103,6 +105,10 @@ def _split_conjuncts(expr: ast.Expr) -> list[ast.Expr]:
     if isinstance(expr, ast.BinaryOp) and expr.op == "and":
         return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
     return [expr]
+
+
+#: comparison operator when the column moves to the left-hand side
+_FLIP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
 def _like_to_regex(pattern: str) -> re.Pattern:
@@ -369,8 +375,16 @@ class Planner:
             child, scope = OneRow(schema=[]), Scope()
 
         if select.where is not None:
-            predicate = self.compile_expr(select.where, scope, env)
-            child = Filter(child, predicate, schema=child.schema)
+            conjuncts = [
+                self.compile_expr(part, scope, env)
+                for part in _split_conjuncts(select.where)
+            ]
+            child = Filter(
+                child,
+                combine_conjuncts(conjuncts),
+                schema=child.schema,
+                conjuncts=conjuncts,
+            )
 
         agg_calls: list[ast.FuncCall] = []
         for item in select.items:
@@ -456,8 +470,16 @@ class Planner:
             [ScopeEntry(None, out.name, out.key) for out, _ in groups]
         )
         if select.having is not None:
-            predicate = self.compile_expr(select.having, agg_scope, env, replace)
-            filtered = Filter(node, predicate, schema=node.schema)
+            conjuncts = [
+                self.compile_expr(part, agg_scope, env, replace)
+                for part in _split_conjuncts(select.having)
+            ]
+            filtered = Filter(
+                node,
+                combine_conjuncts(conjuncts),
+                schema=node.schema,
+                conjuncts=conjuncts,
+            )
             return filtered, agg_scope, replace
         return node, agg_scope, replace
 
@@ -587,10 +609,7 @@ class Planner:
 
     @staticmethod
     def _column_passthrough(key: str) -> CompiledExpr:
-        def fn(batch: Batch, ctx: Any) -> Vector:
-            return batch.columns[key]
-
-        return CompiledExpr(fn, frozenset([key]), text=key)
+        return column_passthrough(key)
 
     # -- expression compilation --------------------------------------------------
 
@@ -615,7 +634,9 @@ class Planner:
             def fn_literal(batch: Batch, ctx: Any) -> Vector:
                 return constant(value, batch.length)
 
-            return CompiledExpr(fn_literal, frozenset(), text=repr(value))
+            return CompiledExpr(
+                fn_literal, frozenset(), text=repr(value), cmp=("const", None, value)
+            )
 
         if isinstance(expr, ast.Parameter):
             index = expr.index
@@ -668,7 +689,12 @@ class Planner:
                     flags = ~flags
                 return Vector(flags, np.zeros(len(flags), dtype=bool))
 
-            return CompiledExpr(fn_isnull, operand.refs, text=f"{operand.text} IS NULL")
+            cmp = None
+            if operand.is_column is not None:
+                cmp = ("notnull" if negated else "isnull", operand.is_column, None)
+            return CompiledExpr(
+                fn_isnull, operand.refs, text=f"{operand.text} IS NULL", cmp=cmp
+            )
 
         if isinstance(expr, ast.InList):
             return self._compile_in_list(expr, scope, env, replace)
@@ -687,8 +713,23 @@ class Planner:
                 )
                 return vector.logical_not(result) if negated else result
 
+            cmp = None
+            if (
+                not negated
+                and operand.is_column is not None
+                and isinstance(expr.low, ast.Literal)
+                and isinstance(expr.high, ast.Literal)
+            ):
+                cmp = (
+                    "between",
+                    operand.is_column,
+                    (expr.low.value, expr.high.value),
+                )
             return CompiledExpr(
-                fn_between, operand.refs | low.refs | high.refs, text="BETWEEN"
+                fn_between,
+                operand.refs | low.refs | high.refs,
+                text="BETWEEN",
+                cmp=cmp,
             )
 
         if isinstance(expr, ast.Case):
@@ -732,8 +773,16 @@ class Planner:
                 lambda b, c: vector.logical_or(left(b, c), right(b, c)), refs, text
             )
         if op in ("=", "<>", "<", "<=", ">", ">="):
+            cmp = None
+            if left.is_column is not None and isinstance(expr.right, ast.Literal):
+                cmp = (op, left.is_column, expr.right.value)
+            elif right.is_column is not None and isinstance(expr.left, ast.Literal):
+                cmp = (_FLIP[op], right.is_column, expr.left.value)
             return CompiledExpr(
-                lambda b, c: vector.compare(op, left(b, c), right(b, c)), refs, text
+                lambda b, c: vector.compare(op, left(b, c), right(b, c)),
+                refs,
+                text,
+                cmp=cmp,
             )
         if op == "like":
 
@@ -782,7 +831,14 @@ class Planner:
             assert result is not None
             return vector.logical_not(result) if negated else result
 
-        return CompiledExpr(fn_in, refs, text="IN (...)")
+        cmp = None
+        if (
+            not negated
+            and operand.is_column is not None
+            and all(isinstance(i, ast.Literal) for i in expr.items)
+        ):
+            cmp = ("in", operand.is_column, len(items))
+        return CompiledExpr(fn_in, refs, text="IN (...)", cmp=cmp)
 
     def _compile_case(
         self,

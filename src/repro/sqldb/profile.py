@@ -37,6 +37,11 @@ class Profile:
     parallelism: int = 1
     #: rows per morsel when parallel execution is active
     morsel_size: int = 65536
+    #: enable the statistics-driven rewrite layer (constant folding,
+    #: predicate pushdown, conjunct reordering, join build-side choice);
+    #: off by default so stock profiles keep their documented plan shapes —
+    #: ``Database(optimize=True)`` opts in per connection
+    optimize: bool = False
 
 
 POSTGRES = Profile("postgres", materialize_ctes_by_default=True, copy_operator_output=True)

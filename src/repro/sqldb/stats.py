@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.sqldb.plan import PlanNode
 
@@ -77,10 +78,22 @@ class ExecStats:
 
     # -- reporting -----------------------------------------------------------
 
-    def annotate(self, plan: PlanNode, indent: int = 0) -> str:
-        """The plan tree as text with per-node actual counters."""
+    def annotate(
+        self,
+        plan: PlanNode,
+        indent: int = 0,
+        estimates: Optional[dict[int, float]] = None,
+    ) -> str:
+        """The plan tree as text with per-node actual counters.
+
+        With *estimates* (a ``{id(node): rows}`` map from the optimizer's
+        cardinality model) each line also carries the planner's estimated
+        row count, PostgreSQL-style, ahead of the actual counters.
+        """
         entry = self.nodes.get(id(plan))
         line = "  " * indent + plan.label()
+        if estimates is not None and id(plan) in estimates:
+            line += f"  (estimated rows={estimates[id(plan)]:.0f})"
         if entry is not None:
             line += (
                 f"  (actual rows={entry.rows} calls={entry.calls} "
@@ -93,7 +106,7 @@ class ExecStats:
             line += "  (never executed)"
         lines = [line]
         for child in plan.children():
-            lines.append(self.annotate(child, indent + 1))
+            lines.append(self.annotate(child, indent + 1, estimates))
         return "\n".join(lines)
 
     def by_operator(self) -> dict[str, dict]:

@@ -1,0 +1,18 @@
+"""Shared pytest configuration.
+
+``--fuzz-rounds N`` raises the number of generated queries per
+differential-fuzz test (see ``tests/sqldb/test_fuzz_differential.py``).
+The default keeps the fuzz suite inside the tier-1 time budget; CI's
+long-run job passes a few hundred rounds.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-rounds",
+        action="store",
+        type=int,
+        default=None,
+        help="generated queries per differential-fuzz test "
+        "(default: a small tier-1 budget)",
+    )

@@ -50,3 +50,38 @@ class TestReplaceDtype:
         out = Series([1.0, float("nan"), 3.0]).replace(3.0, 4.0)
         assert out.dtype == np.float64
         assert out.tolist() == [1.0, None, 4.0]
+
+
+class TestReplaceNulls:
+    """Regression: null cells (None / NaN) could never be replaced."""
+
+    def test_all_null_object_column(self):
+        out = Series([None, None, None]).replace({None: "missing"})
+        assert out.tolist() == ["missing", "missing", "missing"]
+
+    def test_all_null_float_column(self):
+        out = Series([float("nan")] * 3).replace({np.nan: 0.0})
+        assert out.dtype == np.float64
+        assert out.tolist() == [0.0, 0.0, 0.0]
+
+    def test_scalar_none_to_replace(self):
+        out = Series([None, None]).replace(None, 7)
+        assert out.tolist() == [7, 7]
+        assert out.dtype == np.int64
+
+    def test_nan_key_on_mixed_column(self):
+        out = Series([1.0, float("nan"), 3.0]).replace({np.nan: 2.0})
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_mixed_mapping_with_and_without_na_keys(self):
+        out = Series([1.0, float("nan"), 3.0]).replace({np.nan: 0.0, 3.0: 9.0})
+        assert out.tolist() == [1.0, 0.0, 9.0]
+
+    def test_all_null_without_na_key_is_unchanged(self):
+        out = Series([None, None]).replace({"x": "y"})
+        assert out.tolist() == [None, None]
+
+    def test_replacing_null_with_none_is_identity(self):
+        out = Series([None, 1]).replace({None: None})
+        assert out.tolist() == [None, 1]

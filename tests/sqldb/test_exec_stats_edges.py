@@ -1,0 +1,110 @@
+"""Regression tests for runtime-stats edges left untested by the
+parallel-execution work: the exact EXPLAIN ANALYZE output shape, counter
+accumulation across repeated cursor reuse, and strict parsing of the
+``REPRO_SQL_WORKERS`` environment variable."""
+
+import re
+
+import pytest
+
+from repro.errors import SQLExecutionError
+from repro.sqldb import Database, connect
+from repro.sqldb.engine import WORKERS_ENV, resolve_workers
+from repro.sqldb.profile import UMBRA
+
+
+def _fill(db, n=60):
+    db.execute("CREATE TABLE t (id int, grp text, val int)")
+    db.catalog.table("t").append_columns(
+        {
+            "id": list(range(n)),
+            "grp": [("g%d" % (i % 3)) for i in range(n)],
+            "val": [i - n // 2 for i in range(n)],
+        },
+        n,
+    )
+    db.catalog.bump_version()
+
+
+_NODE_LINE = re.compile(
+    r"^(  )*\w+.*"  # indented operator label
+    r"  \(estimated rows=\d+\)"
+    r"  \((actual rows=\d+ calls=\d+ time=\d+\.\d{3}ms( morsels=\d+)?"
+    r"|never executed)\)$"
+)
+
+
+def test_explain_analyze_output_shape():
+    db = Database("postgres")
+    _fill(db)
+    text = db.explain_analyze("SELECT grp, count(*) AS c FROM t GROUP BY grp")
+    lines = text.splitlines()
+    # trailer: a rewrites summary then the timing footer, in that order
+    assert lines[-2] == "Rewrites: none"  # optimizer off on stock profiles
+    assert re.fullmatch(
+        r"Execution time: \d+\.\d{3} ms \(workers=1\)", lines[-1]
+    )
+    node_lines = lines[:-2]
+    assert node_lines, "no plan nodes in EXPLAIN ANALYZE output"
+    for line in node_lines:
+        assert _NODE_LINE.match(line), f"malformed node line: {line!r}"
+    db.close()
+
+
+def test_explain_analyze_lists_fired_rewrites():
+    db = Database("postgres", optimize=True)
+    _fill(db)
+    db.analyze()
+    text = db.explain_analyze(
+        "SELECT id FROM t WHERE val > 0 AND grp = 'g1' AND 1 = 1"
+    )
+    (rewrite_line,) = [
+        line for line in text.splitlines() if line.startswith("Rewrites: ")
+    ]
+    assert "predicate-pushdown" in rewrite_line or "Rewrites: none" != rewrite_line
+    assert "remove-trivial-filter" in rewrite_line
+    assert "estimated rows=" in text
+    db.close()
+
+
+def test_exec_stats_accumulate_across_cursor_reuse():
+    connection = connect(UMBRA, collect_exec_stats=True)
+    _fill(connection.database)
+    cursor = connection.cursor()
+    query = "SELECT grp, count(*) AS c FROM t GROUP BY grp ORDER BY grp"
+    calls_seen = []
+    for _ in range(3):
+        cursor.execute(query)
+        assert len(cursor.fetchall()) == 3
+        counters = connection.database.operator_counters
+        label = next(l for l in counters if "Aggregate" in l)
+        calls_seen.append(counters[label]["calls"])
+    # cumulative counters grow monotonically; per-execution stats reset
+    assert calls_seen == sorted(calls_seen)
+    assert calls_seen[0] < calls_seen[-1]
+    last = connection.database.last_exec_stats
+    assert last is not None
+    assert all(entry.calls >= 1 for entry in last.nodes.values())
+    connection.close()
+
+
+def test_workers_env_invalid_values(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "banana")
+    with pytest.raises(SQLExecutionError, match="REPRO_SQL_WORKERS"):
+        resolve_workers(None, UMBRA)
+    monkeypatch.setenv(WORKERS_ENV, "2.5")
+    with pytest.raises(SQLExecutionError):
+        resolve_workers(None, UMBRA)
+    monkeypatch.setenv(WORKERS_ENV, "")
+    with pytest.raises(SQLExecutionError):
+        resolve_workers(None, UMBRA)
+    # explicit argument always wins over a broken environment
+    assert resolve_workers(3, UMBRA) == 3
+    # non-positive values clamp to serial rather than erroring
+    monkeypatch.setenv(WORKERS_ENV, "0")
+    assert resolve_workers(None, UMBRA) == 1
+    monkeypatch.setenv(WORKERS_ENV, "-4")
+    assert resolve_workers(None, UMBRA) == 1
+    # int() tolerates surrounding whitespace, so "  2  " is fine
+    monkeypatch.setenv(WORKERS_ENV, "  2  ")
+    assert resolve_workers(None, UMBRA) == 2
