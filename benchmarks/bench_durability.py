@@ -1,0 +1,290 @@
+"""Durability benchmark: WAL overhead, checkpoints, and recovery.
+
+Three parts, all written to ``BENCH_durability.json``:
+
+* **writes** — the same mixed write workload (executemany batches,
+  autocommit inserts, multi-statement transactions) against three
+  configurations: WAL off, WAL on, and WAL on with auto-checkpoints.
+  Row counts are checked identical across configurations before any
+  timing is recorded; ``overhead_vs_off`` is the headline number for
+  EXPERIMENTS.md.
+* **recovery** — time to reopen a database from (a) a WAL holding the
+  full workload and (b) a checkpoint plus empty WAL tail, plus the cost
+  of taking the checkpoint itself.
+* **reads** — a group-by SELECT over the loaded table with WAL off vs
+  on; reads never touch the log, so this is a no-regression check.
+
+Scale control
+-------------
+``REPRO_BENCH_DURABILITY_ROWS``  rows loaded through executemany
+batches (default ``2000``; per-statement engine cost dominates, so the
+WAL overhead ratio is stable across scales).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import tempfile
+import time
+
+from harness import print_table
+from repro.sqldb import Database
+
+REPEATS = 3
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_durability.json")
+
+BATCH_SIZE = 500
+AUTOCOMMIT_INSERTS = 100
+TXN_BLOCKS = 10
+TXN_INSERTS = 25
+
+CONFIGS = [
+    ("wal-off", {}),
+    ("wal", {"wal": True}),
+    ("wal+ckpt", {"wal": True, "checkpoint_every": 50}),
+]
+
+READ_QUERY = (
+    "SELECT tag, count(*) AS c, sum(k) AS total FROM kv "
+    "GROUP BY tag ORDER BY tag"
+)
+
+
+def _workload_rows() -> int:
+    return int(os.environ.get("REPRO_BENCH_DURABILITY_ROWS", "2000"))
+
+
+def _open(config: dict, wal_path: str) -> Database:
+    kwargs = {}
+    if config.get("wal"):
+        kwargs["wal_path"] = wal_path
+        if config.get("checkpoint_every"):
+            kwargs["checkpoint_every"] = config["checkpoint_every"]
+    return Database("umbra", **kwargs)
+
+
+def _run_workload(db: Database, rows: int) -> int:
+    """The mixed write workload; returns the total row count."""
+    db.execute("CREATE TABLE kv (k int, v text, tag text)")
+    batch = []
+    for i in range(rows):
+        batch.append((i, f"v{i % 97}", f"g{i % 7}"))
+        if len(batch) == BATCH_SIZE:
+            db.executemany(
+                "INSERT INTO kv (k, v, tag) VALUES (?, ?, ?)", batch
+            )
+            batch = []
+    if batch:
+        db.executemany("INSERT INTO kv (k, v, tag) VALUES (?, ?, ?)", batch)
+    for i in range(AUTOCOMMIT_INSERTS):
+        db.execute(
+            "INSERT INTO kv (k, v, tag) VALUES (?, ?, ?)",
+            (rows + i, "auto", "auto"),
+        )
+    base = rows + AUTOCOMMIT_INSERTS
+    for block in range(TXN_BLOCKS):
+        db.execute("BEGIN")
+        for i in range(TXN_INSERTS):
+            db.execute(
+                "INSERT INTO kv (k, v, tag) VALUES (?, ?, ?)",
+                (base + block * TXN_INSERTS + i, "tx", "tx"),
+            )
+        db.execute("COMMIT")
+    return db.execute("SELECT count(*) FROM kv").scalar()
+
+
+# -- part 1: write overhead ---------------------------------------------------
+
+
+def run_write_sweep(rows: int, workdir: str) -> dict:
+    expected = rows + AUTOCOMMIT_INSERTS + TXN_BLOCKS * TXN_INSERTS
+    results = []
+    off_best = None
+    for name, config in CONFIGS:
+        timings = []
+        wal_bytes = 0
+        for repeat in range(REPEATS):
+            wal_path = os.path.join(workdir, f"write-{name}-{repeat}.wal")
+            db = _open(config, wal_path)
+            started = time.perf_counter()
+            total = _run_workload(db, rows)
+            timings.append(time.perf_counter() - started)
+            assert total == expected, (
+                f"config {name} lost rows: {total} != {expected}"
+            )
+            db.close()
+            if config.get("wal"):
+                wal_bytes = os.path.getsize(wal_path)
+        best = min(timings)
+        if name == "wal-off":
+            off_best = best
+        results.append(
+            {
+                "config": name,
+                "seconds": timings,
+                "seconds_best": best,
+                "overhead_vs_off": best / off_best - 1.0,
+                "wal_bytes": wal_bytes,
+            }
+        )
+    return {
+        "rows": expected,
+        "batch_size": BATCH_SIZE,
+        "repeats": REPEATS,
+        "rows_checked": True,
+        "results": results,
+    }
+
+
+# -- part 2: checkpoint and recovery ------------------------------------------
+
+
+def run_recovery_sweep(rows: int, workdir: str) -> dict:
+    wal_path = os.path.join(workdir, "recovery.wal")
+    db = _open({"wal": True}, wal_path)
+    total = _run_workload(db, rows)
+    db.close()
+    wal_bytes = os.path.getsize(wal_path)
+
+    replay_timings = []
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        recovered = Database("umbra", wal_path=wal_path)
+        replay_timings.append(time.perf_counter() - started)
+        count = recovered.execute("SELECT count(*) FROM kv").scalar()
+        assert count == total, f"recovery lost rows: {count} != {total}"
+        recovered.close()
+
+    db = Database("umbra", wal_path=wal_path)
+    started = time.perf_counter()
+    db.execute("CHECKPOINT")
+    checkpoint_seconds = time.perf_counter() - started
+    db.close()
+
+    from_ckpt_timings = []
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        recovered = Database("umbra", wal_path=wal_path)
+        from_ckpt_timings.append(time.perf_counter() - started)
+        count = recovered.execute("SELECT count(*) FROM kv").scalar()
+        assert count == total, f"checkpoint lost rows: {count} != {total}"
+        recovered.close()
+
+    return {
+        "rows": total,
+        "repeats": REPEATS,
+        "wal_bytes": wal_bytes,
+        "replay_seconds": replay_timings,
+        "replay_seconds_best": min(replay_timings),
+        "checkpoint_seconds": checkpoint_seconds,
+        "from_checkpoint_seconds": from_ckpt_timings,
+        "from_checkpoint_seconds_best": min(from_ckpt_timings),
+    }
+
+
+# -- part 3: the read path never touches the log ------------------------------
+
+
+def run_read_sweep(rows: int, workdir: str) -> dict:
+    results = []
+    reference = None
+    off_best = None
+    for name, config in CONFIGS[:2]:
+        wal_path = os.path.join(workdir, f"read-{name}.wal")
+        db = _open(config, wal_path)
+        _run_workload(db, rows)
+        db.execute(READ_QUERY)  # warm the plan cache
+        timings = []
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            result = db.execute(READ_QUERY)
+            timings.append(time.perf_counter() - started)
+        db.close()
+        if reference is None:
+            reference = result.rows
+        assert result.rows == reference, "WAL changed the read result"
+        best = min(timings)
+        if name == "wal-off":
+            off_best = best
+        results.append(
+            {
+                "config": name,
+                "seconds": timings,
+                "seconds_best": best,
+                "overhead_vs_off": best / off_best - 1.0,
+            }
+        )
+    return {
+        "query": READ_QUERY,
+        "repeats": REPEATS,
+        "rows_checked": True,
+        "results": results,
+    }
+
+
+# -- report -------------------------------------------------------------------
+
+
+def run_sweep(rows=None) -> dict:
+    rows = rows or _workload_rows()
+    workdir = tempfile.mkdtemp(prefix="bench_durability_")
+    try:
+        return {
+            "benchmark": "bench_durability",
+            "hardware": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "writes": run_write_sweep(rows, workdir),
+            "recovery": run_recovery_sweep(rows, workdir),
+            "reads": run_read_sweep(rows, workdir),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def write_report(report: dict, path: str = OUT_PATH) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def main() -> None:
+    report = run_sweep()
+    write_report(report)
+    print_table(
+        f"mixed write workload, {report['writes']['rows']} rows",
+        ["config", "best s", "overhead"],
+        [
+            [e["config"], e["seconds_best"], f"{e['overhead_vs_off']:+.1%}"]
+            for e in report["writes"]["results"]
+        ],
+    )
+    recovery = report["recovery"]
+    print_table(
+        f"recovery, {recovery['rows']} rows "
+        f"({recovery['wal_bytes']} WAL bytes)",
+        ["phase", "best s"],
+        [
+            ["replay full WAL", recovery["replay_seconds_best"]],
+            ["take checkpoint", recovery["checkpoint_seconds"]],
+            ["open from checkpoint", recovery["from_checkpoint_seconds_best"]],
+        ],
+    )
+    print_table(
+        "group-by read (plan cache warm)",
+        ["config", "best s", "overhead"],
+        [
+            [e["config"], e["seconds_best"], f"{e['overhead_vs_off']:+.1%}"]
+            for e in report["reads"]["results"]
+        ],
+    )
+    print(f"\nwrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

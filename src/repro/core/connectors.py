@@ -8,6 +8,7 @@ pipelined (beyond-main-memory) profile.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Optional, Sequence
 
 from repro.sqldb import dbapi
@@ -36,6 +37,9 @@ class DBConnector:
         morsel_size: Optional[int] = None,
         collect_exec_stats: bool = False,
         optimize: Optional[bool] = None,
+        wal_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        statement_timeout_ms: Optional[float] = None,
     ) -> None:
         self._connection: Optional[dbapi.Connection] = None
         self.statement_timings: list[tuple[str, float]] = []
@@ -45,21 +49,32 @@ class DBConnector:
         self.collect_exec_stats = collect_exec_stats
         #: statistics-driven rewrite layer (None: whatever the profile says)
         self.optimize = optimize
+        #: opt-in durability: WAL + checkpoints, recovered on connect
+        self.wal_path = wal_path
+        self.checkpoint_every = checkpoint_every
+        #: cooperative statement timeout (None: REPRO_SQL_TIMEOUT_MS, then off)
+        self.statement_timeout_ms = statement_timeout_ms
 
     @property
     def name(self) -> str:
         return self.profile_name
 
+    def _connect(self) -> dbapi.Connection:
+        return dbapi.connect(
+            self._profile(),
+            workers=self.workers,
+            morsel_size=self.morsel_size,
+            collect_exec_stats=self.collect_exec_stats,
+            optimize=self.optimize,
+            wal_path=self.wal_path,
+            checkpoint_every=self.checkpoint_every,
+            statement_timeout_ms=self.statement_timeout_ms,
+        )
+
     @property
     def connection(self) -> dbapi.Connection:
         if self._connection is None:
-            self._connection = dbapi.connect(
-                self._profile(),
-                workers=self.workers,
-                morsel_size=self.morsel_size,
-                collect_exec_stats=self.collect_exec_stats,
-                optimize=self.optimize,
-            )
+            self._connection = self._connect()
         return self._connection
 
     def _profile(self):
@@ -70,19 +85,22 @@ class DBConnector:
 
         The statement cache survives the reconnect, so re-running the
         same pipeline replays its DDL and then hits cached plans for
-        every inspection query.
+        every inspection query.  For a durable connector the WAL and
+        checkpoint files are removed too — reset means "fresh database",
+        not "recover the old one".
         """
         previous = self._connection
-        self._connection = dbapi.connect(
-            self._profile(),
-            workers=self.workers,
-            morsel_size=self.morsel_size,
-            collect_exec_stats=self.collect_exec_stats,
-            optimize=self.optimize,
-        )
+        if previous is not None:
+            previous.close()
+        if self.wal_path is not None:
+            for path in (self.wal_path, self.wal_path + ".ckpt"):
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+        self._connection = self._connect()
         if previous is not None:
             self._connection.database.adopt_plan_cache(previous.database)
-            previous.close()
         self.statement_timings = []
 
     def run(
@@ -158,12 +176,18 @@ class ProfileConnector(DBConnector):
         morsel_size: Optional[int] = None,
         collect_exec_stats: bool = False,
         optimize: Optional[bool] = None,
+        wal_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        statement_timeout_ms: Optional[float] = None,
     ) -> None:
         super().__init__(
             workers=workers,
             morsel_size=morsel_size,
             collect_exec_stats=collect_exec_stats,
             optimize=optimize,
+            wal_path=wal_path,
+            checkpoint_every=checkpoint_every,
+            statement_timeout_ms=statement_timeout_ms,
         )
         self._custom_profile = profile
         self.profile_name = profile.name

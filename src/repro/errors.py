@@ -1,4 +1,11 @@
-"""Exception hierarchy shared across the repro package."""
+"""Exception hierarchy shared across the repro package.
+
+SQL-side errors carry a PostgreSQL-style SQLSTATE code in ``sqlstate``
+(class-level default, overridable per raise via the ``sqlstate`` keyword),
+so callers can branch on error class *or* on the five-character code the
+way psycopg2 users do.  The DB-API adapter (:mod:`repro.sqldb.dbapi`)
+maps this hierarchy onto the PEP 249 ``Error`` classes.
+"""
 
 
 class ReproError(Exception):
@@ -20,21 +27,60 @@ class NotFittedError(LearnError):
 class SQLError(ReproError):
     """Base class for errors raised by the SQL engine (``repro.sqldb``)."""
 
+    #: PostgreSQL-style SQLSTATE code (class default; per-instance override
+    #: via the ``sqlstate`` keyword)
+    sqlstate = "XX000"  # internal_error
+
+    def __init__(self, *args, sqlstate: str | None = None) -> None:
+        super().__init__(*args)
+        if sqlstate is not None:
+            self.sqlstate = sqlstate
+
 
 class SQLSyntaxError(SQLError):
     """The SQL text could not be tokenised or parsed."""
+
+    sqlstate = "42601"  # syntax_error
 
 
 class SQLBindError(SQLError):
     """A name (table, column, function) could not be resolved."""
 
+    sqlstate = "42703"  # undefined_column
+
 
 class SQLExecutionError(SQLError):
     """A runtime failure while executing a query plan."""
 
+    sqlstate = "22000"  # data_exception
+
 
 class CatalogError(SQLError):
     """Catalog violations: duplicate or missing tables/views."""
+
+    sqlstate = "42P01"  # undefined_table
+
+
+class TransactionError(SQLError):
+    """Invalid transaction state: BEGIN inside a transaction, COMMIT or
+    SAVEPOINT outside one, ROLLBACK TO an unknown savepoint."""
+
+    sqlstate = "25000"  # invalid_transaction_state
+
+
+class QueryCancelled(SQLError):
+    """A statement was cancelled — statement timeout or explicit
+    :meth:`~repro.sqldb.engine.Database.cancel` — at a cooperative
+    checkpoint (operator or morsel boundary)."""
+
+    sqlstate = "57014"  # query_canceled
+
+
+class DurabilityError(SQLError):
+    """Write-ahead log or checkpoint failure: unreadable/corrupt files,
+    unserialisable redo records, or a replay that no longer applies."""
+
+    sqlstate = "58030"  # io_error
 
 
 class InspectionError(ReproError):

@@ -17,11 +17,19 @@ The SQL dialect covers everything the paper's transpiler emits; see
 
 from repro.sqldb.catalog import CTID, Catalog, ColumnStats, Table, TableStats, View
 from repro.sqldb.dbapi import Connection, Cursor, connect
-from repro.sqldb.engine import Database, Result, resolve_workers
+from repro.sqldb.engine import (
+    Database,
+    Result,
+    resolve_timeout_ms,
+    resolve_workers,
+)
+from repro.sqldb.faults import CRASHPOINTS, NO_FAULTS, FaultInjector, SimulatedCrash
 from repro.sqldb.profile import POSTGRES, UMBRA, Profile, profile_by_name
 from repro.sqldb.stats import ExecStats, OpStats
+from repro.sqldb.wal import WriteAheadLog, read_checkpoint, read_wal
 
 __all__ = [
+    "CRASHPOINTS",
     "CTID",
     "Catalog",
     "ColumnStats",
@@ -29,15 +37,22 @@ __all__ = [
     "Cursor",
     "Database",
     "ExecStats",
+    "FaultInjector",
+    "NO_FAULTS",
     "OpStats",
     "POSTGRES",
     "Profile",
     "Result",
+    "SimulatedCrash",
     "Table",
     "TableStats",
     "UMBRA",
     "View",
+    "WriteAheadLog",
     "connect",
     "profile_by_name",
+    "read_checkpoint",
+    "read_wal",
+    "resolve_timeout_ms",
     "resolve_workers",
 ]

@@ -12,12 +12,15 @@ from typing import Any, Optional, Sequence, Union
 
 __all__ = [
     "Analyze",
+    "Begin",
     "Between",
     "BinaryOp",
     "Case",
     "Cast",
+    "Checkpoint",
     "ColumnRef",
     "ColumnDef",
+    "Commit",
     "Copy",
     "CreateTable",
     "CreateView",
@@ -33,6 +36,10 @@ __all__ = [
     "NamedTable",
     "OrderItem",
     "Parameter",
+    "ReleaseSavepoint",
+    "Rollback",
+    "RollbackTo",
+    "Savepoint",
     "ScalarSubquery",
     "Select",
     "SelectItem",
@@ -281,4 +288,66 @@ class Analyze:
     table: Optional[str] = None  # None = every base table
 
 
-Statement = Union[Select, CreateTable, CreateView, Insert, Copy, Drop, Analyze]
+# -- transaction control -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Begin:
+    """``BEGIN [TRANSACTION|WORK]`` — open an explicit transaction."""
+
+
+@dataclass(frozen=True)
+class Commit:
+    """``COMMIT [TRANSACTION|WORK]`` — commit the open transaction."""
+
+
+@dataclass(frozen=True)
+class Rollback:
+    """``ROLLBACK [TRANSACTION|WORK]`` — abort the open transaction."""
+
+
+@dataclass(frozen=True)
+class Savepoint:
+    """``SAVEPOINT name`` — set a savepoint in the open transaction."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class RollbackTo:
+    """``ROLLBACK TO [SAVEPOINT] name`` — partial rollback; the savepoint
+    itself survives and can be rolled back to again."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ReleaseSavepoint:
+    """``RELEASE [SAVEPOINT] name`` — drop the savepoint (and any set
+    after it), keeping its effects."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """``CHECKPOINT`` — snapshot the catalog and reset the WAL (durable
+    databases only; outside any transaction)."""
+
+
+Statement = Union[
+    Select,
+    CreateTable,
+    CreateView,
+    Insert,
+    Copy,
+    Drop,
+    Analyze,
+    Begin,
+    Commit,
+    Rollback,
+    Savepoint,
+    RollbackTo,
+    ReleaseSavepoint,
+    Checkpoint,
+]

@@ -21,6 +21,7 @@ __all__ = [
     "Table",
     "View",
     "Catalog",
+    "CatalogSnapshot",
     "ColumnStats",
     "TableStats",
     "CTID",
@@ -61,9 +62,19 @@ def coerce_to_type(raw: Any, storage: str) -> Any:
     if raw is None:
         return None
     if storage in ("int", "serial"):
-        return int(float(raw))
+        try:
+            return int(float(raw))
+        except (TypeError, ValueError):
+            raise SQLExecutionError(
+                f"cannot interpret {raw!r} as integer", sqlstate="22P02"
+            ) from None
     if storage == "float":
-        return float(raw)
+        try:
+            return float(raw)
+        except (TypeError, ValueError):
+            raise SQLExecutionError(
+                f"cannot interpret {raw!r} as number", sqlstate="22P02"
+            ) from None
     if storage == "bool":
         if isinstance(raw, bool):
             return raw
@@ -270,6 +281,26 @@ class View:
     snapshot: Optional[tuple[list[str], dict[str, Vector], int]] = None
 
 
+@dataclass
+class CatalogSnapshot:
+    """Copy-on-write memento of the whole catalog (see ``snapshot()``).
+
+    Holds the live ``Table``/``View`` objects by identity plus shallow
+    copies of their mutable containers.  Valid because every data
+    mutation path *replaces* column vectors (``append_rows`` /
+    ``append_columns`` build fresh vectors) and view refreshes replace
+    the whole ``snapshot`` tuple — nothing writes into a captured
+    container.  A memento can be restored any number of times
+    (``restore`` re-copies its containers on the way back in).
+    """
+
+    tables: dict[str, tuple]
+    views: dict[str, tuple]
+    table_stats: dict[str, "TableStats"]
+    schema_version: int
+    stats_version: int
+
+
 class Catalog:
     """Name → table/view registry with PostgreSQL-style single namespace."""
 
@@ -292,6 +323,86 @@ class Catalog:
 
     def bump_version(self) -> None:
         self.schema_version += 1
+
+    # -- transactional mementos ---------------------------------------------
+
+    def snapshot(self) -> CatalogSnapshot:
+        """Capture a restorable memento of the full catalog state.
+
+        O(relations + columns): dict/list shallow copies only — the
+        column vectors themselves are shared copy-on-write (see
+        :class:`CatalogSnapshot`)."""
+        tables = {
+            name: (
+                table,
+                list(table.column_names),
+                list(table.column_types),
+                dict(table.columns),
+                table.n_rows,
+                dict(table._next_serial),
+            )
+            for name, table in self._tables.items()
+        }
+        views = {
+            name: (view, view.snapshot) for name, view in self._views.items()
+        }
+        return CatalogSnapshot(
+            tables,
+            views,
+            dict(self._table_stats),
+            self.schema_version,
+            self.stats_version,
+        )
+
+    def restore(self, snap: CatalogSnapshot) -> None:
+        """Roll the catalog back to *snap*.
+
+        Relations created since the memento vanish; dropped ones
+        reappear (same objects — plans resolve relations by name, so
+        identity preservation is a nicety, not a requirement).  When
+        anything actually changed since the capture, ``schema_version``
+        takes a fresh monotonic bump rather than rewinding, so plans
+        cached *inside* the rolled-back span can never be served again
+        (version values are never reused).
+        """
+        changed = (
+            self.schema_version != snap.schema_version
+            or self.stats_version != snap.stats_version
+        )
+        self._tables = {}
+        for name, (table, names, types, columns, n_rows, serials) in snap.tables.items():
+            table.column_names = list(names)
+            table.column_types = list(types)
+            table.columns = dict(columns)
+            table.n_rows = n_rows
+            table._next_serial = dict(serials)
+            self._tables[name] = table
+        self._views = {}
+        for name, (view, view_snapshot) in snap.views.items():
+            view.snapshot = view_snapshot
+            self._views[name] = view
+        self._table_stats = dict(snap.table_stats)
+        if changed:
+            self.bump_version()
+
+    def install(
+        self,
+        tables: dict[str, Table],
+        views: dict[str, View],
+        table_stats: dict[str, TableStats],
+    ) -> None:
+        """Adopt recovered state wholesale (checkpoint load on open)."""
+        self._tables = dict(tables)
+        self._views = dict(views)
+        self._table_stats = dict(table_stats)
+        self.bump_version()
+
+    def export_state(
+        self,
+    ) -> tuple[dict[str, Table], dict[str, View], dict[str, TableStats]]:
+        """The live relation/statistics dicts for checkpointing (the
+        inverse of :meth:`install`)."""
+        return dict(self._tables), dict(self._views), dict(self._table_stats)
 
     # -- ANALYZE statistics -------------------------------------------------
 
@@ -342,13 +453,17 @@ class Catalog:
 
     def create_table(self, table: Table) -> None:
         if table.name in self._tables or table.name in self._views:
-            raise CatalogError(f"relation {table.name!r} already exists")
+            raise CatalogError(
+                f"relation {table.name!r} already exists", sqlstate="42P07"
+            )
         self._tables[table.name] = table
         self.bump_version()
 
     def create_view(self, view: View) -> None:
         if view.name in self._tables or view.name in self._views:
-            raise CatalogError(f"relation {view.name!r} already exists")
+            raise CatalogError(
+                f"relation {view.name!r} already exists", sqlstate="42P07"
+            )
         self._views[view.name] = view
         self.bump_version()
 

@@ -4,17 +4,168 @@ The paper's measurements "enclose a call to the psycopg2 adapter to run the
 query"; the benchmark harness talks to the engine through this module so
 the measured path has the same shape (connect → cursor → execute →
 fetchall).
+
+Errors raised through this module are mapped onto the PEP 249 hierarchy
+(``ProgrammingError``, ``OperationalError``, ...) while *remaining*
+instances of the engine's own classes, so both
+
+    except dbapi.ProgrammingError: ...
+    except SQLSyntaxError: ...
+
+catch a syntax error.  The connection is autocommit by default, exactly
+like the engine itself: ``commit()``/``rollback()`` act on the explicit
+transaction a ``BEGIN`` statement opened and are no-ops outside one.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Optional, Sequence
 
-from repro.errors import SQLError
+from repro.errors import (
+    CatalogError,
+    DurabilityError,
+    QueryCancelled,
+    SQLBindError,
+    SQLError,
+    SQLExecutionError,
+    SQLSyntaxError,
+    TransactionError,
+)
 from repro.sqldb.engine import Database, Result
+from repro.sqldb.faults import FaultInjector
 from repro.sqldb.profile import POSTGRES, Profile
 
-__all__ = ["connect", "Connection", "Cursor"]
+__all__ = [
+    "connect",
+    "Connection",
+    "Cursor",
+    "map_exception",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+]
+
+apilevel = "2.0"
+threadsafety = 2  # threads may share the module and connections
+paramstyle = "qmark"  # ``?``; the lexer also accepts psycopg2's ``%s``
+
+
+# -- PEP 249 exception hierarchy ---------------------------------------------
+
+
+class Warning(Exception):  # noqa: A001 - name mandated by PEP 249
+    """PEP 249 Warning."""
+
+
+class Error(Exception):
+    """Base of the PEP 249 error hierarchy."""
+
+
+class InterfaceError(Error, SQLError):
+    """Error related to the adapter itself (e.g. a closed connection).
+
+    Also an :class:`~repro.errors.SQLError` so callers that predate the
+    PEP 249 hierarchy keep catching it."""
+
+    sqlstate = "08003"  # connection_does_not_exist
+
+
+class DatabaseError(Error):
+    """Error related to the database."""
+
+
+class DataError(DatabaseError):
+    """Problems with the processed data (bad cast, bad value)."""
+
+
+class OperationalError(DatabaseError):
+    """Errors related to the database's operation (transaction state,
+    cancellation, durability/IO failures)."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violations (unused; kept for API shape)."""
+
+
+class InternalError(DatabaseError):
+    """The database hit an internal inconsistency."""
+
+
+class ProgrammingError(DatabaseError):
+    """Errors in the submitted SQL: syntax, unknown names, bad DDL."""
+
+
+class NotSupportedError(DatabaseError):
+    """A requested feature is not supported by this engine."""
+
+
+#: engine class → PEP 249 class, most specific first (first match wins)
+_ERROR_MAP: tuple[tuple[type, type], ...] = (
+    (SQLSyntaxError, ProgrammingError),
+    (SQLBindError, ProgrammingError),
+    (CatalogError, ProgrammingError),
+    (TransactionError, OperationalError),
+    (QueryCancelled, OperationalError),
+    (DurabilityError, OperationalError),
+    (SQLExecutionError, DataError),
+    (SQLError, DatabaseError),
+)
+
+_combined_classes: dict[type, type] = {}
+
+
+def _combined_class(cls: type) -> type:
+    """A class that is both *cls* and its PEP 249 counterpart.
+
+    Created once per engine class and cached, so repeated errors don't
+    mint new types and ``type(a) is type(b)`` holds across raises.
+    """
+    combined = _combined_classes.get(cls)
+    if combined is None:
+        if issubclass(cls, Error):
+            combined = cls
+        else:
+            base: type = DatabaseError
+            for engine_cls, dbapi_cls in _ERROR_MAP:
+                if issubclass(cls, engine_cls):
+                    base = dbapi_cls
+                    break
+            combined = type(cls.__name__, (base, cls), {"__module__": __name__})
+        _combined_classes[cls] = combined
+    return combined
+
+
+def map_exception(exc: SQLError) -> SQLError:
+    """Re-dress an engine error as its PEP 249 counterpart.
+
+    The result is an instance of both hierarchies; the SQLSTATE code and
+    message are preserved."""
+    combined = _combined_class(type(exc))
+    if combined is type(exc):
+        return exc
+    return combined(*exc.args, sqlstate=exc.sqlstate)
+
+
+@contextmanager
+def _translating():
+    try:
+        yield
+    except SQLError as exc:
+        raise map_exception(exc) from exc
+
+
+# -- cursor / connection ------------------------------------------------------
 
 
 class Cursor:
@@ -42,7 +193,8 @@ class Cursor:
         Values are bound into the cached plan at execution time — they are
         never spliced into the SQL text.
         """
-        results = self._database.run_script(sql, parameters)
+        with _translating():
+            results = self._database.run_script(sql, parameters)
         self._result = results[-1] if results else None
         self._position = 0
         return self
@@ -50,8 +202,11 @@ class Cursor:
     def executemany(
         self, sql: str, seq_of_parameters: Sequence[Sequence[Any]]
     ) -> "Cursor":
-        """Execute *sql* once per parameter row, parsing and planning once."""
-        total = self._database.executemany(sql, seq_of_parameters)
+        """Execute *sql* once per parameter row, parsing and planning once.
+
+        The batch is atomic — a failure on any row undoes the whole call."""
+        with _translating():
+            total = self._database.executemany(sql, seq_of_parameters)
         self._result = Result(rowcount=total)
         self._position = 0
         return self
@@ -100,26 +255,61 @@ class Connection:
         morsel_size: Optional[int] = None,
         collect_exec_stats: bool = False,
         optimize: Optional[bool] = None,
+        durable: bool = False,
+        wal_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        statement_timeout_ms: Optional[float] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
-        self.database = Database(
-            profile,
-            workers=workers,
-            morsel_size=morsel_size,
-            collect_exec_stats=collect_exec_stats,
-            optimize=optimize,
-        )
+        with _translating():
+            self.database = Database(
+                profile,
+                workers=workers,
+                morsel_size=morsel_size,
+                collect_exec_stats=collect_exec_stats,
+                optimize=optimize,
+                durable=durable,
+                wal_path=wal_path,
+                checkpoint_every=checkpoint_every,
+                statement_timeout_ms=statement_timeout_ms,
+                faults=faults,
+            )
         self._closed = False
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.database.in_transaction
 
     def cursor(self) -> Cursor:
         if self._closed:
-            raise SQLError("connection is closed")
+            raise InterfaceError("connection is closed")
         return Cursor(self.database)
 
-    def commit(self) -> None:  # transactions are implicit; kept for API shape
-        pass
+    def begin(self) -> None:
+        """Open an explicit transaction (``BEGIN``)."""
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        with _translating():
+            self.database.begin()
+
+    def commit(self) -> None:
+        """Commit the open transaction; a no-op in autocommit (DB-API)."""
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        with _translating():
+            self.database.commit()
 
     def rollback(self) -> None:
-        pass
+        """Roll back the open transaction; a no-op in autocommit."""
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        with _translating():
+            self.database.rollback()
+
+    def cancel(self) -> None:
+        """Cancel every in-flight statement on this connection (safe
+        from any thread, like psycopg2's ``Connection.cancel``)."""
+        self.database.cancel()
 
     def close(self) -> None:
         self._closed = True
@@ -138,13 +328,21 @@ def connect(
     morsel_size: Optional[int] = None,
     collect_exec_stats: bool = False,
     optimize: Optional[bool] = None,
+    durable: bool = False,
+    wal_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    statement_timeout_ms: Optional[float] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> Connection:
     """Open a connection to a fresh in-process database.
 
     ``workers`` > 1 enables morsel-driven parallel execution (defaults to
     the ``REPRO_SQL_WORKERS`` environment variable, then the profile).
     ``optimize`` turns the statistics-driven rewrite layer on or off
-    (None: whatever the profile says).
+    (None: whatever the profile says).  ``wal_path`` (or ``durable=True``
+    plus a path) opts into write-ahead logging with crash recovery on
+    connect; ``statement_timeout_ms`` arms a cooperative per-statement
+    timeout (``REPRO_SQL_TIMEOUT_MS`` supplies a default).
     """
     return Connection(
         profile,
@@ -152,4 +350,9 @@ def connect(
         morsel_size=morsel_size,
         collect_exec_stats=collect_exec_stats,
         optimize=optimize,
+        durable=durable,
+        wal_path=wal_path,
+        checkpoint_every=checkpoint_every,
+        statement_timeout_ms=statement_timeout_ms,
+        faults=faults,
     )

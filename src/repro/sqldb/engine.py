@@ -9,18 +9,33 @@ from __future__ import annotations
 
 import csv
 import os
+import threading
 import time
 from collections import Counter, OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import SQLExecutionError
+from repro.errors import (
+    DurabilityError,
+    SQLExecutionError,
+    TransactionError,
+)
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.catalog import Catalog, Table, View, normalise_type
 from repro.sqldb.executor import ExecContext, execute_plan
+from repro.sqldb.faults import NO_FAULTS, FaultInjector
+from repro.sqldb.txn import ReadWriteLock, SavepointState, Transaction
+from repro.sqldb.wal import (
+    WriteAheadLog,
+    read_checkpoint,
+    read_wal,
+    truncate_wal,
+    write_checkpoint,
+)
 from repro.sqldb.optimizer import (
     estimate_plan_rows,
     fold_select,
@@ -36,10 +51,42 @@ from repro.sqldb.profile import POSTGRES, Profile, profile_by_name
 from repro.sqldb.stats import ExecStats, merge_operator_counters
 from repro.sqldb.vector import Vector
 
-__all__ = ["Database", "PlanCache", "Result", "resolve_workers"]
+__all__ = [
+    "Database",
+    "PlanCache",
+    "Result",
+    "resolve_timeout_ms",
+    "resolve_workers",
+]
 
 #: environment variable that opts a connection into parallel execution
 WORKERS_ENV = "REPRO_SQL_WORKERS"
+
+#: statements that mutate the catalog (take the exclusive lock, are
+#: snapshot-protected for statement atomicity, and get WAL-logged)
+_WRITE_TYPES = (
+    ast.CreateTable,
+    ast.CreateView,
+    ast.Insert,
+    ast.Copy,
+    ast.Drop,
+    ast.Analyze,
+)
+
+#: transaction-control statements (exclusive lock, never WAL-logged
+#: themselves — only committed work reaches the log)
+_TXN_TYPES = (
+    ast.Begin,
+    ast.Commit,
+    ast.Rollback,
+    ast.Savepoint,
+    ast.RollbackTo,
+    ast.ReleaseSavepoint,
+    ast.Checkpoint,
+)
+
+#: environment variable providing a default statement timeout (ms)
+TIMEOUT_ENV = "REPRO_SQL_TIMEOUT_MS"
 
 
 def resolve_workers(workers: Optional[int], profile: Profile) -> int:
@@ -57,6 +104,24 @@ def resolve_workers(workers: Optional[int], profile: Profile) -> int:
         else:
             workers = profile.parallelism
     return max(1, int(workers))
+
+
+def resolve_timeout_ms(timeout_ms: Optional[float]) -> Optional[float]:
+    """Statement timeout from the argument, else ``REPRO_SQL_TIMEOUT_MS``.
+
+    ``None`` or a non-positive value disables the timeout (PostgreSQL's
+    ``statement_timeout = 0`` convention)."""
+    if timeout_ms is None:
+        raw = os.environ.get(TIMEOUT_ENV)
+        if raw is None:
+            return None
+        try:
+            timeout_ms = float(raw)
+        except ValueError:
+            raise SQLExecutionError(
+                f"{TIMEOUT_ENV} must be a number, got {raw!r}"
+            ) from None
+    return float(timeout_ms) if timeout_ms > 0 else None
 
 
 @dataclass
@@ -155,6 +220,11 @@ class Database:
         morsel_size: Optional[int] = None,
         collect_exec_stats: bool = False,
         optimize: Optional[bool] = None,
+        durable: bool = False,
+        wal_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        statement_timeout_ms: Optional[float] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if isinstance(profile, str):
             profile = profile_by_name(profile)
@@ -180,13 +250,72 @@ class Database:
         self.operator_counters: dict[str, dict] = {}
         #: stats of the most recent recorded execution
         self.last_exec_stats: Optional[ExecStats] = None
+        #: statement timeout (arg > REPRO_SQL_TIMEOUT_MS env > off)
+        self.statement_timeout_ms = resolve_timeout_ms(statement_timeout_ms)
+        #: cancel events of in-flight statements (guarded by _cancel_mutex)
+        self._cancel_mutex = threading.Lock()
+        self._active_cancels: set[threading.Event] = set()
+        #: SELECTs hold the read side for their whole execution (every
+        #: in-flight morsel included); writes take the exclusive side
+        self._lock = ReadWriteLock()
+        #: the open explicit transaction, if any
+        self._txn: Optional[Transaction] = None
+        self._next_txn = 1
+        #: fault injection for the durability layer (inert by default)
+        self.faults = faults if faults is not None else NO_FAULTS
+        #: durability: opt in with durable=True/wal_path=...
+        self.durable = bool(durable) or wal_path is not None
+        self.wal_path = wal_path
+        self.checkpoint_every = checkpoint_every
+        self._commits_since_checkpoint = 0
+        self._wal: Optional[WriteAheadLog] = None
+        self._replaying = False
+        if self.durable:
+            if not wal_path:
+                raise DurabilityError("durable=True requires wal_path")
+            self._recover()
+            self._wal = WriteAheadLog(wal_path, self.faults)
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit transaction is open."""
+        return self._txn is not None
 
     def close(self) -> None:
-        """Release the worker pool (idempotent; the database stays usable
-        serially and will lazily recreate the pool if needed)."""
+        """Release the worker pool and the WAL file handle (idempotent;
+        the database stays usable serially and will lazily recreate the
+        pool if needed — but not the WAL, mirroring a closed connection).
+
+        Deliberately does *not* commit, checkpoint, or roll back: an open
+        transaction's memory state is simply abandoned, exactly like a
+        process exit, so recovery semantics stay uniform."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._wal is not None:
+            self._wal.close()
+
+    def cancel(self) -> None:
+        """Cooperatively cancel every in-flight statement.
+
+        Safe from any thread; the running statements observe the flag at
+        their next operator or morsel boundary and raise
+        :class:`~repro.errors.QueryCancelled`."""
+        with self._cancel_mutex:
+            for event in self._active_cancels:
+                event.set()
+
+    @contextmanager
+    def _statement_guard(self):
+        """Register a fresh cancel event for one statement execution."""
+        event = threading.Event()
+        with self._cancel_mutex:
+            self._active_cancels.add(event)
+        try:
+            yield event
+        finally:
+            with self._cancel_mutex:
+                self._active_cancels.discard(event)
 
     def _ensure_pool(self) -> Optional[ThreadPoolExecutor]:
         if self.workers <= 1:
@@ -199,12 +328,19 @@ class Database:
         return self._pool
 
     def _make_context(
-        self, params: tuple = (), stats: Optional[ExecStats] = None
+        self,
+        params: tuple = (),
+        stats: Optional[ExecStats] = None,
+        cancel_event: Optional[threading.Event] = None,
     ) -> ExecContext:
-        """One execution context per statement; pools and stats attach here
-        so cached plans stay immutable and re-executable concurrently."""
+        """One execution context per statement; pools, stats and the
+        cancellation deadline attach here so cached plans stay immutable
+        and re-executable concurrently."""
         if stats is None and self.collect_exec_stats:
             stats = ExecStats(workers=self.workers)
+        deadline = None
+        if self.statement_timeout_ms is not None:
+            deadline = time.monotonic() + self.statement_timeout_ms / 1000.0
         return ExecContext(
             self.catalog,
             self.profile,
@@ -213,6 +349,8 @@ class Database:
             morsel_size=self.morsel_size,
             pool=self._ensure_pool(),
             stats=stats,
+            deadline=deadline,
+            cancel_event=cancel_event,
         )
 
     # -- public API ----------------------------------------------------------
@@ -230,7 +368,7 @@ class Database:
                 "execute() takes a single statement; use run_script()"
             )
         bound = bind_parameters(params, entry.n_params)
-        return self._execute_statement(entry.statements[0], sql, bound)
+        return self._execute_statement(entry.statements[0], sql, bound, 0)
 
     def run_script(
         self, sql: str, params: Optional[Sequence[Any]] = None
@@ -239,8 +377,8 @@ class Database:
         entry = self._prepare(sql, params)
         bound = bind_parameters(params, entry.n_params)
         return [
-            self._execute_statement(cached, sql, bound)
-            for cached in entry.statements
+            self._execute_statement(cached, sql, bound, index)
+            for index, cached in enumerate(entry.statements)
         ]
 
     def executemany(
@@ -248,15 +386,79 @@ class Database:
     ) -> int:
         """Execute one statement per parameter row; parse and plan once.
 
-        Returns the summed rowcount (DB-API ``executemany`` semantics).
+        The batch is atomic: a failure on row *k* rolls back rows
+        ``0..k-1`` as well, leaving every table byte-identical to before
+        the call (inside an explicit transaction, the transaction stays
+        open at its pre-batch state).  Returns the summed rowcount
+        (DB-API ``executemany`` semantics).
         """
         entry = self._prepare(sql, params=True)
+        for cached in entry.statements:
+            if not isinstance(cached.statement, _WRITE_TYPES):
+                raise SQLExecutionError(
+                    "executemany only supports DDL/DML statements"
+                )
+        started = time.perf_counter()
         total = 0
-        for params in seq_of_params:
-            bound = bind_parameters(params, entry.n_params)
-            for cached in entry.statements:
-                total += self._execute_statement(cached, sql, bound).rowcount
+        logged_rows: list[list] = []
+        with self._lock.write():
+            memento = self.catalog.snapshot()
+            mark = len(self._txn.records) if self._txn is not None else 0
+            try:
+                for params in seq_of_params:
+                    bound = bind_parameters(params, entry.n_params)
+                    for cached in entry.statements:
+                        total += self._apply_write(
+                            cached.statement, bound
+                        ).rowcount
+                    if self._wal is not None:
+                        if self._txn is not None:
+                            for index in range(len(entry.statements)):
+                                self._txn.records.append(
+                                    (sql, index, list(bound))
+                                )
+                        else:
+                            logged_rows.append(list(bound))
+            except Exception:
+                self.catalog.restore(memento)
+                if self._txn is not None:
+                    del self._txn.records[mark:]
+                raise
+            finally:
+                self.total_execution_time += time.perf_counter() - started
+            if logged_rows and self._wal is not None and self._txn is None:
+                self._flush_batch(sql, len(entry.statements), logged_rows)
         return total
+
+    def _flush_batch(
+        self, sql: str, n_statements: int, rows: list[list]
+    ) -> None:
+        """WAL-commit an autocommitted ``executemany`` batch as one txn."""
+        txn_id = self._next_txn
+        self._next_txn += 1
+        self.faults.check("wal.commit.begin")
+        if n_statements == 1:
+            # compressed batch record: one entry for the whole batch
+            self._wal.append(
+                {"t": "many", "txn": txn_id, "sql": sql, "rows": rows}
+            )
+        else:
+            self._wal.append({"t": "begin", "txn": txn_id})
+            for bound in rows:
+                for index in range(n_statements):
+                    self._wal.append(
+                        {
+                            "t": "stmt",
+                            "txn": txn_id,
+                            "sql": sql,
+                            "i": index,
+                            "p": bound,
+                        }
+                    )
+            self._wal.append({"t": "commit", "txn": txn_id})
+        self._wal.sync()
+        self.faults.check("wal.commit.end")
+        self._note_commit()
 
     def adopt_plan_cache(self, donor: "Database") -> None:
         """Share another database's statement caches (connector reconnects).
@@ -314,35 +516,35 @@ class Database:
         statement = parse_statement(sql)
         if not isinstance(statement, ast.Select):
             raise SQLExecutionError("EXPLAIN only supports SELECT statements")
-        plan = self._plan_select(statement)
+        with self._lock.read():
+            plan = self._plan_select(statement)
         return plan.to_text()
 
     # -- statement dispatch -----------------------------------------------------
 
     def _execute_statement(
-        self, cached: _CachedStatement, sql: str, params: tuple = ()
+        self,
+        cached: _CachedStatement,
+        sql: str,
+        params: tuple = (),
+        index: int = 0,
     ) -> Result:
         statement = cached.statement
         started = time.perf_counter()
         try:
             if isinstance(statement, ast.Select):
-                if cached.plan is None:
-                    cached.plan = self._plan_select(statement)
-                result = self._execute_select_plan(cached.plan, params)
-            elif isinstance(statement, ast.CreateTable):
-                result = self._execute_create_table(statement)
-            elif isinstance(statement, ast.CreateView):
-                result = self._execute_create_view(statement)
-            elif isinstance(statement, ast.Insert):
-                result = self._execute_insert(statement, params)
-            elif isinstance(statement, ast.Copy):
-                result = self._execute_copy(statement)
-            elif isinstance(statement, ast.Drop):
-                self.catalog.drop(statement.name, statement.kind, statement.if_exists)
-                result = Result()
-            elif isinstance(statement, ast.Analyze):
-                names = self.catalog.analyze(statement.table)
-                result = Result(rowcount=len(names))
+                with self._lock.read():
+                    if cached.plan is None:
+                        cached.plan = self._plan_select(statement)
+                    result = self._execute_select_plan(cached.plan, params)
+            elif isinstance(statement, _TXN_TYPES):
+                with self._lock.write():
+                    result = self._execute_txn_control(statement)
+            elif isinstance(statement, _WRITE_TYPES):
+                with self._lock.write():
+                    result = self._execute_write_locked(
+                        statement, sql, index, params
+                    )
             else:
                 raise SQLExecutionError(
                     f"unsupported statement {type(statement).__name__}"
@@ -352,13 +554,293 @@ class Database:
         result.statement = sql.strip().split("\n", 1)[0][:120]
         return result
 
+    def _execute_write_locked(
+        self, statement: ast.Statement, sql: str, index: int, params: tuple
+    ) -> Result:
+        memento = self.catalog.snapshot()
+        try:
+            result = self._apply_write(statement, params)
+        except Exception:
+            # statement-level atomicity: a failing DML/DDL statement
+            # leaves the catalog exactly as it was before it started
+            self.catalog.restore(memento)
+            raise
+        self._log_write(sql, index, params)
+        return result
+
+    def _apply_write(
+        self, statement: ast.Statement, params: tuple = ()
+    ) -> Result:
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateView):
+            return self._execute_create_view(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, params)
+        if isinstance(statement, ast.Copy):
+            return self._execute_copy(statement)
+        if isinstance(statement, ast.Drop):
+            self.catalog.drop(statement.name, statement.kind, statement.if_exists)
+            return Result()
+        if isinstance(statement, ast.Analyze):
+            names = self.catalog.analyze(statement.table)
+            return Result(rowcount=len(names))
+        raise SQLExecutionError(
+            f"unsupported statement {type(statement).__name__}"
+        )
+
+    def _execute_txn_control(self, statement: ast.Statement) -> Result:
+        if isinstance(statement, ast.Begin):
+            self._begin_locked()
+        elif isinstance(statement, ast.Commit):
+            self._require_txn("COMMIT")
+            self._commit_locked()
+        elif isinstance(statement, ast.Rollback):
+            self._require_txn("ROLLBACK")
+            self._rollback_locked()
+        elif isinstance(statement, ast.Savepoint):
+            self._savepoint_locked(statement.name)
+        elif isinstance(statement, ast.RollbackTo):
+            self._rollback_to_locked(statement.name)
+        elif isinstance(statement, ast.ReleaseSavepoint):
+            self._release_locked(statement.name)
+        else:  # ast.Checkpoint
+            self._checkpoint_locked()
+        return Result()
+
+    # -- transactions -----------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open an explicit transaction (``BEGIN``)."""
+        with self._lock.write():
+            self._begin_locked()
+
+    def commit(self) -> None:
+        """Commit the open transaction; a no-op outside one (DB-API
+        convention, unlike the ``COMMIT`` statement which raises)."""
+        with self._lock.write():
+            if self._txn is not None:
+                self._commit_locked()
+
+    def rollback(self) -> None:
+        """Roll back the open transaction; a no-op outside one."""
+        with self._lock.write():
+            if self._txn is not None:
+                self._rollback_locked()
+
+    def checkpoint(self) -> None:
+        """Snapshot the catalog and reset the WAL (``CHECKPOINT``)."""
+        with self._lock.write():
+            self._checkpoint_locked()
+
+    def _require_txn(self, what: str) -> Transaction:
+        if self._txn is None:
+            raise TransactionError(
+                f"{what}: no transaction in progress", sqlstate="25P01"
+            )
+        return self._txn
+
+    def _begin_locked(self) -> None:
+        if self._txn is not None:
+            raise TransactionError(
+                "there is already a transaction in progress", sqlstate="25001"
+            )
+        txn_id = self._next_txn
+        self._next_txn += 1
+        self._txn = Transaction(txn_id, self.catalog.snapshot())
+
+    def _commit_locked(self) -> None:
+        txn = self._txn
+        flushed = False
+        if self._wal is not None and txn.records:
+            self.faults.check("wal.commit.begin")
+            self._wal.append({"t": "begin", "txn": txn.txn_id})
+            for sql, index, bound in txn.records:
+                self._wal.append(
+                    {
+                        "t": "stmt",
+                        "txn": txn.txn_id,
+                        "sql": sql,
+                        "i": index,
+                        "p": bound,
+                    }
+                )
+            self._wal.append({"t": "commit", "txn": txn.txn_id})
+            self._wal.sync()
+            self.faults.check("wal.commit.end")
+            flushed = True
+        self._txn = None
+        if flushed:
+            self._note_commit()
+
+    def _rollback_locked(self) -> None:
+        txn = self._txn
+        self._txn = None
+        self.catalog.restore(txn.memento)
+
+    def _savepoint_locked(self, name: str) -> None:
+        txn = self._require_txn("SAVEPOINT")
+        txn.savepoints.append(
+            SavepointState(name, self.catalog.snapshot(), len(txn.records))
+        )
+
+    def _find_savepoint(self, txn: Transaction, name: str) -> int:
+        # PostgreSQL: duplicate names mask; lookups find the newest one
+        for idx in range(len(txn.savepoints) - 1, -1, -1):
+            if txn.savepoints[idx].name == name:
+                return idx
+        raise TransactionError(
+            f"savepoint {name!r} does not exist", sqlstate="3B001"
+        )
+
+    def _rollback_to_locked(self, name: str) -> None:
+        txn = self._require_txn("ROLLBACK TO SAVEPOINT")
+        idx = self._find_savepoint(txn, name)
+        savepoint = txn.savepoints[idx]
+        self.catalog.restore(savepoint.memento)
+        # the savepoint survives and can be rolled back to again; the
+        # undone statements must never reach the WAL
+        del txn.savepoints[idx + 1 :]
+        del txn.records[savepoint.record_mark :]
+
+    def _release_locked(self, name: str) -> None:
+        txn = self._require_txn("RELEASE SAVEPOINT")
+        idx = self._find_savepoint(txn, name)
+        del txn.savepoints[idx:]
+
+    # -- durability -------------------------------------------------------------
+
+    def _log_write(self, sql: str, index: int, params: tuple) -> None:
+        """Record one successful write for redo (buffered inside an
+        explicit transaction, WAL-committed immediately in autocommit)."""
+        if self._wal is None or self._replaying:
+            return
+        if self._txn is not None:
+            self._txn.records.append((sql, index, list(params)))
+            return
+        txn_id = self._next_txn
+        self._next_txn += 1
+        self.faults.check("wal.commit.begin")
+        # "auto" compresses begin+stmt+commit into one self-committing record
+        self._wal.append(
+            {"t": "auto", "txn": txn_id, "sql": sql, "i": index,
+             "p": list(params)}
+        )
+        self._wal.sync()
+        self.faults.check("wal.commit.end")
+        self._note_commit()
+
+    def _note_commit(self) -> None:
+        self._commits_since_checkpoint += 1
+        if (
+            self.checkpoint_every is not None
+            and self._commits_since_checkpoint >= self.checkpoint_every
+            and self._txn is None
+        ):
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
+        if self._wal is None:
+            raise DurabilityError(
+                "CHECKPOINT requires a durable database (wal_path=...)"
+            )
+        if self._txn is not None:
+            raise TransactionError(
+                "CHECKPOINT cannot run inside a transaction", sqlstate="25001"
+            )
+        self.faults.check("checkpoint.begin")
+        tables, views, stats = self.catalog.export_state()
+        payload = {
+            "tables": tables,
+            "views": views,
+            "stats": stats,
+            "last_txn": self._next_txn - 1,
+        }
+        write_checkpoint(self.wal_path + ".ckpt", payload, self.faults)
+        # a crash between the rename above and this reset replays the old
+        # WAL over the new snapshot; the recorded last_txn makes those
+        # already-folded transactions no-ops
+        self._wal.reset()
+        self.faults.check("checkpoint.end")
+        self._commits_since_checkpoint = 0
+
+    def _recover(self) -> None:
+        """Rebuild the last committed state from checkpoint + WAL.
+
+        Replays every transaction with a commit (or self-committing)
+        record, in commit order; anything after the last complete,
+        checksum-valid record — a torn tail — is truncated away."""
+        ckpt_path = self.wal_path + ".ckpt"
+        last_txn = 0
+        ckpt = read_checkpoint(ckpt_path)
+        if ckpt is not None:
+            self.catalog.install(
+                ckpt["tables"], ckpt["views"], ckpt["stats"]
+            )
+            last_txn = int(ckpt["last_txn"])
+        records, valid_size = read_wal(self.wal_path)
+        if valid_size is not None:
+            truncate_wal(self.wal_path, valid_size)
+        statements: dict[int, list[dict]] = {}
+        committed: list[int] = []
+        highest = last_txn
+        for record in records:
+            kind = record["t"]
+            txn_id = int(record["txn"])
+            highest = max(highest, txn_id)
+            if kind == "begin":
+                statements[txn_id] = []
+            elif kind == "stmt":
+                statements.setdefault(txn_id, []).append(record)
+            elif kind == "commit":
+                committed.append(txn_id)
+            elif kind in ("auto", "many"):
+                statements[txn_id] = [record]
+                committed.append(txn_id)
+        parsed: dict[str, list[ast.Statement]] = {}
+        self._replaying = True
+        try:
+            for txn_id in committed:
+                if txn_id <= last_txn:
+                    continue  # already folded into the checkpoint snapshot
+                for record in statements.get(txn_id, []):
+                    self._replay_record(record, parsed)
+        finally:
+            self._replaying = False
+        self._next_txn = highest + 1
+
+    def _replay_record(
+        self, record: dict, parsed: dict[str, list[ast.Statement]]
+    ) -> None:
+        sql = record["sql"]
+        try:
+            stmts = parsed.get(sql)
+            if stmts is None:
+                stmts = parse_script(sql)
+                parsed[sql] = stmts
+            if record["t"] == "many":
+                for row in record["rows"]:
+                    for statement in stmts:
+                        self._apply_write(statement, tuple(row))
+            else:
+                statement = stmts[int(record["i"])]
+                self._apply_write(statement, tuple(record.get("p", ())))
+        except Exception as exc:
+            raise DurabilityError(
+                f"WAL replay failed for {sql!r}: {exc}"
+            ) from exc
+
     # -- SELECT -------------------------------------------------------------------
 
     def analyze(self, table: Optional[str] = None) -> list[str]:
         """Collect planner statistics (the ``ANALYZE`` statement's API
         twin); bumps the catalog's statistics version so cached plans
         re-optimize against the fresh statistics."""
-        return self.catalog.analyze(table)
+        with self._lock.write():
+            names = self.catalog.analyze(table)
+            target = f'ANALYZE "{table}"' if table is not None else "ANALYZE"
+            self._log_write(target, 0, ())
+        return names
 
     def _plan_select(self, statement: ast.Select) -> PlanNode:
         plan, _ = self._plan_select_rewritten(statement)
@@ -399,9 +881,10 @@ class Database:
         return plan, rewrites
 
     def _execute_select_plan(self, plan: PlanNode, params: tuple = ()) -> Result:
-        ctx = self._make_context(params)
-        started = time.perf_counter()
-        batch = execute_plan(plan, ctx)
+        with self._statement_guard() as cancel_event:
+            ctx = self._make_context(params, cancel_event=cancel_event)
+            started = time.perf_counter()
+            batch = execute_plan(plan, ctx)
         if ctx.stats is not None:
             ctx.stats.wall_seconds = time.perf_counter() - started
             self._record_exec_stats(ctx.stats)
@@ -426,14 +909,18 @@ class Database:
             raise SQLExecutionError(
                 "EXPLAIN ANALYZE only supports SELECT statements"
             )
-        plan, rewrites = self._plan_select_rewritten(statement)
-        estimates = estimate_plan_rows(plan, self.catalog)
-        bound = tuple(params) if params is not None else ()
-        stats = ExecStats(workers=self.workers)
-        ctx = self._make_context(bound, stats=stats)
-        started = time.perf_counter()
-        execute_plan(plan, ctx)
-        stats.wall_seconds = time.perf_counter() - started
+        with self._lock.read():
+            plan, rewrites = self._plan_select_rewritten(statement)
+            estimates = estimate_plan_rows(plan, self.catalog)
+            bound = tuple(params) if params is not None else ()
+            stats = ExecStats(workers=self.workers)
+            with self._statement_guard() as cancel_event:
+                ctx = self._make_context(
+                    bound, stats=stats, cancel_event=cancel_event
+                )
+                started = time.perf_counter()
+                execute_plan(plan, ctx)
+                stats.wall_seconds = time.perf_counter() - started
         self._record_exec_stats(stats)
         if rewrites:
             counts = Counter(rewrites)

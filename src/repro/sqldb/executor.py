@@ -82,8 +82,27 @@ class ExecContext:
     pool: Any = None
     #: optional per-operator runtime statistics recorder
     stats: Optional[ExecStats] = None
+    #: cooperative cancellation: absolute ``time.monotonic()`` deadline
+    #: (statement timeout) and an externally settable cancel flag, both
+    #: checked at operator and morsel boundaries
+    deadline: Optional[float] = None
+    cancel_event: Optional[threading.Event] = None
     #: guards the shared caches when morsel workers evaluate expressions
     lock: threading.RLock = field(default_factory=threading.RLock)
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`~repro.errors.QueryCancelled` if this statement
+        was cancelled or has exceeded its timeout."""
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            from repro.errors import QueryCancelled
+
+            raise QueryCancelled("query cancelled on user request")
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            from repro.errors import QueryCancelled
+
+            raise QueryCancelled(
+                "query cancelled: statement timeout exceeded"
+            )
 
     def scalar_subquery(self, plan: PlanNode) -> Any:
         """Execute an uncorrelated scalar subquery once, caching the value.
@@ -132,6 +151,8 @@ class ExecContext:
             morsel_size=self.morsel_size,
             pool=None,
             stats=self.stats,
+            deadline=self.deadline,
+            cancel_event=self.cancel_event,
         )
         clone.lock = self.lock
         return clone
@@ -146,6 +167,7 @@ def execute_plan(plan: PlanNode, ctx: ExecContext) -> Batch:
 
 
 def _dispatch(plan: PlanNode, ctx: ExecContext) -> Batch:
+    ctx.check_cancelled()
     if ctx.pool is not None:
         # morsel-driven parallel mode: eligible pipelines execute per-morsel
         from repro.sqldb.parallel import try_parallel

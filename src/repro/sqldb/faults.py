@@ -1,0 +1,138 @@
+"""Deterministic fault injection for the durability layer.
+
+The WAL/checkpoint/commit code paths are threaded with *named
+crashpoints* (:data:`CRASHPOINTS`).  A :class:`FaultInjector` armed at a
+crashpoint raises :class:`SimulatedCrash` the n-th time execution reaches
+it; the test harness then abandons the :class:`~repro.sqldb.engine.Database`
+object — as if the process had died — and reopens the same WAL path to
+exercise recovery.  Two crash models are supported:
+
+* **process crash** — the WAL file is left exactly as written (buffered
+  writes are flushed to the file on every append, modelling data that
+  reached the kernel page cache);
+* **power loss** — the harness truncates the WAL to
+  :attr:`~repro.sqldb.wal.WriteAheadLog.synced_size`, modelling the loss
+  of everything after the last ``fsync``.
+
+``*.torn`` crashpoints additionally write a *prefix* of the pending
+record before crashing, producing a genuinely torn tail that recovery
+must detect (checksum/length mismatch) and truncate.
+
+The default injector (:data:`NO_FAULTS`) is inert and shared; the fast
+path pays one attribute load and a falsy check per crashpoint.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = ["CRASHPOINTS", "FaultInjector", "NO_FAULTS", "SimulatedCrash"]
+
+
+class SimulatedCrash(ReproError):
+    """Raised at an armed crashpoint; models sudden process death.
+
+    Deliberately *not* an :class:`~repro.errors.SQLError`: the engine
+    never catches it, so it unwinds through every layer exactly like a
+    real crash would (the in-memory state is torn; the database object
+    must be abandoned and the WAL path reopened)."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
+#: every named crashpoint threaded through the durability code, in rough
+#: execution order.  Tests sweep this registry, so adding a crashpoint
+#: here automatically adds it to the crash-at-every-point property test.
+CRASHPOINTS: tuple[str, ...] = (
+    # WAL record append (fired for every record, including commit records)
+    "wal.append.before",
+    "wal.append.torn",
+    "wal.append.after",
+    # fsync of the WAL file
+    "wal.fsync.before",
+    "wal.fsync.after",
+    # transaction commit: before any record is written / after the commit
+    # record is durably on disk (but before the engine acknowledges)
+    "wal.commit.begin",
+    "wal.commit.end",
+    # checkpoint: snapshot write, atomic rename, WAL reset
+    "checkpoint.begin",
+    "checkpoint.snapshot.torn",
+    "checkpoint.snapshot.written",
+    "checkpoint.before_rename",
+    "checkpoint.after_rename",
+    "checkpoint.end",
+)
+
+_CRASHPOINT_SET = frozenset(CRASHPOINTS)
+
+
+class FaultInjector:
+    """Arms crashpoints and raises :class:`SimulatedCrash` when reached.
+
+    ``arm(point, hits=n)`` makes the *n*-th :meth:`check` of *point*
+    raise; earlier hits pass through (so a test can crash on the commit
+    record of the third transaction, say).  The injector records every
+    crashpoint it passes in :attr:`trace`, which tests use to assert a
+    workload actually exercised the point they armed.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, int] = {}
+        #: crashpoints reached, in order (armed or not)
+        self.trace: list[str] = []
+        #: the crashpoint that fired, once one has
+        self.fired: str | None = None
+
+    def arm(self, point: str, hits: int = 1) -> "FaultInjector":
+        if point not in _CRASHPOINT_SET:
+            raise ValueError(
+                f"unknown crashpoint {point!r}; see faults.CRASHPOINTS"
+            )
+        if hits < 1:
+            raise ValueError("hits must be >= 1")
+        self._armed[point] = hits
+        return self
+
+    def disarm(self, point: str) -> None:
+        self._armed.pop(point, None)
+
+    def clear(self) -> None:
+        self._armed.clear()
+
+    def pending(self, point: str) -> bool:
+        """True when the next :meth:`check` of *point* would crash (used
+        by torn-write sites to do their partial write first)."""
+        return self._armed.get(point) == 1
+
+    def check(self, point: str) -> None:
+        """Record passage through *point*; crash if armed and due."""
+        self.trace.append(point)
+        hits = self._armed.get(point)
+        if hits is None:
+            return
+        if hits > 1:
+            self._armed[point] = hits - 1
+            return
+        del self._armed[point]
+        self.fired = point
+        raise SimulatedCrash(point)
+
+
+class _NoFaults(FaultInjector):
+    """Inert injector: no tracing, never crashes (the default)."""
+
+    def arm(self, point: str, hits: int = 1) -> "FaultInjector":
+        raise ValueError("NO_FAULTS is shared; build a FaultInjector()")
+
+    def pending(self, point: str) -> bool:
+        return False
+
+    def check(self, point: str) -> None:
+        return None
+
+
+#: shared inert injector used when a Database is built without faults
+NO_FAULTS = _NoFaults()

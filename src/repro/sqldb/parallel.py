@@ -181,6 +181,7 @@ def _run_segment(
     copy_last: bool,
 ) -> Batch:
     """One morsel through the whole pipeline (runs on a worker thread)."""
+    ctx.check_cancelled()
     wctx = ctx.serial()
     copy = ctx.profile.copy_operator_output
     started = time.perf_counter()

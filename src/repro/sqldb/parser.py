@@ -120,7 +120,37 @@ class _Parser:
             return self._parse_drop()
         if token.value == "analyze":
             return self._parse_analyze()
+        if token.value == "begin":
+            self._advance()
+            self._accept_word("transaction", "work")
+            return ast.Begin()
+        if token.value == "commit":
+            self._advance()
+            self._accept_word("transaction", "work")
+            return ast.Commit()
+        if token.value == "rollback":
+            return self._parse_rollback()
+        if token.value == "savepoint":
+            self._advance()
+            return ast.Savepoint(self._expect_identifier("savepoint name"))
+        if token.value == "release":
+            self._advance()
+            self._accept_keyword("savepoint")
+            return ast.ReleaseSavepoint(
+                self._expect_identifier("savepoint name")
+            )
+        if token.value == "checkpoint":
+            self._advance()
+            return ast.Checkpoint()
         raise self._error(f"unsupported statement {token.value!r}")
+
+    def _parse_rollback(self) -> ast.Statement:
+        self._expect_keyword("rollback")
+        if self._accept_word("to"):
+            self._accept_keyword("savepoint")
+            return ast.RollbackTo(self._expect_identifier("savepoint name"))
+        self._accept_word("transaction", "work")
+        return ast.Rollback()
 
     def _parse_analyze(self) -> ast.Analyze:
         self._expect_keyword("analyze")

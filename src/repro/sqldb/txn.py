@@ -1,0 +1,92 @@
+"""Transaction state and the engine's read/write statement lock.
+
+The catalog's only mutation paths *replace* column vectors (appends build
+new :class:`~repro.sqldb.vector.Vector` objects; they never write into an
+existing one), so a transaction memento is a set of shallow dict/list
+copies — O(relations + columns), independent of row counts.  ``BEGIN``
+captures one memento; each ``SAVEPOINT`` captures another plus a mark
+into the transaction's buffered redo records, so ``ROLLBACK TO`` restores
+the catalog *and* drops the undone statements from what will be flushed
+to the WAL at commit (rolled-back work never reaches the log).
+
+:class:`ReadWriteLock` serialises writers against in-flight readers:
+SELECTs hold the read side for the full statement (including every morsel
+a parallel plan has in flight), and any DDL/DML/transaction-control
+statement takes the write side, so a write can never interleave with a
+running query's morsels.  Readers-preference, no reentrancy — the engine
+acquires it exactly once per statement, never nested.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sqldb.catalog import CatalogSnapshot
+
+__all__ = ["ReadWriteLock", "SavepointState", "Transaction"]
+
+
+@dataclass
+class SavepointState:
+    """One ``SAVEPOINT``: name, catalog memento, redo-buffer mark."""
+
+    name: str
+    memento: "CatalogSnapshot"
+    #: length of ``Transaction.records`` when the savepoint was set;
+    #: ``ROLLBACK TO`` truncates the buffer back to this mark
+    record_mark: int
+
+
+@dataclass
+class Transaction:
+    """An open explicit transaction."""
+
+    txn_id: int
+    #: catalog memento captured at BEGIN (restored by ROLLBACK)
+    memento: "CatalogSnapshot"
+    #: savepoint stack, oldest first; duplicate names allowed — lookups
+    #: scan from the end (PostgreSQL masking semantics)
+    savepoints: list[SavepointState] = field(default_factory=list)
+    #: buffered redo records ``(sql, statement_index, params)`` for every
+    #: successful write statement; flushed to the WAL at COMMIT
+    records: list[tuple[str, int, list]] = field(default_factory=list)
+
+
+class ReadWriteLock:
+    """Many readers or one writer; writers wait for in-flight readers."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()

@@ -1,0 +1,273 @@
+"""Write-ahead log and snapshot checkpoints for the sqldb engine.
+
+Durability is opt-in (``Database(durable=True, wal_path=...)``) and uses
+logical redo logging: every committed transaction's DDL/DML statements
+are appended to an append-only log and replayed on the next open.  The
+in-memory engine never pages, so there is no undo to log — a crash simply
+discards uncommitted memory, and recovery rebuilds committed state.
+
+File format (``wal_path``)
+--------------------------
+A 6-byte magic header (``RWAL1\\n``) followed by length-prefixed,
+CRC32-checksummed JSON records::
+
+    <u32 payload-length> <u32 crc32(payload)> <payload bytes>
+
+Records are appended contiguously per commit (group commit: a
+transaction's ``begin``/``stmt``.../``commit`` records hit the file in
+one run, followed by a single ``fsync``), so a torn tail can only clip
+the *last* transaction, which then lacks its ``commit`` record and is
+discarded.  :func:`read_wal` stops at the first short or checksum-failing
+record and reports the byte offset of the intact prefix; recovery
+truncates the file there.
+
+Record types
+------------
+``{"t": "begin",  "txn": n}``                     transaction start
+``{"t": "stmt",   "txn": n, "sql": s, "i": k, "p": [...]}``
+                                                  one redo statement —
+                                                  statement *k* of script
+                                                  *s* with bound params
+``{"t": "many",   "txn": n, "sql": s, "rows": [[...], ...]}``
+                                                  an ``executemany`` batch
+``{"t": "commit", "txn": n}``                     transaction commit
+``{"t": "auto",   "txn": n, "sql": s, "i": k, "p": [...]}``
+                                                  an autocommitted
+                                                  statement (``begin`` +
+                                                  ``stmt`` + ``commit``
+                                                  compressed into one)
+
+Only *successful* statements are logged (redo-only): statements rolled
+back by statement-level atomicity or ``ROLLBACK TO SAVEPOINT`` never
+reach the file, because transaction records are buffered in memory and
+flushed at commit after savepoint truncation.
+
+Checkpoints (``wal_path + ".ckpt"``)
+------------------------------------
+A checkpoint pickles the full catalog (tables, views, statistics) plus
+the highest transaction id it covers into a sidecar file — written to a
+temp path, fsynced, then atomically renamed — and resets the WAL to an
+empty header.  Recovery loads the checkpoint (if present and intact) and
+replays only WAL transactions with a higher id, so a crash between the
+rename and the WAL reset cannot double-apply.
+
+Crashpoints (see :mod:`repro.sqldb.faults`) are threaded through every
+append/fsync/checkpoint step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+import zlib
+from typing import Any, Optional
+
+from repro.errors import DurabilityError
+from repro.sqldb.faults import NO_FAULTS, FaultInjector
+
+__all__ = [
+    "WriteAheadLog",
+    "read_checkpoint",
+    "read_wal",
+    "write_checkpoint",
+]
+
+_WAL_MAGIC = b"RWAL1\n"
+_CKPT_MAGIC = b"RCKP1\n"
+_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a redo-record value to a JSON-serialisable Python value.
+
+    Numpy scalars are unwrapped via ``.item()``; anything else
+    unserialisable raises :class:`DurabilityError` instead of silently
+    corrupting the log."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _jsonable(item())
+    raise DurabilityError(
+        f"cannot serialise {type(value).__name__!r} value into a WAL record"
+    )
+
+
+def encode_record(record: dict) -> bytes:
+    payload = json.dumps(
+        _jsonable(record), separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WriteAheadLog:
+    """Append-only redo log over one file; single writer (the engine
+    serialises writers on its write lock)."""
+
+    def __init__(self, path: str, faults: FaultInjector = NO_FAULTS) -> None:
+        self.path = path
+        self.faults = faults
+        size = os.path.getsize(path) if os.path.exists(path) else 0
+        self._file = open(path, "ab")
+        self._size = size
+        if size == 0:
+            self._file.write(_WAL_MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._size = len(_WAL_MAGIC)
+        #: file size at the last fsync — the "power loss" crash model
+        #: truncates here (everything after it may not have hit the disk)
+        self.synced_size = self._size
+
+    def append(self, record: dict) -> None:
+        """Append one record; flushed to the file, not yet fsynced."""
+        data = encode_record(record)
+        faults = self.faults
+        faults.check("wal.append.before")
+        if faults.pending("wal.append.torn"):
+            # model a crash mid-write: a prefix of the record reaches the
+            # file (flushed so it is visible to recovery), then death
+            self._file.write(data[: max(1, len(data) // 2)])
+            self._file.flush()
+            self._size += max(1, len(data) // 2)
+            faults.check("wal.append.torn")
+        self._file.write(data)
+        self._file.flush()
+        self._size += len(data)
+        faults.check("wal.append.after")
+
+    def sync(self) -> None:
+        """fsync the log; a commit is durable once this returns."""
+        self.faults.check("wal.fsync.before")
+        os.fsync(self._file.fileno())
+        self.synced_size = self._size
+        self.faults.check("wal.fsync.after")
+
+    def reset(self) -> None:
+        """Truncate to an empty header (after a checkpoint)."""
+        self._file.close()
+        self._file = open(self.path, "wb")
+        self._file.write(_WAL_MAGIC)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._size = len(_WAL_MAGIC)
+        self.synced_size = self._size
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+def read_wal(path: str) -> tuple[list[dict], Optional[int]]:
+    """Decode the intact record prefix of the WAL at *path*.
+
+    Returns ``(records, valid_size)`` where ``valid_size`` is the byte
+    offset of the end of the last intact record — the caller truncates
+    the file there to drop a torn tail.  A missing file yields
+    ``([], None)``; a file whose *header* is unrecognisable (not a torn
+    prefix of it) raises :class:`DurabilityError`.
+    """
+    if not os.path.exists(path):
+        return [], None
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < len(_WAL_MAGIC):
+        if _WAL_MAGIC.startswith(data):  # torn header write
+            return [], 0
+        raise DurabilityError(f"{path}: not a repro WAL file")
+    if not data.startswith(_WAL_MAGIC):
+        raise DurabilityError(f"{path}: not a repro WAL file")
+    records: list[dict] = []
+    offset = len(_WAL_MAGIC)
+    n = len(data)
+    while offset + _HEADER.size <= n:
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > n:
+            break  # torn tail: record body clipped
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # torn or corrupt tail: checksum mismatch
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break  # checksummed garbage — treat as tail corruption
+        records.append(record)
+        offset = end
+    return records, offset
+
+
+def truncate_wal(path: str, valid_size: int) -> None:
+    """Drop a torn tail in place (no-op when the file is already clean)."""
+    if os.path.getsize(path) > valid_size:
+        with open(path, "r+b") as handle:
+            handle.truncate(valid_size)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def write_checkpoint(
+    path: str, payload: Any, faults: FaultInjector = NO_FAULTS
+) -> None:
+    """Atomically publish a checkpoint snapshot at *path*.
+
+    Write-to-temp + fsync + rename: a crash at any point leaves either
+    the previous checkpoint (or none) or the complete new one — never a
+    torn file under the published name.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    data = _CKPT_MAGIC + _HEADER.pack(len(blob), zlib.crc32(blob)) + blob
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        if faults.pending("checkpoint.snapshot.torn"):
+            handle.write(data[: max(1, len(data) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+            faults.check("checkpoint.snapshot.torn")
+        handle.write(data)
+        handle.flush()
+        faults.check("checkpoint.snapshot.written")
+        os.fsync(handle.fileno())
+    faults.check("checkpoint.before_rename")
+    os.replace(tmp, path)
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        dir_fd = None
+    if dir_fd is not None:
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    faults.check("checkpoint.after_rename")
+
+
+def read_checkpoint(path: str) -> Optional[Any]:
+    """Load a checkpoint snapshot, or None when absent.
+
+    The published checkpoint is written atomically, so corruption here is
+    disk rot rather than a torn write — surfaced as
+    :class:`DurabilityError` instead of being silently ignored.
+    """
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data.startswith(_CKPT_MAGIC) or len(data) < len(_CKPT_MAGIC) + _HEADER.size:
+        raise DurabilityError(f"{path}: not a repro checkpoint file")
+    length, crc = _HEADER.unpack_from(data, len(_CKPT_MAGIC))
+    blob = data[len(_CKPT_MAGIC) + _HEADER.size :]
+    if len(blob) != length or zlib.crc32(blob) != crc:
+        raise DurabilityError(f"{path}: checkpoint checksum mismatch")
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:  # pickle raises a zoo of error types
+        raise DurabilityError(f"{path}: cannot unpickle checkpoint ({exc})") from exc

@@ -2,7 +2,9 @@
 
 ``--fuzz-rounds N`` raises the number of generated queries per
 differential-fuzz test (see ``tests/sqldb/test_fuzz_differential.py``).
-The default keeps the fuzz suite inside the tier-1 time budget; CI's
+``--fault-rounds N`` raises the number of randomized workloads per
+crash-recovery property test (see ``tests/sqldb/test_faults.py``).
+The defaults keep both suites inside the tier-1 time budget; CI's
 long-run job passes a few hundred rounds.
 """
 
@@ -14,5 +16,13 @@ def pytest_addoption(parser):
         type=int,
         default=None,
         help="generated queries per differential-fuzz test "
+        "(default: a small tier-1 budget)",
+    )
+    parser.addoption(
+        "--fault-rounds",
+        action="store",
+        type=int,
+        default=None,
+        help="randomized workloads per crash-recovery property test "
         "(default: a small tier-1 budget)",
     )

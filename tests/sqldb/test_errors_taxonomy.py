@@ -1,0 +1,151 @@
+"""The unified error hierarchy: SQLSTATE codes and the PEP 249 mapping."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    DurabilityError,
+    QueryCancelled,
+    ReproError,
+    SQLBindError,
+    SQLError,
+    SQLExecutionError,
+    SQLSyntaxError,
+    TransactionError,
+)
+from repro.sqldb import dbapi
+
+
+class TestSqlstates:
+    def test_class_defaults(self):
+        assert SQLError("x").sqlstate == "XX000"
+        assert SQLSyntaxError("x").sqlstate == "42601"
+        assert SQLBindError("x").sqlstate == "42703"
+        assert SQLExecutionError("x").sqlstate == "22000"
+        assert CatalogError("x").sqlstate == "42P01"
+        assert TransactionError("x").sqlstate == "25000"
+        assert QueryCancelled("x").sqlstate == "57014"
+        assert DurabilityError("x").sqlstate == "58030"
+
+    def test_per_raise_override(self):
+        exc = CatalogError("dup", sqlstate="42P07")
+        assert exc.sqlstate == "42P07"
+        # the class default is untouched
+        assert CatalogError("other").sqlstate == "42P01"
+
+    def test_all_sql_errors_are_repro_errors(self):
+        for cls in (
+            SQLSyntaxError,
+            SQLBindError,
+            SQLExecutionError,
+            CatalogError,
+            TransactionError,
+            QueryCancelled,
+            DurabilityError,
+        ):
+            assert issubclass(cls, SQLError)
+            assert issubclass(cls, ReproError)
+
+    def test_engine_raises_coded_errors(self):
+        from repro.sqldb.engine import Database
+
+        db = Database("umbra")
+        db.execute("CREATE TABLE t (a int)")
+        with pytest.raises(CatalogError) as info:
+            db.execute("CREATE TABLE t (a int)")
+        assert info.value.sqlstate == "42P07"  # duplicate_table override
+        with pytest.raises(TransactionError) as info:
+            db.execute("COMMIT")
+        assert info.value.sqlstate == "25P01"
+
+
+class TestDbapiMapping:
+    def test_module_globals(self):
+        assert dbapi.apilevel == "2.0"
+        assert dbapi.paramstyle == "qmark"
+        assert dbapi.threadsafety == 2
+
+    def test_hierarchy_shape(self):
+        for cls in (
+            dbapi.DataError,
+            dbapi.OperationalError,
+            dbapi.IntegrityError,
+            dbapi.InternalError,
+            dbapi.ProgrammingError,
+            dbapi.NotSupportedError,
+        ):
+            assert issubclass(cls, dbapi.DatabaseError)
+        assert issubclass(dbapi.DatabaseError, dbapi.Error)
+        assert issubclass(dbapi.InterfaceError, dbapi.Error)
+
+    def test_map_exception_preserves_both_hierarchies(self):
+        mapped = dbapi.map_exception(SQLSyntaxError("bad syntax"))
+        assert isinstance(mapped, dbapi.ProgrammingError)
+        assert isinstance(mapped, SQLSyntaxError)
+        assert mapped.sqlstate == "42601"
+        assert "bad syntax" in str(mapped)
+
+    def test_mapped_classes_are_cached(self):
+        a = dbapi.map_exception(CatalogError("one"))
+        b = dbapi.map_exception(CatalogError("two"))
+        assert type(a) is type(b)
+
+    def test_mapping_table(self):
+        cases = [
+            (SQLSyntaxError, dbapi.ProgrammingError),
+            (SQLBindError, dbapi.ProgrammingError),
+            (CatalogError, dbapi.ProgrammingError),
+            (TransactionError, dbapi.OperationalError),
+            (QueryCancelled, dbapi.OperationalError),
+            (DurabilityError, dbapi.OperationalError),
+            (SQLExecutionError, dbapi.DataError),
+            (SQLError, dbapi.DatabaseError),
+        ]
+        for engine_cls, dbapi_cls in cases:
+            assert isinstance(dbapi.map_exception(engine_cls("x")), dbapi_cls)
+
+    def test_override_sqlstate_survives_mapping(self):
+        mapped = dbapi.map_exception(CatalogError("dup", sqlstate="42P07"))
+        assert mapped.sqlstate == "42P07"
+
+    def test_cursor_raises_mapped_errors(self):
+        conn = dbapi.connect("umbra")
+        cursor = conn.cursor()
+        with pytest.raises(dbapi.ProgrammingError):
+            cursor.execute("SELEC 1")
+        with pytest.raises(SQLSyntaxError):  # old-style catch still works
+            cursor.execute("SELEC 1")
+        with pytest.raises(dbapi.ProgrammingError):
+            cursor.execute("SELECT * FROM no_such_table")
+        with pytest.raises(dbapi.OperationalError):
+            cursor.execute("COMMIT")
+
+    def test_executemany_raises_mapped_errors(self):
+        conn = dbapi.connect("umbra")
+        cursor = conn.cursor()
+        cursor.execute("CREATE TABLE t (a int)")
+        with pytest.raises(dbapi.DatabaseError):
+            cursor.executemany("INSERT INTO t (a) VALUES (?)", [("boom",)])
+        cursor.execute("SELECT count(*) FROM t")
+        assert cursor.fetchone() == (0,)
+
+    def test_connection_transaction_api(self):
+        conn = dbapi.connect("umbra")
+        cursor = conn.cursor()
+        cursor.execute("CREATE TABLE t (a int)")
+        conn.begin()
+        assert conn.in_transaction
+        cursor.execute("INSERT INTO t (a) VALUES (1)")
+        conn.rollback()
+        assert not conn.in_transaction
+        cursor.execute("SELECT count(*) FROM t")
+        assert cursor.fetchone() == (0,)
+        conn.commit()  # no-op outside a transaction
+
+    def test_closed_connection_interface_error(self):
+        conn = dbapi.connect("umbra")
+        conn.close()
+        with pytest.raises(dbapi.InterfaceError):
+            conn.cursor()
+        with pytest.raises(dbapi.InterfaceError):
+            conn.commit()

@@ -1,0 +1,327 @@
+"""Crash/fault-injection property tests for the durability layer.
+
+The central property: **crash at any crashpoint, under any workload,
+recovery yields the state as of some acknowledged commit boundary —
+either the last acked commit, or (when the crash hit mid-commit) that
+plus the in-flight transaction.  Never a partial transaction.**
+
+The harness runs a deterministic randomized workload against a durable
+database with one crashpoint armed, mirrors every *acknowledged*
+statement onto a non-durable oracle database, then "crashes" (abandons
+the object), recovers from the WAL path, and compares against the
+oracle's acceptable states.  Both crash models are exercised: process
+crash (file as flushed) and power loss (file truncated to the last
+fsync).
+
+Rounds are budgeted for tier-1 by default; ``--fault-rounds 200`` (or
+more) runs the full acceptance sweep.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sqldb.engine import Database
+from repro.sqldb.faults import (
+    CRASHPOINTS,
+    NO_FAULTS,
+    FaultInjector,
+    SimulatedCrash,
+)
+from repro.sqldb.wal import truncate_wal
+
+pytestmark = pytest.mark.faults
+
+#: rounds of the randomized workload property when --fault-rounds is not
+#: given (enough to touch every crashpoint under both crash models)
+DEFAULT_ROUNDS = 26
+
+
+@pytest.fixture
+def fault_rounds(request):
+    return request.config.getoption("--fault-rounds") or DEFAULT_ROUNDS
+
+
+# -- workload generation ------------------------------------------------------
+
+
+def _gen_ops(rng):
+    """A randomized workload: a flat list of ops.
+
+    Schema ops stay in autocommit (the generator tracks live tables so
+    every statement is valid); transaction blocks insert and exercise
+    savepoints, committing or rolling back at random.
+    """
+    ops = []
+    tables = {"t0"}
+    ops.append(("sql", "CREATE TABLE t0 (a int, b text)", ()))
+    n_ops = rng.randint(3, 10)
+    for _ in range(n_ops):
+        kind = rng.random()
+        table = rng.choice(sorted(tables))
+        if kind < 0.35:  # autocommit insert
+            ops.append(
+                (
+                    "sql",
+                    f"INSERT INTO {table} (a, b) VALUES (?, ?)",
+                    (rng.randint(0, 99), f"v{rng.randint(0, 9)}"),
+                )
+            )
+        elif kind < 0.5:  # executemany batch
+            rows = [
+                (rng.randint(0, 99), f"m{j}") for j in range(rng.randint(1, 5))
+            ]
+            ops.append(
+                ("many", f"INSERT INTO {table} (a, b) VALUES (?, ?)", rows)
+            )
+        elif kind < 0.75:  # transaction block (inserts + savepoints)
+            ops.append(("sql", "BEGIN", ()))
+            for _ in range(rng.randint(1, 4)):
+                roll = rng.random()
+                if roll < 0.25:
+                    ops.append(("sql", "SAVEPOINT sp", ()))
+                    ops.append(
+                        (
+                            "sql",
+                            f"INSERT INTO {table} (a, b) VALUES (?, ?)",
+                            (rng.randint(0, 99), "sp"),
+                        )
+                    )
+                    if rng.random() < 0.5:
+                        ops.append(("sql", "ROLLBACK TO sp", ()))
+                else:
+                    ops.append(
+                        (
+                            "sql",
+                            f"INSERT INTO {table} (a, b) VALUES (?, ?)",
+                            (rng.randint(0, 99), "tx"),
+                        )
+                    )
+            ops.append(
+                ("sql", "COMMIT" if rng.random() < 0.7 else "ROLLBACK", ())
+            )
+        elif kind < 0.85:  # checkpoint
+            ops.append(("checkpoint",))
+        elif kind < 0.95 and len(tables) < 3:  # create another table
+            name = f"t{len(tables)}"
+            tables.add(name)
+            ops.append(("sql", f"CREATE TABLE {name} (a int, b text)", ()))
+        elif len(tables) > 1:  # drop a non-primary table
+            name = sorted(tables)[-1]
+            tables.discard(name)
+            ops.append(("sql", f"DROP TABLE {name}", ()))
+    return ops
+
+
+def _apply(db, op):
+    if op[0] == "sql":
+        db.execute(op[1], op[2] or None)
+    elif op[0] == "many":
+        db.executemany(op[1], op[2])
+    else:  # checkpoint — durable databases only; a logical no-op
+        if db.durable:
+            db.execute("CHECKPOINT")
+
+
+def _state(db):
+    out = []
+    for name in db.catalog.table_names:
+        result = db.execute(f"SELECT a, b FROM {name}")
+        out.append((name, tuple(sorted(result.rows))))
+    return tuple(out)
+
+
+# -- the crash-at-any-point property ------------------------------------------
+
+
+def _run_round(tmp_path, seed, point, model):
+    """One randomized workload with *point* armed; returns the fired
+    crashpoint (or None when the workload never reached it)."""
+    wal_path = str(tmp_path / f"round{seed}.wal")
+    oracle = Database("umbra")
+    faults = FaultInjector()
+    rng = random.Random(seed)
+    # torn crashpoints only fire via their pending() pre-check, which
+    # looks one hit ahead — they must be armed with hits=1
+    hits = 1 if point.endswith(".torn") else rng.randint(1, 3)
+    faults.arm(point, hits=hits)
+    db = Database("umbra", wal_path=wal_path, faults=faults)
+
+    committed = _state(oracle)
+    crashed_op = None
+    for op in _gen_ops(rng):
+        try:
+            _apply(db, op)
+        except SimulatedCrash:
+            crashed_op = op
+            break
+        _apply(oracle, op)  # the statement was acknowledged: mirror it
+        if not oracle.in_transaction:
+            committed = _state(oracle)
+
+    acceptable = {committed}
+    if crashed_op is not None:
+        # the crash hit mid-commit; recovery may also surface the state
+        # with the in-flight transaction applied
+        try:
+            _apply(oracle, crashed_op)
+        except SQLError:
+            pass
+        if oracle.in_transaction:
+            oracle.execute("COMMIT")
+        acceptable.add(_state(oracle))
+
+    synced_size = db._wal.synced_size
+    db.close()
+    if model == "powerloss" and crashed_op is not None:
+        # everything after the last fsync never reached the disk
+        truncate_wal(wal_path, synced_size)
+
+    recovered = Database("umbra", wal_path=wal_path)
+    got = _state(recovered)
+    recovered.close()
+    assert got in acceptable, (
+        f"seed={seed} point={point} model={model}: recovered state "
+        f"{got!r} is neither the last acked commit nor the in-flight "
+        f"transaction's post-state {acceptable!r}"
+    )
+    return faults.fired
+
+
+class TestCrashAtEveryPoint:
+    def test_randomized_workloads_recover_consistently(
+        self, tmp_path, fault_rounds
+    ):
+        """The acceptance property: every crashpoint x randomized
+        workloads x both crash models, recovery is never partial."""
+        fired = set()
+        for i in range(fault_rounds):
+            point = CRASHPOINTS[i % len(CRASHPOINTS)]
+            model = ("process", "powerloss")[(i // len(CRASHPOINTS)) % 2]
+            outcome = _run_round(tmp_path, seed=1000 + i, point=point, model=model)
+            if outcome:
+                fired.add(outcome)
+        # the sweep must actually exercise the armed points, not dodge them
+        assert len(fired) >= min(fault_rounds, len(CRASHPOINTS)) // 2
+
+    def test_every_crashpoint_fires_on_a_known_workload(self, tmp_path):
+        """Deterministic sweep: one insert + checkpoint reaches every
+        crashpoint; recovery always yields pre- or post-state."""
+        for point in CRASHPOINTS:
+            wal_path = str(tmp_path / f"det-{point}.wal")
+            db = Database("umbra", wal_path=wal_path)
+            db.execute("CREATE TABLE t (a int)")
+            db.execute("INSERT INTO t (a) VALUES (1)")
+            db.close()
+
+            faults = FaultInjector()
+            faults.arm(point)
+            db = Database("umbra", wal_path=wal_path, faults=faults)
+            with pytest.raises(SimulatedCrash):
+                db.execute("INSERT INTO t (a) VALUES (2)")
+                db.execute("CHECKPOINT")
+            assert faults.fired == point
+            db.close()
+
+            recovered = Database("umbra", wal_path=wal_path)
+            rows = sorted(recovered.execute("SELECT a FROM t").column("a"))
+            assert rows in ([1], [1, 2]), (point, rows)
+            recovered.close()
+
+    def test_crash_during_commit_never_yields_partial_txn(self, tmp_path):
+        """A multi-statement transaction recovers all-or-nothing even
+        when the crash lands between its WAL records."""
+        for hits in (1, 2, 3, 4):
+            wal_path = str(tmp_path / f"partial-{hits}.wal")
+            db = Database("umbra", wal_path=wal_path)
+            db.execute("CREATE TABLE t (a int)")
+            db.close()
+
+            faults = FaultInjector()
+            faults.arm("wal.append.after", hits=hits)
+            db = Database("umbra", wal_path=wal_path, faults=faults)
+            db.execute("BEGIN")
+            db.execute("INSERT INTO t (a) VALUES (1)")
+            db.execute("INSERT INTO t (a) VALUES (2)")
+            with pytest.raises(SimulatedCrash):
+                db.execute("COMMIT")
+            db.close()
+
+            recovered = Database("umbra", wal_path=wal_path)
+            rows = sorted(recovered.execute("SELECT a FROM t").column("a"))
+            # crash after the commit record: both rows; earlier: neither
+            assert rows in ([], [1, 2]), (hits, rows)
+            recovered.close()
+
+    def test_torn_commit_record_discards_whole_txn(self, tmp_path):
+        wal_path = str(tmp_path / "torn.wal")
+        db = Database("umbra", wal_path=wal_path)
+        db.execute("CREATE TABLE t (a int)")
+        db.close()
+
+        faults = FaultInjector()
+        faults.arm("wal.append.torn")
+        db = Database("umbra", wal_path=wal_path, faults=faults)
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t (a) VALUES (1)")
+        with pytest.raises(SimulatedCrash):
+            db.execute("COMMIT")  # the first appended record tears
+        db.close()
+
+        recovered = Database("umbra", wal_path=wal_path)
+        assert recovered.execute("SELECT count(*) FROM t").scalar() == 0
+        recovered.close()
+
+    def test_crash_between_checkpoint_rename_and_reset(self, tmp_path):
+        """The WAL survives a crash right after the checkpoint rename;
+        replaying it over the new snapshot must not double-apply."""
+        wal_path = str(tmp_path / "ckpt.wal")
+        db = Database("umbra", wal_path=wal_path)
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("INSERT INTO t (a) VALUES (1)")
+        db.close()
+
+        faults = FaultInjector()
+        faults.arm("checkpoint.after_rename")
+        db = Database("umbra", wal_path=wal_path, faults=faults)
+        with pytest.raises(SimulatedCrash):
+            db.execute("CHECKPOINT")
+        db.close()
+
+        recovered = Database("umbra", wal_path=wal_path)
+        # the insert is in the checkpoint AND still in the un-reset WAL;
+        # last_txn filtering keeps it single
+        assert recovered.execute("SELECT a FROM t").column("a") == [1]
+        recovered.close()
+
+
+class TestFaultInjector:
+    def test_unknown_crashpoint_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("wal.bogus")
+
+    def test_nth_hit_fires(self):
+        faults = FaultInjector()
+        faults.arm("wal.fsync.before", hits=3)
+        faults.check("wal.fsync.before")
+        faults.check("wal.fsync.before")
+        with pytest.raises(SimulatedCrash):
+            faults.check("wal.fsync.before")
+        assert faults.fired == "wal.fsync.before"
+        assert faults.trace == ["wal.fsync.before"] * 3
+
+    def test_disarm_and_clear(self):
+        faults = FaultInjector()
+        faults.arm("wal.fsync.before")
+        faults.disarm("wal.fsync.before")
+        faults.check("wal.fsync.before")  # no crash
+        faults.arm("wal.fsync.after")
+        faults.clear()
+        faults.check("wal.fsync.after")
+
+    def test_no_faults_is_inert(self):
+        with pytest.raises(ValueError):
+            NO_FAULTS.arm("wal.fsync.before")
+        NO_FAULTS.check("wal.fsync.before")
+        assert not NO_FAULTS.pending("wal.fsync.before")
