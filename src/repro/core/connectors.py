@@ -4,22 +4,211 @@ Both connectors wrap the in-process engine through its DB-API adapter, the
 same call shape the paper measures through psycopg2.  ``PostgresqlConnector``
 uses the materialising (disk-based) profile, ``UmbraConnector`` the
 pipelined (beyond-main-memory) profile.
+
+This module is also the client side of the engine's multi-session MVCC:
+
+* :func:`retry_backoff` re-runs work that failed with a *retryable*
+  SQLSTATE (serialization failure 40001, deadlock 40P01, cancelled
+  57014) under exponential backoff with jitter — the loop every
+  PostgreSQL client is expected to wrap around transactions;
+* :class:`ConnectionPool` is a fixed-size pool of sessions over one
+  shared :class:`~repro.sqldb.engine.Database`, with checkout-time
+  health checks (a dead session is replaced; a connection abandoned
+  mid-transaction is rolled back before reuse).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Any, Optional, Sequence
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Sequence, TypeVar
 
+from repro.errors import SQLError
 from repro.sqldb import dbapi
-from repro.sqldb.engine import Result
+from repro.sqldb.engine import Database, Result
 
 __all__ = [
+    "ConnectionPool",
     "DBConnector",
     "PostgresqlConnector",
     "ProfileConnector",
+    "RETRYABLE_SQLSTATES",
     "UmbraConnector",
+    "is_retryable",
+    "retry_backoff",
 ]
+
+_T = TypeVar("_T")
+
+#: SQLSTATEs a client should retry: serialization_failure (first
+#: committer won), deadlock_detected (this transaction was the victim)
+#: and query_canceled (statement timeout / cooperative cancel)
+RETRYABLE_SQLSTATES = frozenset({"40001", "40P01", "57014"})
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when *exc* carries a SQLSTATE a client retry loop should
+    re-run (the engine rolled the transaction back; a fresh attempt can
+    succeed)."""
+    return getattr(exc, "sqlstate", None) in RETRYABLE_SQLSTATES
+
+
+def retry_backoff(
+    fn: Callable[[], _T],
+    attempts: int = 5,
+    base_delay: float = 0.005,
+    max_delay: float = 0.25,
+    rng: Optional[random.Random] = None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> _T:
+    """Run ``fn()``, retrying retryable SQLSTATEs with exponential
+    backoff plus jitter.
+
+    The delay before attempt *n* is ``base_delay * 2**(n-1)`` capped at
+    ``max_delay``, scaled by a uniform jitter in [0.5, 1.5) so colliding
+    sessions desynchronise instead of re-conflicting in lockstep.
+    ``on_retry(attempt_index, exc)`` runs before each re-attempt (the
+    hook is where callers roll back session state).  Non-retryable
+    errors, and the last attempt's failure, propagate unchanged.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    rng = rng if rng is not None else random.Random()
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except SQLError as exc:
+            if not is_retryable(exc) or attempt == attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            delay = min(base_delay * (2.0 ** attempt), max_delay)
+            time.sleep(delay * (0.5 + rng.random()))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class ConnectionPool:
+    """Fixed-size client-side pool of sessions over one shared database.
+
+    Every pooled connection is a DB-API :class:`~repro.sqldb.dbapi.Connection`
+    opened with ``connect(database=...)`` — its own engine session, so
+    checked-out connections run concurrently under snapshot isolation.
+
+    Checkout validates the connection before handing it out:
+
+    * a connection whose session died (closed underneath the pool) is
+      discarded and replaced with a fresh session;
+    * a connection returned — or abandoned — **mid-transaction** is
+      rolled back and its locks released, so the next holder never
+      inherits a half-open (possibly aborted) transaction.
+
+    ``stats`` counts checkouts, replaced dead sessions and reset
+    abandoned transactions.
+    """
+
+    #: granularity of re-checks while waiting for a free connection
+    _WAIT_SLICE = 0.05
+
+    def __init__(
+        self,
+        database: Database,
+        size: int = 4,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self._database = database
+        self.size = size
+        self._timeout = timeout
+        self._cond = threading.Condition()
+        self._idle: list[dbapi.Connection] = []
+        self._n_created = 0
+        self._closed = False
+        self.stats = {
+            "checkouts": 0,
+            "dead_sessions_replaced": 0,
+            "abandoned_txns_reset": 0,
+        }
+
+    def acquire(self) -> dbapi.Connection:
+        """Check out a validated connection (blocks while the pool is
+        exhausted; raises ``OperationalError`` after ``timeout`` s)."""
+        deadline = (
+            None if self._timeout is None
+            else time.monotonic() + self._timeout
+        )
+        conn: Optional[dbapi.Connection] = None
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise dbapi.InterfaceError("connection pool is closed")
+                if self._idle:
+                    conn = self._idle.pop()
+                    break
+                if self._n_created < self.size:
+                    self._n_created += 1
+                    break  # create outside the lock
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise dbapi.OperationalError(
+                        "timed out waiting for a pooled connection"
+                    )
+                self._cond.wait(
+                    self._WAIT_SLICE if remaining is None
+                    else min(self._WAIT_SLICE, remaining)
+                )
+        if conn is None:
+            conn = dbapi.connect(database=self._database)
+        return self._validate(conn)
+
+    def _validate(self, conn: dbapi.Connection) -> dbapi.Connection:
+        """Health-check one connection on its way out of the pool."""
+        if conn.closed:
+            # the session died under the pool (explicit close, shutdown):
+            # hand out a fresh session instead
+            self.stats["dead_sessions_replaced"] += 1
+            conn = dbapi.connect(database=self._database)
+        elif conn.in_transaction:
+            # the previous holder abandoned an open (possibly aborted)
+            # transaction: roll it back so this holder starts clean and
+            # never inherits 25P02s or stale snapshot reads
+            self.stats["abandoned_txns_reset"] += 1
+            conn.rollback()
+        self.stats["checkouts"] += 1
+        return conn
+
+    def release(self, conn: dbapi.Connection) -> None:
+        """Return a connection to the pool (validation happens at the
+        *next* checkout, so even a mid-transaction return is safe)."""
+        with self._cond:
+            if self._closed:
+                conn.close()
+                return
+            self._idle.append(conn)
+            self._cond.notify()
+
+    @contextmanager
+    def connection(self) -> Iterator[dbapi.Connection]:
+        """``with pool.connection() as conn:`` checkout/checkin scope."""
+        conn = self.acquire()
+        try:
+            yield conn
+        finally:
+            self.release(conn)
+
+    def close(self) -> None:
+        """Close every idle pooled session; further checkouts raise."""
+        with self._cond:
+            self._closed = True
+            idle, self._idle = list(self._idle), []
+            self._cond.notify_all()
+        for conn in idle:
+            conn.close()
 
 
 class DBConnector:
@@ -43,6 +232,8 @@ class DBConnector:
     ) -> None:
         self._connection: Optional[dbapi.Connection] = None
         self.statement_timings: list[tuple[str, float]] = []
+        #: times ``run`` re-attempted a script after a retryable SQLSTATE
+        self.retries = 0
         #: morsel-driven parallelism (None: REPRO_SQL_WORKERS, then profile)
         self.workers = workers
         self.morsel_size = morsel_size
@@ -111,16 +302,41 @@ class DBConnector:
         ``params`` binds positional placeholders; repeated statement texts
         hit the engine's plan cache, so re-running the same transpiled
         query skips lexing/parsing/planning entirely.
-        """
-        import time
 
-        database = self.connection.database
+        When the script fails with a retryable SQLSTATE (40001 / 40P01 /
+        57014) and the connector is *not* inside an explicit transaction,
+        the session is rolled back and the whole script re-run under
+        :func:`retry_backoff`; inside an explicit transaction the error
+        propagates — only the caller can decide to retry its own
+        transaction from ``BEGIN``.
+        """
+        connection = self.connection
+        database = connection.database
+        session = connection.session
         started = time.perf_counter()
-        results = database.run_script(sql, params)
+
+        def attempt() -> list[Result]:
+            return database.run_script(sql, params, session=session)
+
+        def on_retry(attempt_index: int, exc: BaseException) -> None:
+            self.retries += 1
+            # a failed attempt may have left a half-open transaction
+            # (e.g. the script's own BEGIN): clear it before re-running
+            database.rollback(session=session)
+
+        if session.in_transaction:
+            results = attempt()
+        else:
+            results = retry_backoff(attempt, on_retry=on_retry)
         elapsed = time.perf_counter() - started
         head = sql.strip().split("\n", 1)[0][:120]
         self.statement_timings.append((head, elapsed))
         return results[-1] if results else Result()
+
+    def pool(self, size: int = 4, timeout: Optional[float] = None) -> ConnectionPool:
+        """A :class:`ConnectionPool` of concurrent sessions over this
+        connector's database."""
+        return ConnectionPool(self.connection.database, size, timeout)
 
     def query_rows(
         self, sql: str, params: Optional[Sequence[Any]] = None

@@ -68,6 +68,33 @@ class TransactionError(SQLError):
     sqlstate = "25000"  # invalid_transaction_state
 
 
+class TransactionRollback(SQLError):
+    """Base of the retryable rollback family (PostgreSQL class 40).
+
+    The transaction was aborted by the engine, not by a mistake in the
+    SQL: re-running the whole transaction on a fresh snapshot is the
+    documented remedy, and the connector layer does so automatically for
+    these SQLSTATEs."""
+
+    sqlstate = "40000"  # transaction_rollback
+
+
+class SerializationFailure(TransactionRollback):
+    """First-committer-wins conflict: another transaction committed a
+    write to a relation in this transaction's write (or DDL read) set
+    after this transaction's snapshot was taken."""
+
+    sqlstate = "40001"  # serialization_failure
+
+
+class DeadlockDetected(TransactionRollback):
+    """The wait-for graph of table-lock waits contains a cycle through
+    this session; this transaction was chosen as the victim and
+    aborted (its locks are released immediately)."""
+
+    sqlstate = "40P01"  # deadlock_detected
+
+
 class QueryCancelled(SQLError):
     """A statement was cancelled — statement timeout or explicit
     :meth:`~repro.sqldb.engine.Database.cancel` — at a cooperative

@@ -8,6 +8,7 @@ once in the first CTE).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -301,12 +302,26 @@ class CatalogSnapshot:
     stats_version: int
 
 
+#: unique ids for transaction forks; the committed catalog is always
+#: uid 0, so plan-cache entries keyed on it stay shareable across
+#: databases while fork-built entries can never collide with each other
+_fork_ids = itertools.count(1)
+
+
 class Catalog:
     """Name → table/view registry with PostgreSQL-style single namespace."""
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, View] = {}
+        #: 0 for a committed catalog, unique per transaction fork (part
+        #: of the plan-cache key: two forks at the same schema_version
+        #: may have diverged)
+        self.uid = 0
+        #: per-relation last-write version (the schema_version at the
+        #: most recent committed write, kept as a tombstone across DROP);
+        #: MVCC first-committer-wins compares these at COMMIT
+        self.table_versions: dict[str, int] = {}
         #: monotonically increasing counter, bumped on every change that can
         #: invalidate a cached plan (DDL always; the engine also bumps it on
         #: INSERT/COPY).  Plan-cache keys embed it, so stale entries simply
@@ -323,6 +338,12 @@ class Catalog:
 
     def bump_version(self) -> None:
         self.schema_version += 1
+
+    def note_write(self, name: str) -> None:
+        """Record a committed write to relation *name*: bump the schema
+        version and stamp the relation's last-write version with it."""
+        self.bump_version()
+        self.table_versions[name] = self.schema_version
 
     # -- transactional mementos ---------------------------------------------
 
@@ -384,6 +405,54 @@ class Catalog:
         self._table_stats = dict(snap.table_stats)
         if changed:
             self.bump_version()
+
+    def fork(self) -> "Catalog":
+        """Detached copy-on-write clone for one transaction's snapshot.
+
+        Unlike :meth:`snapshot` (a memento that restores *this* catalog
+        in place), a fork is a fully independent :class:`Catalog` whose
+        ``Table``/``View`` objects are fresh — they share the immutable
+        column vectors and view-snapshot tuples with the committed state,
+        so capturing one is O(relations + columns), but mutating the fork
+        never touches the committed objects (and vice versa).
+        """
+        clone = Catalog()
+        clone.uid = next(_fork_ids)
+        for name, table in self._tables.items():
+            clone._tables[name] = Table(
+                table.name,
+                list(table.column_names),
+                list(table.column_types),
+                dict(table.columns),
+                table.n_rows,
+                dict(table._next_serial),
+            )
+        for name, view in self._views.items():
+            twin = View(view.name, view.query, view.materialized)
+            twin.snapshot = view.snapshot
+            clone._views[name] = twin
+        clone._table_stats = dict(self._table_stats)
+        clone.schema_version = self.schema_version
+        clone.stats_version = self.stats_version
+        clone.table_versions = dict(self.table_versions)
+        return clone
+
+    def adopt_relation(self, name: str, source: "Catalog") -> None:
+        """Install *source*'s version of relation *name* into this
+        catalog (the MVCC commit swap); absent in *source* means the
+        transaction dropped it."""
+        if name in source._tables:
+            self._views.pop(name, None)
+            self._tables[name] = source._tables[name]
+            if name in source._table_stats:
+                self._table_stats[name] = source._table_stats[name]
+        elif name in source._views:
+            self._tables.pop(name, None)
+            self._views[name] = source._views[name]
+        else:
+            self._tables.pop(name, None)
+            self._views.pop(name, None)
+            self._table_stats.pop(name, None)
 
     def install(
         self,

@@ -31,10 +31,12 @@ from repro.errors import (
     SQLExecutionError,
     SQLSyntaxError,
     TransactionError,
+    TransactionRollback,
 )
 from repro.sqldb.engine import Database, Result
 from repro.sqldb.faults import FaultInjector
 from repro.sqldb.profile import POSTGRES, Profile
+from repro.sqldb.session import Session
 
 __all__ = [
     "connect",
@@ -116,6 +118,9 @@ _ERROR_MAP: tuple[tuple[type, type], ...] = (
     (SQLBindError, ProgrammingError),
     (CatalogError, ProgrammingError),
     (TransactionError, OperationalError),
+    # 40001/40P01: the transaction was aborted by the engine and a client
+    # retry loop should re-run it — psycopg2 maps these the same way
+    (TransactionRollback, OperationalError),
     (QueryCancelled, OperationalError),
     (DurabilityError, OperationalError),
     (SQLExecutionError, DataError),
@@ -169,10 +174,19 @@ def _translating():
 
 
 class Cursor:
-    """Minimal DB-API cursor."""
+    """Minimal DB-API cursor.
 
-    def __init__(self, database: Database) -> None:
+    Statements run on the owning connection's :class:`Session`, so every
+    cursor of one connection shares that connection's transaction state
+    while cursors of *different* connections over a shared database run
+    under snapshot isolation from each other.
+    """
+
+    def __init__(
+        self, database: Database, session: Optional[Session] = None
+    ) -> None:
         self._database = database
+        self._session = session
         self._result: Optional[Result] = None
         self._position = 0
         self.arraysize = 1
@@ -194,7 +208,9 @@ class Cursor:
         never spliced into the SQL text.
         """
         with _translating():
-            results = self._database.run_script(sql, parameters)
+            results = self._database.run_script(
+                sql, parameters, session=self._session
+            )
         self._result = results[-1] if results else None
         self._position = 0
         return self
@@ -206,7 +222,9 @@ class Cursor:
 
         The batch is atomic — a failure on any row undoes the whole call."""
         with _translating():
-            total = self._database.executemany(sql, seq_of_parameters)
+            total = self._database.executemany(
+                sql, seq_of_parameters, session=self._session
+            )
         self._result = Result(rowcount=total)
         self._position = 0
         return self
@@ -246,7 +264,17 @@ class Cursor:
 
 
 class Connection:
-    """Minimal DB-API connection wrapping one :class:`Database`."""
+    """Minimal DB-API connection over one engine :class:`Session`.
+
+    A connection built the classic way owns a fresh private
+    :class:`Database` and drives its *default* session (so code that
+    reaches through ``connection.database.execute(...)`` shares the
+    connection's transaction state — the connector layer does exactly
+    that).  ``connect(database=shared_db)`` instead opens a **new**
+    session over an existing database: many such connections run
+    concurrently under snapshot isolation, each with its own transaction
+    state, cancel scope and lock identity.
+    """
 
     def __init__(
         self,
@@ -260,60 +288,85 @@ class Connection:
         checkpoint_every: Optional[int] = None,
         statement_timeout_ms: Optional[float] = None,
         faults: Optional[FaultInjector] = None,
+        database: Optional[Database] = None,
     ) -> None:
-        with _translating():
-            self.database = Database(
-                profile,
-                workers=workers,
-                morsel_size=morsel_size,
-                collect_exec_stats=collect_exec_stats,
-                optimize=optimize,
-                durable=durable,
-                wal_path=wal_path,
-                checkpoint_every=checkpoint_every,
-                statement_timeout_ms=statement_timeout_ms,
-                faults=faults,
-            )
+        if database is not None:
+            self.database = database
+            self._owns_database = False
+            self.session: Session = database.session()
+        else:
+            with _translating():
+                self.database = Database(
+                    profile,
+                    workers=workers,
+                    morsel_size=morsel_size,
+                    collect_exec_stats=collect_exec_stats,
+                    optimize=optimize,
+                    durable=durable,
+                    wal_path=wal_path,
+                    checkpoint_every=checkpoint_every,
+                    statement_timeout_ms=statement_timeout_ms,
+                    faults=faults,
+                )
+            self._owns_database = True
+            self.session = self.database._default_session
         self._closed = False
 
     @property
     def in_transaction(self) -> bool:
-        return self.database.in_transaction
+        return self.session.in_transaction
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self.session.closed
 
     def cursor(self) -> Cursor:
-        if self._closed:
+        if self.closed:
             raise InterfaceError("connection is closed")
-        return Cursor(self.database)
+        return Cursor(self.database, self.session)
 
     def begin(self) -> None:
         """Open an explicit transaction (``BEGIN``)."""
-        if self._closed:
+        if self.closed:
             raise InterfaceError("connection is closed")
         with _translating():
-            self.database.begin()
+            self.database.begin(session=self.session)
 
     def commit(self) -> None:
-        """Commit the open transaction; a no-op in autocommit (DB-API)."""
-        if self._closed:
+        """Commit the open transaction; a no-op in autocommit (DB-API).
+
+        Under concurrency this is where first-committer-wins conflicts
+        surface: :class:`OperationalError` with SQLSTATE 40001
+        (serialization failure) means the transaction was rolled back and
+        should be retried."""
+        if self.closed:
             raise InterfaceError("connection is closed")
         with _translating():
-            self.database.commit()
+            self.database.commit(session=self.session)
 
     def rollback(self) -> None:
         """Roll back the open transaction; a no-op in autocommit."""
-        if self._closed:
+        if self.closed:
             raise InterfaceError("connection is closed")
         with _translating():
-            self.database.rollback()
+            self.database.rollback(session=self.session)
 
     def cancel(self) -> None:
         """Cancel every in-flight statement on this connection (safe
-        from any thread, like psycopg2's ``Connection.cancel``)."""
-        self.database.cancel()
+        from any thread, like psycopg2's ``Connection.cancel``; other
+        connections over the same database are unaffected)."""
+        self.session.cancel()
 
     def close(self) -> None:
+        if self._closed:
+            return
         self._closed = True
-        self.database.close()
+        if self._owns_database:
+            self.database.close()
+        else:
+            # shared database: end only this connection's session (rolls
+            # back its open transaction and releases its locks)
+            self.session.close()
 
     def __enter__(self) -> "Connection":
         return self
@@ -333,6 +386,7 @@ def connect(
     checkpoint_every: Optional[int] = None,
     statement_timeout_ms: Optional[float] = None,
     faults: Optional[FaultInjector] = None,
+    database: Optional[Database] = None,
 ) -> Connection:
     """Open a connection to a fresh in-process database.
 
@@ -343,6 +397,11 @@ def connect(
     plus a path) opts into write-ahead logging with crash recovery on
     connect; ``statement_timeout_ms`` arms a cooperative per-statement
     timeout (``REPRO_SQL_TIMEOUT_MS`` supplies a default).
+
+    ``database=`` connects to an *existing* :class:`Database` instead,
+    opening a new concurrent session over it (every other keyword is
+    ignored — the shared engine's configuration applies); this is how
+    multi-session MVCC clients and the connection pool attach.
     """
     return Connection(
         profile,
@@ -355,4 +414,5 @@ def connect(
         checkpoint_every=checkpoint_every,
         statement_timeout_ms=statement_timeout_ms,
         faults=faults,
+        database=database,
     )

@@ -8,19 +8,22 @@ materialise by default, operators materialise their outputs, views inline);
 from __future__ import annotations
 
 import csv
+import itertools
 import os
 import threading
 import time
 from collections import Counter, OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import (
+    DeadlockDetected,
     DurabilityError,
+    SerializationFailure,
     SQLExecutionError,
     TransactionError,
 )
@@ -28,7 +31,9 @@ from repro.sqldb import ast_nodes as ast
 from repro.sqldb.catalog import Catalog, Table, View, normalise_type
 from repro.sqldb.executor import ExecContext, execute_plan
 from repro.sqldb.faults import NO_FAULTS, FaultInjector
-from repro.sqldb.txn import ReadWriteLock, SavepointState, Transaction
+from repro.sqldb.locks import LockManager, ReadWriteLock
+from repro.sqldb.session import Session
+from repro.sqldb.txn import SavepointState, Transaction
 from repro.sqldb.wal import (
     WriteAheadLog,
     read_checkpoint,
@@ -182,24 +187,30 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        #: concurrent sessions share one cache; LRU reordering and
+        #: eviction must not interleave
+        self._mutex = threading.Lock()
 
     def get(self, key: tuple) -> Optional[_CacheEntry]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, entry: _CacheEntry) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -252,15 +263,29 @@ class Database:
         self.last_exec_stats: Optional[ExecStats] = None
         #: statement timeout (arg > REPRO_SQL_TIMEOUT_MS env > off)
         self.statement_timeout_ms = resolve_timeout_ms(statement_timeout_ms)
-        #: cancel events of in-flight statements (guarded by _cancel_mutex)
-        self._cancel_mutex = threading.Lock()
-        self._active_cancels: set[threading.Event] = set()
-        #: SELECTs hold the read side for their whole execution (every
-        #: in-flight morsel included); writes take the exclusive side
+        #: fair catalog latch: committed-state SELECTs hold the read side
+        #: for their whole execution (every in-flight morsel included);
+        #: DDL, autocommit DML and the commit-time catalog swap take the
+        #: exclusive side.  Fair: a queued writer blocks new readers.
         self._lock = ReadWriteLock()
-        #: the open explicit transaction, if any
-        self._txn: Optional[Transaction] = None
+        #: per-table DML locks across sessions (2PL with deadlock detection)
+        self.locks = LockManager()
+        #: session registry: the default session serves the Database's own
+        #: execute() API; DB-API connections sharing this database open
+        #: one session each
+        self._sessions: dict[int, Session] = {}
+        self._session_ids = itertools.count(1)
+        self._session_mutex = threading.Lock()
+        self._default_session = Session(self, 0)
+        self._sessions[0] = self._default_session
+        #: transaction identities (deadlock reporting) — distinct from
+        #: commit ids, which are allocated at COMMIT under the write
+        #: latch so WAL order equals commit order
+        self._txn_ids = itertools.count(1)
         self._next_txn = 1
+        #: monotonic serialization of _normalized against concurrent use
+        self._prepare_mutex = threading.Lock()
+        self._stats_mutex = threading.Lock()
         #: fault injection for the durability layer (inert by default)
         self.faults = faults if faults is not None else NO_FAULTS
         #: durability: opt in with durable=True/wal_path=...
@@ -278,8 +303,22 @@ class Database:
 
     @property
     def in_transaction(self) -> bool:
-        """True while an explicit transaction is open."""
-        return self._txn is not None
+        """True while the default session has an open transaction."""
+        return self._default_session.txn is not None
+
+    def session(self) -> Session:
+        """Open a new session (one per concurrent client connection)."""
+        with self._session_mutex:
+            session = Session(self, next(self._session_ids))
+            self._sessions[session.session_id] = session
+        return session
+
+    def _forget_session(self, session: Session) -> None:
+        with self._session_mutex:
+            self._sessions.pop(session.session_id, None)
+
+    def _resolve_session(self, session: Optional[Session]) -> Session:
+        return self._default_session if session is None else session
 
     def close(self) -> None:
         """Release the worker pool and the WAL file handle (idempotent;
@@ -295,27 +334,34 @@ class Database:
         if self._wal is not None:
             self._wal.close()
 
-    def cancel(self) -> None:
-        """Cooperatively cancel every in-flight statement.
+    def cancel(self, session: Optional[Session] = None) -> None:
+        """Cooperatively cancel one session's in-flight statements (the
+        default session's when none is given — psycopg2's per-connection
+        ``cancel`` shape; other sessions' queries are unaffected).
 
         Safe from any thread; the running statements observe the flag at
         their next operator or morsel boundary and raise
         :class:`~repro.errors.QueryCancelled`."""
-        with self._cancel_mutex:
-            for event in self._active_cancels:
-                event.set()
+        self._resolve_session(session).cancel()
 
-    @contextmanager
-    def _statement_guard(self):
-        """Register a fresh cancel event for one statement execution."""
-        event = threading.Event()
-        with self._cancel_mutex:
-            self._active_cancels.add(event)
-        try:
-            yield event
-        finally:
-            with self._cancel_mutex:
-                self._active_cancels.discard(event)
+    def cancel_all(self) -> None:
+        """Cancel every in-flight statement on every session (shutdown)."""
+        with self._session_mutex:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.cancel()
+
+    @property
+    def _active_cancels(self) -> set[threading.Event]:
+        """Union of every session's in-flight cancel events (diagnostics
+        and tests; cancellation itself is session-scoped)."""
+        with self._session_mutex:
+            sessions = list(self._sessions.values())
+        events: set[threading.Event] = set()
+        for session in sessions:
+            with session._cancel_mutex:
+                events |= session._active_cancels
+        return events
 
     def _ensure_pool(self) -> Optional[ThreadPoolExecutor]:
         if self.workers <= 1:
@@ -332,17 +378,19 @@ class Database:
         params: tuple = (),
         stats: Optional[ExecStats] = None,
         cancel_event: Optional[threading.Event] = None,
+        catalog: Optional[Catalog] = None,
     ) -> ExecContext:
         """One execution context per statement; pools, stats and the
         cancellation deadline attach here so cached plans stay immutable
-        and re-executable concurrently."""
+        and re-executable concurrently.  ``catalog`` selects the state to
+        read: a transaction's private fork, or (default) committed."""
         if stats is None and self.collect_exec_stats:
             stats = ExecStats(workers=self.workers)
         deadline = None
         if self.statement_timeout_ms is not None:
             deadline = time.monotonic() + self.statement_timeout_ms / 1000.0
         return ExecContext(
-            self.catalog,
+            self.catalog if catalog is None else catalog,
             self.profile,
             params=params,
             workers=self.workers,
@@ -356,33 +404,52 @@ class Database:
     # -- public API ----------------------------------------------------------
 
     def execute(
-        self, sql: str, params: Optional[Sequence[Any]] = None
+        self,
+        sql: str,
+        params: Optional[Sequence[Any]] = None,
+        session: Optional[Session] = None,
     ) -> Result:
         """Parse and execute a single SQL statement.
 
-        ``params`` binds positional ``?`` / ``%s`` placeholders.
+        ``params`` binds positional ``?`` / ``%s`` placeholders;
+        ``session`` selects the issuing session (default session when
+        omitted).
         """
-        entry = self._prepare(sql, params)
+        session = self._resolve_session(session)
+        entry = self._prepare(sql, params, self._active_catalog(session))
         if len(entry.statements) != 1:
             raise SQLExecutionError(
                 "execute() takes a single statement; use run_script()"
             )
         bound = bind_parameters(params, entry.n_params)
-        return self._execute_statement(entry.statements[0], sql, bound, 0)
+        return self._execute_statement(entry.statements[0], sql, bound, 0, session)
 
     def run_script(
-        self, sql: str, params: Optional[Sequence[Any]] = None
+        self,
+        sql: str,
+        params: Optional[Sequence[Any]] = None,
+        session: Optional[Session] = None,
     ) -> list[Result]:
         """Execute a ``;``-separated script, returning one result each."""
-        entry = self._prepare(sql, params)
+        session = self._resolve_session(session)
+        entry = self._prepare(sql, params, self._active_catalog(session))
         bound = bind_parameters(params, entry.n_params)
         return [
-            self._execute_statement(cached, sql, bound, index)
+            self._execute_statement(cached, sql, bound, index, session)
             for index, cached in enumerate(entry.statements)
         ]
 
+    def _active_catalog(self, session: Session) -> Catalog:
+        """The catalog this session's next statement reads: its open
+        transaction's private fork, or the committed catalog."""
+        txn = session.txn
+        return self.catalog if txn is None else txn.catalog
+
     def executemany(
-        self, sql: str, seq_of_params: Iterable[Sequence[Any]]
+        self,
+        sql: str,
+        seq_of_params: Iterable[Sequence[Any]],
+        session: Optional[Session] = None,
     ) -> int:
         """Execute one statement per parameter row; parse and plan once.
 
@@ -392,50 +459,107 @@ class Database:
         open at its pre-batch state).  Returns the summed rowcount
         (DB-API ``executemany`` semantics).
         """
-        entry = self._prepare(sql, params=True)
+        session = self._resolve_session(session)
+        txn = session.txn
+        self._check_not_aborted(session)
+        entry = self._prepare(sql, params=True, catalog=self._active_catalog(session))
+        targets: list[str] = []
         for cached in entry.statements:
             if not isinstance(cached.statement, _WRITE_TYPES):
                 raise SQLExecutionError(
                     "executemany only supports DDL/DML statements"
                 )
+            names, _ = self._write_targets(
+                cached.statement, self._active_catalog(session)
+            )
+            targets.extend(names)
         started = time.perf_counter()
         total = 0
         logged_rows: list[list] = []
-        with self._lock.write():
-            memento = self.catalog.snapshot()
-            mark = len(self._txn.records) if self._txn is not None else 0
-            try:
-                for params in seq_of_params:
-                    bound = bind_parameters(params, entry.n_params)
-                    for cached in entry.statements:
-                        total += self._apply_write(
-                            cached.statement, bound
-                        ).rowcount
-                    if self._wal is not None:
-                        if self._txn is not None:
+        acquired = self._acquire_locks(session, targets)
+        try:
+            if txn is not None:
+                catalog = txn.catalog
+                memento = catalog.snapshot()
+                mark = len(txn.records)
+                try:
+                    for params in seq_of_params:
+                        bound = bind_parameters(params, entry.n_params)
+                        for cached in entry.statements:
+                            total += self._apply_write(
+                                cached.statement, bound, catalog
+                            ).rowcount
+                        if self._wal is not None:
                             for index in range(len(entry.statements)):
-                                self._txn.records.append(
-                                    (sql, index, list(bound))
-                                )
-                        else:
+                                txn.records.append((sql, index, list(bound)))
+                except Exception:
+                    catalog.restore(memento)
+                    del txn.records[mark:]
+                    raise
+                finally:
+                    self.total_execution_time += time.perf_counter() - started
+                txn.write_set.update(targets)
+                return total
+            with self._lock.write():
+                memento = self.catalog.snapshot()
+                try:
+                    for params in seq_of_params:
+                        bound = bind_parameters(params, entry.n_params)
+                        for cached in entry.statements:
+                            total += self._apply_write(
+                                cached.statement, bound, self.catalog
+                            ).rowcount
+                        if self._wal is not None:
                             logged_rows.append(list(bound))
-            except Exception:
-                self.catalog.restore(memento)
-                if self._txn is not None:
-                    del self._txn.records[mark:]
-                raise
-            finally:
-                self.total_execution_time += time.perf_counter() - started
-            if logged_rows and self._wal is not None and self._txn is None:
-                self._flush_batch(sql, len(entry.statements), logged_rows)
-        return total
+                except Exception:
+                    self.catalog.restore(memento)
+                    raise
+                finally:
+                    self.total_execution_time += time.perf_counter() - started
+                commit_id = self._next_txn
+                self._next_txn += 1
+                if logged_rows and self._wal is not None:
+                    self._flush_batch(
+                        sql, len(entry.statements), logged_rows, commit_id
+                    )
+                for name in targets:
+                    self.catalog.note_write(name)
+                session.last_commit_id = commit_id
+            return total
+        finally:
+            if txn is None:
+                self.locks.release(session.session_id, acquired)
+
+    def _acquire_locks(
+        self,
+        session: Session,
+        targets: list[str],
+        cancel_event: Optional[threading.Event] = None,
+    ) -> list[str]:
+        """Take per-table locks for one statement's targets; a deadlock
+        aborts the session's transaction (40P01) before propagating."""
+        if not targets:
+            return []
+        deadline = None
+        if self.statement_timeout_ms is not None:
+            deadline = time.monotonic() + self.statement_timeout_ms / 1000.0
+        try:
+            return self.locks.acquire(
+                session.session_id,
+                targets,
+                deadline=deadline,
+                cancel_event=cancel_event,
+            )
+        except DeadlockDetected:
+            if session.txn is not None:
+                session.txn.aborted = True
+                self.locks.release_all(session.session_id)
+            raise
 
     def _flush_batch(
-        self, sql: str, n_statements: int, rows: list[list]
+        self, sql: str, n_statements: int, rows: list[list], txn_id: int
     ) -> None:
         """WAL-commit an autocommitted ``executemany`` batch as one txn."""
-        txn_id = self._next_txn
-        self._next_txn += 1
         self.faults.check("wal.commit.begin")
         if n_statements == 1:
             # compressed batch record: one entry for the whole batch
@@ -472,34 +596,42 @@ class Database:
         self._normalized = donor._normalized
 
     def _prepare(
-        self, sql: str, params: Any = None
+        self, sql: str, params: Any = None, catalog: Optional[Catalog] = None
     ) -> _CacheEntry:
         """Fetch the cached parse/plan state for *sql*, or build it.
 
         The cache key embeds the catalog schema version, so entries made
-        against a dropped/recreated schema never resurface.
+        against a dropped/recreated schema never resurface.  ``catalog``
+        is the state the statement will read (a transaction's fork or the
+        committed catalog); its ``uid`` is part of the key, so two forks
+        at the same schema version — which may have diverged — can never
+        share an entry, while committed catalogs (always uid 0) keep
+        sharing across :meth:`adopt_plan_cache`.
         """
+        catalog = self.catalog if catalog is None else catalog
         use_cache = self.plan_cache.enabled
         key: Optional[tuple] = None
         n_params: Optional[int] = None
         if use_cache or params is not None:
-            memo = self._normalized.get(sql)
-            if memo is None:
-                memo = normalize_sql(sql)
-                self._normalized[sql] = memo
-                while len(self._normalized) > 4 * max(self.plan_cache.maxsize, 1):
-                    self._normalized.popitem(last=False)
-            else:
-                self._normalized.move_to_end(sql)
+            with self._prepare_mutex:
+                memo = self._normalized.get(sql)
+                if memo is None:
+                    memo = normalize_sql(sql)
+                    self._normalized[sql] = memo
+                    while len(self._normalized) > 4 * max(self.plan_cache.maxsize, 1):
+                        self._normalized.popitem(last=False)
+                else:
+                    self._normalized.move_to_end(sql)
             normalized, n_params = memo
             if use_cache:
                 key = (
                     normalized,
                     self.profile.name,
                     self.optimize,
-                    self.catalog.schema_version,
-                    self.catalog.stats_version,
-                    self.catalog.schema_fingerprint(),
+                    catalog.schema_version,
+                    catalog.stats_version,
+                    catalog.schema_fingerprint(),
+                    catalog.uid,
                 )
                 entry = self.plan_cache.get(key)
                 if entry is not None:
@@ -522,29 +654,50 @@ class Database:
 
     # -- statement dispatch -----------------------------------------------------
 
+    def _check_not_aborted(self, session: Session) -> None:
+        if session.in_aborted_transaction:
+            raise TransactionError(
+                "current transaction is aborted, commands ignored until "
+                "end of transaction block",
+                sqlstate="25P02",
+            )
+
     def _execute_statement(
         self,
         cached: _CachedStatement,
         sql: str,
         params: tuple = (),
         index: int = 0,
+        session: Optional[Session] = None,
     ) -> Result:
+        session = self._resolve_session(session)
         statement = cached.statement
+        if not isinstance(statement, (ast.Commit, ast.Rollback)):
+            self._check_not_aborted(session)
         started = time.perf_counter()
         try:
             if isinstance(statement, ast.Select):
-                with self._lock.read():
+                txn = session.txn
+                if txn is not None:
+                    # the fork is private to this session: no latch needed
                     if cached.plan is None:
-                        cached.plan = self._plan_select(statement)
-                    result = self._execute_select_plan(cached.plan, params)
-            elif isinstance(statement, _TXN_TYPES):
-                with self._lock.write():
-                    result = self._execute_txn_control(statement)
-            elif isinstance(statement, _WRITE_TYPES):
-                with self._lock.write():
-                    result = self._execute_write_locked(
-                        statement, sql, index, params
+                        cached.plan = self._plan_select(statement, txn.catalog)
+                    result = self._execute_select_plan(
+                        cached.plan, params, session, txn.catalog
                     )
+                else:
+                    with self._lock.read():
+                        if cached.plan is None:
+                            cached.plan = self._plan_select(statement)
+                        result = self._execute_select_plan(
+                            cached.plan, params, session, self.catalog
+                        )
+            elif isinstance(statement, _TXN_TYPES):
+                result = self._execute_txn_control(statement, session)
+            elif isinstance(statement, _WRITE_TYPES):
+                result = self._execute_write(
+                    statement, sql, index, params, session
+                )
             else:
                 raise SQLExecutionError(
                     f"unsupported statement {type(statement).__name__}"
@@ -554,134 +707,226 @@ class Database:
         result.statement = sql.strip().split("\n", 1)[0][:120]
         return result
 
-    def _execute_write_locked(
-        self, statement: ast.Statement, sql: str, index: int, params: tuple
+    def _write_targets(
+        self, statement: ast.Statement, catalog: Catalog
+    ) -> tuple[list[str], list[str]]:
+        """(locked-and-installed, conflict-checked-only) relation names of
+        one write statement.  A view's referenced relations land in the
+        check set: the view's stored text is replayed at commit-order
+        position, so the relations it reads must not have been rewritten
+        by a concurrent committer."""
+        if isinstance(statement, ast.CreateTable):
+            return [statement.name], []
+        if isinstance(statement, ast.CreateView):
+            return (
+                [statement.name],
+                sorted(_referenced_relations(statement.query)),
+            )
+        if isinstance(statement, ast.Insert):
+            return [statement.table], []
+        if isinstance(statement, ast.Copy):
+            return [statement.table], []
+        if isinstance(statement, ast.Drop):
+            return [statement.name], []
+        if isinstance(statement, ast.Analyze):
+            if statement.table is not None:
+                return [statement.table], []
+            return list(catalog.table_names), []
+        raise SQLExecutionError(
+            f"unsupported statement {type(statement).__name__}"
+        )
+
+    def _execute_write(
+        self,
+        statement: ast.Statement,
+        sql: str,
+        index: int,
+        params: tuple,
+        session: Session,
     ) -> Result:
-        memento = self.catalog.snapshot()
+        txn = session.txn
+        targets, checks = self._write_targets(
+            statement, self._active_catalog(session)
+        )
+        with session.statement_guard() as cancel_event:
+            acquired = self._acquire_locks(session, targets, cancel_event)
+        if txn is not None:
+            memento = txn.catalog.snapshot()
+            try:
+                result = self._apply_write(statement, params, txn.catalog)
+            except Exception:
+                # statement-level atomicity: a failing DML/DDL statement
+                # leaves the fork exactly as it was before it started
+                txn.catalog.restore(memento)
+                raise
+            txn.write_set.update(targets)
+            txn.check_set.update(checks)
+            if self._wal is not None and not self._replaying:
+                txn.records.append((sql, index, list(params)))
+            return result
         try:
-            result = self._apply_write(statement, params)
-        except Exception:
-            # statement-level atomicity: a failing DML/DDL statement
-            # leaves the catalog exactly as it was before it started
-            self.catalog.restore(memento)
-            raise
-        self._log_write(sql, index, params)
-        return result
+            with self._lock.write():
+                memento = self.catalog.snapshot()
+                try:
+                    result = self._apply_write(statement, params, self.catalog)
+                except Exception:
+                    self.catalog.restore(memento)
+                    raise
+                self._log_write(sql, index, params, session, targets)
+            return result
+        finally:
+            # autocommit locks are transient: release exactly what this
+            # statement newly took (a surrounding txn's locks persist)
+            self.locks.release(session.session_id, acquired)
 
     def _apply_write(
-        self, statement: ast.Statement, params: tuple = ()
+        self,
+        statement: ast.Statement,
+        params: tuple = (),
+        catalog: Optional[Catalog] = None,
     ) -> Result:
+        catalog = self.catalog if catalog is None else catalog
         if isinstance(statement, ast.CreateTable):
-            return self._execute_create_table(statement)
+            return self._execute_create_table(statement, catalog)
         if isinstance(statement, ast.CreateView):
-            return self._execute_create_view(statement)
+            return self._execute_create_view(statement, catalog)
         if isinstance(statement, ast.Insert):
-            return self._execute_insert(statement, params)
+            return self._execute_insert(statement, params, catalog)
         if isinstance(statement, ast.Copy):
-            return self._execute_copy(statement)
+            return self._execute_copy(statement, catalog)
         if isinstance(statement, ast.Drop):
-            self.catalog.drop(statement.name, statement.kind, statement.if_exists)
+            catalog.drop(statement.name, statement.kind, statement.if_exists)
             return Result()
         if isinstance(statement, ast.Analyze):
-            names = self.catalog.analyze(statement.table)
+            names = catalog.analyze(statement.table)
             return Result(rowcount=len(names))
         raise SQLExecutionError(
             f"unsupported statement {type(statement).__name__}"
         )
 
-    def _execute_txn_control(self, statement: ast.Statement) -> Result:
+    def _execute_txn_control(
+        self, statement: ast.Statement, session: Session
+    ) -> Result:
         if isinstance(statement, ast.Begin):
-            self._begin_locked()
+            self._begin(session)
         elif isinstance(statement, ast.Commit):
-            self._require_txn("COMMIT")
-            self._commit_locked()
+            self._require_txn(session, "COMMIT")
+            self._commit_session(session)
         elif isinstance(statement, ast.Rollback):
-            self._require_txn("ROLLBACK")
-            self._rollback_locked()
+            self._require_txn(session, "ROLLBACK")
+            self._rollback_session(session)
         elif isinstance(statement, ast.Savepoint):
-            self._savepoint_locked(statement.name)
+            self._savepoint(session, statement.name)
         elif isinstance(statement, ast.RollbackTo):
-            self._rollback_to_locked(statement.name)
+            self._rollback_to(session, statement.name)
         elif isinstance(statement, ast.ReleaseSavepoint):
-            self._release_locked(statement.name)
+            self._release_savepoint(session, statement.name)
         else:  # ast.Checkpoint
-            self._checkpoint_locked()
+            with self._lock.write():
+                self._checkpoint_locked(session)
         return Result()
 
     # -- transactions -----------------------------------------------------------
 
-    def begin(self) -> None:
+    def begin(self, session: Optional[Session] = None) -> None:
         """Open an explicit transaction (``BEGIN``)."""
-        with self._lock.write():
-            self._begin_locked()
+        self._begin(self._resolve_session(session))
 
-    def commit(self) -> None:
-        """Commit the open transaction; a no-op outside one (DB-API
-        convention, unlike the ``COMMIT`` statement which raises)."""
-        with self._lock.write():
-            if self._txn is not None:
-                self._commit_locked()
+    def commit(self, session: Optional[Session] = None) -> None:
+        """Commit the session's open transaction; a no-op outside one
+        (DB-API convention, unlike the ``COMMIT`` statement which raises).
 
-    def rollback(self) -> None:
-        """Roll back the open transaction; a no-op outside one."""
-        with self._lock.write():
-            if self._txn is not None:
-                self._rollback_locked()
+        May raise :class:`~repro.errors.SerializationFailure` (40001) if a
+        concurrent session committed a conflicting write first; the
+        transaction is rolled back and should be retried."""
+        session = self._resolve_session(session)
+        if session.txn is not None:
+            self._commit_session(session)
 
-    def checkpoint(self) -> None:
+    def rollback(self, session: Optional[Session] = None) -> None:
+        """Roll back the session's open transaction; a no-op outside one."""
+        session = self._resolve_session(session)
+        if session.txn is not None:
+            self._rollback_session(session)
+
+    def checkpoint(self, session: Optional[Session] = None) -> None:
         """Snapshot the catalog and reset the WAL (``CHECKPOINT``)."""
+        session = self._resolve_session(session)
         with self._lock.write():
-            self._checkpoint_locked()
+            self._checkpoint_locked(session)
 
-    def _require_txn(self, what: str) -> Transaction:
-        if self._txn is None:
+    def _require_txn(self, session: Session, what: str) -> Transaction:
+        if session.txn is None:
             raise TransactionError(
                 f"{what}: no transaction in progress", sqlstate="25P01"
             )
-        return self._txn
+        return session.txn
 
-    def _begin_locked(self) -> None:
-        if self._txn is not None:
+    def _begin(self, session: Session) -> None:
+        if session.txn is not None:
             raise TransactionError(
                 "there is already a transaction in progress", sqlstate="25001"
             )
-        txn_id = self._next_txn
-        self._next_txn += 1
-        self._txn = Transaction(txn_id, self.catalog.snapshot())
+        # the read latch keeps the fork capture consistent (no committer
+        # is mid-install); commit ids are allocated later, at COMMIT
+        with self._lock.read():
+            fork = self.catalog.fork()
+        session.txn = Transaction(
+            next(self._txn_ids),
+            fork,
+            dict(fork.table_versions),
+            start_stats_version=fork.stats_version,
+        )
 
-    def _commit_locked(self) -> None:
-        txn = self._txn
-        flushed = False
-        if self._wal is not None and txn.records:
-            self.faults.check("wal.commit.begin")
-            self._wal.append({"t": "begin", "txn": txn.txn_id})
-            for sql, index, bound in txn.records:
-                self._wal.append(
-                    {
-                        "t": "stmt",
-                        "txn": txn.txn_id,
-                        "sql": sql,
-                        "i": index,
-                        "p": bound,
-                    }
-                )
-            self._wal.append({"t": "commit", "txn": txn.txn_id})
-            self._wal.sync()
-            self.faults.check("wal.commit.end")
-            flushed = True
-        self._txn = None
-        if flushed:
-            self._note_commit()
+    def _commit_session(self, session: Session) -> None:
+        txn = session.txn
+        if txn.aborted:
+            # PostgreSQL: COMMIT of an aborted transaction rolls back
+            # quietly (reports ROLLBACK) instead of raising again
+            self._rollback_session(session)
+            return
+        names = sorted(txn.write_set | txn.check_set)
+        try:
+            with self._lock.write():
+                for name in names:
+                    if self.catalog.table_versions.get(
+                        name
+                    ) != txn.start_versions.get(name):
+                        raise SerializationFailure(
+                            f"could not serialize access due to concurrent "
+                            f"update of relation {name!r}; retry the "
+                            f"transaction"
+                        )
+                commit_id = self._next_txn
+                self._next_txn += 1
+                flushed = self._flush_txn_wal(txn, commit_id)
+                self.faults.check("commit.install")
+                for name in sorted(txn.write_set):
+                    self.catalog.adopt_relation(name, txn.catalog)
+                    self.catalog.note_write(name)
+                if txn.catalog.stats_version != txn.start_stats_version:
+                    self.catalog.stats_version += 1
+                self._refresh_committed_matviews(txn.write_set)
+                session.last_commit_id = commit_id
+                session.txn = None
+                if flushed:
+                    self._note_commit()
+        except SerializationFailure:
+            session.txn = None
+            raise
+        finally:
+            if session.txn is None:
+                self.locks.release_all(session.session_id)
 
-    def _rollback_locked(self) -> None:
-        txn = self._txn
-        self._txn = None
-        self.catalog.restore(txn.memento)
+    def _rollback_session(self, session: Session) -> None:
+        # the fork is simply discarded; committed state never saw the txn
+        session.txn = None
+        self.locks.release_all(session.session_id)
 
-    def _savepoint_locked(self, name: str) -> None:
-        txn = self._require_txn("SAVEPOINT")
+    def _savepoint(self, session: Session, name: str) -> None:
+        txn = self._require_txn(session, "SAVEPOINT")
         txn.savepoints.append(
-            SavepointState(name, self.catalog.snapshot(), len(txn.records))
+            SavepointState(name, txn.catalog.snapshot(), len(txn.records))
         )
 
     def _find_savepoint(self, txn: Transaction, name: str) -> int:
@@ -693,58 +938,92 @@ class Database:
             f"savepoint {name!r} does not exist", sqlstate="3B001"
         )
 
-    def _rollback_to_locked(self, name: str) -> None:
-        txn = self._require_txn("ROLLBACK TO SAVEPOINT")
+    def _rollback_to(self, session: Session, name: str) -> None:
+        txn = self._require_txn(session, "ROLLBACK TO SAVEPOINT")
         idx = self._find_savepoint(txn, name)
         savepoint = txn.savepoints[idx]
-        self.catalog.restore(savepoint.memento)
+        txn.catalog.restore(savepoint.memento)
         # the savepoint survives and can be rolled back to again; the
-        # undone statements must never reach the WAL
+        # undone statements must never reach the WAL.  write_set keeps
+        # the undone targets — conservative (at worst a spurious 40001),
+        # and their fork state now equals the savepoint's.
         del txn.savepoints[idx + 1 :]
         del txn.records[savepoint.record_mark :]
 
-    def _release_locked(self, name: str) -> None:
-        txn = self._require_txn("RELEASE SAVEPOINT")
+    def _release_savepoint(self, session: Session, name: str) -> None:
+        txn = self._require_txn(session, "RELEASE SAVEPOINT")
         idx = self._find_savepoint(txn, name)
         del txn.savepoints[idx:]
 
     # -- durability -------------------------------------------------------------
 
-    def _log_write(self, sql: str, index: int, params: tuple) -> None:
-        """Record one successful write for redo (buffered inside an
-        explicit transaction, WAL-committed immediately in autocommit)."""
-        if self._wal is None or self._replaying:
-            return
-        if self._txn is not None:
-            self._txn.records.append((sql, index, list(params)))
-            return
-        txn_id = self._next_txn
+    def _log_write(
+        self,
+        sql: str,
+        index: int,
+        params: tuple,
+        session: Session,
+        targets: list[str],
+    ) -> None:
+        """WAL-commit one autocommitted write and stamp its commit id
+        (explicit transactions buffer records and flush at COMMIT)."""
+        commit_id = self._next_txn
         self._next_txn += 1
+        durable = self._wal is not None and not self._replaying
+        if durable:
+            self.faults.check("wal.commit.begin")
+            # "auto" compresses begin+stmt+commit into one self-committing
+            # record
+            self._wal.append(
+                {"t": "auto", "txn": commit_id, "sql": sql, "i": index,
+                 "p": list(params)}
+            )
+            self._wal.sync()
+            self.faults.check("wal.commit.end")
+        self.faults.check("commit.install")
+        for name in targets:
+            self.catalog.note_write(name)
+        session.last_commit_id = commit_id
+        if durable:
+            self._note_commit()
+
+    def _flush_txn_wal(self, txn: Transaction, commit_id: int) -> bool:
+        """Flush a committing transaction's buffered records under its
+        commit id (allocated under the write latch, so WAL order equals
+        commit order)."""
+        if self._wal is None or not txn.records:
+            return False
         self.faults.check("wal.commit.begin")
-        # "auto" compresses begin+stmt+commit into one self-committing record
-        self._wal.append(
-            {"t": "auto", "txn": txn_id, "sql": sql, "i": index,
-             "p": list(params)}
-        )
+        self._wal.append({"t": "begin", "txn": commit_id})
+        for sql, index, bound in txn.records:
+            self._wal.append(
+                {
+                    "t": "stmt",
+                    "txn": commit_id,
+                    "sql": sql,
+                    "i": index,
+                    "p": bound,
+                }
+            )
+        self._wal.append({"t": "commit", "txn": commit_id})
         self._wal.sync()
         self.faults.check("wal.commit.end")
-        self._note_commit()
+        return True
 
     def _note_commit(self) -> None:
         self._commits_since_checkpoint += 1
         if (
             self.checkpoint_every is not None
             and self._commits_since_checkpoint >= self.checkpoint_every
-            and self._txn is None
         ):
             self._checkpoint_locked()
 
-    def _checkpoint_locked(self) -> None:
+    def _checkpoint_locked(self, session: Optional[Session] = None) -> None:
         if self._wal is None:
             raise DurabilityError(
                 "CHECKPOINT requires a durable database (wal_path=...)"
             )
-        if self._txn is not None:
+        if session is not None and session.txn is not None:
             raise TransactionError(
                 "CHECKPOINT cannot run inside a transaction", sqlstate="25001"
             )
@@ -832,34 +1111,60 @@ class Database:
 
     # -- SELECT -------------------------------------------------------------------
 
-    def analyze(self, table: Optional[str] = None) -> list[str]:
+    def analyze(
+        self, table: Optional[str] = None, session: Optional[Session] = None
+    ) -> list[str]:
         """Collect planner statistics (the ``ANALYZE`` statement's API
         twin); bumps the catalog's statistics version so cached plans
         re-optimize against the fresh statistics."""
-        with self._lock.write():
-            names = self.catalog.analyze(table)
-            target = f'ANALYZE "{table}"' if table is not None else "ANALYZE"
-            self._log_write(target, 0, ())
-        return names
+        session = self._resolve_session(session)
+        self._check_not_aborted(session)
+        target = f'ANALYZE "{table}"' if table is not None else "ANALYZE"
+        txn = session.txn
+        if txn is not None:
+            targets = (
+                [table] if table is not None else list(txn.catalog.table_names)
+            )
+            self._acquire_locks(session, targets)
+            names = txn.catalog.analyze(table)
+            txn.write_set.update(targets)
+            if self._wal is not None:
+                txn.records.append((target, 0, []))
+            return names
+        targets = (
+            [table] if table is not None else list(self.catalog.table_names)
+        )
+        acquired = self._acquire_locks(session, targets)
+        try:
+            with self._lock.write():
+                names = self.catalog.analyze(table)
+                self._log_write(target, 0, (), session, targets)
+            return names
+        finally:
+            self.locks.release(session.session_id, acquired)
 
-    def _plan_select(self, statement: ast.Select) -> PlanNode:
-        plan, _ = self._plan_select_rewritten(statement)
+    def _plan_select(
+        self, statement: ast.Select, catalog: Optional[Catalog] = None
+    ) -> PlanNode:
+        plan, _ = self._plan_select_rewritten(statement, catalog)
         return plan
 
     def _plan_select_rewritten(
-        self, statement: ast.Select
+        self, statement: ast.Select, catalog: Optional[Catalog] = None
     ) -> tuple[PlanNode, list[str]]:
-        """Plan a SELECT; with ``optimize`` on, also run the rewrite layer.
+        """Plan a SELECT against *catalog* (committed state by default);
+        with ``optimize`` on, also run the rewrite layer.
 
         Returns the plan plus the list of fired rewrite-rule names (empty
         when the optimizer is off or nothing applied).
         """
+        catalog = self.catalog if catalog is None else catalog
         rewrites: list[str] = []
         if self.optimize:
             statement, folded = fold_select(statement)
             if folded:
                 rewrites.append("constant-folding")
-        planner = Planner(self.catalog, self.profile)
+        planner = Planner(catalog, self.profile)
         plan = planner.plan_select(statement)
         visible = {out.key for out in plan.schema if not out.hidden}
         plan = prune_plan(plan, visible)
@@ -869,7 +1174,7 @@ class Database:
                 plan,
                 planner.shared_plans,
                 planner.subquery_plans,
-                self.catalog,
+                catalog,
                 rewrites,
             )
             # pushdown can strand projection columns only the (now moved)
@@ -880,9 +1185,18 @@ class Database:
             )
         return plan, rewrites
 
-    def _execute_select_plan(self, plan: PlanNode, params: tuple = ()) -> Result:
-        with self._statement_guard() as cancel_event:
-            ctx = self._make_context(params, cancel_event=cancel_event)
+    def _execute_select_plan(
+        self,
+        plan: PlanNode,
+        params: tuple = (),
+        session: Optional[Session] = None,
+        catalog: Optional[Catalog] = None,
+    ) -> Result:
+        session = self._resolve_session(session)
+        with session.statement_guard() as cancel_event:
+            ctx = self._make_context(
+                params, cancel_event=cancel_event, catalog=catalog
+            )
             started = time.perf_counter()
             batch = execute_plan(plan, ctx)
         if ctx.stats is not None:
@@ -891,8 +1205,9 @@ class Database:
         return _batch_to_result(plan, batch)
 
     def _record_exec_stats(self, stats: ExecStats) -> None:
-        self.last_exec_stats = stats
-        merge_operator_counters(self.operator_counters, stats.by_operator())
+        with self._stats_mutex:
+            self.last_exec_stats = stats
+            merge_operator_counters(self.operator_counters, stats.by_operator())
 
     def explain_analyze(
         self, sql: str, params: Optional[Sequence[Any]] = None
@@ -914,7 +1229,7 @@ class Database:
             estimates = estimate_plan_rows(plan, self.catalog)
             bound = tuple(params) if params is not None else ()
             stats = ExecStats(workers=self.workers)
-            with self._statement_guard() as cancel_event:
+            with self._default_session.statement_guard() as cancel_event:
                 ctx = self._make_context(
                     bound, stats=stats, cancel_event=cancel_event
                 )
@@ -938,17 +1253,21 @@ class Database:
 
     # -- DDL / DML --------------------------------------------------------------------
 
-    def _execute_create_table(self, statement: ast.CreateTable) -> Result:
+    def _execute_create_table(
+        self, statement: ast.CreateTable, catalog: Catalog
+    ) -> Result:
         names = [c.name for c in statement.columns]
         types = [normalise_type(c.type_name) for c in statement.columns]
-        self.catalog.create_table(Table(statement.name, names, types))
+        catalog.create_table(Table(statement.name, names, types))
         return Result()
 
-    def _execute_create_view(self, statement: ast.CreateView) -> Result:
+    def _execute_create_view(
+        self, statement: ast.CreateView, catalog: Catalog
+    ) -> Result:
         view = View(statement.name, statement.query, statement.materialized)
         if statement.materialized:
-            plan = self._plan_select(statement.query)
-            batch = execute_plan(plan, self._make_context())
+            plan = self._plan_select(statement.query, catalog)
+            batch = execute_plan(plan, self._make_context(catalog=catalog))
             names: list[str] = []
             data: dict[str, Vector] = {}
             for out in plan.schema:
@@ -962,11 +1281,14 @@ class Database:
                 names.append(out.name)
                 data[out.name] = batch.columns[out.key]
             view.snapshot = (names, data, batch.length)
-        self.catalog.create_view(view)
+        catalog.create_view(view)
         return Result()
 
-    def _execute_insert(self, statement: ast.Insert, params: tuple = ()) -> Result:
-        table = self.catalog.table(statement.table)
+    def _execute_insert(
+        self, statement: ast.Insert, params: tuple = (), catalog: Optional[Catalog] = None
+    ) -> Result:
+        catalog = self.catalog if catalog is None else catalog
+        table = catalog.table(statement.table)
         columns = statement.columns or [
             name
             for name, storage in zip(table.column_names, table.column_types)
@@ -984,12 +1306,15 @@ class Database:
                 row[name] = _literal_value(expr, params)
             rows.append(row)
         table.append_rows(rows)
-        self.catalog.bump_version()
-        self._invalidate_dependent_snapshots(statement.table)
+        catalog.bump_version()
+        self._invalidate_dependent_snapshots(statement.table, catalog)
         return Result(rowcount=len(rows))
 
-    def _execute_copy(self, statement: ast.Copy) -> Result:
-        table = self.catalog.table(statement.table)
+    def _execute_copy(
+        self, statement: ast.Copy, catalog: Optional[Catalog] = None
+    ) -> Result:
+        catalog = self.catalog if catalog is None else catalog
+        table = catalog.table(statement.table)
         columns = statement.columns or list(table.column_names)
         with open(statement.path, newline="") as handle:
             reader = csv.reader(handle, delimiter=statement.delimiter)
@@ -1013,11 +1338,25 @@ class Database:
                 for row in raw_rows
             ]
         table.append_columns(data, len(raw_rows))
-        self.catalog.bump_version()
-        self._invalidate_dependent_snapshots(statement.table)
+        catalog.bump_version()
+        self._invalidate_dependent_snapshots(statement.table, catalog)
         return Result(rowcount=len(raw_rows))
 
-    def _invalidate_dependent_snapshots(self, changed_table: str) -> None:
+    def _recompute_snapshot(self, view: View, catalog: Catalog) -> None:
+        """Re-materialise one view's cached result against *catalog*."""
+        plan = self._plan_select(view.query, catalog)
+        batch = execute_plan(plan, self._make_context(catalog=catalog))
+        names = [out.name for out in plan.schema if not out.hidden]
+        data = {
+            out.name: batch.columns[out.key]
+            for out in plan.schema
+            if not out.hidden
+        }
+        view.snapshot = (names, data, batch.length)
+
+    def _invalidate_dependent_snapshots(
+        self, changed_table: str, catalog: Optional[Catalog] = None
+    ) -> None:
         """Refresh materialised views that (transitively) read a table.
 
         PostgreSQL keeps stale snapshots until ``REFRESH MATERIALIZED
@@ -1025,9 +1364,10 @@ class Database:
         views over them, so eager dependency-aware refresh is a safe
         simplification.
         """
+        catalog = self.catalog if catalog is None else catalog
         dirty = {changed_table}
         # views may reference other views; iterate until fixpoint
-        ordered = list(self.catalog.view_names)
+        ordered = list(catalog.view_names)
         changed = True
         refreshed: set[str] = set()
         while changed:
@@ -1035,7 +1375,7 @@ class Database:
             for name in ordered:
                 if name in refreshed:
                     continue
-                view = self.catalog.resolve(name)
+                view = catalog.resolve(name)
                 if not isinstance(view, View):
                     continue
                 references = _referenced_relations(view.query)
@@ -1044,17 +1384,25 @@ class Database:
                     refreshed.add(name)
                     changed = True
                     if view.materialized:
-                        plan = self._plan_select(view.query)
-                        batch = execute_plan(plan, self._make_context())
-                        names = [
-                            out.name for out in plan.schema if not out.hidden
-                        ]
-                        data = {
-                            out.name: batch.columns[out.key]
-                            for out in plan.schema
-                            if not out.hidden
-                        }
-                        view.snapshot = (names, data, batch.length)
+                        self._recompute_snapshot(view, catalog)
+
+    def _refresh_committed_matviews(self, write_set: set[str]) -> None:
+        """After a transaction's relations are installed, bring the
+        committed catalog's materialised views back in line.
+
+        A matview the transaction itself created/refreshed was computed
+        against the *fork*; concurrent committers may have changed its
+        inputs since, so its snapshot is recomputed against committed
+        state — exactly what a serial replay at this commit-order
+        position would produce.  Matviews *depending* on installed
+        relations refresh through the usual dependency walk.  Runs under
+        the write latch."""
+        for name in sorted(write_set):
+            if name in self.catalog.view_names:
+                view = self.catalog.resolve(name)
+                if isinstance(view, View) and view.materialized:
+                    self._recompute_snapshot(view, self.catalog)
+            self._invalidate_dependent_snapshots(name, self.catalog)
 
 
 def _referenced_relations(select: ast.Select) -> set[str]:

@@ -57,6 +57,9 @@ CRASHPOINTS: tuple[str, ...] = (
     # record is durably on disk (but before the engine acknowledges)
     "wal.commit.begin",
     "wal.commit.end",
+    # between the durable commit record and the in-memory install of the
+    # committed state (the MVCC catalog swap / autocommit acknowledgement)
+    "commit.install",
     # checkpoint: snapshot write, atomic rename, WAL reset
     "checkpoint.begin",
     "checkpoint.snapshot.torn",

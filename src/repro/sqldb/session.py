@@ -1,0 +1,115 @@
+"""Per-connection session state for multi-session MVCC.
+
+A :class:`Session` is the engine-side identity of one client connection:
+it owns the session's open :class:`~repro.sqldb.txn.Transaction` (if
+any), its in-flight statement cancel flags, and the id used by the
+per-table :class:`~repro.sqldb.locks.LockManager`.  The
+:class:`~repro.sqldb.engine.Database` keeps one *default* session for
+its direct ``execute()`` API (and for the DB-API connection that owns
+the database); additional sessions — one per pooled connection — are
+opened with :meth:`Database.session() <repro.sqldb.engine.Database.session>`
+and run concurrently under snapshot isolation.
+
+Statements *within* one session are serial (one at a time, like a real
+connection); concurrency happens *across* sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.sqldb.engine import Database, Result
+    from repro.sqldb.txn import Transaction
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One client session over a shared :class:`Database`."""
+
+    def __init__(self, database: "Database", session_id: int) -> None:
+        self.database = database
+        self.session_id = session_id
+        #: the open explicit transaction, if any
+        self.txn: Optional["Transaction"] = None
+        #: commit id of this session's most recent committed write
+        #: (autocommit statement or explicit COMMIT); commit ids are
+        #: allocated under the global write latch, so sorting by them
+        #: reconstructs the database-wide commit order
+        self.last_commit_id: Optional[int] = None
+        self.closed = False
+        #: cancel events of in-flight statements (guarded by the mutex)
+        self._cancel_mutex = threading.Lock()
+        self._active_cancels: set[threading.Event] = set()
+
+    # -- statement lifecycle -------------------------------------------------
+
+    @contextmanager
+    def statement_guard(self):
+        """Register a fresh cancel event for one statement execution."""
+        event = threading.Event()
+        with self._cancel_mutex:
+            self._active_cancels.add(event)
+        try:
+            yield event
+        finally:
+            with self._cancel_mutex:
+                self._active_cancels.discard(event)
+
+    def cancel(self) -> None:
+        """Cooperatively cancel this session's in-flight statements
+        (safe from any thread; peers' statements are unaffected)."""
+        with self._cancel_mutex:
+            for event in self._active_cancels:
+                event.set()
+
+    @property
+    def has_active_statements(self) -> bool:
+        with self._cancel_mutex:
+            return bool(self._active_cancels)
+
+    # -- convenience delegates ----------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.txn is not None
+
+    @property
+    def in_aborted_transaction(self) -> bool:
+        return self.txn is not None and self.txn.aborted
+
+    def execute(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> "Result":
+        return self.database.execute(sql, params, session=self)
+
+    def run_script(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> list["Result"]:
+        return self.database.run_script(sql, params, session=self)
+
+    def executemany(self, sql: str, seq_of_params) -> int:
+        return self.database.executemany(sql, seq_of_params, session=self)
+
+    def begin(self) -> None:
+        self.database.begin(session=self)
+
+    def commit(self) -> None:
+        self.database.commit(session=self)
+
+    def rollback(self) -> None:
+        self.database.rollback(session=self)
+
+    def close(self) -> None:
+        """End the session: roll back any open transaction (releasing
+        its locks) and deregister from the database.  Idempotent."""
+        if self.closed:
+            return
+        self.cancel()
+        if self.txn is not None:
+            self.database.rollback(session=self)
+        self.closed = True
+        self.database._forget_session(self)

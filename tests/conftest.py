@@ -4,7 +4,10 @@
 differential-fuzz test (see ``tests/sqldb/test_fuzz_differential.py``).
 ``--fault-rounds N`` raises the number of randomized workloads per
 crash-recovery property test (see ``tests/sqldb/test_faults.py``).
-The defaults keep both suites inside the tier-1 time budget; CI's
+``--stress-rounds N`` (or the ``REPRO_STRESS_ROUNDS`` environment
+variable) raises the number of randomized concurrent rounds per MVCC
+chaos-stress test (see ``tests/sqldb/test_stress_concurrency.py``).
+The defaults keep these suites inside the tier-1 time budget; CI's
 long-run job passes a few hundred rounds.
 """
 
@@ -25,4 +28,13 @@ def pytest_addoption(parser):
         default=None,
         help="randomized workloads per crash-recovery property test "
         "(default: a small tier-1 budget)",
+    )
+    parser.addoption(
+        "--stress-rounds",
+        action="store",
+        type=int,
+        default=None,
+        help="randomized concurrent rounds per MVCC chaos-stress test "
+        "(default: a small tier-1 budget; the REPRO_STRESS_ROUNDS "
+        "environment variable also sets it)",
     )

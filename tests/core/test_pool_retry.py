@@ -1,0 +1,280 @@
+"""Client-side concurrency plumbing: retry_backoff and ConnectionPool.
+
+Covers the retry loop's SQLSTATE policy and backoff arithmetic, the
+pool's blocking/timeout semantics, and the checkout-validation bugfix:
+a pooled connection abandoned mid-transaction (or whose session died)
+must never be handed to the next caller as-is.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.connectors import (
+    ConnectionPool,
+    RETRYABLE_SQLSTATES,
+    UmbraConnector,
+    is_retryable,
+    retry_backoff,
+)
+from repro.errors import (
+    DeadlockDetected,
+    QueryCancelled,
+    SerializationFailure,
+    SQLExecutionError,
+)
+from repro.sqldb import dbapi
+from repro.sqldb.engine import Database
+
+
+class FixedRandom:
+    """rng stub whose random() always returns 0.5 → jitter factor 1.0."""
+
+    def random(self):
+        return 0.5
+
+
+class TestRetryBackoff:
+    def test_retryable_sqlstates(self):
+        assert RETRYABLE_SQLSTATES == {"40001", "40P01", "57014"}
+        assert is_retryable(SerializationFailure("serialize"))
+        assert is_retryable(DeadlockDetected("deadlock"))
+        assert is_retryable(QueryCancelled("cancelled"))
+        assert not is_retryable(SQLExecutionError("div by zero"))
+        assert not is_retryable(ValueError("not SQL at all"))
+
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise SerializationFailure("lost the race")
+            return "done"
+
+        out = retry_backoff(
+            flaky, attempts=5, base_delay=0.0, rng=FixedRandom()
+        )
+        assert out == "done"
+        assert calls["n"] == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise SQLExecutionError("real bug")
+
+        with pytest.raises(SQLExecutionError):
+            retry_backoff(broken, attempts=5, base_delay=0.0)
+        assert calls["n"] == 1
+
+    def test_last_attempt_failure_propagates(self):
+        calls = {"n": 0}
+
+        def always_loses():
+            calls["n"] += 1
+            raise DeadlockDetected("victim again")
+
+        with pytest.raises(DeadlockDetected):
+            retry_backoff(
+                always_loses, attempts=3, base_delay=0.0, rng=FixedRandom()
+            )
+        assert calls["n"] == 3
+
+    def test_on_retry_hook_sees_each_failure(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise SerializationFailure("again")
+            return "ok"
+
+        retry_backoff(
+            flaky,
+            attempts=5,
+            base_delay=0.0,
+            on_retry=lambda i, exc: seen.append((i, exc.sqlstate)),
+        )
+        assert seen == [(0, "40001"), (1, "40001")]
+
+    def test_backoff_doubles_and_caps(self, monkeypatch):
+        delays = []
+        monkeypatch.setattr(
+            "repro.core.connectors.time.sleep", delays.append
+        )
+
+        def always_loses():
+            raise SerializationFailure("lost")
+
+        with pytest.raises(SerializationFailure):
+            retry_backoff(
+                always_loses,
+                attempts=5,
+                base_delay=0.01,
+                max_delay=0.04,
+                rng=FixedRandom(),
+            )
+        # 4 sleeps (no sleep after the final attempt), doubling then capped
+        assert delays == pytest.approx([0.01, 0.02, 0.04, 0.04])
+
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            retry_backoff(lambda: None, attempts=0)
+
+
+@pytest.fixture
+def db():
+    database = Database("umbra")
+    database.execute("CREATE TABLE t (a int)")
+    yield database
+    database.close()
+
+
+class TestConnectionPool:
+    def test_connections_are_distinct_sessions(self, db):
+        pool = ConnectionPool(db, size=2)
+        a, b = pool.acquire(), pool.acquire()
+        assert a.session is not b.session
+        assert a.database is db and b.database is db
+        pool.release(a)
+        pool.release(b)
+        pool.close()
+
+    def test_released_connection_is_reused(self, db):
+        pool = ConnectionPool(db, size=2)
+        conn = pool.acquire()
+        pool.release(conn)
+        assert pool.acquire() is conn
+        pool.close()
+
+    def test_exhausted_pool_times_out(self, db):
+        pool = ConnectionPool(db, size=1, timeout=0.2)
+        conn = pool.acquire()
+        with pytest.raises(dbapi.OperationalError):
+            pool.acquire()
+        pool.release(conn)
+        pool.close()
+
+    def test_waiter_wakes_on_release(self, db):
+        pool = ConnectionPool(db, size=1, timeout=5.0)
+        conn = pool.acquire()
+        got = []
+
+        def waiter():
+            with pool.connection() as c:
+                got.append(c)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        pool.release(conn)
+        thread.join(timeout=10)
+        assert got == [conn]
+        pool.close()
+
+    def test_abandoned_transaction_is_reset_on_checkout(self, db):
+        # the bugfix: a holder that opened a transaction and bailed must
+        # not poison the next checkout with its open txn (stale snapshot,
+        # held locks, possibly 25P02-aborted state)
+        pool = ConnectionPool(db, size=1)
+        conn = pool.acquire()
+        conn.begin()
+        conn.cursor().execute("INSERT INTO t (a) VALUES (1)")
+        pool.release(conn)  # abandoned mid-transaction
+
+        again = pool.acquire()
+        assert again is conn
+        assert not again.in_transaction
+        assert pool.stats["abandoned_txns_reset"] == 1
+        # the abandoned insert was rolled back, and the fresh holder can
+        # write without tripping over the old transaction's lock
+        cur = again.cursor().execute("SELECT count(*) FROM t")
+        assert cur.fetchone() == (0,)
+        again.cursor().execute("INSERT INTO t (a) VALUES (2)")
+        pool.release(again)
+        pool.close()
+
+    def test_dead_session_is_replaced_on_checkout(self, db):
+        pool = ConnectionPool(db, size=1)
+        conn = pool.acquire()
+        pool.release(conn)
+        conn.close()  # session dies while the connection sits in the pool
+
+        replacement = pool.acquire()
+        assert replacement is not conn
+        assert not replacement.closed
+        assert pool.stats["dead_sessions_replaced"] == 1
+        replacement.cursor().execute("INSERT INTO t (a) VALUES (3)")
+        pool.release(replacement)
+        pool.close()
+
+    def test_closed_pool_rejects_checkout_and_closes_idle(self, db):
+        pool = ConnectionPool(db, size=2)
+        conn = pool.acquire()
+        pool.release(conn)
+        pool.close()
+        assert conn.closed
+        with pytest.raises(dbapi.InterfaceError):
+            pool.acquire()
+        # releasing after close closes the straggler instead of pooling it
+        late = dbapi.connect(database=db)
+        pool.release(late)
+        assert late.closed
+
+    def test_pool_size_must_be_positive(self, db):
+        with pytest.raises(ValueError):
+            ConnectionPool(db, size=0)
+
+
+class TestConnectorRetry:
+    def test_run_retries_serialization_failure(self):
+        connector = UmbraConnector()
+        connector.run("CREATE TABLE t (a int)")
+        db = connector.connection.database
+
+        # a peer session commits a write *between* this session's BEGIN
+        # and COMMIT so the scripted transaction loses first-committer-
+        # wins exactly once, then succeeds on the retry
+        peer = db.session()
+        state = {"conflicts": 0}
+        original_begin = db._begin
+
+        def begin_with_conflict(session):
+            original_begin(session)
+            if state["conflicts"] < 1:
+                state["conflicts"] += 1
+                peer.execute("INSERT INTO t (a) VALUES (99)")
+
+        db._begin = begin_with_conflict
+        try:
+            connector.run(
+                "BEGIN; INSERT INTO t (a) VALUES (1); COMMIT;"
+            )
+        finally:
+            db._begin = original_begin
+        assert connector.retries == 1
+        rows = connector.query_rows("SELECT a FROM t ORDER BY a")
+        assert rows == [(1,), (99,)]
+
+    def test_run_does_not_retry_inside_explicit_transaction(self):
+        connector = UmbraConnector()
+        connector.run("CREATE TABLE t (a int)")
+        db = connector.connection.database
+        connector.run("BEGIN")
+
+        peer = db.session()
+        peer.execute("INSERT INTO t (a) VALUES (99)")
+
+        connector.run("INSERT INTO t (a) VALUES (1)")
+        with pytest.raises(SerializationFailure):
+            connector.run("COMMIT")
+        assert connector.retries == 0
+
+    def test_pool_helper_shares_the_connector_database(self):
+        connector = UmbraConnector()
+        connector.run("CREATE TABLE t (a int)")
+        pool = connector.pool(size=2)
+        with pool.connection() as conn:
+            conn.cursor().execute("INSERT INTO t (a) VALUES (7)")
+        assert connector.query_rows("SELECT a FROM t") == [(7,)]
+        pool.close()

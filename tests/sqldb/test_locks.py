@@ -1,0 +1,251 @@
+"""Unit tests for the concurrency primitives in repro.sqldb.locks.
+
+The ReadWriteLock tests pin the writer-preference fix: under the old
+readers-preference latch a continuous stream of readers could starve a
+writer forever; now a queued writer blocks *new* readers and acquires as
+soon as in-flight readers drain.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockDetected, QueryCancelled
+from repro.sqldb.locks import LockManager, ReadWriteLock
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(3, timeout=10)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # all three readers in simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = ReadWriteLock()
+        order = []
+
+        def writer(tag):
+            with lock.write():
+                order.append(("enter", tag))
+                time.sleep(0.02)
+                order.append(("exit", tag))
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        # strictly serialised: every enter is immediately followed by the
+        # matching exit
+        for i in range(0, len(order), 2):
+            assert order[i][0] == "enter"
+            assert order[i + 1] == ("exit", order[i][1])
+
+    def test_writer_is_not_starved_by_reader_stream(self):
+        # regression for the PR 4 readers-preference latch: keep a
+        # continuous overlapping stream of readers running and check a
+        # writer still gets in promptly
+        lock = ReadWriteLock()
+        stop = threading.Event()
+        writer_done = threading.Event()
+
+        def reader_stream():
+            while not stop.is_set():
+                with lock.read():
+                    time.sleep(0.005)
+
+        readers = [
+            threading.Thread(target=reader_stream, daemon=True)
+            for _ in range(4)
+        ]
+        for t in readers:
+            t.start()
+        time.sleep(0.05)  # the stream is saturated before the writer queues
+
+        def writer():
+            with lock.write():
+                writer_done.set()
+
+        started = time.monotonic()
+        w = threading.Thread(target=writer)
+        w.start()
+        assert writer_done.wait(timeout=5.0), "writer starved by readers"
+        elapsed = time.monotonic() - started
+        w.join(timeout=10)
+        stop.set()
+        for t in readers:
+            t.join(timeout=10)
+        # prompt, not merely eventual: the writer only has to outwait the
+        # readers already inside, not the whole stream
+        assert elapsed < 2.0
+
+    def test_queued_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        reader_inside = threading.Event()
+        release_reader = threading.Event()
+        writer_queued = threading.Event()
+        late_reader_inside = threading.Event()
+
+        def first_reader():
+            with lock.read():
+                reader_inside.set()
+                release_reader.wait(timeout=10)
+
+        def writer():
+            writer_queued.set()
+            with lock.write():
+                pass
+
+        def late_reader():
+            with lock.read():
+                late_reader_inside.set()
+
+        r1 = threading.Thread(target=first_reader)
+        r1.start()
+        assert reader_inside.wait(timeout=10)
+        w = threading.Thread(target=writer)
+        w.start()
+        assert writer_queued.wait(timeout=10)
+        assert wait_until(lambda: lock._writers_waiting == 1)
+        r2 = threading.Thread(target=late_reader)
+        r2.start()
+        # the late reader queues behind the waiting writer
+        time.sleep(0.1)
+        assert not late_reader_inside.is_set()
+        release_reader.set()
+        for t in (r1, w, r2):
+            t.join(timeout=10)
+        assert late_reader_inside.is_set()
+
+
+class TestLockManager:
+    def test_acquire_returns_newly_acquired_only(self):
+        locks = LockManager()
+        assert locks.acquire(1, ["b", "a"]) == ["a", "b"]
+        # reentrant: holding sessions skip, transient callers get []
+        assert locks.acquire(1, ["a", "c"]) == ["c"]
+        assert locks.held_by(1) == {"a", "b", "c"}
+
+    def test_release_specific_and_all(self):
+        locks = LockManager()
+        locks.acquire(1, ["a", "b"])
+        locks.release(1, ["a"])
+        assert locks.held_by(1) == {"b"}
+        locks.release_all(1)
+        assert locks.held_by(1) == set()
+        # a's lock is actually free again
+        assert locks.acquire(2, ["a", "b"]) == ["a", "b"]
+
+    def test_blocked_acquire_proceeds_after_release(self):
+        locks = LockManager()
+        locks.acquire(1, ["t"])
+        got = []
+
+        def blocked():
+            got.extend(locks.acquire(2, ["t"]))
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        assert wait_until(lambda: 2 in locks._waiting)
+        locks.release_all(1)
+        thread.join(timeout=10)
+        assert got == ["t"]
+        assert locks.held_by(2) == {"t"}
+
+    def test_deadlock_victim_is_the_requester_closing_the_cycle(self):
+        # session 1 holds a and waits for b; session 2 holds b and then
+        # requests a — session 2's request closes the cycle and raises
+        locks = LockManager()
+        locks.acquire(1, ["a"])
+        locks.acquire(2, ["b"])
+        errors = []
+
+        def session1():
+            try:
+                locks.acquire(1, ["b"])
+            except DeadlockDetected as exc:
+                errors.append(("s1", exc))
+                locks.release_all(1)
+
+        t1 = threading.Thread(target=session1)
+        t1.start()
+        assert wait_until(lambda: 1 in locks._waiting)
+        with pytest.raises(DeadlockDetected) as excinfo:
+            locks.acquire(2, ["a"])
+        assert excinfo.value.sqlstate == "40P01"
+        locks.release_all(2)  # the engine aborts the victim's transaction
+        t1.join(timeout=10)
+        # session 1 was never victimised; it got b once 2 released
+        assert errors == []
+        assert locks.held_by(1) == {"a", "b"}
+
+    def test_wait_honours_cancel_event(self):
+        locks = LockManager()
+        locks.acquire(1, ["t"])
+        cancel = threading.Event()
+        caught = []
+
+        def blocked():
+            try:
+                locks.acquire(2, ["t"], cancel_event=cancel)
+            except QueryCancelled as exc:
+                caught.append(exc)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        assert wait_until(lambda: 2 in locks._waiting)
+        cancel.set()
+        thread.join(timeout=10)
+        assert len(caught) == 1
+        assert caught[0].sqlstate == "57014"
+        assert locks.held_by(2) == set()
+
+    def test_wait_honours_deadline(self):
+        locks = LockManager()
+        locks.acquire(1, ["t"])
+        with pytest.raises(QueryCancelled):
+            locks.acquire(2, ["t"], deadline=time.monotonic() + 0.1)
+        assert locks.held_by(2) == set()
+
+    def test_sorted_order_prevents_ab_ba_deadlock(self):
+        # both sessions request {a, b} in one call; sorted acquisition
+        # means whoever gets a first also gets b first — no deadlock
+        locks = LockManager()
+        done = []
+
+        def grab(sid):
+            locks.acquire(sid, ["b", "a"])
+            time.sleep(0.01)
+            locks.release_all(sid)
+            done.append(sid)
+
+        threads = [
+            threading.Thread(target=grab, args=(sid,)) for sid in (1, 2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(done) == [1, 2]

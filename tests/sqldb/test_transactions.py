@@ -296,6 +296,20 @@ class TestPlanCacheAcrossRollback:
         db.execute("CREATE TABLE x (a int)")
         v_before = db.catalog.schema_version
         db.execute("BEGIN")
+        # in-transaction plans are keyed by the private fork's unique
+        # uid (committed catalogs are always uid 0), so they can never
+        # be served against committed state after ROLLBACK
+        fork = db._default_session.txn.catalog
+        assert fork.uid != db.catalog.uid
         db.execute("CREATE TABLE y (a int)")
         db.execute("ROLLBACK")
-        assert db.catalog.schema_version > v_before
+        # MVCC rollback discards the fork; the committed catalog never
+        # rewinds (it never even changed)
+        assert db.catalog.schema_version >= v_before
+        # the restore path (statement atomicity, savepoints) still takes
+        # a fresh monotonic bump whenever state actually changed
+        snap = db.catalog.snapshot()
+        db.execute("CREATE TABLE z (a int)")
+        v_mid = db.catalog.schema_version
+        db.catalog.restore(snap)
+        assert db.catalog.schema_version > v_mid

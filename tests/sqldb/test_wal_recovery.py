@@ -321,3 +321,102 @@ class TestWalFormat:
 
     def test_checkpoint_reader_missing_file(self, tmp_path):
         assert read_checkpoint(str(tmp_path / "nope.ckpt")) is None
+
+
+class TestRecoveryUnderConcurrency:
+    """Crash recovery with multiple MVCC sessions in flight.
+
+    The durability point is the flush of a transaction's WAL records at
+    COMMIT: a peer session's *open* transaction has written nothing to
+    the log yet, so recovery replays exactly the committed sessions —
+    the same state a serial replay of the commit order produces.
+    """
+
+    def test_committed_peer_survives_open_peer(self, wal_path):
+        db = open_db(wal_path)
+        db.execute("CREATE TABLE t (a int)")
+        a = db.session()
+        b = db.session()
+        a.begin()
+        a.execute("INSERT INTO t (a) VALUES (1)")
+        a.commit()
+        b.begin()
+        b.execute("INSERT INTO t (a) VALUES (2)")
+        # crash: abandon the database object with b's transaction open
+        del db, a, b
+        db2 = open_db(wal_path)
+        assert all_rows(db2) == [(1,)]
+        db2.close()
+
+    def test_crash_after_commit_record_is_durable(self, wal_path):
+        # crash between the durable commit record and the in-memory
+        # catalog install: the commit must survive recovery even though
+        # the crashed process never acknowledged it
+        from repro.sqldb.faults import FaultInjector, SimulatedCrash
+
+        faults = FaultInjector()
+        db = open_db(wal_path, faults=faults)
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("CREATE TABLE u (a int)")
+        a = db.session()
+        b = db.session()
+        b.begin()
+        b.execute("INSERT INTO u (a) VALUES (99)")  # open at crash time
+        a.begin()
+        a.execute("INSERT INTO t (a) VALUES (1)")
+        faults.arm("commit.install")
+        with pytest.raises(SimulatedCrash):
+            a.commit()
+        del db, a, b
+        db2 = open_db(wal_path)
+        assert all_rows(db2) == [(1,)]
+        assert all_rows(db2, "u") == []  # b never committed
+        db2.close()
+
+    def test_serialization_loser_never_reaches_the_wal(self, wal_path):
+        from repro.errors import SerializationFailure
+
+        db = open_db(wal_path)
+        db.execute("CREATE TABLE t (a int)")
+        a = db.session()
+        b = db.session()
+        a.begin()
+        b.begin()
+        a.execute("INSERT INTO t (a) VALUES (1)")
+        a.commit()  # releases t's lock; b's snapshot predates this
+        b.execute("INSERT INTO t (a) VALUES (2)")
+        with pytest.raises(SerializationFailure):
+            b.commit()
+        db.close()
+        records, _ = read_wal(wal_path)
+        inserted = [r for r in records if "INSERT" in r.get("sql", "")]
+        assert len(inserted) == 1
+        assert "VALUES (1)" in inserted[0]["sql"]
+        db2 = open_db(wal_path)
+        assert all_rows(db2) == [(1,)]
+        db2.close()
+
+    def test_wal_order_matches_commit_order(self, wal_path):
+        # commit ids are allocated at COMMIT under the install latch, so
+        # the log's transaction ids are the commit order even when the
+        # sessions began in the opposite order
+        db = open_db(wal_path)
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("CREATE TABLE u (a int)")
+        a = db.session()
+        b = db.session()
+        a.begin()  # begins first...
+        b.begin()
+        a.execute("INSERT INTO t (a) VALUES (1)")
+        b.execute("INSERT INTO u (a) VALUES (2)")
+        b.commit()  # ...but commits second
+        a.commit()
+        assert b.last_commit_id < a.last_commit_id
+        db.close()
+        records, _ = read_wal(wal_path)
+        txn_ids = [r["txn"] for r in records]
+        assert txn_ids == sorted(txn_ids)
+        db2 = open_db(wal_path)
+        assert all_rows(db2, "t") == [(1,)]
+        assert all_rows(db2, "u") == [(2,)]
+        db2.close()
