@@ -1,0 +1,233 @@
+"""Network server benchmark: remote client vs in-process sessions.
+
+Two sweeps over the same engine and workload, both written to
+``BENCH_server.json``:
+
+* **throughput** — statements/s as the number of concurrent clients
+  grows (1 → 16), once through in-process :mod:`repro.sqldb.dbapi`
+  sessions and once through :mod:`repro.sqldb.client` connections to a
+  :class:`~repro.sqldb.server.DatabaseServer` on loopback.  The gap
+  between the two columns *is* the wire: framing, JSON codec, syscalls
+  and the extra thread hop — the client/server tax the paper pays by
+  measuring through psycopg2.
+* **latency** — per-statement percentiles (p50/p95) for one client on
+  an idle server, the floor a remote pipeline statement cannot beat.
+
+The workload mixes a parameterized INSERT with a small aggregate SELECT
+over a pre-loaded table, matching the statement shapes inspection
+pipelines issue.
+
+Scale control
+-------------
+``REPRO_BENCH_SERVER_STATEMENTS``  statements per client per
+configuration (default ``40``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+
+from harness import print_table
+from repro.sqldb import client, dbapi
+from repro.sqldb.engine import Database
+from repro.sqldb.server import DatabaseServer
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_server.json")
+
+CLIENT_COUNTS = (1, 2, 4, 8, 16)
+SEED_ROWS = 2000
+
+
+def _statements_per_client() -> int:
+    return int(os.environ.get("REPRO_BENCH_SERVER_STATEMENTS", "40"))
+
+
+def _make_db() -> Database:
+    db = Database("umbra")
+    db.execute("CREATE TABLE bench (tag text, val int)")
+    db.executemany(
+        "INSERT INTO bench (tag, val) VALUES (?, ?)",
+        [(f"t{i % 17}", i % 251) for i in range(SEED_ROWS)],
+    )
+    return db
+
+
+SELECT_SQL = (
+    "SELECT tag, count(*) AS c, sum(val) AS s FROM bench "
+    "WHERE val % 2 = 0 GROUP BY tag"
+)
+INSERT_SQL = "INSERT INTO bench (tag, val) VALUES (%s, %s)"
+
+
+def _workload(conn, wid: int, statements: int) -> None:
+    """Alternate a parameterized INSERT and an aggregate SELECT."""
+    cursor = conn.cursor()
+    for i in range(statements):
+        if i % 2:
+            cursor.execute(INSERT_SQL, (f"w{wid}", i))
+        else:
+            cursor.execute(SELECT_SQL)
+            cursor.fetchall()
+
+
+def _sweep(statements: int, open_connection) -> list[dict]:
+    """Throughput vs client count for one connection factory."""
+    results = []
+    for n_clients in CLIENT_COUNTS:
+        barrier = threading.Barrier(n_clients + 1)
+        errors: list[BaseException] = []
+
+        def worker(wid: int) -> None:
+            conn = open_connection()
+            try:
+                barrier.wait()
+                _workload(conn, wid, statements)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(wid,))
+            for wid in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        total = n_clients * statements
+        results.append(
+            {
+                "clients": n_clients,
+                "statements": total,
+                "seconds": elapsed,
+                "statements_per_s": total / elapsed,
+            }
+        )
+    return results
+
+
+def run_throughput(statements: int) -> dict:
+    # in-process: each "client" is its own engine session via DB-API
+    db = _make_db()
+    try:
+        in_process = _sweep(
+            statements, lambda: dbapi.connect(database=db)
+        )
+    finally:
+        db.close()
+
+    # remote: same engine shape behind a loopback DatabaseServer
+    db = _make_db()
+    try:
+        with DatabaseServer(db, max_connections=64) as server:
+            remote = _sweep(
+                statements,
+                lambda: client.connect("127.0.0.1", server.port),
+            )
+    finally:
+        db.close()
+
+    return {
+        "statements_per_client": statements,
+        "in_process": in_process,
+        "remote": remote,
+    }
+
+
+def run_latency(statements: int) -> dict:
+    """Single-client per-statement latency through the socket."""
+    db = _make_db()
+    samples: list[float] = []
+    try:
+        with DatabaseServer(db) as server:
+            conn = client.connect("127.0.0.1", server.port)
+            try:
+                cursor = conn.cursor()
+                cursor.execute(SELECT_SQL).fetchall()  # warm the plan cache
+                for i in range(max(statements, 20)):
+                    started = time.perf_counter()
+                    if i % 2:
+                        cursor.execute(INSERT_SQL, ("lat", i))
+                    else:
+                        cursor.execute(SELECT_SQL).fetchall()
+                    samples.append(time.perf_counter() - started)
+            finally:
+                conn.close()
+    finally:
+        db.close()
+    samples.sort()
+    return {
+        "statements": len(samples),
+        "p50_s": samples[len(samples) // 2],
+        "p95_s": samples[int(len(samples) * 0.95)],
+        "max_s": samples[-1],
+    }
+
+
+def run_sweep(statements: int | None = None) -> dict:
+    statements = statements or _statements_per_client()
+    return {
+        "benchmark": "bench_server",
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "throughput": run_throughput(statements),
+        "latency": run_latency(statements),
+    }
+
+
+def write_report(report: dict, path: str = OUT_PATH) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def main() -> None:
+    report = run_sweep()
+    write_report(report)
+    throughput = report["throughput"]
+    remote_by_clients = {
+        r["clients"]: r for r in throughput["remote"]
+    }
+    print_table(
+        f"statements/s, {throughput['statements_per_client']} per client "
+        "(in-process vs remote)",
+        ["clients", "in-process", "remote", "wire tax"],
+        [
+            [
+                local["clients"],
+                local["statements_per_s"],
+                remote_by_clients[local["clients"]]["statements_per_s"],
+                local["statements_per_s"]
+                / remote_by_clients[local["clients"]]["statements_per_s"],
+            ]
+            for local in throughput["in_process"]
+        ],
+    )
+    latency = report["latency"]
+    print_table(
+        "single remote client, per-statement latency",
+        ["p50 ms", "p95 ms", "max ms"],
+        [[
+            latency["p50_s"] * 1000,
+            latency["p95_s"] * 1000,
+            latency["max_s"] * 1000,
+        ]],
+    )
+    print(f"\nwrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,7 @@ __all__ = [
     "DBConnector",
     "PostgresqlConnector",
     "ProfileConnector",
+    "RemoteConnector",
     "RETRYABLE_SQLSTATES",
     "UmbraConnector",
     "is_retryable",
@@ -44,9 +45,11 @@ __all__ = [
 _T = TypeVar("_T")
 
 #: SQLSTATEs a client should retry: serialization_failure (first
-#: committer won), deadlock_detected (this transaction was the victim)
-#: and query_canceled (statement timeout / cooperative cancel)
-RETRYABLE_SQLSTATES = frozenset({"40001", "40P01", "57014"})
+#: committer won), deadlock_detected (this transaction was the victim),
+#: query_canceled (statement timeout / cooperative cancel) and
+#: too_many_connections (the network server shed the connection at
+#: admission — backoff and reconnect)
+RETRYABLE_SQLSTATES = frozenset({"40001", "40P01", "57014", "53300"})
 
 
 def is_retryable(exc: BaseException) -> bool:
@@ -135,7 +138,9 @@ class ConnectionPool:
 
     def acquire(self) -> dbapi.Connection:
         """Check out a validated connection (blocks while the pool is
-        exhausted; raises ``OperationalError`` after ``timeout`` s)."""
+        exhausted; raises ``InterfaceError`` immediately if the pool is
+        closed — including when it closes *while* this call is waiting
+        or creating — and ``OperationalError`` after ``timeout`` s)."""
         deadline = (
             None if self._timeout is None
             else time.monotonic() + self._timeout
@@ -162,9 +167,28 @@ class ConnectionPool:
                     self._WAIT_SLICE if remaining is None
                     else min(self._WAIT_SLICE, remaining)
                 )
-        if conn is None:
-            conn = dbapi.connect(database=self._database)
-        return self._validate(conn)
+        try:
+            if conn is None:
+                conn = dbapi.connect(database=self._database)
+            conn = self._validate(conn)
+        except BaseException:
+            # the slot this call claimed (or the idle conn it popped) is
+            # being discarded: give the capacity back and wake a waiter
+            with self._cond:
+                self._n_created -= 1
+                self._cond.notify()
+            if conn is not None:
+                conn.close()
+            raise
+        # close() may have run while this call was creating/validating
+        # outside the lock: a closed pool must never hand out a session
+        # whose database is being torn down behind it
+        with self._cond:
+            if self._closed:
+                self._n_created -= 1
+                conn.close()
+                raise dbapi.InterfaceError("connection pool is closed")
+        return conn
 
     def _validate(self, conn: dbapi.Connection) -> dbapi.Connection:
         """Health-check one connection on its way out of the pool."""
@@ -380,6 +404,120 @@ class UmbraConnector(DBConnector):
     """The paper's beyond-main-memory system."""
 
     profile_name = "umbra"
+
+
+class RemoteConnector(DBConnector):
+    """Connector over the network client — the paper's psycopg2 role.
+
+    Speaks the length-prefixed JSON protocol to a running
+    :class:`~repro.sqldb.server.DatabaseServer` instead of embedding an
+    engine, while keeping the whole :class:`DBConnector` surface
+    (``run``/``reset``/``query_rows``/stats), so every harness,
+    benchmark and :class:`~repro.core.sql_backend.SQLBackend` pipeline
+    drops onto a served database unchanged.  Retry semantics match the
+    in-process connector: scripts that fail with a retryable SQLSTATE
+    outside an explicit transaction are rolled back and re-run under
+    backoff; a dead connection is transparently re-dialled at the next
+    checkout.
+    """
+
+    profile_name = "remote"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 5433,
+        auth_token: Optional[str] = None,
+        statement_timeout_ms: Optional[float] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        super().__init__(statement_timeout_ms=statement_timeout_ms)
+        self.host = host
+        self.port = port
+        self.auth_token = auth_token
+        self.connect_timeout = connect_timeout
+
+    def _connect(self):
+        from repro.sqldb import client
+
+        return client.connect(
+            self.host,
+            self.port,
+            auth_token=self.auth_token,
+            connect_timeout=self.connect_timeout,
+            statement_timeout_ms=self.statement_timeout_ms,
+        )
+
+    @property
+    def connection(self):
+        if self._connection is None or self._connection.closed:
+            self._connection = self._connect()
+        return self._connection
+
+    def reset(self) -> None:
+        """Drop all server-side data (the remote twin of the in-process
+        reconnect-based reset; the server's plan cache survives, so a
+        replayed pipeline still warm-hits)."""
+        self.connection.reset()
+        self.statement_timings = []
+
+    def close(self) -> None:
+        """Close the network connection and its server-side session
+        (the next use re-dials)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def run(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> Result:
+        """Execute a script server-side, returning the last result.
+
+        Same retry contract as the in-process connector: a retryable
+        SQLSTATE outside an explicit transaction rolls the session back
+        and re-runs the whole script under backoff."""
+        connection = self.connection
+        started = time.perf_counter()
+
+        def attempt() -> list[Result]:
+            return connection.run_script(sql, params)
+
+        def on_retry(attempt_index: int, exc: BaseException) -> None:
+            self.retries += 1
+            if not connection.closed:
+                connection.rollback()
+
+        if connection.in_transaction:
+            results = attempt()
+        else:
+            results = retry_backoff(attempt, on_retry=on_retry)
+        elapsed = time.perf_counter() - started
+        head = sql.strip().split("\n", 1)[0][:120]
+        self.statement_timings.append((head, elapsed))
+        return results[-1] if results else Result()
+
+    def pool(self, size: int = 4, timeout: Optional[float] = None):
+        raise dbapi.NotSupportedError(
+            "RemoteConnector has no client-side session pool; open "
+            "additional RemoteConnectors (the server multiplexes "
+            "sessions) or pool on the server side"
+        )
+
+    @property
+    def plan_cache_stats(self) -> dict[str, int]:
+        return self.connection.server_stats()["plan_cache"]
+
+    @property
+    def exec_stats(self) -> dict[str, dict]:
+        return self.connection.server_stats()["operators"]
+
+    def explain_analyze(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> str:
+        return self.connection.explain_analyze(sql, params)
+
+    def analyze(self, table: Optional[str] = None) -> list[str]:
+        return self.connection.analyze(table)
 
 
 class ProfileConnector(DBConnector):

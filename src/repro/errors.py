@@ -110,6 +110,35 @@ class DurabilityError(SQLError):
     sqlstate = "58030"  # io_error
 
 
+class ProtocolViolation(SQLError):
+    """The network peer sent a malformed, oversized or out-of-order wire
+    frame (bad length prefix, invalid JSON, disconnect mid-frame, or a
+    message type the protocol state does not allow)."""
+
+    sqlstate = "08P01"  # protocol_violation
+
+
+class AuthenticationError(SQLError):
+    """The client's handshake carried a missing or wrong auth token."""
+
+    sqlstate = "28000"  # invalid_authorization_specification
+
+
+class TooManyConnections(SQLError):
+    """The server shed this connection at admission: every worker slot
+    was taken.  Deliberately *retryable* — the client backoff loop
+    reconnects once load drops, like PostgreSQL's 53300."""
+
+    sqlstate = "53300"  # too_many_connections
+
+
+class AdminShutdown(SQLError):
+    """The server is draining for shutdown and no longer accepts new
+    statements on this connection; open transactions are rolled back."""
+
+    sqlstate = "57P01"  # admin_shutdown
+
+
 class InspectionError(ReproError):
     """Errors raised by the inspection framework (``repro.inspection``)."""
 

@@ -1,0 +1,397 @@
+"""PEP 249 client driver for the socket server (the remote psycopg2).
+
+``connect(host, port)`` opens a TCP connection to a
+:class:`~repro.sqldb.server.DatabaseServer`, performs the versioned
+handshake and returns a :class:`RemoteConnection` exposing the same
+DB-API surface as :mod:`repro.sqldb.dbapi` — ``cursor()``, ``execute``/
+``executemany``/``fetch*``, ``begin``/``commit``/``rollback``, context
+managers — so code written against the in-process adapter runs over the
+wire unchanged.
+
+Server-side errors arrive as typed frames and are re-raised as the same
+combined engine/PEP-249 exception classes the in-process adapter raises
+(``except SerializationFailure`` and SQLSTATE-based retry loops work
+identically).  Losing the connection — EOF, reset, torn frame — raises
+:class:`~repro.sqldb.dbapi.InterfaceError` and marks the connection
+closed.
+
+``RemoteConnection.cancel()`` is out-of-band and safe from any thread:
+it opens a second short-lived connection presenting the secret cancel
+key from the handshake, which the server maps to
+``Database.cancel(session=...)`` — the running statement observes the
+flag at its next cooperative checkpoint and fails with SQLSTATE 57014.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Optional, Sequence
+
+from repro.errors import ProtocolViolation, SQLError
+from repro.sqldb import dbapi
+from repro.sqldb.engine import Result
+from repro.sqldb.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    exception_from_wire,
+    recv_frame,
+    result_from_wire,
+    send_frame,
+)
+
+__all__ = ["connect", "RemoteConnection", "RemoteCursor"]
+
+
+class RemoteCursor:
+    """DB-API cursor over a :class:`RemoteConnection`.
+
+    Mirrors :class:`repro.sqldb.dbapi.Cursor`, including the error-state
+    contract: after an ``execute`` that raised, every fetch raises
+    :class:`~repro.sqldb.dbapi.InterfaceError` instead of serving the
+    previous statement's stale rows."""
+
+    def __init__(self, connection: "RemoteConnection") -> None:
+        self._connection = connection
+        self._result: Optional[Result] = None
+        self._position = 0
+        self._failed = False
+        self.arraysize = 1
+
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        if self._result is None or not self._result.columns:
+            return None
+        return [
+            (name, None, None, None, None, None, None)
+            for name in self._result.columns
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        return -1 if self._result is None else self._result.rowcount
+
+    def execute(
+        self, sql: str, parameters: Sequence[Any] | None = None
+    ) -> "RemoteCursor":
+        try:
+            results = self._connection.run_script(sql, parameters)
+        except Exception:
+            self._result = None
+            self._position = 0
+            self._failed = True
+            raise
+        self._result = results[-1] if results else None
+        self._position = 0
+        self._failed = False
+        return self
+
+    def executemany(
+        self, sql: str, seq_of_parameters: Sequence[Sequence[Any]]
+    ) -> "RemoteCursor":
+        try:
+            total = self._connection.executemany(sql, seq_of_parameters)
+        except Exception:
+            self._result = None
+            self._position = 0
+            self._failed = True
+            raise
+        self._result = Result(rowcount=total)
+        self._position = 0
+        self._failed = False
+        return self
+
+    def _check_fetchable(self) -> None:
+        if self._failed:
+            raise dbapi.InterfaceError(
+                "the last execute on this cursor failed; "
+                "no results to fetch"
+            )
+
+    def fetchone(self) -> Optional[tuple]:
+        self._check_fetchable()
+        if self._result is None or self._position >= len(self._result.rows):
+            return None
+        row = self._result.rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        self._check_fetchable()
+        size = size or self.arraysize
+        out = []
+        for _ in range(size):
+            row = self.fetchone()
+            if row is None:
+                break
+            out.append(row)
+        return out
+
+    def fetchall(self) -> list[tuple]:
+        self._check_fetchable()
+        if self._result is None:
+            return []
+        rows = self._result.rows[self._position :]
+        self._position = len(self._result.rows)
+        return rows
+
+    def close(self) -> None:
+        self._result = None
+        self._failed = False
+
+    def __enter__(self) -> "RemoteCursor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class RemoteConnection:
+    """One client connection to a :class:`DatabaseServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        auth_token: Optional[str] = None,
+        connect_timeout: float = 10.0,
+        statement_timeout_ms: Optional[float] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._max_frame_bytes = max_frame_bytes
+        self._mutex = threading.RLock()
+        self._closed = False
+        self._in_transaction = False
+        self.cancel_key: Optional[str] = None
+        self.session_id: Optional[int] = None
+        self.server_profile: Optional[str] = None
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise dbapi.InterfaceError(
+                f"could not connect to {host}:{port}: {exc}"
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello: dict = {"type": "hello", "version": PROTOCOL_VERSION}
+        if auth_token is not None:
+            hello["auth"] = auth_token
+        options: dict = {}
+        if statement_timeout_ms is not None:
+            options["statement_timeout_ms"] = statement_timeout_ms
+        if options:
+            hello["options"] = options
+        try:
+            # a shed server may close before reading the hello — still try
+            # to read its typed refusal frame below
+            try:
+                send_frame(self._sock, hello)
+            except OSError:
+                pass
+            reply = self._recv()
+        except dbapi.Error:
+            self._abandon()
+            raise
+        if reply.get("type") != "hello_ok":
+            self._abandon()
+            raise dbapi.InterfaceError(
+                f"unexpected handshake reply {reply.get('type')!r}"
+            )
+        self.cancel_key = reply.get("cancel_key")
+        self.session_id = reply.get("session_id")
+        self.server_profile = reply.get("profile")
+        self._sock.settimeout(None)
+
+    # -- transport ----------------------------------------------------------
+
+    def _abandon(self) -> None:
+        """Drop the socket and mark the connection dead (transport-level
+        failure; there is nothing to say goodbye to)."""
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _recv(self) -> dict:
+        """One reply frame, with transport and server errors raised as
+        the proper exception classes."""
+        try:
+            reply = recv_frame(self._sock, self._max_frame_bytes)
+        except ProtocolViolation as exc:
+            self._abandon()
+            raise dbapi.InterfaceError(
+                f"server connection lost: {exc}"
+            ) from exc
+        except OSError as exc:
+            self._abandon()
+            raise dbapi.InterfaceError(
+                f"server connection lost: {exc}"
+            ) from exc
+        if reply is None:
+            self._abandon()
+            raise dbapi.InterfaceError(
+                "server closed the connection unexpectedly"
+            )
+        if reply["type"] == "error":
+            # a failed statement can still change transaction state
+            # (e.g. a COMMIT losing first-committer-wins aborts the txn)
+            if "in_transaction" in reply:
+                self._in_transaction = bool(reply["in_transaction"])
+            raise dbapi.map_exception(exception_from_wire(reply))
+        return reply
+
+    def _request(self, message: dict) -> dict:
+        with self._mutex:
+            if self._closed:
+                raise dbapi.InterfaceError("connection is closed")
+            try:
+                send_frame(self._sock, message)
+            except OSError as exc:
+                self._abandon()
+                raise dbapi.InterfaceError(
+                    f"server connection lost: {exc}"
+                ) from exc
+            reply = self._recv()
+        if "in_transaction" in reply:
+            self._in_transaction = bool(reply["in_transaction"])
+        return reply
+
+    # -- DB-API surface ------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+    def cursor(self) -> RemoteCursor:
+        if self._closed:
+            raise dbapi.InterfaceError("connection is closed")
+        return RemoteCursor(self)
+
+    def run_script(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> list[Result]:
+        """Execute a ``;``-script server-side; one :class:`Result` each."""
+        reply = self._request(
+            {
+                "type": "query",
+                "sql": sql,
+                "params": list(params) if params is not None else None,
+            }
+        )
+        return [result_from_wire(r) for r in reply.get("results", ())]
+
+    def executemany(
+        self, sql: str, seq_of_parameters: Sequence[Sequence[Any]]
+    ) -> int:
+        reply = self._request(
+            {
+                "type": "executemany",
+                "sql": sql,
+                "params_seq": [list(row) for row in seq_of_parameters],
+            }
+        )
+        return int(reply.get("rowcount", 0))
+
+    def begin(self) -> None:
+        self._request({"type": "begin"})
+
+    def commit(self) -> None:
+        self._request({"type": "commit"})
+
+    def rollback(self) -> None:
+        self._request({"type": "rollback"})
+
+    def reset(self) -> None:
+        """Ask the server to drop every relation (test/bench servers)."""
+        self._request({"type": "reset"})
+
+    def server_stats(self) -> dict:
+        """Plan-cache / operator / server counters of the remote engine."""
+        return self._request({"type": "stats"})
+
+    def explain_analyze(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> str:
+        reply = self._request(
+            {
+                "type": "explain_analyze",
+                "sql": sql,
+                "params": list(params) if params is not None else None,
+            }
+        )
+        return reply.get("text", "")
+
+    def analyze(self, table: Optional[str] = None) -> list[str]:
+        reply = self._request({"type": "analyze", "table": table})
+        return list(reply.get("names", ()))
+
+    def cancel(self) -> None:
+        """Out-of-band cancel of this connection's in-flight statement
+        (safe from any thread; a no-op if the server is unreachable)."""
+        if self.cancel_key is None:
+            return
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=5.0
+            ) as sock:
+                send_frame(
+                    sock, {"type": "cancel", "key": self.cancel_key}
+                )
+                recv_frame(sock, self._max_frame_bytes)
+        except (OSError, ProtocolViolation, SQLError):
+            pass
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                send_frame(self._sock, {"type": "close"})
+                self._sock.settimeout(2.0)
+                recv_frame(self._sock, self._max_frame_bytes)
+            except (OSError, ProtocolViolation, SQLError):
+                pass
+            finally:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 5433,
+    auth_token: Optional[str] = None,
+    connect_timeout: float = 10.0,
+    statement_timeout_ms: Optional[float] = None,
+) -> RemoteConnection:
+    """Open a DB-API connection to a running
+    :class:`~repro.sqldb.server.DatabaseServer`.
+
+    ``statement_timeout_ms`` asks the server to arm a per-statement
+    cooperative timeout for this connection (overriding the server's
+    default); admission rejection raises an error with the *retryable*
+    SQLSTATE 53300, which :func:`repro.core.connectors.retry_backoff`
+    re-attempts."""
+    return RemoteConnection(
+        host,
+        port,
+        auth_token=auth_token,
+        connect_timeout=connect_timeout,
+        statement_timeout_ms=statement_timeout_ms,
+    )

@@ -23,13 +23,17 @@ from contextlib import contextmanager
 from typing import Any, Optional, Sequence
 
 from repro.errors import (
+    AdminShutdown,
+    AuthenticationError,
     CatalogError,
     DurabilityError,
+    ProtocolViolation,
     QueryCancelled,
     SQLBindError,
     SQLError,
     SQLExecutionError,
     SQLSyntaxError,
+    TooManyConnections,
     TransactionError,
     TransactionRollback,
 )
@@ -123,6 +127,13 @@ _ERROR_MAP: tuple[tuple[type, type], ...] = (
     (TransactionRollback, OperationalError),
     (QueryCancelled, OperationalError),
     (DurabilityError, OperationalError),
+    # network front-end errors (server/client): connection-scoped
+    # operational failures, psycopg2-style.  53300 (load shed) is
+    # retryable — see connectors.RETRYABLE_SQLSTATES
+    (TooManyConnections, OperationalError),
+    (AdminShutdown, OperationalError),
+    (AuthenticationError, OperationalError),
+    (ProtocolViolation, OperationalError),
     (SQLExecutionError, DataError),
     (SQLError, DatabaseError),
 )
@@ -189,6 +200,7 @@ class Cursor:
         self._session = session
         self._result: Optional[Result] = None
         self._position = 0
+        self._failed = False
         self.arraysize = 1
 
     @property
@@ -207,12 +219,21 @@ class Cursor:
         Values are bound into the cached plan at execution time — they are
         never spliced into the SQL text.
         """
-        with _translating():
-            results = self._database.run_script(
-                sql, parameters, session=self._session
-            )
+        try:
+            with _translating():
+                results = self._database.run_script(
+                    sql, parameters, session=self._session
+                )
+        except Exception:
+            # a failed execute must not leave the previous statement's
+            # rows fetchable: fetches now raise until the next execute
+            self._result = None
+            self._position = 0
+            self._failed = True
+            raise
         self._result = results[-1] if results else None
         self._position = 0
+        self._failed = False
         return self
 
     def executemany(
@@ -221,15 +242,30 @@ class Cursor:
         """Execute *sql* once per parameter row, parsing and planning once.
 
         The batch is atomic — a failure on any row undoes the whole call."""
-        with _translating():
-            total = self._database.executemany(
-                sql, seq_of_parameters, session=self._session
-            )
+        try:
+            with _translating():
+                total = self._database.executemany(
+                    sql, seq_of_parameters, session=self._session
+                )
+        except Exception:
+            self._result = None
+            self._position = 0
+            self._failed = True
+            raise
         self._result = Result(rowcount=total)
         self._position = 0
+        self._failed = False
         return self
 
+    def _check_fetchable(self) -> None:
+        if self._failed:
+            raise InterfaceError(
+                "the last execute on this cursor failed; "
+                "no results to fetch"
+            )
+
     def fetchone(self) -> Optional[tuple]:
+        self._check_fetchable()
         if self._result is None or self._position >= len(self._result.rows):
             return None
         row = self._result.rows[self._position]
@@ -237,6 +273,7 @@ class Cursor:
         return row
 
     def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        self._check_fetchable()
         size = size or self.arraysize
         out = []
         for _ in range(size):
@@ -247,6 +284,7 @@ class Cursor:
         return out
 
     def fetchall(self) -> list[tuple]:
+        self._check_fetchable()
         if self._result is None:
             return []
         rows = self._result.rows[self._position :]
@@ -255,6 +293,7 @@ class Cursor:
 
     def close(self) -> None:
         self._result = None
+        self._failed = False
 
     def __enter__(self) -> "Cursor":
         return self

@@ -334,6 +334,29 @@ class Database:
         if self._wal is not None:
             self._wal.close()
 
+    def reset_storage(self) -> None:
+        """Drop every relation and start from an empty committed catalog.
+
+        The server-side counterpart of a connector ``reset()`` (which
+        in-process simply reconnects to a fresh :class:`Database`): the
+        catalog is replaced wholesale under the write latch, so the
+        schema-version counter restarts at 0 and a replayed identical
+        DDL history re-hits the surviving plan cache, exactly like the
+        reconnect path.  Statement caches, the worker pool and session
+        registry survive.  Concurrent *open* transactions are not
+        supported across a reset (their forks reference discarded
+        state); the network server exposes this only behind its
+        ``allow_reset`` flag.  Refused on durable databases — the WAL
+        describes the old history."""
+        if self.durable:
+            raise DurabilityError(
+                "reset_storage is not supported on a durable database"
+            )
+        with self._lock.write():
+            self.catalog = Catalog()
+            self.operator_counters = {}
+            self.last_exec_stats = None
+
     def cancel(self, session: Optional[Session] = None) -> None:
         """Cooperatively cancel one session's in-flight statements (the
         default session's when none is given — psycopg2's per-connection

@@ -117,11 +117,24 @@ class LockManager:
     ) -> list[str]:
         """Lock every table in *tables* for *session_id* (reentrant:
         already-held tables are skipped).  Returns the newly acquired
-        names, so a transient caller can release exactly those."""
+        names, so a transient caller can release exactly those.
+
+        All-or-nothing: if the acquire fails part-way (deadlock victim,
+        cancel, timeout while blocked on a later table), the tables this
+        *call* already took are released before the error propagates.
+        Without this, an autocommit statement cancelled between its
+        first and second lock leaked the first one forever — no commit
+        or rollback would ever release it, and every peer touching that
+        table deadlocked."""
         acquired: list[str] = []
-        for table in sorted(set(tables)):
-            if self._acquire_one(table, session_id, deadline, cancel_event):
-                acquired.append(table)
+        try:
+            for table in sorted(set(tables)):
+                if self._acquire_one(table, session_id, deadline, cancel_event):
+                    acquired.append(table)
+        except BaseException:
+            if acquired:
+                self.release(session_id, acquired)
+            raise
         return acquired
 
     def _acquire_one(

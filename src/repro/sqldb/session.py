@@ -104,12 +104,21 @@ class Session:
         self.database.rollback(session=self)
 
     def close(self) -> None:
-        """End the session: roll back any open transaction (releasing
-        its locks) and deregister from the database.  Idempotent."""
+        """End the session: roll back any open transaction and release
+        *every* lock this session holds, then deregister from the
+        database.  Idempotent, and safe to call from another thread
+        (server disconnect): in-flight statements are cancelled first,
+        and lock release is unconditional — even locks taken by a
+        statement that never reached commit or rollback (e.g. a
+        connection that died mid-acquire) are returned, so a peer
+        blocked on this session's lock always unblocks."""
         if self.closed:
             return
-        self.cancel()
-        if self.txn is not None:
-            self.database.rollback(session=self)
         self.closed = True
-        self.database._forget_session(self)
+        self.cancel()
+        try:
+            if self.txn is not None:
+                self.database.rollback(session=self)
+        finally:
+            self.database.locks.release_all(self.session_id)
+            self.database._forget_session(self)

@@ -22,6 +22,7 @@ from repro.errors import (
     QueryCancelled,
     SerializationFailure,
     SQLExecutionError,
+    TooManyConnections,
 )
 from repro.sqldb import dbapi
 from repro.sqldb.engine import Database
@@ -36,10 +37,13 @@ class FixedRandom:
 
 class TestRetryBackoff:
     def test_retryable_sqlstates(self):
-        assert RETRYABLE_SQLSTATES == {"40001", "40P01", "57014"}
+        # 53300 joined the set with the network server: an admission-shed
+        # connection should simply be retried under backoff
+        assert RETRYABLE_SQLSTATES == {"40001", "40P01", "57014", "53300"}
         assert is_retryable(SerializationFailure("serialize"))
         assert is_retryable(DeadlockDetected("deadlock"))
         assert is_retryable(QueryCancelled("cancelled"))
+        assert is_retryable(TooManyConnections("shed at accept"))
         assert not is_retryable(SQLExecutionError("div by zero"))
         assert not is_retryable(ValueError("not SQL at all"))
 
@@ -224,6 +228,71 @@ class TestConnectionPool:
     def test_pool_size_must_be_positive(self, db):
         with pytest.raises(ValueError):
             ConnectionPool(db, size=0)
+
+    def test_acquire_racing_close_raises_clean_interface_error(self, db):
+        # the bugfix: close() landing while acquire() is creating a
+        # connection *outside the pool lock* must yield a clean
+        # InterfaceError — not a live session handed out of a closed
+        # pool, and not a leaked session either
+        pool = ConnectionPool(db, size=1)
+        creating = threading.Event()
+        proceed = threading.Event()
+        real_connect = dbapi.connect
+
+        def stalled_connect(*args, **kwargs):
+            creating.set()
+            assert proceed.wait(timeout=10)
+            return real_connect(*args, **kwargs)
+
+        outcome = {}
+
+        def checkout():
+            try:
+                outcome["conn"] = pool.acquire()
+            except dbapi.InterfaceError as exc:
+                outcome["error"] = str(exc)
+
+        dbapi.connect = stalled_connect
+        try:
+            thread = threading.Thread(target=checkout)
+            thread.start()
+            assert creating.wait(timeout=10)  # acquire is mid-creation
+            pool.close()
+            proceed.set()
+            thread.join(timeout=10)
+        finally:
+            dbapi.connect = real_connect
+        assert not thread.is_alive()
+        assert "error" in outcome and "closed" in outcome["error"]
+        # the half-created session was closed, not leaked, and the slot
+        # was handed back
+        assert len(db._sessions) == 1  # only the engine's default session
+        assert pool._n_created == 0
+
+    def test_failed_creation_returns_the_slot(self, db):
+        # a connect() that blows up mid-checkout must give the capacity
+        # back: the pool would otherwise leak slots until exhaustion
+        pool = ConnectionPool(db, size=1, timeout=0.5)
+        real_connect = dbapi.connect
+        state = {"fail": True}
+
+        def flaky_connect(*args, **kwargs):
+            if state["fail"]:
+                state["fail"] = False
+                raise RuntimeError("transient failure talking to engine")
+            return real_connect(*args, **kwargs)
+
+        dbapi.connect = flaky_connect
+        try:
+            with pytest.raises(RuntimeError):
+                pool.acquire()
+            assert pool._n_created == 0
+            conn = pool.acquire()  # the slot is still usable
+            conn.cursor().execute("INSERT INTO t (a) VALUES (1)")
+            pool.release(conn)
+        finally:
+            dbapi.connect = real_connect
+        pool.close()
 
 
 class TestConnectorRetry:

@@ -249,3 +249,72 @@ class TestLockManager:
         for t in threads:
             t.join(timeout=10)
         assert sorted(done) == [1, 2]
+
+
+class TestAllOrNothingAcquire:
+    """Regression: a multi-table acquire that fails part-way used to leak
+    the tables it had already taken.  For an autocommit statement no
+    commit or rollback ever follows, so the leaked lock was permanent
+    and every peer touching that table wedged."""
+
+    def test_deadline_mid_acquire_releases_partial(self):
+        locks = LockManager()
+        locks.acquire(1, ["b"])  # peer holds b
+        with pytest.raises(QueryCancelled):
+            # takes a (sorted order), then times out waiting for b
+            locks.acquire(2, ["a", "b"], deadline=time.monotonic() + 0.1)
+        assert locks.held_by(2) == set()
+        # a must be free again — a third session acquires it instantly
+        assert locks.acquire(3, ["a"], deadline=time.monotonic() + 0.5) == [
+            "a"
+        ]
+
+    def test_cancel_mid_acquire_releases_partial(self):
+        locks = LockManager()
+        locks.acquire(1, ["b"])
+        event = threading.Event()
+
+        def fire_once_blocked():
+            wait_until(lambda: 2 in locks._waiting)
+            event.set()
+
+        blocked = threading.Thread(target=fire_once_blocked)
+        blocked.start()
+        with pytest.raises(QueryCancelled):
+            locks.acquire(2, ["a", "b"], cancel_event=event)
+        blocked.join(timeout=10)
+        assert locks.held_by(2) == set()
+        assert locks.acquire(3, ["a"], deadline=time.monotonic() + 0.5) == [
+            "a"
+        ]
+
+    def test_deadlock_victim_releases_partial(self):
+        # session 2 grabs a, blocks on b (held by 1); session 1 then
+        # requests a, closing the cycle — whoever loses, no lock taken
+        # by the failing *call* may survive it
+        locks = LockManager()
+        locks.acquire(1, ["b"])
+        errors = {}
+
+        def multi():
+            try:
+                locks.acquire(2, ["a", "b"])
+                locks.release_all(2)
+            except DeadlockDetected:
+                errors["two"] = True
+
+        thread = threading.Thread(target=multi)
+        thread.start()
+        assert wait_until(lambda: locks._waiting.get(2) == "b")
+        try:
+            locks.acquire(1, ["a"])
+            locks.release_all(1)
+        except DeadlockDetected:
+            errors["one"] = True
+            locks.release_all(1)
+        thread.join(timeout=10)
+        assert errors  # exactly one of them was the victim
+        # whatever happened, nothing is left held or waiting
+        assert wait_until(
+            lambda: not locks._owner and not locks._waiting
+        ), (locks._owner, locks._waiting)

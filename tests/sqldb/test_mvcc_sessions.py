@@ -354,3 +354,43 @@ class TestSharedDatabaseConnections:
         cur.execute("SELECT * FROM t")
         assert cur.fetchall() == []
         conn.close()
+
+
+class TestCloseUnblocksPeers:
+    def test_blocked_peer_unblocks_when_lock_holder_closes(self, db):
+        """Regression: Session.close() must release *every* lock the
+        session holds — a peer blocked on one of them unblocks instead
+        of waiting forever on a session that no longer exists."""
+        holder, peer = db.session(), db.session()
+        holder.begin()
+        holder.execute("INSERT INTO t (a, b) VALUES (5, 'h')")
+        assert db.locks.held_by(holder.session_id) == {"t"}
+
+        done = []
+
+        def blocked_write():
+            peer.execute("INSERT INTO t (a, b) VALUES (6, 'p')")
+            done.append(True)
+
+        thread = threading.Thread(target=blocked_write)
+        thread.start()
+        assert wait_until(
+            lambda: peer.session_id in db.locks._waiting
+        )
+        holder.close()  # no explicit rollback: close must do it all
+        thread.join(timeout=15)
+        assert done == [True]
+        assert db.locks.held_by(holder.session_id) == set()
+        # the holder's uncommitted insert is gone, the peer's landed
+        assert (5, "h") not in rows(db)
+        assert (6, "p") in rows(db)
+        assert holder.session_id not in db._sessions
+        peer.close()
+
+    def test_close_is_idempotent_and_forgets_session(self, db):
+        session = db.session()
+        session.execute("INSERT INTO t (a, b) VALUES (7, 'i')")
+        assert session.session_id in db._sessions
+        session.close()
+        session.close()  # second close is a no-op
+        assert session.session_id not in db._sessions
