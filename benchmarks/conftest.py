@@ -16,6 +16,16 @@ def pytest_addoption(parser):
             "(exported as REPRO_SQL_WORKERS so every bench picks it up)"
         ),
     )
+    parser.addoption(
+        "--check-bench",
+        action="store_true",
+        default=False,
+        help=(
+            "enable the benchmark regression gate (check_bench.py): "
+            "fails when a fresh BENCH_*.json timing is >20% slower than "
+            "its committed baseline"
+        ),
+    )
 
 
 def pytest_configure(config):

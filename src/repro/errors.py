@@ -55,6 +55,13 @@ class SQLExecutionError(SQLError):
     sqlstate = "22000"  # data_exception
 
 
+class UniqueViolation(SQLExecutionError):
+    """A DML statement (or CREATE UNIQUE INDEX over existing rows) would
+    leave duplicate keys in a unique index."""
+
+    sqlstate = "23505"  # unique_violation
+
+
 class CatalogError(SQLError):
     """Catalog violations: duplicate or missing tables/views."""
 

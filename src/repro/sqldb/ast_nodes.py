@@ -22,10 +22,13 @@ __all__ = [
     "ColumnDef",
     "Commit",
     "Copy",
+    "CreateIndex",
     "CreateTable",
     "CreateView",
     "Cte",
+    "Delete",
     "Drop",
+    "DropIndex",
     "Expr",
     "FuncCall",
     "InList",
@@ -48,6 +51,7 @@ __all__ = [
     "SubquerySource",
     "TableSource",
     "UnaryOp",
+    "Update",
     "WindowCall",
 ]
 
@@ -282,6 +286,44 @@ class Drop:
 
 
 @dataclass
+class CreateIndex:
+    """``CREATE [UNIQUE] INDEX name ON table [USING method] (cols)``."""
+
+    name: str
+    table: str
+    columns: list[str]
+    unique: bool = False
+    #: 'sorted' (btree-style, bisect lookups) or 'hash'; None = pick by
+    #: column count (sorted for one column, hash for composites)
+    method: Optional[str] = None
+
+
+@dataclass
+class DropIndex:
+    """``DROP INDEX [IF EXISTS] name``."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class Update:
+    """``UPDATE table SET col = expr, ... [WHERE pred]``."""
+
+    table: str
+    assignments: list[tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete:
+    """``DELETE FROM table [WHERE pred]``."""
+
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
 class Analyze:
     """``ANALYZE [table]`` — collect planner statistics (PostgreSQL-style)."""
 
@@ -339,9 +381,13 @@ Statement = Union[
     Select,
     CreateTable,
     CreateView,
+    CreateIndex,
     Insert,
     Copy,
+    Update,
+    Delete,
     Drop,
+    DropIndex,
     Analyze,
     Begin,
     Commit,

@@ -14,7 +14,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.errors import CatalogError, SQLExecutionError
+from repro.errors import CatalogError, SQLExecutionError, UniqueViolation
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.vector import Vector, from_values
 
@@ -24,8 +24,10 @@ __all__ = [
     "Catalog",
     "CatalogSnapshot",
     "ColumnStats",
+    "Index",
     "TableStats",
     "CTID",
+    "build_index",
     "coerce_to_type",
     "normalise_type",
 ]
@@ -205,6 +207,236 @@ class Table:
         self.n_rows += len(rows)
 
 
+# -- secondary indexes --------------------------------------------------------
+
+
+_EMPTY_POSITIONS = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class Index:
+    """A secondary index over one base table.
+
+    Two physical shapes share this class: ``hash`` keeps a dict from key
+    (scalar, or tuple for composite keys) to the ascending row positions
+    holding it; ``sorted`` keeps the non-null keys in ascending order next
+    to their row positions (bisect lookups, range scans).  Rows with a
+    NULL in any key column are not indexed — SQL equality never matches
+    them, and PostgreSQL's unique indexes likewise admit repeated NULLs.
+
+    An ``Index`` is immutable once built: maintenance *replaces* the whole
+    object (see :meth:`Catalog.refresh_indexes`), the same copy-on-write
+    contract the column vectors follow, which is what makes catalog
+    mementos, transaction forks and checkpoint pickles valid by sharing.
+
+    Positions are physical row numbers (== ``ctid``), so every lookup
+    returns ascending positions and a gather reproduces exactly the rows —
+    in exactly the order — a full scan plus filter would produce.
+    """
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+    method: str = "sorted"  # 'sorted' | 'hash'
+    #: table row count at build time (consistency guard for executors)
+    n_rows: int = 0
+    #: hash shape: key -> ascending int64 positions
+    hash_map: Optional[dict] = None
+    #: sorted shape: ascending non-null keys / their row positions
+    #: (position-ascending within equal keys: stable sort)
+    sorted_keys: Optional[np.ndarray] = None
+    sorted_positions: Optional[np.ndarray] = None
+
+    def _probe_key(self, value: Any) -> Any:
+        """Normalise a probe value to the stored key representation."""
+        if self.method == "sorted" and self.sorted_keys is not None:
+            if self.sorted_keys.dtype != object and not isinstance(value, str):
+                return float(value)
+            return value
+        if isinstance(value, (bool, np.bool_)):
+            return bool(value)
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return float(value)
+        return value
+
+    def eq_positions(self, key: Any) -> np.ndarray:
+        """Ascending positions of rows whose key equals *key* (single or
+        tuple for composite hash indexes)."""
+        if self.method == "hash":
+            if isinstance(key, tuple):
+                key = tuple(self._probe_key(part) for part in key)
+            else:
+                key = self._probe_key(key)
+            try:
+                return self.hash_map.get(key, _EMPTY_POSITIONS)
+            except TypeError:  # unhashable probe value
+                return _EMPTY_POSITIONS
+        key = self._probe_key(key)
+        keys = self.sorted_keys
+        try:
+            lo = int(np.searchsorted(keys, key, side="left"))
+            hi = int(np.searchsorted(keys, key, side="right"))
+        except TypeError:
+            return _EMPTY_POSITIONS
+        return self.sorted_positions[lo:hi]
+
+    def in_positions(self, keys: tuple) -> np.ndarray:
+        """Ascending positions matching any of *keys* (IN-list probe)."""
+        parts = [self.eq_positions(key) for key in keys]
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return _EMPTY_POSITIONS
+        # unique: restores scan order AND collapses duplicate IN-list
+        # literals (IN is a set predicate — each row matches once)
+        return np.unique(np.concatenate(parts))
+
+    def range_positions(
+        self,
+        lo: Any,
+        lo_inclusive: bool,
+        hi: Any,
+        hi_inclusive: bool,
+    ) -> np.ndarray:
+        """Ascending positions with key in the given range (sorted only).
+
+        ``None`` bounds are open; inclusivity follows the flags.
+        """
+        keys = self.sorted_keys
+        try:
+            start = (
+                0
+                if lo is None
+                else int(
+                    np.searchsorted(
+                        keys,
+                        self._probe_key(lo),
+                        side="left" if lo_inclusive else "right",
+                    )
+                )
+            )
+            stop = (
+                len(keys)
+                if hi is None
+                else int(
+                    np.searchsorted(
+                        keys,
+                        self._probe_key(hi),
+                        side="right" if hi_inclusive else "left",
+                    )
+                )
+            )
+        except TypeError:
+            return _EMPTY_POSITIONS
+        if stop <= start:
+            return _EMPTY_POSITIONS
+        return np.sort(self.sorted_positions[start:stop])
+
+
+def _resolve_index_method(method: Optional[str], n_columns: int) -> str:
+    """Normalise/choose the physical index shape."""
+    if method in (None, ""):
+        return "sorted" if n_columns == 1 else "hash"
+    resolved = {"btree": "sorted"}.get(method, method)
+    if resolved not in ("sorted", "hash"):
+        raise CatalogError(f"unknown index method {method!r}")
+    if resolved == "sorted" and n_columns != 1:
+        raise CatalogError(
+            "sorted (btree) indexes cover exactly one column; "
+            "use USING hash for composite keys"
+        )
+    return resolved
+
+
+def build_index(
+    name: str,
+    table: Table,
+    columns: tuple[str, ...],
+    unique: bool,
+    method: str,
+) -> Index:
+    """Build a fresh index over *table*'s current rows.
+
+    Raises :class:`UniqueViolation` (SQLSTATE 23505) when ``unique`` and
+    the data already holds duplicate non-null keys — this is both the
+    CREATE UNIQUE INDEX validation and, because maintenance rebuilds
+    through here, the constraint check on every DML statement.
+    """
+    vectors = []
+    for column in columns:
+        if table.storage_of(column) == "array":
+            raise CatalogError(
+                f"cannot index array column {column!r} of table {table.name!r}"
+            )
+        vectors.append(table.columns[column])
+    present = ~vectors[0].nulls
+    for vector in vectors[1:]:
+        present = present & ~vector.nulls
+    positions = np.flatnonzero(present).astype(np.int64)
+
+    if method == "sorted":
+        vector = vectors[0]
+        if vector.values.dtype == object:
+            keys = vector.values[positions]
+        else:
+            keys = vector.values[positions].astype(np.float64, copy=False)
+        try:
+            order = np.argsort(keys, kind="stable")
+        except TypeError:
+            raise SQLExecutionError(
+                f"index {name!r}: column {columns[0]!r} holds values that "
+                "do not sort consistently; use USING hash"
+            ) from None
+        sorted_keys = keys[order]
+        sorted_positions = positions[order]
+        if unique and len(sorted_keys) > 1:
+            duplicated = sorted_keys[1:] == sorted_keys[:-1]
+            if np.asarray(duplicated, dtype=bool).any():
+                at = int(np.flatnonzero(duplicated)[0])
+                raise UniqueViolation(
+                    f"duplicate key value violates unique index {name!r}: "
+                    f"({', '.join(columns)})=({sorted_keys[at]!r})"
+                )
+        return Index(
+            name,
+            table.name,
+            columns,
+            unique,
+            method,
+            table.n_rows,
+            sorted_keys=sorted_keys,
+            sorted_positions=sorted_positions,
+        )
+
+    key_columns = [vec.values[positions].tolist() for vec in vectors]
+    keys = key_columns[0] if len(key_columns) == 1 else list(zip(*key_columns))
+    buckets: dict[Any, list[int]] = {}
+    try:
+        for pos, key in zip(positions.tolist(), keys):
+            buckets.setdefault(key, []).append(pos)
+    except TypeError:
+        raise SQLExecutionError(
+            f"index {name!r}: unhashable key values; cannot build hash index"
+        ) from None
+    hash_map: dict[Any, np.ndarray] = {}
+    for key, rows in buckets.items():
+        if unique and len(rows) > 1:
+            raise UniqueViolation(
+                f"duplicate key value violates unique index {name!r}: "
+                f"({', '.join(columns)})=({key!r})"
+            )
+        hash_map[key] = np.asarray(rows, dtype=np.int64)
+    return Index(
+        name,
+        table.name,
+        columns,
+        unique,
+        method,
+        table.n_rows,
+        hash_map=hash_map,
+    )
+
+
 @dataclass(frozen=True)
 class ColumnStats:
     """ANALYZE-collected per-column statistics.
@@ -300,6 +532,8 @@ class CatalogSnapshot:
     table_stats: dict[str, "TableStats"]
     schema_version: int
     stats_version: int
+    indexes: dict[str, Index] = field(default_factory=dict)
+    index_epoch: int = 0
 
 
 #: unique ids for transaction forks; the committed catalog is always
@@ -335,6 +569,12 @@ class Catalog:
         #: bumped on every ANALYZE so plan-cache keys embedding it stop
         #: matching (a stats refresh can change the chosen plan)
         self.stats_version = 0
+        #: secondary indexes by name (single namespace of their own; the
+        #: objects are immutable and replaced wholesale on maintenance)
+        self._indexes: dict[str, Index] = {}
+        #: monotonic counter of index DDL (CREATE/DROP INDEX); plan-cache
+        #: keys embed it so access-path choices die with their indexes
+        self.index_epoch = 0
 
     def bump_version(self) -> None:
         self.schema_version += 1
@@ -373,6 +613,8 @@ class Catalog:
             dict(self._table_stats),
             self.schema_version,
             self.stats_version,
+            dict(self._indexes),
+            self.index_epoch,
         )
 
     def restore(self, snap: CatalogSnapshot) -> None:
@@ -389,6 +631,7 @@ class Catalog:
         changed = (
             self.schema_version != snap.schema_version
             or self.stats_version != snap.stats_version
+            or self.index_epoch != snap.index_epoch
         )
         self._tables = {}
         for name, (table, names, types, columns, n_rows, serials) in snap.tables.items():
@@ -403,6 +646,10 @@ class Catalog:
             view.snapshot = view_snapshot
             self._views[name] = view
         self._table_stats = dict(snap.table_stats)
+        self._indexes = dict(snap.indexes)
+        if self.index_epoch != snap.index_epoch:
+            # monotonic, like schema_version: epoch values are never reused
+            self.index_epoch += 1
         if changed:
             self.bump_version()
 
@@ -432,8 +679,10 @@ class Catalog:
             twin.snapshot = view.snapshot
             clone._views[name] = twin
         clone._table_stats = dict(self._table_stats)
+        clone._indexes = dict(self._indexes)
         clone.schema_version = self.schema_version
         clone.stats_version = self.stats_version
+        clone.index_epoch = self.index_epoch
         clone.table_versions = dict(self.table_versions)
         return clone
 
@@ -453,25 +702,55 @@ class Catalog:
             self._tables.pop(name, None)
             self._views.pop(name, None)
             self._table_stats.pop(name, None)
+        # the transaction's index set for this table replaces ours
+        # (covers CREATE INDEX, DROP INDEX and DROP TABLE cascades)
+        before = {
+            index_name
+            for index_name, index in self._indexes.items()
+            if index.table == name
+        }
+        after = {
+            index_name: index
+            for index_name, index in source._indexes.items()
+            if index.table == name
+        }
+        if before != set(after):
+            self.index_epoch += 1
+        for index_name in before:
+            del self._indexes[index_name]
+        self._indexes.update(after)
 
     def install(
         self,
         tables: dict[str, Table],
         views: dict[str, View],
         table_stats: dict[str, TableStats],
+        indexes: Optional[dict[str, Index]] = None,
     ) -> None:
         """Adopt recovered state wholesale (checkpoint load on open)."""
         self._tables = dict(tables)
         self._views = dict(views)
         self._table_stats = dict(table_stats)
+        self._indexes = dict(indexes or {})
+        self.index_epoch += 1
         self.bump_version()
 
     def export_state(
         self,
-    ) -> tuple[dict[str, Table], dict[str, View], dict[str, TableStats]]:
+    ) -> tuple[
+        dict[str, Table],
+        dict[str, View],
+        dict[str, TableStats],
+        dict[str, Index],
+    ]:
         """The live relation/statistics dicts for checkpointing (the
         inverse of :meth:`install`)."""
-        return dict(self._tables), dict(self._views), dict(self._table_stats)
+        return (
+            dict(self._tables),
+            dict(self._views),
+            dict(self._table_stats),
+            dict(self._indexes),
+        )
 
     # -- ANALYZE statistics -------------------------------------------------
 
@@ -516,6 +795,11 @@ class Catalog:
             for name in sorted(self._views):
                 view = self._views[name]
                 parts.append((name, view.materialized, repr(view.query)))
+            for name in sorted(self._indexes):
+                index = self._indexes[name]
+                parts.append(
+                    (name, index.table, index.columns, index.unique, index.method)
+                )
             self._fingerprint = hash(tuple(parts))
             self._fingerprint_version = self.schema_version
         return self._fingerprint
@@ -545,7 +829,82 @@ class Catalog:
         del store[name]
         if kind == "table":
             self._table_stats.pop(name, None)
+            dependent = [
+                index_name
+                for index_name, index in self._indexes.items()
+                if index.table == name
+            ]
+            for index_name in dependent:
+                del self._indexes[index_name]
+            if dependent:
+                self.index_epoch += 1
         self.bump_version()
+
+    # -- secondary indexes ---------------------------------------------------
+
+    def create_index(self, index: Index) -> None:
+        """Register a freshly built index (relation namespace is shared:
+        an index may not reuse a table/view/index name)."""
+        if (
+            index.name in self._indexes
+            or index.name in self._tables
+            or index.name in self._views
+        ):
+            raise CatalogError(
+                f"relation {index.name!r} already exists", sqlstate="42P07"
+            )
+        if index.table not in self._tables:
+            raise CatalogError(f"table {index.table!r} does not exist")
+        self._indexes[index.name] = index
+        self.index_epoch += 1
+        self.bump_version()
+
+    def drop_index(self, name: str, if_exists: bool = False) -> None:
+        if name not in self._indexes:
+            if if_exists:
+                return
+            raise CatalogError(f"index {name!r} does not exist")
+        del self._indexes[name]
+        self.index_epoch += 1
+        self.bump_version()
+
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"index {name!r} does not exist") from None
+
+    def has_index(self, name: str) -> bool:
+        return name in self._indexes
+
+    def indexes_on(self, table: str) -> list[Index]:
+        """Indexes over *table*, in name order (deterministic planning)."""
+        return sorted(
+            (ix for ix in self._indexes.values() if ix.table == table),
+            key=lambda ix: ix.name,
+        )
+
+    @property
+    def index_names(self) -> list[str]:
+        return sorted(self._indexes)
+
+    def refresh_indexes(self, table_name: str) -> None:
+        """Rebuild every index on *table_name* from its current rows.
+
+        Called by the engine after each DML statement that touched the
+        table.  Rebuilding replaces the ``Index`` objects (copy-on-write:
+        mementos and forks captured earlier keep the old ones), and the
+        unique check inside :func:`build_index` raises
+        :class:`UniqueViolation` *before* any index is swapped in — the
+        engine's statement memento then rolls the data change back too.
+        """
+        table = self._tables[table_name]
+        rebuilt = [
+            build_index(ix.name, table, ix.columns, ix.unique, ix.method)
+            for ix in self.indexes_on(table_name)
+        ]
+        for index in rebuilt:
+            self._indexes[index.name] = index
 
     def table(self, name: str) -> Table:
         try:

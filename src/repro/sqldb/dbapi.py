@@ -36,6 +36,7 @@ from repro.errors import (
     TooManyConnections,
     TransactionError,
     TransactionRollback,
+    UniqueViolation,
 )
 from repro.sqldb.engine import Database, Result
 from repro.sqldb.faults import FaultInjector
@@ -101,7 +102,7 @@ class OperationalError(DatabaseError):
 
 
 class IntegrityError(DatabaseError):
-    """Relational integrity violations (unused; kept for API shape)."""
+    """Relational integrity violations (unique-index key conflicts)."""
 
 
 class InternalError(DatabaseError):
@@ -134,6 +135,8 @@ _ERROR_MAP: tuple[tuple[type, type], ...] = (
     (AdminShutdown, OperationalError),
     (AuthenticationError, OperationalError),
     (ProtocolViolation, OperationalError),
+    # 23505: constraint violations are IntegrityError per PEP 249
+    (UniqueViolation, IntegrityError),
     (SQLExecutionError, DataError),
     (SQLError, DatabaseError),
 )

@@ -28,7 +28,16 @@ from repro.errors import (
     TransactionError,
 )
 from repro.sqldb import ast_nodes as ast
-from repro.sqldb.catalog import Catalog, Table, View, normalise_type
+from repro.sqldb.catalog import (
+    CTID,
+    Catalog,
+    Table,
+    View,
+    _resolve_index_method,
+    build_index,
+    coerce_to_type,
+    normalise_type,
+)
 from repro.sqldb.executor import ExecContext, execute_plan
 from repro.sqldb.faults import NO_FAULTS, FaultInjector
 from repro.sqldb.locks import LockManager, ReadWriteLock
@@ -50,11 +59,11 @@ from repro.sqldb.optimizer import (
 )
 from repro.sqldb.parser import parse_script, parse_statement
 from repro.sqldb.plan import Batch, PlanNode
-from repro.sqldb.planner import Planner
+from repro.sqldb.planner import Planner, Scope, ScopeEntry
 from repro.sqldb.prepared import bind_parameters, normalize_sql
 from repro.sqldb.profile import POSTGRES, Profile, profile_by_name
 from repro.sqldb.stats import ExecStats, merge_operator_counters
-from repro.sqldb.vector import Vector
+from repro.sqldb.vector import Vector, from_values, gather
 
 __all__ = [
     "Database",
@@ -72,9 +81,13 @@ WORKERS_ENV = "REPRO_SQL_WORKERS"
 _WRITE_TYPES = (
     ast.CreateTable,
     ast.CreateView,
+    ast.CreateIndex,
     ast.Insert,
     ast.Copy,
+    ast.Update,
+    ast.Delete,
     ast.Drop,
+    ast.DropIndex,
     ast.Analyze,
 )
 
@@ -653,6 +666,7 @@ class Database:
                     self.optimize,
                     catalog.schema_version,
                     catalog.stats_version,
+                    catalog.index_epoch,
                     catalog.schema_fingerprint(),
                     catalog.uid,
                 )
@@ -749,6 +763,15 @@ class Database:
             return [statement.table], []
         if isinstance(statement, ast.Copy):
             return [statement.table], []
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            return [statement.table], []
+        if isinstance(statement, ast.CreateIndex):
+            return [statement.table], []
+        if isinstance(statement, ast.DropIndex):
+            # locking the indexed table serialises the drop against DML
+            if catalog.has_index(statement.name):
+                return [catalog.index(statement.name).table], []
+            return [], []  # missing index: IF EXISTS no-op or a plain error
         if isinstance(statement, ast.Drop):
             return [statement.name], []
         if isinstance(statement, ast.Analyze):
@@ -817,6 +840,15 @@ class Database:
             return self._execute_insert(statement, params, catalog)
         if isinstance(statement, ast.Copy):
             return self._execute_copy(statement, catalog)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement, params, catalog)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement, params, catalog)
+        if isinstance(statement, ast.CreateIndex):
+            return self._execute_create_index(statement, catalog)
+        if isinstance(statement, ast.DropIndex):
+            catalog.drop_index(statement.name, statement.if_exists)
+            return Result()
         if isinstance(statement, ast.Drop):
             catalog.drop(statement.name, statement.kind, statement.if_exists)
             return Result()
@@ -1051,11 +1083,12 @@ class Database:
                 "CHECKPOINT cannot run inside a transaction", sqlstate="25001"
             )
         self.faults.check("checkpoint.begin")
-        tables, views, stats = self.catalog.export_state()
+        tables, views, stats, indexes = self.catalog.export_state()
         payload = {
             "tables": tables,
             "views": views,
             "stats": stats,
+            "indexes": indexes,
             "last_txn": self._next_txn - 1,
         }
         write_checkpoint(self.wal_path + ".ckpt", payload, self.faults)
@@ -1077,7 +1110,10 @@ class Database:
         ckpt = read_checkpoint(ckpt_path)
         if ckpt is not None:
             self.catalog.install(
-                ckpt["tables"], ckpt["views"], ckpt["stats"]
+                ckpt["tables"],
+                ckpt["views"],
+                ckpt["stats"],
+                ckpt.get("indexes", {}),  # pre-index checkpoints lack the key
             )
             last_txn = int(ckpt["last_txn"])
         records, valid_size = read_wal(self.wal_path)
@@ -1329,6 +1365,7 @@ class Database:
                 row[name] = _literal_value(expr, params)
             rows.append(row)
         table.append_rows(rows)
+        catalog.refresh_indexes(statement.table)
         catalog.bump_version()
         self._invalidate_dependent_snapshots(statement.table, catalog)
         return Result(rowcount=len(rows))
@@ -1361,9 +1398,111 @@ class Database:
                 for row in raw_rows
             ]
         table.append_columns(data, len(raw_rows))
+        catalog.refresh_indexes(statement.table)
         catalog.bump_version()
         self._invalidate_dependent_snapshots(statement.table, catalog)
         return Result(rowcount=len(raw_rows))
+
+    def _execute_create_index(
+        self, statement: ast.CreateIndex, catalog: Catalog
+    ) -> Result:
+        table = catalog.table(statement.table)
+        columns = tuple(statement.columns)
+        for column in columns:
+            table.storage_of(column)  # raises CatalogError on unknown columns
+        method = _resolve_index_method(statement.method, len(columns))
+        index = build_index(
+            statement.name, table, columns, statement.unique, method
+        )
+        catalog.create_index(index)
+        return Result()
+
+    def _dml_predicate_mask(
+        self,
+        table: Table,
+        where: Optional[ast.Expr],
+        params: tuple,
+        catalog: Catalog,
+    ) -> tuple[np.ndarray, Batch, Scope]:
+        """Evaluate a DML WHERE clause over the whole table.
+
+        Returns the boolean row mask (true = row affected) plus the batch
+        and scope so UPDATE can reuse them for its assignment expressions.
+        """
+        entries = [
+            ScopeEntry(table.name, name, name) for name in table.column_names
+        ]
+        entries.append(ScopeEntry(table.name, CTID, CTID, hidden=True))
+        scope = Scope(entries)
+        columns = {name: table.columns[name] for name in table.column_names}
+        columns[CTID] = table.ctid
+        batch = Batch(table.n_rows, columns)
+        if where is None:
+            return np.ones(table.n_rows, dtype=bool), batch, scope
+        planner = Planner(catalog, self.profile)
+        predicate = planner.compile_expr(where, scope, {})
+        ctx = self._make_context(params, catalog=catalog)
+        result = predicate(batch, ctx)
+        mask = result.values.astype(bool, copy=True)
+        mask &= ~result.nulls
+        return mask, batch, scope
+
+    def _execute_update(
+        self, statement: ast.Update, params: tuple, catalog: Catalog
+    ) -> Result:
+        table = catalog.table(statement.table)
+        seen: set[str] = set()
+        for column, _ in statement.assignments:
+            table.storage_of(column)
+            if column in seen:
+                raise SQLExecutionError(
+                    f"column {column!r} assigned more than once in UPDATE"
+                )
+            seen.add(column)
+        mask, batch, scope = self._dml_predicate_mask(
+            table, statement.where, params, catalog
+        )
+        affected = int(mask.sum())
+        if affected:
+            planner = Planner(catalog, self.profile)
+            ctx = self._make_context(params, catalog=catalog)
+            positions = np.flatnonzero(mask)
+            for column, expr in statement.assignments:
+                # all assignments see the pre-statement row images
+                compiled = planner.compile_expr(expr, scope, {})
+                fresh = compiled(batch, ctx)
+                storage = table.storage_of(column)
+                old = table.columns[column]
+                merged = old.tolist()
+                for pos in positions:
+                    raw = fresh.item(int(pos))
+                    merged[int(pos)] = (
+                        None if raw is None else coerce_to_type(raw, storage)
+                    )
+                table.columns[column] = from_values(merged)
+        catalog.refresh_indexes(statement.table)
+        catalog.bump_version()
+        self._invalidate_dependent_snapshots(statement.table, catalog)
+        return Result(rowcount=affected)
+
+    def _execute_delete(
+        self, statement: ast.Delete, params: tuple, catalog: Catalog
+    ) -> Result:
+        table = catalog.table(statement.table)
+        mask, _, _ = self._dml_predicate_mask(
+            table, statement.where, params, catalog
+        )
+        removed = int(mask.sum())
+        if removed:
+            keep = np.flatnonzero(~mask)
+            for name in table.column_names:
+                # fresh vectors: forks/mementos sharing the old ones are safe
+                table.columns[name] = gather(table.columns[name], keep)
+            table.n_rows = len(keep)
+        catalog.refresh_indexes(statement.table)
+        catalog.bump_version()
+        self._invalidate_dependent_snapshots(statement.table, catalog)
+        return Result(rowcount=removed)
 
     def _recompute_snapshot(self, view: View, catalog: Catalog) -> None:
         """Re-materialise one view's cached result against *catalog*."""

@@ -39,6 +39,8 @@ from repro.sqldb.plan import (
     CteRef,
     Distinct,
     Filter,
+    IndexJoin,
+    IndexScan,
     Join,
     Limit,
     OneRow,
@@ -186,6 +188,10 @@ def _dispatch(plan: PlanNode, ctx: ExecContext) -> Batch:
 def _dispatch_serial(plan: PlanNode, ctx: ExecContext) -> Batch:
     if isinstance(plan, ScanTable):
         return _exec_scan_table(plan, ctx)
+    if isinstance(plan, IndexScan):
+        return _exec_index_scan(plan, ctx)
+    if isinstance(plan, IndexJoin):
+        return _exec_index_join(plan, ctx)
     if isinstance(plan, ScanSnapshot):
         return _exec_scan_snapshot(plan, ctx)
     if isinstance(plan, CteRef):
@@ -241,6 +247,113 @@ def _exec_scan_table(plan: ScanTable, ctx: ExecContext) -> Batch:
     for name, key in plan.keys.items():
         columns[key] = table.ctid if name == CTID else table.columns[name]
     return Batch(table.n_rows, columns)
+
+
+def _resolve_index(plan_table: str, index_name: str, ctx: ExecContext):
+    """Fetch (table, index) for an index access path, sanity-checked.
+
+    Plans are cache-keyed on the catalog's index epoch, so a mismatch here
+    means an internal invariant broke (stale index after DML, or a plan
+    executed against a catalog it was not built for) — fail loudly.
+    """
+    table = ctx.catalog.table(plan_table)
+    index = ctx.catalog.index(index_name)
+    if index.table != plan_table or index.n_rows != table.n_rows:
+        raise SQLExecutionError(
+            f"index {index_name!r} is out of sync with table "
+            f"{plan_table!r} ({index.n_rows} vs {table.n_rows} rows)"
+        )
+    return table, index
+
+
+def _index_lookup_positions(index, lookup: tuple) -> np.ndarray:
+    kind, operand = lookup
+    if kind == "eq":
+        key = operand[0] if len(operand) == 1 else tuple(operand)
+        return index.eq_positions(key)
+    if kind == "in":
+        return index.in_positions(operand)
+    if kind == "range":
+        lo, lo_inclusive, hi, hi_inclusive = operand
+        return index.range_positions(lo, lo_inclusive, hi, hi_inclusive)
+    raise SQLExecutionError(f"unknown index lookup kind {kind!r}")
+
+
+def _exec_index_scan(plan: IndexScan, ctx: ExecContext) -> Batch:
+    table, index = _resolve_index(plan.table_name, plan.index_name, ctx)
+    positions = _index_lookup_positions(index, plan.lookup)
+    columns: dict[str, Vector] = {}
+    for name, key in plan.keys.items():
+        source = table.ctid if name == CTID else table.columns[name]
+        columns[key] = gather(source, positions)
+    return Batch(len(positions), columns)
+
+
+def _exec_index_join(plan: IndexJoin, ctx: ExecContext) -> Batch:
+    left = execute_plan(plan.left, ctx)
+    return index_join_batch(plan, left, ctx)
+
+
+def index_join_batch(plan: IndexJoin, left: Batch, ctx: ExecContext) -> Batch:
+    """Probe the inner index once per left row (the INLJ kernel).
+
+    Output rows are ordered by left row, then ascending inner position
+    within a key — exactly the hash join's contract, so swapping the
+    operators never changes results.
+    """
+    table, index = _resolve_index(plan.table_name, plan.index_name, ctx)
+    key_vectors = [expr(left, ctx) for expr in plan.left_keys]
+    n = left.length
+    composite = len(key_vectors) > 1
+    counts = np.zeros(n, dtype=np.int64)
+    parts: list[np.ndarray] = []
+    for i in range(n):
+        if any(vec.nulls[i] for vec in key_vectors):
+            continue  # SQL equality: null keys match nothing
+        if composite:
+            key: Any = tuple(vec.values[i] for vec in key_vectors)
+        else:
+            key = key_vectors[0].values[i]
+        positions = index.eq_positions(key)
+        if len(positions):
+            counts[i] = len(positions)
+            parts.append(positions)
+    right_pos = (
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    )
+    left_pos = np.repeat(np.arange(n, dtype=np.int64), counts)
+    if plan.kind == "left":
+        unmatched = np.flatnonzero(counts == 0)
+        if len(unmatched):
+            left_pos = np.concatenate([left_pos, unmatched])
+            right_pos = np.concatenate(
+                [right_pos, np.full(len(unmatched), -1, dtype=np.int64)]
+            )
+            order = np.argsort(left_pos, kind="stable")
+            left_pos = left_pos[order]
+            right_pos = right_pos[order]
+
+    columns: dict[str, Vector] = {}
+    for key, vec in left.columns.items():
+        columns[key] = gather(vec, left_pos, missing_null=True)
+    for name, key in plan.keys.items():
+        source = table.ctid if name == CTID else table.columns[name]
+        columns[key] = gather(source, right_pos, missing_null=True)
+    batch = Batch(len(left_pos), columns)
+
+    if plan.residual is not None:
+        if plan.kind != "inner":
+            raise SQLExecutionError(
+                "index join residuals require an inner join"
+            )
+        predicate = plan.residual(batch, ctx)
+        keep = predicate.values.astype(bool, copy=False) & ~predicate.nulls
+        positions = np.flatnonzero(keep)
+        batch = Batch(
+            len(positions),
+            {k: gather(v, positions) for k, v in batch.columns.items()},
+        )
+    return batch
 
 
 def _exec_scan_snapshot(plan: ScanSnapshot, ctx: ExecContext) -> Batch:

@@ -30,13 +30,14 @@ class TokenKind(Enum):
 KEYWORDS = {
     "all", "analyze", "and", "as", "asc", "begin", "between", "by", "case",
     "cast", "checkpoint", "commit", "copy", "create", "cross", "csv",
-    "delimiter", "desc", "distinct", "drop", "else", "end", "exists", "false",
+    "delete", "delimiter", "desc", "distinct", "drop", "else", "end",
+    "exists", "false",
     "format", "from", "full", "group", "having", "header", "if", "in",
     "inner", "insert", "into", "is", "join", "left", "like", "limit",
     "materialized", "not", "null", "offset", "on", "or", "order", "outer",
     "over", "partition", "recursive", "release", "right", "rollback",
-    "savepoint", "select", "table", "then", "true", "union", "values",
-    "view", "when", "where", "with",
+    "savepoint", "select", "set", "table", "then", "true", "union",
+    "update", "values", "view", "when", "where", "with",
 }
 
 _OPERATORS = ("<>", "!=", "<=", ">=", "::", "||", "=", "<", ">", "+", "-", "*", "/", "%")

@@ -42,6 +42,8 @@ from repro.sqldb.plan import (
     CteRef,
     Distinct,
     Filter,
+    IndexJoin,
+    IndexScan,
     Join,
     Limit,
     OneRow,
@@ -114,7 +116,18 @@ def prune_plan(plan: PlanNode, needed: set[str]) -> PlanNode:
 
     Mutates nodes in place (plans are single-use) and returns the root.
     """
-    if isinstance(plan, (ScanTable, ScanSnapshot, OneRow)):
+    if isinstance(plan, (ScanTable, ScanSnapshot, IndexScan, OneRow)):
+        return plan
+
+    if isinstance(plan, IndexJoin):
+        child_needed = set(needed)
+        for key_expr in plan.left_keys:
+            child_needed |= key_expr.refs
+        if plan.residual is not None:
+            child_needed |= plan.residual.refs
+        left_keys = {out.key for out in plan.left.schema}
+        plan.schema = [out for out in plan.schema if out.key in needed]
+        plan.left = prune_plan(plan.left, child_needed & left_keys)
         return plan
 
     if isinstance(plan, CteRef):
@@ -512,10 +525,14 @@ def _provenance(
     if cached is not None:
         return cached
     prov: dict[str, tuple[str, str]] = {}
-    if isinstance(plan, ScanTable):
+    if isinstance(plan, (ScanTable, IndexScan)):
         prov = {
             key: (plan.table_name, column) for column, key in plan.keys.items()
         }
+    elif isinstance(plan, IndexJoin):
+        prov = dict(_provenance(plan.left, memo))
+        for column, key in plan.keys.items():
+            prov[key] = (plan.table_name, column)
     elif isinstance(plan, Project):
         child = _provenance(plan.child, memo)
         for out, expr in plan.items:
@@ -586,7 +603,7 @@ def _conjunct_selectivity(
     if op == "notnull":
         return notnull
     if op == "in":
-        return min(1.0, operand / ndv) * notnull
+        return min(1.0, len(operand) / ndv) * notnull
     if op in ("<", "<=", ">", ">="):
         fraction = _range_fraction(operand, stats.min_value, stats.max_value)
         if fraction is None:
@@ -600,6 +617,103 @@ def _conjunct_selectivity(
             return _DEFAULT_SELECTIVITY["between"]
         return max(0.0, f_high - f_low) * notnull
     return 0.25
+
+
+def _column_ndv(
+    expr: CompiledExpr,
+    prov: dict[str, tuple[str, str]],
+    catalog: Catalog,
+) -> float:
+    """Distinct-value count of a pass-through key expression (0 = unknown)."""
+    if expr.is_column is None:
+        return 0.0
+    source = prov.get(expr.is_column)
+    if source is None:
+        return 0.0
+    table_stats = catalog.table_stats(source[0])
+    if table_stats is None:
+        return 0.0
+    column = table_stats.columns.get(source[1])
+    if column is None:
+        return 0.0
+    return float(max(column.ndv, 0))
+
+
+def _table_rows(catalog: Catalog, table_name: str) -> float:
+    stats = catalog.table_stats(table_name)
+    if stats is not None:
+        return float(stats.n_rows)
+    try:
+        return float(catalog.table(table_name).n_rows)
+    except Exception:
+        return 0.0
+
+
+def _index_lookup_selectivity(
+    plan: IndexScan, catalog: Catalog
+) -> float:
+    """Fraction of the table an index probe is expected to return."""
+    kind, operand = plan.lookup
+    stats = None
+    try:
+        index = catalog.index(plan.index_name)
+        table_stats = catalog.table_stats(plan.table_name)
+        if table_stats is not None:
+            stats = table_stats.columns.get(index.columns[0])
+        unique = index.unique
+        first_column = index.columns[0]
+    except Exception:
+        return _DEFAULT_SELECTIVITY.get("=", 0.1)
+    if kind == "eq":
+        if unique:
+            rows = _table_rows(catalog, plan.table_name)
+            return 1.0 / rows if rows else 0.0
+        if stats is not None and stats.ndv:
+            return (1.0 - stats.null_fraction) / max(stats.ndv, 1)
+        return _DEFAULT_SELECTIVITY["="]
+    if kind == "in":
+        if stats is not None and stats.ndv:
+            return min(
+                1.0, len(operand) / max(stats.ndv, 1)
+            ) * (1.0 - stats.null_fraction)
+        return _DEFAULT_SELECTIVITY["in"]
+    if kind == "range":
+        lo, _, hi, _ = operand
+        if stats is not None:
+            f_lo = (
+                0.0
+                if lo is None
+                else _range_fraction(lo, stats.min_value, stats.max_value)
+            )
+            f_hi = (
+                1.0
+                if hi is None
+                else _range_fraction(hi, stats.min_value, stats.max_value)
+            )
+            if f_lo is not None and f_hi is not None:
+                return max(0.0, f_hi - f_lo) * (1.0 - stats.null_fraction)
+        return _DEFAULT_SELECTIVITY["between"]
+    return 0.25
+
+
+def _equi_join_rows(
+    left_rows: float,
+    right_rows: float,
+    key_pairs: list[tuple[float, float]],
+) -> float:
+    """|L JOIN R| under the standard independence model.
+
+    Each equi-key pair divides the cross product by ``max(ndv_l, ndv_r)``;
+    unknown distinct counts (0) fall back to a small default so empty or
+    never-ANALYZEd columns can never divide by zero.
+    """
+    rows = left_rows * right_rows
+    for ndv_l, ndv_r in key_pairs:
+        factor = max(ndv_l, ndv_r)
+        if factor <= 0:
+            factor = 10.0  # both unknown: textbook default, never zero
+        rows /= max(factor, 1.0)
+    return rows
 
 
 def estimate_plan_rows(plan: PlanNode, catalog: Catalog) -> dict[int, float]:
@@ -648,10 +762,51 @@ def _estimate(
             rows *= _conjunct_selectivity(conjunct, prov, catalog)
     elif isinstance(plan, Project):
         rows = _estimate(plan.child, catalog, estimates, prov_memo)
+    elif isinstance(plan, IndexScan):
+        rows = _table_rows(catalog, plan.table_name) * min(
+            1.0, max(_index_lookup_selectivity(plan, catalog), 0.0)
+        )
+    elif isinstance(plan, IndexJoin):
+        left = _estimate(plan.left, catalog, estimates, prov_memo)
+        inner_rows = _table_rows(catalog, plan.table_name)
+        prov_left = _provenance(plan.left, prov_memo)
+        table_stats = catalog.table_stats(plan.table_name)
+        pairs = []
+        try:
+            index_columns = catalog.index(plan.index_name).columns
+        except Exception:
+            index_columns = ()
+        for expr, column in zip(plan.left_keys, index_columns):
+            ndv_l = _column_ndv(expr, prov_left, catalog)
+            ndv_r = 0.0
+            if table_stats is not None:
+                column_stats = table_stats.columns.get(column)
+                if column_stats is not None:
+                    ndv_r = float(max(column_stats.ndv, 0))
+            pairs.append((ndv_l, ndv_r))
+        rows = _equi_join_rows(left, inner_rows, pairs)
+        if plan.kind == "left":
+            rows = max(rows, left)
     elif isinstance(plan, Join):
         left = _estimate(plan.left, catalog, estimates, prov_memo)
         right = _estimate(plan.right, catalog, estimates, prov_memo)
-        inner = max(left, right) if plan.left_keys else left * right
+        if plan.left_keys:
+            prov_left = _provenance(plan.left, prov_memo)
+            prov_right = _provenance(plan.right, prov_memo)
+            pairs = [
+                (
+                    _column_ndv(le, prov_left, catalog),
+                    _column_ndv(re, prov_right, catalog),
+                )
+                for le, re in zip(plan.left_keys, plan.right_keys)
+            ]
+            if any(ndv_l or ndv_r for ndv_l, ndv_r in pairs):
+                inner = _equi_join_rows(left, right, pairs)
+            else:
+                # no usable distinct counts on any key: stay conservative
+                inner = max(left, right)
+        else:
+            inner = left * right
         if plan.kind == "left":
             rows = max(inner, left)
         elif plan.kind == "right":
@@ -986,6 +1141,630 @@ def _swap_join_builds(
         _swap_join_builds(child, estimates, rewrites, visited)
 
 
+# ---------------------------------------------------------------------------
+# physical access paths: index scans and index-nested-loop joins
+# ---------------------------------------------------------------------------
+
+#: storage classes whose scan-filter comparison semantics match an index
+#: probe for a numeric (or boolean) literal
+_NUMERIC_STORAGE = {"int", "serial", "float", "bool"}
+
+
+def _probe_compatible(value: Any, storage: str) -> bool:
+    """True when probing an index on a *storage*-class column with
+    *value* provably returns the same rows a scan + compare would.
+
+    Mixed-type comparisons are the divergence hazard: ``text_col < 5``
+    string-compares on a scan but raises (-> empty) on a sorted probe,
+    so cross-class probes are simply never taken.
+    """
+    if value is None:
+        return False
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        return storage in _NUMERIC_STORAGE
+    if isinstance(value, str):
+        return storage == "text"
+    return False
+
+
+def _try_index_scan(
+    filt: Filter,
+    scan: ScanTable,
+    catalog: Catalog,
+    rewrites: list[str],
+    use_stats: bool,
+) -> Optional[PlanNode]:
+    """Convert ``Filter(ScanTable)`` into an index probe when an index
+    covers some of the conjuncts; unmatched conjuncts stay as a residual
+    filter above the probe.  Returns None when no index applies."""
+    indexes = catalog.indexes_on(scan.table_name)
+    if not indexes:
+        return None
+    try:
+        table = catalog.table(scan.table_name)
+    except Exception:
+        return None
+    key_to_column = {key: column for column, key in scan.keys.items()}
+
+    #: per storage column: candidate probes harvested from cmp metadata
+    eq: dict[str, tuple[int, Any]] = {}
+    in_lists: dict[str, tuple[int, tuple]] = {}
+    lowers: dict[str, tuple[int, Any, bool]] = {}
+    uppers: dict[str, tuple[int, Any, bool]] = {}
+    for position, conjunct in enumerate(filt.conjuncts):
+        cmp = conjunct.cmp
+        if cmp is None or cmp[1] is None:
+            continue
+        op, key, operand = cmp
+        column = key_to_column.get(key)
+        if column is None:
+            continue
+        storage = table.storage_of(column)
+        if op == "=" and _probe_compatible(operand, storage):
+            eq.setdefault(column, (position, operand))
+        elif op == "in" and operand and all(
+            _probe_compatible(v, storage) for v in operand
+        ):
+            in_lists.setdefault(column, (position, tuple(operand)))
+        elif op in (">", ">=") and _probe_compatible(operand, storage):
+            lowers.setdefault(column, (position, operand, op == ">="))
+        elif op in ("<", "<=") and _probe_compatible(operand, storage):
+            uppers.setdefault(column, (position, operand, op == "<="))
+        elif op == "between":
+            low, high = operand
+            if _probe_compatible(low, storage) and _probe_compatible(
+                high, storage
+            ):
+                lowers.setdefault(column, (position, low, True))
+                uppers.setdefault(column, (position, high, True))
+
+    best: Optional[tuple[tuple, Any, tuple, set[int]]] = None
+    for index in indexes:
+        candidate: Optional[tuple[tuple, Any, tuple, set[int]]] = None
+        if all(column in eq for column in index.columns):
+            used = {eq[column][0] for column in index.columns}
+            values = tuple(eq[column][1] for column in index.columns)
+            score = (0 if index.unique else 1, -len(index.columns))
+            candidate = (score, index, ("eq", values), used)
+        elif len(index.columns) == 1 and index.columns[0] in in_lists:
+            position, values = in_lists[index.columns[0]]
+            candidate = ((2, 0), index, ("in", values), {position})
+        elif (
+            index.method == "sorted"
+            and len(index.columns) == 1
+            and (index.columns[0] in lowers or index.columns[0] in uppers)
+        ):
+            column = index.columns[0]
+            low = lowers.get(column)
+            high = uppers.get(column)
+            fraction = _range_probe_fraction(
+                catalog, scan.table_name, column, low, high, use_stats
+            )
+            if fraction is not None and fraction <= 0.25:
+                used = set()
+                lo_value = lo_inclusive = None
+                hi_value = hi_inclusive = None
+                if low is not None:
+                    used.add(low[0])
+                    lo_value, lo_inclusive = low[1], low[2]
+                if high is not None:
+                    used.add(high[0])
+                    hi_value, hi_inclusive = high[1], high[2]
+                lookup = (
+                    "range",
+                    (lo_value, bool(lo_inclusive), hi_value, bool(hi_inclusive)),
+                )
+                candidate = ((3, 0), index, lookup, used)
+        if candidate is not None and (best is None or candidate[0] < best[0]):
+            best = candidate
+
+    if best is None:
+        return None
+    _, index, lookup, used = best
+    probe = IndexScan(
+        scan.table_name,
+        index.name,
+        lookup,
+        schema=list(scan.schema),
+        keys=dict(scan.keys),
+    )
+    rewrites.append("index-scan")
+    rest = [
+        conjunct
+        for position, conjunct in enumerate(filt.conjuncts)
+        if position not in used
+    ]
+    if not rest:
+        return probe
+    return Filter(
+        probe,
+        combine_conjuncts(rest),
+        schema=list(filt.schema),
+        conjuncts=rest,
+    )
+
+
+def _range_probe_fraction(
+    catalog: Catalog,
+    table_name: str,
+    column: str,
+    low: Optional[tuple],
+    high: Optional[tuple],
+    use_stats: bool,
+) -> Optional[float]:
+    """Estimated kept fraction of a range probe; None = not estimable.
+
+    Range probes are only worth taking when selective, and selectivity is
+    only credible with ANALYZE statistics — without them this returns
+    None and the scan+filter plan stands.
+    """
+    if not use_stats or (low is None and high is None):
+        return None
+    table_stats = catalog.table_stats(table_name)
+    if table_stats is None:
+        return None
+    stats = table_stats.columns.get(column)
+    if stats is None:
+        return None
+    f_low = (
+        0.0
+        if low is None
+        else _range_fraction(low[1], stats.min_value, stats.max_value)
+    )
+    f_high = (
+        1.0
+        if high is None
+        else _range_fraction(high[1], stats.min_value, stats.max_value)
+    )
+    if f_low is None or f_high is None:
+        return None
+    return max(0.0, f_high - f_low) * (1.0 - stats.null_fraction)
+
+
+def _apply_access_paths(
+    plan: PlanNode,
+    catalog: Catalog,
+    rewrites: list[str],
+    use_stats: bool,
+    memo: dict[int, PlanNode],
+) -> PlanNode:
+    """Bottom-up walk converting filtered scans into index probes.
+
+    Shared CTE bodies (reached through ``CteRef``) are rewritten once and
+    every reference is repointed at the same rewritten body, preserving
+    the compute-once contract."""
+    cached = memo.get(id(plan))
+    if cached is not None:
+        return cached
+    original = plan
+    if isinstance(plan, CteRef):
+        plan.plan = _apply_access_paths(
+            plan.plan, catalog, rewrites, use_stats, memo
+        )
+    elif isinstance(plan, Join):
+        plan.left = _apply_access_paths(
+            plan.left, catalog, rewrites, use_stats, memo
+        )
+        plan.right = _apply_access_paths(
+            plan.right, catalog, rewrites, use_stats, memo
+        )
+    elif isinstance(plan, UnionAll):
+        plan.parts = [
+            _apply_access_paths(part, catalog, rewrites, use_stats, memo)
+            for part in plan.parts
+        ]
+    elif isinstance(plan, Filter):
+        plan.child = _apply_access_paths(
+            plan.child, catalog, rewrites, use_stats, memo
+        )
+        if isinstance(plan.child, ScanTable):
+            replaced = _try_index_scan(
+                plan, plan.child, catalog, rewrites, use_stats
+            )
+            if replaced is not None:
+                plan = replaced
+    elif hasattr(plan, "child"):
+        plan.child = _apply_access_paths(
+            plan.child, catalog, rewrites, use_stats, memo  # type: ignore[attr-defined]
+        )
+    memo[id(original)] = plan
+    return plan
+
+
+def _try_index_join(
+    join: Join,
+    catalog: Catalog,
+    estimates: dict[int, float],
+    rewrites: list[str],
+) -> Optional[IndexJoin]:
+    """Replace an equi-join with an index-nested-loop probe when the
+    build side is an indexed base table and the probe side is small."""
+    if not join.left_keys or any(join.null_safe):
+        return None
+    if join.kind not in ("inner", "left"):
+        return None
+    orientations = [(join.left, join.right, join.left_keys, join.right_keys)]
+    if join.kind == "inner":
+        # mirrored probe: output row order changes, which is fine for an
+        # unordered (set-semantics) join once statistics justify it
+        orientations.append(
+            (join.right, join.left, join.right_keys, join.left_keys)
+        )
+    for outer, inner, outer_keys, inner_keys in orientations:
+        filter_conjuncts: list[CompiledExpr] = []
+        scan = inner
+        if (
+            isinstance(scan, Filter)
+            and join.kind == "inner"
+            and isinstance(scan.child, ScanTable)
+        ):
+            filter_conjuncts = list(scan.conjuncts)
+            scan = scan.child
+        if not isinstance(scan, ScanTable):
+            continue
+        if join.kind == "left" and (
+            filter_conjuncts or join.residual is not None
+        ):
+            continue
+        key_to_column = {key: column for column, key in scan.keys.items()}
+        columns = []
+        for expr in inner_keys:
+            column = (
+                key_to_column.get(expr.is_column)
+                if expr.is_column is not None
+                else None
+            )
+            if column is None:
+                break
+            columns.append(column)
+        else:
+            index = _matching_index(catalog, scan.table_name, columns)
+            if index is None:
+                continue
+            outer_rows = estimates.get(id(outer))
+            inner_rows = estimates.get(id(inner))
+            if (
+                outer_rows is None
+                or inner_rows is None
+                or outer_rows > 1000.0
+                or inner_rows < 2.0 * outer_rows
+            ):
+                continue
+            # probe keys in index-column order
+            order = [columns.index(column) for column in index.columns]
+            left_keys = [outer_keys[i] for i in order]
+            residual_parts = list(filter_conjuncts)
+            if join.residual is not None:
+                residual_parts.append(join.residual)
+            residual = (
+                combine_conjuncts(residual_parts) if residual_parts else None
+            )
+            rewrites.append("index-join")
+            return IndexJoin(
+                outer,
+                scan.table_name,
+                index.name,
+                join.kind,
+                left_keys=left_keys,
+                keys=dict(scan.keys),
+                residual=residual,
+                schema=list(join.schema),
+            )
+    return None
+
+
+def _matching_index(catalog: Catalog, table_name: str, columns: list[str]):
+    """An index whose key columns are exactly *columns* (any order)."""
+    if not columns or len(set(columns)) != len(columns):
+        return None
+    wanted = set(columns)
+    for index in catalog.indexes_on(table_name):
+        if set(index.columns) == wanted and len(index.columns) == len(columns):
+            return index
+    return None
+
+
+def _apply_index_joins(
+    plan: PlanNode,
+    catalog: Catalog,
+    estimates: dict[int, float],
+    rewrites: list[str],
+    memo: dict[int, PlanNode],
+) -> PlanNode:
+    cached = memo.get(id(plan))
+    if cached is not None:
+        return cached
+    original = plan
+    if isinstance(plan, CteRef):
+        plan.plan = _apply_index_joins(
+            plan.plan, catalog, estimates, rewrites, memo
+        )
+    elif isinstance(plan, Join):
+        plan.left = _apply_index_joins(
+            plan.left, catalog, estimates, rewrites, memo
+        )
+        plan.right = _apply_index_joins(
+            plan.right, catalog, estimates, rewrites, memo
+        )
+        replaced = _try_index_join(plan, catalog, estimates, rewrites)
+        if replaced is not None:
+            # keep the parent's cost gate working on the new node
+            rows = estimates.get(id(plan))
+            if rows is not None:
+                estimates[id(replaced)] = rows
+            plan = replaced
+    elif isinstance(plan, IndexJoin):
+        plan.left = _apply_index_joins(
+            plan.left, catalog, estimates, rewrites, memo
+        )
+    elif isinstance(plan, UnionAll):
+        plan.parts = [
+            _apply_index_joins(part, catalog, estimates, rewrites, memo)
+            for part in plan.parts
+        ]
+    elif hasattr(plan, "child"):
+        plan.child = _apply_index_joins(
+            plan.child, catalog, estimates, rewrites, memo  # type: ignore[attr-defined]
+        )
+    memo[id(original)] = plan
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# cost-based join-order enumeration (left-deep DP / greedy)
+# ---------------------------------------------------------------------------
+
+#: exhaustive left-deep DP up to this many relations; greedy above
+_DP_LEAF_LIMIT = 6
+
+
+def _collect_join_region(
+    plan: PlanNode,
+    leaves: list[PlanNode],
+    edges: list[tuple[CompiledExpr, CompiledExpr, bool]],
+) -> None:
+    """Flatten a maximal region of residual-free inner/cross joins."""
+    if (
+        isinstance(plan, Join)
+        and plan.kind in ("inner", "cross")
+        and plan.residual is None
+    ):
+        _collect_join_region(plan.left, leaves, edges)
+        _collect_join_region(plan.right, leaves, edges)
+        for le, re, ns in zip(
+            plan.left_keys, plan.right_keys, plan.null_safe
+        ):
+            edges.append((le, re, ns))
+    else:
+        leaves.append(plan)
+
+
+def _reorder_join_region(
+    root: Join,
+    catalog: Catalog,
+    estimates: dict[int, float],
+    rewrites: list[str],
+    prov_memo: dict[int, dict[str, tuple[str, str]]],
+) -> PlanNode:
+    leaves: list[PlanNode] = []
+    edges: list[tuple[CompiledExpr, CompiledExpr, bool]] = []
+    _collect_join_region(root, leaves, edges)
+    n = len(leaves)
+    if n < 3:
+        return root
+
+    # map every edge endpoint to exactly one leaf; bail out on key
+    # expressions spanning several leaves (rare, and reordering them
+    # would need re-homing logic that is not worth the risk)
+    key_to_leaf: dict[str, int] = {}
+    for position, leaf in enumerate(leaves):
+        for out in leaf.schema:
+            key_to_leaf[out.key] = position
+    placed: list[tuple[CompiledExpr, CompiledExpr, bool, int, int]] = []
+    for le, re, ns in edges:
+        homes_l = {key_to_leaf.get(r) for r in le.refs}
+        homes_r = {key_to_leaf.get(r) for r in re.refs}
+        if len(homes_l) != 1 or len(homes_r) != 1:
+            return root
+        home_l = homes_l.pop()
+        home_r = homes_r.pop()
+        if home_l is None or home_r is None:
+            return root
+        placed.append((le, re, ns, home_l, home_r))
+
+    raw_rows = [estimates.get(id(leaf)) for leaf in leaves]
+    if all(rows is None or rows <= 0 for rows in raw_rows):
+        # empty or never-ANALYZEd inputs: every order costs the same on
+        # paper, so keep the syntactic order the user wrote
+        rewrites.append("join-order-fallback")
+        return root
+    leaf_rows = [
+        max(rows, 1.0) if rows is not None else 1.0 for rows in raw_rows
+    ]
+
+    def edge_factor(edge: tuple) -> float:
+        le, re, _, home_l, home_r = edge
+        ndv_l = _column_ndv(le, _provenance(leaves[home_l], prov_memo), catalog)
+        ndv_r = _column_ndv(re, _provenance(leaves[home_r], prov_memo), catalog)
+        factor = max(ndv_l, ndv_r)
+        return factor if factor > 0 else 10.0
+
+    factors = [edge_factor(edge) for edge in placed]
+
+    def subset_rows(members: frozenset) -> float:
+        rows = 1.0
+        for position in members:
+            rows *= leaf_rows[position]
+        for edge, factor in zip(placed, factors):
+            if edge[3] in members and edge[4] in members:
+                rows /= max(factor, 1.0)
+        return rows
+
+    if n <= _DP_LEAF_LIMIT:
+        order = _dp_join_order(n, subset_rows)
+    else:
+        order = _greedy_join_order(n, leaf_rows, subset_rows)
+    if order == list(range(n)):
+        return root
+
+    rewrites.append("join-reorder")
+    used: set[int] = set()
+    current = leaves[order[0]]
+    in_tree = {order[0]}
+    for position in order[1:]:
+        left_keys: list[CompiledExpr] = []
+        right_keys: list[CompiledExpr] = []
+        null_safe: list[bool] = []
+        for edge_position, (le, re, ns, home_l, home_r) in enumerate(placed):
+            if edge_position in used:
+                continue
+            if home_l in in_tree and home_r == position:
+                left_keys.append(le)
+                right_keys.append(re)
+                null_safe.append(ns)
+                used.add(edge_position)
+            elif home_r in in_tree and home_l == position:
+                left_keys.append(re)
+                right_keys.append(le)
+                null_safe.append(ns)
+                used.add(edge_position)
+        current = Join(
+            current,
+            leaves[position],
+            "inner" if left_keys else "cross",
+            left_keys=left_keys,
+            right_keys=right_keys,
+            null_safe=null_safe,
+            residual=None,
+            schema=current.schema + leaves[position].schema,
+        )
+        in_tree.add(position)
+    return current
+
+
+def _dp_join_order(n: int, subset_rows) -> list[int]:
+    """Selinger-style left-deep dynamic program minimising the summed
+    cardinality of every intermediate join result."""
+    best: dict[frozenset, tuple[float, list[int]]] = {
+        frozenset([i]): (0.0, [i]) for i in range(n)
+    }
+    for size in range(2, n + 1):
+        level: dict[frozenset, tuple[float, list[int]]] = {}
+        for members, (cost, order) in best.items():
+            if len(members) != size - 1:
+                continue
+            for position in range(n):
+                if position in members:
+                    continue
+                grown = frozenset(members | {position})
+                total = cost + subset_rows(grown)
+                entry = level.get(grown)
+                if entry is None or total < entry[0]:
+                    level[grown] = (total, order + [position])
+        best.update(level)
+    return best[frozenset(range(n))][1]
+
+
+def _greedy_join_order(n: int, leaf_rows: list[float], subset_rows) -> list[int]:
+    start = min(range(n), key=lambda i: (leaf_rows[i], i))
+    order = [start]
+    members = {start}
+    while len(order) < n:
+        choice = min(
+            (i for i in range(n) if i not in members),
+            key=lambda i: (subset_rows(frozenset(members | {i})), i),
+        )
+        order.append(choice)
+        members.add(choice)
+    return order
+
+
+def _reorder_joins(
+    plan: PlanNode,
+    catalog: Catalog,
+    estimates: dict[int, float],
+    rewrites: list[str],
+    memo: dict[int, PlanNode],
+    prov_memo: dict[int, dict[str, tuple[str, str]]],
+) -> PlanNode:
+    cached = memo.get(id(plan))
+    if cached is not None:
+        return cached
+    original = plan
+    if (
+        isinstance(plan, Join)
+        and plan.kind in ("inner", "cross")
+        and plan.residual is None
+    ):
+        plan = _reorder_join_region(
+            plan, catalog, estimates, rewrites, prov_memo
+        )
+        # recurse below the region's leaves (joins may hide under them)
+        leaves: list[PlanNode] = []
+        _collect_join_region(plan, leaves, [])
+        for leaf in leaves:
+            _reorder_leaf_children(
+                leaf, catalog, estimates, rewrites, memo, prov_memo
+            )
+    elif isinstance(plan, CteRef):
+        plan.plan = _reorder_joins(
+            plan.plan, catalog, estimates, rewrites, memo, prov_memo
+        )
+    elif isinstance(plan, Join):
+        plan.left = _reorder_joins(
+            plan.left, catalog, estimates, rewrites, memo, prov_memo
+        )
+        plan.right = _reorder_joins(
+            plan.right, catalog, estimates, rewrites, memo, prov_memo
+        )
+    elif isinstance(plan, UnionAll):
+        plan.parts = [
+            _reorder_joins(
+                part, catalog, estimates, rewrites, memo, prov_memo
+            )
+            for part in plan.parts
+        ]
+    elif hasattr(plan, "child"):
+        plan.child = _reorder_joins(
+            plan.child, catalog, estimates, rewrites, memo, prov_memo  # type: ignore[attr-defined]
+        )
+    memo[id(original)] = plan
+    return plan
+
+
+def _reorder_leaf_children(
+    leaf: PlanNode,
+    catalog: Catalog,
+    estimates: dict[int, float],
+    rewrites: list[str],
+    memo: dict[int, PlanNode],
+    prov_memo: dict[int, dict[str, tuple[str, str]]],
+) -> None:
+    """Recurse into a region leaf without re-treating it as a region."""
+    if isinstance(leaf, CteRef):
+        leaf.plan = _reorder_joins(
+            leaf.plan, catalog, estimates, rewrites, memo, prov_memo
+        )
+    elif isinstance(leaf, Join):
+        leaf.left = _reorder_joins(
+            leaf.left, catalog, estimates, rewrites, memo, prov_memo
+        )
+        leaf.right = _reorder_joins(
+            leaf.right, catalog, estimates, rewrites, memo, prov_memo
+        )
+    elif isinstance(leaf, UnionAll):
+        leaf.parts = [
+            _reorder_joins(
+                part, catalog, estimates, rewrites, memo, prov_memo
+            )
+            for part in leaf.parts
+        ]
+    elif hasattr(leaf, "child"):
+        leaf.child = _reorder_joins(
+            leaf.child, catalog, estimates, rewrites, memo, prov_memo  # type: ignore[attr-defined]
+        )
+
+
 def optimize_select_plan(
     top: PlanNode,
     shared_plans: list[tuple[str, PlanNode, bool]],
@@ -1010,11 +1789,45 @@ def optimize_select_plan(
     for sub in subquery_plans:
         rewriter.push(sub, [])
     top = rewriter.push(top, [])
-    if catalog.analyzed_tables:
+
+    use_stats = bool(catalog.analyzed_tables)
+    # equality/membership index probes are safe without statistics; only
+    # range probes consult them (inside _try_index_scan)
+    access_memo: dict[int, PlanNode] = {}
+    top = _apply_access_paths(top, catalog, rewrites, use_stats, access_memo)
+    for sub in subquery_plans:
+        # root replacement is discarded: subquery closures capture the
+        # root object, and planner guarantees roots are Project-like
+        _apply_access_paths(sub, catalog, rewrites, use_stats, access_memo)
+
+    if use_stats:
         estimates = estimate_plan_rows(top, catalog)
+        for sub in subquery_plans:
+            estimates.update(estimate_plan_rows(sub, catalog))
+        reorder_memo: dict[int, PlanNode] = {}
+        prov_memo: dict[int, dict[str, tuple[str, str]]] = {}
+        try:
+            top = _reorder_joins(
+                top, catalog, estimates, rewrites, reorder_memo, prov_memo
+            )
+            for sub in subquery_plans:
+                _reorder_joins(
+                    sub, catalog, estimates, rewrites, reorder_memo, prov_memo
+                )
+        except Exception:
+            # cost-based reordering must never break a query; keep the
+            # syntactic join order when the model falls over
+            rewrites.append("join-order-fallback")
+        # the tree changed shape: refresh estimates for the join gates
+        estimates = estimate_plan_rows(top, catalog)
+        for sub in subquery_plans:
+            estimates.update(estimate_plan_rows(sub, catalog))
+        inlj_memo: dict[int, PlanNode] = {}
+        top = _apply_index_joins(top, catalog, estimates, rewrites, inlj_memo)
+        for sub in subquery_plans:
+            _apply_index_joins(sub, catalog, estimates, rewrites, inlj_memo)
         visited: set[int] = set()
         _swap_join_builds(top, estimates, rewrites, visited)
         for sub in subquery_plans:
-            estimates.update(estimate_plan_rows(sub, catalog))
             _swap_join_builds(sub, estimates, rewrites, visited)
     return top

@@ -114,6 +114,10 @@ class _Parser:
             return self._parse_create()
         if token.value == "insert":
             return self._parse_insert()
+        if token.value == "update":
+            return self._parse_update()
+        if token.value == "delete":
+            return self._parse_delete()
         if token.value == "copy":
             return self._parse_copy()
         if token.value == "drop":
@@ -171,11 +175,32 @@ class _Parser:
                     break
             self._expect_punct(")")
             return ast.CreateTable(name, columns)
+        unique = self._accept_word("unique") is not None
+        if unique or self._peek().value == "index":
+            if self._accept_word("index") is None:
+                raise self._error("expected INDEX")
+            return self._parse_create_index(unique)
         materialized = self._accept_keyword("materialized")
         self._expect_keyword("view")
         name = self._expect_identifier("view name")
         self._expect_keyword("as")
         return ast.CreateView(name, self.parse_select(), materialized=materialized)
+
+    def _parse_create_index(self, unique: bool) -> ast.CreateIndex:
+        name = self._expect_identifier("index name")
+        self._expect_keyword("on")
+        table = self._expect_identifier("table name")
+        method: Optional[str] = None
+        if self._accept_word("using"):
+            method = self._expect_identifier("index method").lower()
+        self._expect_punct("(")
+        columns: list[str] = []
+        while True:
+            columns.append(self._expect_identifier("column name"))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return ast.CreateIndex(name, table, columns, unique=unique, method=method)
 
     def _parse_type_name(self) -> str:
         words = []
@@ -267,8 +292,14 @@ class _Parser:
             raise self._error("expected a string literal")
         return token.value
 
-    def _parse_drop(self) -> ast.Drop:
+    def _parse_drop(self) -> ast.Statement:
         self._expect_keyword("drop")
+        if self._accept_word("index"):
+            if_exists = False
+            if self._accept_keyword("if"):
+                self._expect_keyword("exists")
+                if_exists = True
+            return ast.DropIndex(self._expect_identifier("index name"), if_exists)
         if self._accept_keyword("table"):
             kind = "table"
         elif self._accept_keyword("materialized"):
@@ -277,12 +308,34 @@ class _Parser:
         elif self._accept_keyword("view"):
             kind = "view"
         else:
-            raise self._error("expected TABLE or VIEW after DROP")
+            raise self._error("expected TABLE, VIEW or INDEX after DROP")
         if_exists = False
         if self._accept_keyword("if"):
             self._expect_keyword("exists")
             if_exists = True
         return ast.Drop(kind, self._expect_identifier("object name"), if_exists)
+
+    def _parse_update(self) -> ast.Update:
+        self._expect_keyword("update")
+        table = self._expect_identifier("table name")
+        self._expect_keyword("set")
+        assignments: list[tuple[str, ast.Expr]] = []
+        while True:
+            column = self._expect_identifier("column name")
+            if self._accept_operator("=") is None:
+                raise self._error("expected = in SET assignment")
+            assignments.append((column, self.parse_expression()))
+            if not self._accept_punct(","):
+                break
+        where = self.parse_expression() if self._accept_keyword("where") else None
+        return ast.Update(table, assignments, where)
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_identifier("table name")
+        where = self.parse_expression() if self._accept_keyword("where") else None
+        return ast.Delete(table, where)
 
     # -- SELECT -------------------------------------------------------------------
 

@@ -25,6 +25,8 @@ __all__ = [
     "combine_conjuncts",
     "Distinct",
     "Filter",
+    "IndexJoin",
+    "IndexScan",
     "Join",
     "Limit",
     "OneRow",
@@ -67,9 +69,10 @@ class CompiledExpr:
     #: source batch key when this expression is a bare column pass-through;
     #: lets the optimizer remap predicates through projections
     is_column: Optional[str] = None
-    #: shape metadata for selectivity estimation: ``(op, key, operand)``
-    #: where op is a comparison operator, "isnull"/"notnull", "between",
-    #: "in" (operand = item count) or "const" (operand = the literal value)
+    #: shape metadata for selectivity estimation and index matching:
+    #: ``(op, key, operand)`` where op is a comparison operator,
+    #: "isnull"/"notnull", "between" (operand = (lo, hi)), "in" (operand =
+    #: tuple of literal values) or "const" (operand = the literal value)
     cmp: Optional[tuple] = None
 
     def __call__(self, batch: Batch, ctx) -> Vector:
@@ -109,6 +112,64 @@ class ScanTable(PlanNode):
 
     def label(self) -> str:
         return f"ScanTable({self.table_name})"
+
+
+@dataclass
+class IndexScan(PlanNode):
+    """Base-table access through a secondary index.
+
+    The executor probes the index and gathers only the matching rows; the
+    ascending-position contract of :class:`~repro.sqldb.catalog.Index`
+    lookups makes the output row order identical to ``ScanTable`` +
+    ``Filter`` over the same predicate.
+    """
+
+    table_name: str
+    index_name: str
+    #: probe spec: ``("eq", (v, ...))`` one value per index column,
+    #: ``("in", (v, ...))`` membership over a single-column index, or
+    #: ``("range", (lo, lo_incl, hi, hi_incl))`` over a sorted index
+    lookup: tuple = ()
+    schema: list[OutputColumn] = field(default_factory=list)
+    #: column name in storage -> batch key
+    keys: dict[str, str] = field(default_factory=dict)
+
+    def label(self) -> str:
+        kind = self.lookup[0] if self.lookup else "?"
+        return (
+            f"IndexScan({self.table_name} using {self.index_name}, {kind})"
+        )
+
+
+@dataclass
+class IndexJoin(PlanNode):
+    """Index-nested-loop join: probe the inner table's index per left row.
+
+    Replaces an equi-``Join`` whose build side is a bare base-table scan
+    covered by an index on the join columns.  Output ordering matches the
+    hash join exactly: left-row order, ascending inner row positions
+    within each key.
+    """
+
+    left: PlanNode
+    table_name: str  # inner base table, reached through the index
+    index_name: str
+    kind: str  # inner | left
+    #: outer-side key expressions, one per index column (in index order)
+    left_keys: list = field(default_factory=list)
+    #: inner column name in storage -> batch key
+    keys: dict[str, str] = field(default_factory=dict)
+    residual: Optional[CompiledExpr] = None
+    schema: list[OutputColumn] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.left]
+
+    def label(self) -> str:
+        return (
+            f"IndexJoin({self.kind}, {self.table_name} "
+            f"using {self.index_name})"
+        )
 
 
 @dataclass

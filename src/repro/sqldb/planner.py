@@ -837,7 +837,11 @@ class Planner:
             and operand.is_column is not None
             and all(isinstance(i, ast.Literal) for i in expr.items)
         ):
-            cmp = ("in", operand.is_column, len(items))
+            cmp = (
+                "in",
+                operand.is_column,
+                tuple(item.value for item in expr.items),
+            )
         return CompiledExpr(fn_in, refs, text="IN (...)", cmp=cmp)
 
     def _compile_case(

@@ -1,15 +1,18 @@
 """Differential query fuzzing for the statistics-driven rewrite layer.
 
 A grammar-based generator produces random SELECTs (filters with mixed
-conjuncts, inner/left joins, group-by + having, order-by, limit/offset)
-over random small tables, and every query must return identical rows —
-same values, same nulls, same Python value types — across four engine
-configurations:
+conjuncts, inner/left joins up to three tables, group-by + having,
+order-by, limit/offset) over random small tables, and every query must
+return identical rows — same values, same nulls, same Python value
+types — across five engine configurations:
 
 * the serial reference with the optimizer off,
 * the optimizer on (serial), after ``ANALYZE``,
 * the optimizer off with morsel-parallel execution (workers=4),
-* the optimizer on with morsel-parallel execution (workers=4).
+* the optimizer on with morsel-parallel execution (workers=4),
+* the optimizer on with secondary indexes, whose set is churned by
+  random CREATE/DROP INDEX between queries (index-aware access paths,
+  index-nested-loop joins and plan-cache epoch invalidation all fire).
 
 Queries whose ORDER BY covers every output column compare as exact
 sequences; all others compare as sorted multisets (the rewrite layer is
@@ -57,14 +60,17 @@ def _random_tables(rng):
 
     nt = rng.randint(0, 30)
     nu = rng.randint(0, 20)
+    nw = rng.randint(0, 15)
     t_rows = (num_col(nt), num_col(nt), text_col(nt))
     u_rows = (num_col(nu), text_col(nu))
-    return t_rows, u_rows
+    w_rows = (num_col(nw), num_col(nw))
+    return t_rows, u_rows, w_rows
 
 
-def _load_tables(db, t_rows, u_rows):
+def _load_tables(db, t_rows, u_rows, w_rows=((), ())):
     db.execute("CREATE TABLE t (a double precision, b double precision, s text)")
     db.execute("CREATE TABLE u (a double precision, v text)")
+    db.execute("CREATE TABLE w (a double precision, m double precision)")
     if t_rows[0]:
         db.catalog.table("t").append_columns(
             {"a": list(t_rows[0]), "b": list(t_rows[1]), "s": list(t_rows[2])},
@@ -74,10 +80,34 @@ def _load_tables(db, t_rows, u_rows):
         db.catalog.table("u").append_columns(
             {"a": list(u_rows[0]), "v": list(u_rows[1])}, len(u_rows[0])
         )
+    if w_rows[0]:
+        db.catalog.table("w").append_columns(
+            {"a": list(w_rows[0]), "m": list(w_rows[1])}, len(w_rows[0])
+        )
     db.catalog.bump_version()
 
 
-def _configs(profile, t_rows, u_rows):
+#: (index name, CREATE statement) pool the fuzz loop churns through; no
+#: unique indexes — the random data is full of duplicates
+_INDEX_POOL = [
+    ("idx_t_a", "CREATE INDEX idx_t_a ON t (a)"),
+    ("idx_t_s", "CREATE INDEX idx_t_s ON t USING hash (s)"),
+    ("idx_t_ab", "CREATE INDEX idx_t_ab ON t (a, b)"),
+    ("idx_u_a", "CREATE INDEX idx_u_a ON u (a)"),
+    ("idx_w_a", "CREATE INDEX idx_w_a ON w (a)"),
+]
+
+
+def _churn_indexes(db, rng):
+    """Randomly create or drop one index from the pool (idempotent)."""
+    name, create = rng.choice(_INDEX_POOL)
+    if rng.random() < 0.5:
+        db.execute(f"DROP INDEX IF EXISTS {name}")
+    elif not db.catalog.has_index(name):
+        db.execute(create)
+
+
+def _configs(profile, t_rows, u_rows, w_rows=((), ())):
     """(name, db) pairs: the serial/optimizer-off reference first."""
     configs = [
         ("reference", Database(profile)),
@@ -87,9 +117,13 @@ def _configs(profile, t_rows, u_rows):
             "opt-parallel",
             Database(profile, workers=4, morsel_size=5, optimize=True),
         ),
+        ("opt-indexed", Database(profile, optimize=True)),
     ]
     for name, db in configs:
-        _load_tables(db, t_rows, u_rows)
+        _load_tables(db, t_rows, u_rows, w_rows)
+        if name == "opt-indexed":
+            for _, create in _INDEX_POOL:
+                db.execute(create)
         if name.startswith("opt"):
             db.analyze()  # unlocks the statistics-gated rewrites
     return configs
@@ -147,15 +181,23 @@ def _where(rng, num_cols, text_cols):
 def _generate_query(rng):
     """One random SELECT; returns ``(sql, ordered)`` where *ordered* means
     the ORDER BY covers every output column (exact-sequence comparison)."""
-    shape = rng.randrange(3)
+    shape = rng.randrange(5)
     if shape == 0:
         source, num_cols, text_cols = "t", ["a", "b"], ["s"]
     elif shape == 1:
         source = "t JOIN u ON t.a = u.a"
         num_cols, text_cols = ["t.a", "t.b", "u.a"], ["t.s", "u.v"]
-    else:
+    elif shape == 2:
         source = "t LEFT JOIN u ON t.a = u.a"
         num_cols, text_cols = ["t.a", "t.b", "u.a"], ["t.s", "u.v"]
+    elif shape == 3:
+        source = "t JOIN u ON t.a = u.a JOIN w ON t.a = w.a"
+        num_cols = ["t.a", "t.b", "u.a", "w.m"]
+        text_cols = ["t.s", "u.v"]
+    else:
+        source = "t JOIN u ON t.a = u.a LEFT JOIN w ON u.a = w.a"
+        num_cols = ["t.a", "t.b", "u.a", "w.m"]
+        text_cols = ["t.s", "u.v"]
     where = _where(rng, num_cols, text_cols)
 
     if rng.random() < 0.3:  # aggregation shape
@@ -250,14 +292,31 @@ SEED_CORPUS = [
         "GROUP BY t.s ORDER BY t.s",
         True,
     ),
+    (
+        "SELECT t.a AS c0, w.m AS c1 FROM t JOIN u ON t.a = u.a "
+        "JOIN w ON t.a = w.a WHERE t.s = 'a'",
+        False,
+    ),
+    (
+        "SELECT t.a AS c0, u.v AS c1, w.m AS c2 FROM t JOIN u ON t.a = u.a "
+        "LEFT JOIN w ON u.a = w.a WHERE t.a IN (0, 1, 2) OR t.b < 0",
+        False,
+    ),
+    # fuzz 2026-08-08: duplicate IN-list literals must not duplicate rows
+    # through an index probe (IN is a set predicate)
+    (
+        "SELECT s AS c0, a AS c1 FROM t WHERE a BETWEEN -21 AND 7 "
+        "AND b IS NOT NULL AND a IN (-2.25, -2.25) ORDER BY s, a DESC",
+        True,
+    ),
 ]
 
 
 @pytest.mark.parametrize("profile", PROFILES)
 def test_seed_corpus(profile):
     rng = random.Random(4207)
-    t_rows, u_rows = _random_tables(rng)
-    configs = _configs(profile, t_rows, u_rows)
+    t_rows, u_rows, w_rows = _random_tables(rng)
+    configs = _configs(profile, t_rows, u_rows, w_rows)
     try:
         for sql, ordered in SEED_CORPUS:
             _check_query(configs, sql, ordered, context=f" profile={profile}")
@@ -274,10 +333,13 @@ def test_fuzz_differential(profile, fuzz_rounds):
     rng = random.Random(20260805 + _PROFILE_SALT[profile])
     remaining = fuzz_rounds
     while remaining > 0:
-        t_rows, u_rows = _random_tables(rng)
-        configs = _configs(profile, t_rows, u_rows)
+        t_rows, u_rows, w_rows = _random_tables(rng)
+        configs = _configs(profile, t_rows, u_rows, w_rows)
+        indexed = dict(configs)["opt-indexed"]
         try:
             for _ in range(min(10, remaining)):
+                if rng.random() < 0.3:
+                    _churn_indexes(indexed, rng)
                 sql, ordered = _generate_query(rng)
                 _check_query(
                     configs, sql, ordered, context=f" profile={profile}"
@@ -301,6 +363,7 @@ text = st.one_of(st.none(), st.sampled_from(["a", "b", "c", "d"]))
 def fuzz_tables(draw):
     nt = draw(st.integers(min_value=0, max_value=20))
     nu = draw(st.integers(min_value=0, max_value=12))
+    nw = draw(st.integers(min_value=0, max_value=10))
     t_rows = (
         draw(st.lists(numeric, min_size=nt, max_size=nt)),
         draw(st.lists(numeric, min_size=nt, max_size=nt)),
@@ -310,7 +373,11 @@ def fuzz_tables(draw):
         draw(st.lists(numeric, min_size=nu, max_size=nu)),
         draw(st.lists(text, min_size=nu, max_size=nu)),
     )
-    return t_rows, u_rows
+    w_rows = (
+        draw(st.lists(numeric, min_size=nw, max_size=nw)),
+        draw(st.lists(numeric, min_size=nw, max_size=nw)),
+    )
+    return t_rows, u_rows, w_rows
 
 
 @given(tables=fuzz_tables(), query_seed=st.integers(min_value=0, max_value=10**6))
@@ -318,8 +385,8 @@ def fuzz_tables(draw):
 @pytest.mark.parametrize("profile", PROFILES)
 def test_fuzz_differential_shrinking(profile, tables, query_seed):
     """Hypothesis drives the dataset so failures shrink to minimal tables."""
-    t_rows, u_rows = tables
-    configs = _configs(profile, t_rows, u_rows)
+    t_rows, u_rows, w_rows = tables
+    configs = _configs(profile, t_rows, u_rows, w_rows)
     rng = random.Random(query_seed)
     try:
         for _ in range(3):

@@ -1,0 +1,246 @@
+"""Secondary indexes: DDL, maintenance, unique enforcement, planning.
+
+The maintenance tests compare live index objects against a
+rebuilt-from-scratch oracle (:func:`repro.sqldb.catalog.build_index` over
+the table's current contents) after every mutation path — INSERT, UPDATE,
+DELETE, savepoint rollback, transaction rollback and WAL recovery.  If
+incremental maintenance and a cold rebuild ever disagree, a lookup could
+silently return wrong rows, so equality here is the load-bearing check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, SQLExecutionError, UniqueViolation
+from repro.sqldb import Database
+from repro.sqldb.catalog import build_index
+
+pytestmark = pytest.mark.indexes
+
+
+def assert_index_matches_rebuild(db, name):
+    """The live index must equal one rebuilt from current table contents."""
+    live = db.catalog.index(name)
+    table = db.catalog.table(live.table)
+    oracle = build_index(
+        live.name, table, live.columns, live.unique, live.method
+    )
+    assert live.n_rows == oracle.n_rows == table.n_rows
+    if live.method == "hash":
+        assert set(live.hash_map) == set(oracle.hash_map)
+        for key, positions in oracle.hash_map.items():
+            np.testing.assert_array_equal(live.hash_map[key], positions)
+    else:
+        np.testing.assert_array_equal(live.sorted_keys, oracle.sorted_keys)
+        np.testing.assert_array_equal(
+            live.sorted_positions, oracle.sorted_positions
+        )
+
+
+@pytest.fixture
+def db():
+    database = Database(optimize=True)
+    database.execute("CREATE TABLE t (id int, grp text, val float)")
+    for i in range(40):
+        database.execute(
+            "INSERT INTO t VALUES (?, ?, ?)",
+            (i, "g" + str(i % 4), i * 1.5),
+        )
+    yield database
+    database.close()
+
+
+class TestIndexDdl:
+    def test_create_and_drop(self, db):
+        db.execute("CREATE INDEX t_id ON t (id)")
+        assert db.catalog.has_index("t_id")
+        assert_index_matches_rebuild(db, "t_id")
+        db.execute("DROP INDEX t_id")
+        assert not db.catalog.has_index("t_id")
+
+    def test_if_exists_variants(self, db):
+        db.execute("DROP INDEX IF EXISTS nope")  # no error
+        db.execute("CREATE INDEX t_id ON t (id)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX t_id ON t (id)")
+        with pytest.raises(CatalogError):
+            db.execute("DROP INDEX nope")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX t_x ON t (missing)")
+
+    def test_composite_requires_hash(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX t_c ON t USING btree (id, grp)")
+        db.execute("CREATE INDEX t_c ON t (id, grp)")  # defaults to hash
+        assert db.catalog.index("t_c").method == "hash"
+        assert_index_matches_rebuild(db, "t_c")
+
+    def test_nulls_not_indexed(self, db):
+        db.execute("INSERT INTO t VALUES (NULL, 'g0', 1.0)")
+        db.execute("CREATE INDEX t_id ON t (id)")
+        index = db.catalog.index("t_id")
+        assert index.n_rows == 41
+        assert len(index.sorted_keys) == 40
+        assert_index_matches_rebuild(db, "t_id")
+
+
+class TestMaintenance:
+    @pytest.mark.parametrize("method", ["sorted", "hash"])
+    def test_insert_update_delete(self, db, method):
+        db.execute(f"CREATE INDEX t_id ON t USING {method} (id)")
+        db.execute("INSERT INTO t VALUES (100, 'g9', 0.0)")
+        assert_index_matches_rebuild(db, "t_id")
+        db.execute("UPDATE t SET id = id + 1000 WHERE grp = 'g1'")
+        assert_index_matches_rebuild(db, "t_id")
+        db.execute("DELETE FROM t WHERE id < 20")
+        assert_index_matches_rebuild(db, "t_id")
+        assert db.execute("SELECT val FROM t WHERE id = 1001").rows == [
+            (1.5,)
+        ]
+
+    def test_savepoint_rollback_restores_index(self, db):
+        db.execute("CREATE INDEX t_id ON t (id)")
+        db.execute("BEGIN")
+        db.execute("SAVEPOINT s1")
+        db.execute("UPDATE t SET id = id + 500 WHERE id >= 30")
+        db.execute("DELETE FROM t WHERE id < 5")
+        assert_index_matches_rebuild(db, "t_id")
+        db.execute("ROLLBACK TO SAVEPOINT s1")
+        assert_index_matches_rebuild(db, "t_id")
+        assert db.execute("SELECT count(*) FROM t WHERE id < 5").rows == [(5,)]
+        db.execute("COMMIT")
+        assert_index_matches_rebuild(db, "t_id")
+
+    def test_transaction_rollback_discards_index(self, db):
+        db.execute("BEGIN")
+        db.execute("CREATE INDEX t_id ON t (id)")
+        db.execute("ROLLBACK")
+        assert not db.catalog.has_index("t_id")
+        db.execute("CREATE INDEX t_id ON t (id)")  # name is free again
+        assert_index_matches_rebuild(db, "t_id")
+
+    def test_failed_statement_leaves_index_consistent(self, db):
+        db.execute("CREATE UNIQUE INDEX t_id ON t (id)")
+        with pytest.raises(UniqueViolation):
+            db.execute("UPDATE t SET id = 7 WHERE id = 8")
+        assert_index_matches_rebuild(db, "t_id")
+        assert db.execute("SELECT count(*) FROM t WHERE id = 7").rows == [(1,)]
+
+
+class TestUniqueEnforcement:
+    def test_create_over_duplicates_is_23505(self, db):
+        db.execute("INSERT INTO t VALUES (0, 'dup', 0.0)")
+        with pytest.raises(UniqueViolation) as info:
+            db.execute("CREATE UNIQUE INDEX t_id ON t (id)")
+        assert info.value.sqlstate == "23505"
+        assert not db.catalog.has_index("t_id")
+
+    def test_insert_violation_is_23505(self, db):
+        db.execute("CREATE UNIQUE INDEX t_id ON t (id)")
+        with pytest.raises(UniqueViolation) as info:
+            db.execute("INSERT INTO t VALUES (5, 'x', 0.0)")
+        assert info.value.sqlstate == "23505"
+        assert db.execute("SELECT count(*) FROM t").rows == [(40,)]
+        assert_index_matches_rebuild(db, "t_id")
+
+    def test_update_violation_is_23505(self, db):
+        db.execute("CREATE UNIQUE INDEX t_id ON t (id)")
+        with pytest.raises(UniqueViolation) as info:
+            db.execute("UPDATE t SET id = 0 WHERE id > 38")
+        assert info.value.sqlstate == "23505"
+        assert_index_matches_rebuild(db, "t_id")
+
+    def test_duplicate_nulls_allowed(self, db):
+        db.execute("CREATE UNIQUE INDEX t_id ON t (id)")
+        db.execute("INSERT INTO t VALUES (NULL, 'n', 0.0)")
+        db.execute("INSERT INTO t VALUES (NULL, 'n', 0.0)")
+        assert_index_matches_rebuild(db, "t_id")
+
+
+class TestPlanning:
+    def test_point_lookup_uses_index(self, db):
+        db.execute("ANALYZE")
+        assert "ScanTable" in db.explain("SELECT val FROM t WHERE id = 7")
+        db.execute("CREATE UNIQUE INDEX t_id ON t (id)")
+        plan = db.explain("SELECT val FROM t WHERE id = 7")
+        assert "IndexScan(t using t_id, eq)" in plan
+        assert db.execute("SELECT val FROM t WHERE id = 7").rows == [(10.5,)]
+
+    def test_plan_cache_invalidated_by_index_ddl(self, db):
+        db.execute("ANALYZE")
+        sql = "SELECT val FROM t WHERE id = 7"
+        assert db.execute(sql).rows == [(10.5,)]  # cached without index
+        db.execute("CREATE INDEX t_id ON t (id)")
+        assert "IndexScan" in db.explain(sql)
+        assert db.execute(sql).rows == [(10.5,)]
+        db.execute("DROP INDEX t_id")
+        assert "IndexScan" not in db.explain(sql)
+        assert db.execute(sql).rows == [(10.5,)]
+
+    def test_mixed_type_probe_not_taken(self, db):
+        # text < numeric string-compares on a scan but would TypeError on
+        # a sorted probe; the optimizer must keep the scan
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        db.execute("ANALYZE")
+        plan = db.explain("SELECT id FROM t WHERE grp = 3")
+        assert "IndexScan" not in plan
+
+    def test_index_join_result_matches_hash_join(self, db):
+        db.execute("CREATE TABLE s (id int, tag text)")
+        for i in range(8):
+            db.execute("INSERT INTO s VALUES (?, ?)", (i, "tag" + str(i)))
+        sql = (
+            "SELECT s.tag, t.val FROM s JOIN t ON s.id = t.id "
+            "WHERE s.tag = 'tag3'"
+        )
+        baseline = db.execute(sql).rows
+        db.execute("CREATE UNIQUE INDEX t_id ON t (id)")
+        db.execute("CREATE INDEX s_tag ON s (tag)")
+        db.execute("ANALYZE")
+        assert "IndexJoin" in db.explain(sql)
+        assert db.execute(sql).rows == baseline
+
+
+class TestRecovery:
+    def test_indexes_survive_wal_recovery(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        db = Database(wal_path=str(wal))
+        db.execute("CREATE TABLE t (id int, v text)")
+        db.execute("CREATE UNIQUE INDEX t_id ON t (id)")
+        for i in range(10):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, "v" + str(i)))
+        db.execute("UPDATE t SET v = 'patched' WHERE id = 3")
+        db.execute("DELETE FROM t WHERE id = 9")
+        db.close()
+
+        revived = Database(wal_path=str(wal))
+        try:
+            assert revived.catalog.has_index("t_id")
+            assert_index_matches_rebuild(revived, "t_id")
+            with pytest.raises(UniqueViolation):
+                revived.execute("INSERT INTO t VALUES (3, 'dup')")
+            assert revived.execute(
+                "SELECT v FROM t WHERE id = 3"
+            ).rows == [("patched",)]
+        finally:
+            revived.close()
+
+
+class TestDmlSemantics:
+    def test_update_expression_sees_old_row_images(self, db):
+        db.execute("CREATE TABLE p (a int, b int)")
+        db.execute("INSERT INTO p VALUES (1, 10)")
+        db.execute("UPDATE p SET a = b, b = a")
+        assert db.execute("SELECT a, b FROM p").rows == [(10, 1)]
+
+    def test_duplicate_assignment_rejected(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("UPDATE t SET id = 1, id = 2")
+
+    def test_delete_without_where(self, db):
+        db.execute("CREATE INDEX t_id ON t (id)")
+        db.execute("DELETE FROM t")
+        assert db.execute("SELECT count(*) FROM t").rows == [(0,)]
+        assert_index_matches_rebuild(db, "t_id")

@@ -185,6 +185,41 @@ class TestTransactions:
         peer.close()
 
 
+class TestIndexDdlOverTcp:
+    def test_create_index_visible_after_commit_and_replans_peers(self):
+        """Index DDL over TCP follows transaction visibility: invisible
+        to peers until commit, then peers' cached plans are invalidated
+        (index epoch is part of the plan-cache key) and re-planned as
+        index scans."""
+        db = Database("umbra", optimize=True)
+        db.execute("CREATE TABLE t (a int, b text)")
+        for i in range(50):
+            db.execute("INSERT INTO t (a, b) VALUES (%s, %s)", (i, f"r{i}"))
+        sql = "SELECT b FROM t WHERE a = 7"
+        with DatabaseServer(db) as server:
+            with connect(server) as ddl, connect(server) as peer:
+                # the peer caches the scan-based plan first
+                assert peer.cursor().execute(sql).fetchall() == [("r7",)]
+                assert "IndexScan" not in db.explain(sql)
+
+                ddl.begin()
+                ddl.cursor().execute("CREATE UNIQUE INDEX t_a ON t (a)")
+                # uncommitted DDL: peers still plan (and run) scans
+                assert "IndexScan" not in db.explain(sql)
+                assert peer.cursor().execute(sql).fetchall() == [("r7",)]
+                ddl.commit()
+
+                # committed: the shared plan cache is stale by epoch, the
+                # peer's same statement re-plans into an index probe
+                assert "IndexScan(t using t_a, eq)" in db.explain(sql)
+                assert peer.cursor().execute(sql).fetchall() == [("r7",)]
+                with pytest.raises(dbapi.IntegrityError):
+                    peer.cursor().execute(
+                        "INSERT INTO t (a, b) VALUES (7, 'dup')"
+                    )
+        db.close()
+
+
 class TestAdmissionControl:
     def test_shed_with_retryable_sqlstate(self):
         db = Database("umbra")
