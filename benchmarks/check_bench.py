@@ -43,6 +43,9 @@ TIMING_KEYS = frozenset(
         "seconds_indexed",
         "p50_seconds",
         "p95_seconds",
+        "sql_seconds_best",
+        "sql_parallel_seconds_best",
+        "iteration_seconds_best",
     }
 )
 

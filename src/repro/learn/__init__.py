@@ -11,7 +11,11 @@ for the Keras network).
 from repro.learn.base import BaseEstimator, TransformerMixin
 from repro.learn.compose import ColumnTransformer
 from repro.learn.impute import SimpleImputer
-from repro.learn.linear_model import LogisticRegression, SGDClassifier
+from repro.learn.linear_model import (
+    LinearRegression,
+    LogisticRegression,
+    SGDClassifier,
+)
 from repro.learn.metrics import accuracy_score, log_loss
 from repro.learn.model_selection import train_test_split
 from repro.learn.neural_network import MLPClassifier
@@ -35,6 +39,7 @@ __all__ = [
     "FunctionTransformer",
     "KBinsDiscretizer",
     "LabelBinarizer",
+    "LinearRegression",
     "LogisticRegression",
     "MLPClassifier",
     "OneHotEncoder",

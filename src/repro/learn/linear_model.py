@@ -16,7 +16,7 @@ from repro.errors import NotFittedError
 from repro.learn.base import BaseEstimator
 from repro.learn.metrics import accuracy_score
 
-__all__ = ["LogisticRegression", "SGDClassifier"]
+__all__ = ["LinearRegression", "LogisticRegression", "SGDClassifier"]
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -57,6 +57,17 @@ class _BinaryLinearClassifier(BaseEstimator):
     def score(self, X: Any, y: Any) -> float:
         return accuracy_score(y, self.predict(X))
 
+    @classmethod
+    def from_coefficients(
+        cls, coef: Any, intercept: float, **params: Any
+    ) -> "_BinaryLinearClassifier":
+        """Rehydrate a fitted estimator from stored weights (the path a
+        catalog-stored ``TRAIN`` model takes back into ``repro.learn``)."""
+        estimator = cls(**params)
+        estimator.coef_ = np.asarray(coef, dtype=np.float64).ravel()
+        estimator.intercept_ = float(intercept)
+        return estimator
+
 
 class LogisticRegression(_BinaryLinearClassifier):
     """Binary logistic regression via full-batch gradient descent."""
@@ -91,6 +102,52 @@ class LogisticRegression(_BinaryLinearClassifier):
         self.coef_ = w
         self.intercept_ = b
         return self
+
+
+class LinearRegression(_BinaryLinearClassifier):
+    """Least-squares regression via full-batch gradient descent.
+
+    Same loop shape as :class:`LogisticRegression` (deterministic given
+    the data) so the in-database trainer can reproduce it with SQL
+    aggregates; ``predict`` returns the continuous response.
+    """
+
+    def __init__(
+        self,
+        max_iter: int = 500,
+        learning_rate: float = 0.1,
+        tol: float = 1e-6,
+    ) -> None:
+        self.max_iter = max_iter
+        self.learning_rate = learning_rate
+        self.tol = tol
+
+    def fit(self, X: Any, y: Any) -> "LinearRegression":
+        X, y = _prepare_xy(X, y)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.max_iter):
+            error = X @ w + b - y
+            grad_w = X.T @ error / n
+            grad_b = float(error.mean())
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+            if np.abs(grad_w).max(initial=abs(grad_b)) < self.tol:
+                break
+        self.coef_ = w
+        self.intercept_ = b
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        return self.decision_function(X)
+
+    def score(self, X: Any, y: Any) -> float:
+        """Coefficient of determination (R²), sklearn-style."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        residual = float(((y - self.predict(X)) ** 2).sum())
+        total = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - residual / total if total else 0.0
 
 
 class SGDClassifier(_BinaryLinearClassifier):

@@ -132,3 +132,43 @@ class DecisionTreeClassifier(BaseEstimator):
 
     def score(self, X: Any, y: Any) -> float:
         return accuracy_score(y, self.predict(X))
+
+    def to_tuples(self) -> tuple:
+        """The fitted tree as nested tuples ``(prediction, feature,
+        threshold, left, right)`` — an immutable, picklable form suitable
+        for catalog storage (``TRAIN``) and structural comparison."""
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+
+        def encode(node: _Node) -> tuple:
+            if node.is_leaf:
+                return (node.prediction, None, None, None, None)
+            return (
+                node.prediction,
+                node.feature,
+                node.threshold,
+                encode(node.left),
+                encode(node.right),
+            )
+
+        return encode(self._root)
+
+    @classmethod
+    def from_tuples(cls, tree: tuple, **params: Any) -> "DecisionTreeClassifier":
+        """Rehydrate a fitted tree from :meth:`to_tuples` output."""
+
+        def decode(encoded: tuple) -> _Node:
+            prediction, feature, threshold, left, right = encoded
+            if feature is None:
+                return _Node(float(prediction))
+            return _Node(
+                float(prediction),
+                feature=int(feature),
+                threshold=float(threshold),
+                left=decode(left),
+                right=decode(right),
+            )
+
+        estimator = cls(**params)
+        estimator._root = decode(tree)
+        return estimator

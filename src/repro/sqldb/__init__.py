@@ -15,7 +15,15 @@ The SQL dialect covers everything the paper's transpiler emits; see
 :mod:`repro.sqldb.parser` for the grammar.
 """
 
-from repro.sqldb.catalog import CTID, Catalog, ColumnStats, Table, TableStats, View
+from repro.sqldb.catalog import (
+    CTID,
+    Catalog,
+    ColumnStats,
+    Table,
+    TableStats,
+    TrainedModel,
+    View,
+)
 from repro.sqldb.dbapi import Connection, Cursor, connect
 from repro.sqldb.engine import (
     Database,
@@ -46,6 +54,7 @@ __all__ = [
     "SimulatedCrash",
     "Table",
     "TableStats",
+    "TrainedModel",
     "UMBRA",
     "View",
     "WriteAheadLog",

@@ -29,6 +29,7 @@ __all__ = [
     "Delete",
     "Drop",
     "DropIndex",
+    "DropModel",
     "Expr",
     "FuncCall",
     "InList",
@@ -50,6 +51,7 @@ __all__ = [
     "Statement",
     "SubquerySource",
     "TableSource",
+    "Train",
     "UnaryOp",
     "Update",
     "WindowCall",
@@ -324,6 +326,29 @@ class Delete:
 
 
 @dataclass
+class Train:
+    """``TRAIN name USING (SELECT ...) WITH (key = value, ...)``.
+
+    SQLFlow-inspired in-database training: the query supplies the feature
+    table, the options choose the estimator and hyperparameters, and the
+    fitted model lands in the catalog under *name*.
+    """
+
+    name: str
+    query: Select
+    #: WITH-clause options in source order; values are literal expressions
+    options: list[tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class DropModel:
+    """``DROP MODEL [IF EXISTS] name``."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
 class Analyze:
     """``ANALYZE [table]`` — collect planner statistics (PostgreSQL-style)."""
 
@@ -388,6 +413,8 @@ Statement = Union[
     Delete,
     Drop,
     DropIndex,
+    Train,
+    DropModel,
     Analyze,
     Begin,
     Commit,

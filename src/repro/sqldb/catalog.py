@@ -20,6 +20,7 @@ from repro.sqldb.vector import Vector, from_values
 
 __all__ = [
     "Table",
+    "TrainedModel",
     "View",
     "Catalog",
     "CatalogSnapshot",
@@ -514,6 +515,33 @@ class View:
     snapshot: Optional[tuple[list[str], dict[str, Vector], int]] = None
 
 
+@dataclass(frozen=True)
+class TrainedModel:
+    """A fitted model stored in the catalog by ``TRAIN``.
+
+    Frozen and built entirely from immutable values (tuples, floats,
+    strings), so models follow the same copy-on-write contract as
+    :class:`Index`: mementos, forks and checkpoint pickles share the
+    object by reference, and retraining *replaces* it wholesale.
+
+    ``coef``/``intercept`` carry linear-model weights; ``tree`` carries a
+    decision tree as nested tuples (see ``repro.learn.tree``).  Exactly
+    one family is populated depending on ``estimator``.
+    """
+
+    name: str
+    estimator: str  # 'logistic_regression' | 'linear_regression' | 'decision_tree'
+    features: tuple[str, ...]
+    target: str
+    #: the hyperparameters the trainer actually used, sorted by key
+    hyperparams: tuple[tuple[str, Any], ...]
+    coef: Optional[tuple[float, ...]] = None
+    intercept: Optional[float] = None
+    tree: Optional[tuple] = None
+    n_iter: int = 0
+    loss: Optional[float] = None
+
+
 @dataclass
 class CatalogSnapshot:
     """Copy-on-write memento of the whole catalog (see ``snapshot()``).
@@ -534,6 +562,7 @@ class CatalogSnapshot:
     stats_version: int
     indexes: dict[str, Index] = field(default_factory=dict)
     index_epoch: int = 0
+    models: dict[str, TrainedModel] = field(default_factory=dict)
 
 
 #: unique ids for transaction forks; the committed catalog is always
@@ -575,6 +604,9 @@ class Catalog:
         #: monotonic counter of index DDL (CREATE/DROP INDEX); plan-cache
         #: keys embed it so access-path choices die with their indexes
         self.index_epoch = 0
+        #: fitted models by name (TRAIN output; immutable objects replaced
+        #: wholesale on retrain, same copy-on-write contract as indexes)
+        self._models: dict[str, TrainedModel] = {}
 
     def bump_version(self) -> None:
         self.schema_version += 1
@@ -615,6 +647,7 @@ class Catalog:
             self.stats_version,
             dict(self._indexes),
             self.index_epoch,
+            dict(self._models),
         )
 
     def restore(self, snap: CatalogSnapshot) -> None:
@@ -647,6 +680,7 @@ class Catalog:
             self._views[name] = view
         self._table_stats = dict(snap.table_stats)
         self._indexes = dict(snap.indexes)
+        self._models = dict(snap.models)
         if self.index_epoch != snap.index_epoch:
             # monotonic, like schema_version: epoch values are never reused
             self.index_epoch += 1
@@ -680,6 +714,7 @@ class Catalog:
             clone._views[name] = twin
         clone._table_stats = dict(self._table_stats)
         clone._indexes = dict(self._indexes)
+        clone._models = dict(self._models)
         clone.schema_version = self.schema_version
         clone.stats_version = self.stats_version
         clone.index_epoch = self.index_epoch
@@ -698,10 +733,13 @@ class Catalog:
         elif name in source._views:
             self._tables.pop(name, None)
             self._views[name] = source._views[name]
+        elif name in source._models:
+            self._models[name] = source._models[name]
         else:
             self._tables.pop(name, None)
             self._views.pop(name, None)
             self._table_stats.pop(name, None)
+            self._models.pop(name, None)
         # the transaction's index set for this table replaces ours
         # (covers CREATE INDEX, DROP INDEX and DROP TABLE cascades)
         before = {
@@ -726,12 +764,14 @@ class Catalog:
         views: dict[str, View],
         table_stats: dict[str, TableStats],
         indexes: Optional[dict[str, Index]] = None,
+        models: Optional[dict[str, TrainedModel]] = None,
     ) -> None:
         """Adopt recovered state wholesale (checkpoint load on open)."""
         self._tables = dict(tables)
         self._views = dict(views)
         self._table_stats = dict(table_stats)
         self._indexes = dict(indexes or {})
+        self._models = dict(models or {})
         self.index_epoch += 1
         self.bump_version()
 
@@ -742,6 +782,7 @@ class Catalog:
         dict[str, View],
         dict[str, TableStats],
         dict[str, Index],
+        dict[str, TrainedModel],
     ]:
         """The live relation/statistics dicts for checkpointing (the
         inverse of :meth:`install`)."""
@@ -750,6 +791,7 @@ class Catalog:
             dict(self._views),
             dict(self._table_stats),
             dict(self._indexes),
+            dict(self._models),
         )
 
     # -- ANALYZE statistics -------------------------------------------------
@@ -800,12 +842,21 @@ class Catalog:
                 parts.append(
                     (name, index.table, index.columns, index.unique, index.method)
                 )
+            for name in sorted(self._models):
+                model = self._models[name]
+                parts.append(
+                    (name, model.estimator, model.features, model.target)
+                )
             self._fingerprint = hash(tuple(parts))
             self._fingerprint_version = self.schema_version
         return self._fingerprint
 
     def create_table(self, table: Table) -> None:
-        if table.name in self._tables or table.name in self._views:
+        if (
+            table.name in self._tables
+            or table.name in self._views
+            or table.name in self._models
+        ):
             raise CatalogError(
                 f"relation {table.name!r} already exists", sqlstate="42P07"
             )
@@ -813,7 +864,11 @@ class Catalog:
         self.bump_version()
 
     def create_view(self, view: View) -> None:
-        if view.name in self._tables or view.name in self._views:
+        if (
+            view.name in self._tables
+            or view.name in self._views
+            or view.name in self._models
+        ):
             raise CatalogError(
                 f"relation {view.name!r} already exists", sqlstate="42P07"
             )
@@ -849,6 +904,7 @@ class Catalog:
             index.name in self._indexes
             or index.name in self._tables
             or index.name in self._views
+            or index.name in self._models
         ):
             raise CatalogError(
                 f"relation {index.name!r} already exists", sqlstate="42P07"
@@ -905,6 +961,43 @@ class Catalog:
         ]
         for index in rebuilt:
             self._indexes[index.name] = index
+
+    # -- trained models ------------------------------------------------------
+
+    def create_model(self, model: TrainedModel) -> None:
+        """Store a fitted model (retraining an existing model name
+        replaces it; a table/view/index name is a 42P07 collision)."""
+        if (
+            model.name in self._tables
+            or model.name in self._views
+            or model.name in self._indexes
+        ):
+            raise CatalogError(
+                f"relation {model.name!r} already exists", sqlstate="42P07"
+            )
+        self._models[model.name] = model
+        self.bump_version()
+
+    def drop_model(self, name: str, if_exists: bool = False) -> None:
+        if name not in self._models:
+            if if_exists:
+                return
+            raise CatalogError(f"model {name!r} does not exist")
+        del self._models[name]
+        self.bump_version()
+
+    def model(self, name: str) -> TrainedModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise CatalogError(f"model {name!r} does not exist") from None
+
+    def has_model(self, name: str) -> bool:
+        return name in self._models
+
+    @property
+    def model_names(self) -> list[str]:
+        return sorted(self._models)
 
     def table(self, name: str) -> Table:
         try:

@@ -88,6 +88,8 @@ _WRITE_TYPES = (
     ast.Delete,
     ast.Drop,
     ast.DropIndex,
+    ast.Train,
+    ast.DropModel,
     ast.Analyze,
 )
 
@@ -774,6 +776,16 @@ class Database:
             return [], []  # missing index: IF EXISTS no-op or a plain error
         if isinstance(statement, ast.Drop):
             return [statement.name], []
+        if isinstance(statement, ast.Train):
+            # the model name is installed; the relations the training
+            # query reads are conflict-checked (first-committer-wins,
+            # like a view's referenced relations)
+            return (
+                [statement.name],
+                sorted(_referenced_relations(statement.query)),
+            )
+        if isinstance(statement, ast.DropModel):
+            return [statement.name], []
         if isinstance(statement, ast.Analyze):
             if statement.table is not None:
                 return [statement.table], []
@@ -851,6 +863,11 @@ class Database:
             return Result()
         if isinstance(statement, ast.Drop):
             catalog.drop(statement.name, statement.kind, statement.if_exists)
+            return Result()
+        if isinstance(statement, ast.Train):
+            return self._execute_train(statement, params, catalog)
+        if isinstance(statement, ast.DropModel):
+            catalog.drop_model(statement.name, statement.if_exists)
             return Result()
         if isinstance(statement, ast.Analyze):
             names = catalog.analyze(statement.table)
@@ -1083,12 +1100,13 @@ class Database:
                 "CHECKPOINT cannot run inside a transaction", sqlstate="25001"
             )
         self.faults.check("checkpoint.begin")
-        tables, views, stats, indexes = self.catalog.export_state()
+        tables, views, stats, indexes, models = self.catalog.export_state()
         payload = {
             "tables": tables,
             "views": views,
             "stats": stats,
             "indexes": indexes,
+            "models": models,
             "last_txn": self._next_txn - 1,
         }
         write_checkpoint(self.wal_path + ".ckpt", payload, self.faults)
@@ -1114,6 +1132,7 @@ class Database:
                 ckpt["views"],
                 ckpt["stats"],
                 ckpt.get("indexes", {}),  # pre-index checkpoints lack the key
+                ckpt.get("models", {}),  # pre-model checkpoints likewise
             )
             last_txn = int(ckpt["last_txn"])
         records, valid_size = read_wal(self.wal_path)
@@ -1417,6 +1436,54 @@ class Database:
         catalog.create_index(index)
         return Result()
 
+    def _execute_train(
+        self, statement: ast.Train, params: tuple, catalog: Catalog
+    ) -> Result:
+        """Run the in-database trainer and store the fitted model.
+
+        The trainer's iteration/histogram queries execute against
+        *catalog* (the transaction's fork, or committed state under the
+        write latch) through a runner that never re-takes the catalog
+        latch — `_apply_write` already holds whatever protection the
+        calling path needs.  Retraining an existing model name replaces
+        it (statement atomicity makes a failed retrain keep the old one).
+        """
+        from repro.sqldb import ml_train
+
+        options = {
+            key: _literal_value(expr, params)
+            for key, expr in statement.options
+        }
+
+        def run(select: ast.Select) -> Result:
+            plan = self._plan_select(select, catalog)
+            batch = execute_plan(
+                plan, self._make_context(params, catalog=catalog)
+            )
+            return _batch_to_result(plan, batch)
+
+        model = ml_train.train_model(
+            statement.name, statement.query, options, run
+        )
+        catalog.create_model(model)
+        return Result(rowcount=model.n_iter)
+
+    def model(self, name: str, session: Optional[Session] = None):
+        """The stored :class:`~repro.sqldb.catalog.TrainedModel` named
+        *name*, as the session's snapshot sees it."""
+        return self._active_catalog(self._resolve_session(session)).model(name)
+
+    def model_names(self, session: Optional[Session] = None) -> list[str]:
+        """Stored model names visible to the session's snapshot."""
+        return self._active_catalog(self._resolve_session(session)).model_names
+
+    def model_estimator(self, name: str, session: Optional[Session] = None):
+        """Load a stored model back into a fitted ``repro.learn``
+        estimator (predict/score ready)."""
+        from repro.sqldb import ml_train
+
+        return ml_train.model_to_estimator(self.model(name, session))
+
     def _dml_predicate_mask(
         self,
         table: Table,
@@ -1650,7 +1717,7 @@ def _literal_value(expr: ast.Expr, params: tuple = ()) -> Any:
         inner = _literal_value(expr.operand, params)
         if isinstance(inner, (int, float)):
             return -inner
-    raise SQLExecutionError("INSERT values must be literals or parameters")
+    raise SQLExecutionError("values must be literals or parameters")
 
 
 def _batch_to_result(plan: PlanNode, batch: Batch) -> Result:

@@ -255,6 +255,7 @@ SCALAR_FUNCTIONS: dict[str, Callable[[list[Vector]], Vector]] = {
     "sqrt": lambda args: _numeric_unary(args, np.sqrt, "sqrt"),
     "ln": lambda args: _numeric_unary(args, np.log, "ln"),
     "exp": lambda args: _numeric_unary(args, np.exp, "exp"),
+    "tanh": lambda args: _numeric_unary(args, np.tanh, "tanh"),
     "round": _fn_round,
     "array_fill": _fn_array_fill,
     "array_length": _fn_array_length,

@@ -107,6 +107,11 @@ class _Parser:
     def parse_statement(self) -> ast.Statement:
         token = self._peek()
         if token.kind is not TokenKind.KEYWORD:
+            # TRAIN is not a reserved word (columns named "train" keep
+            # working), so the lexer emits it as an identifier; dispatch
+            # on it positionally like the other non-reserved clauses.
+            if token.kind is TokenKind.IDENT and token.value == "train":
+                return self._parse_train()
             raise self._error("expected a statement keyword")
         if token.value in ("select", "with"):
             return self.parse_select()
@@ -292,6 +297,37 @@ class _Parser:
             raise self._error("expected a string literal")
         return token.value
 
+    def _parse_train(self) -> ast.Train:
+        """``TRAIN name USING ( select ) [WITH ( key = value, ... )]``."""
+        if self._accept_word("train") is None:
+            raise self._error("expected TRAIN")
+        name = self._expect_identifier("model name")
+        if self._accept_word("using") is None:
+            raise self._error("expected USING after the model name")
+        self._expect_punct("(")
+        query = self.parse_select()
+        self._expect_punct(")")
+        options: list[tuple[str, ast.Expr]] = []
+        if self._accept_keyword("with"):
+            self._expect_punct("(")
+            while True:
+                key = self._accept_word_or_keyword("option name")
+                if self._accept_operator("=") is None:
+                    raise self._error("expected = in TRAIN option")
+                options.append((key, self.parse_expression()))
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(")")
+        return ast.Train(name, query, options)
+
+    def _accept_word_or_keyword(self, what: str) -> str:
+        """An identifier-position word, accepting non-reserved keywords
+        too (TRAIN options like ``table`` would otherwise need quoting)."""
+        token = self._peek()
+        if token.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            return self._advance().value
+        raise self._error(f"expected {what}")
+
     def _parse_drop(self) -> ast.Statement:
         self._expect_keyword("drop")
         if self._accept_word("index"):
@@ -300,6 +336,12 @@ class _Parser:
                 self._expect_keyword("exists")
                 if_exists = True
             return ast.DropIndex(self._expect_identifier("index name"), if_exists)
+        if self._accept_word("model"):
+            if_exists = False
+            if self._accept_keyword("if"):
+                self._expect_keyword("exists")
+                if_exists = True
+            return ast.DropModel(self._expect_identifier("model name"), if_exists)
         if self._accept_keyword("table"):
             kind = "table"
         elif self._accept_keyword("materialized"):
@@ -308,7 +350,7 @@ class _Parser:
         elif self._accept_keyword("view"):
             kind = "view"
         else:
-            raise self._error("expected TABLE, VIEW or INDEX after DROP")
+            raise self._error("expected TABLE, VIEW, INDEX or MODEL after DROP")
         if_exists = False
         if self._accept_keyword("if"):
             self._expect_keyword("exists")

@@ -44,7 +44,8 @@ flushed at commit after savepoint truncation.
 
 Checkpoints (``wal_path + ".ckpt"``)
 ------------------------------------
-A checkpoint pickles the full catalog (tables, views, statistics) plus
+A checkpoint pickles the full catalog (tables, views, statistics,
+indexes, trained models) plus
 the highest transaction id it covers into a sidecar file — written to a
 temp path, fsynced, then atomically renamed — and resets the WAL to an
 empty header.  Recovery loads the checkpoint (if present and intact) and

@@ -4,7 +4,7 @@ A grammar-based generator produces random SELECTs (filters with mixed
 conjuncts, inner/left joins up to three tables, group-by + having,
 order-by, limit/offset) over random small tables, and every query must
 return identical rows — same values, same nulls, same Python value
-types — across five engine configurations:
+types — across six engine configurations:
 
 * the serial reference with the optimizer off,
 * the optimizer on (serial), after ``ANALYZE``,
@@ -12,7 +12,11 @@ types — across five engine configurations:
 * the optimizer on with morsel-parallel execution (workers=4),
 * the optimizer on with secondary indexes, whose set is churned by
   random CREATE/DROP INDEX between queries (index-aware access paths,
-  index-nested-loop joins and plan-cache epoch invalidation all fire).
+  index-nested-loop joins and plan-cache epoch invalidation all fire),
+* the optimizer on with ML-model churn: random TRAIN / DROP MODEL
+  statements (plus DML on a scratch table feeding a TRAIN) interleave
+  with the compared queries — training reads the shared tables and
+  bumps catalog versions, so it must never perturb query results.
 
 Queries whose ORDER BY covers every output column compare as exact
 sequences; all others compare as sorted multisets (the rewrite layer is
@@ -31,6 +35,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import SQLExecutionError
 from repro.sqldb import Database
 
 pytestmark = pytest.mark.fuzz
@@ -107,6 +112,47 @@ def _churn_indexes(db, rng):
         db.execute(create)
 
 
+#: TRAIN statements the model-churn config cycles through; cheap iteration
+#: budgets — the point is interleaving, not convergence
+_TRAIN_POOL = [
+    "TRAIN fz_lin USING (SELECT a, b FROM t "
+    "WHERE a IS NOT NULL AND b IS NOT NULL) "
+    "WITH (estimator = 'linear_regression', max_iter = 2)",
+    "TRAIN fz_tree USING (SELECT a, "
+    "CASE WHEN b > 0 THEN 1 ELSE 0 END AS lbl FROM t WHERE a IS NOT NULL) "
+    "WITH (estimator = 'decision_tree', max_depth = 2)",
+    "TRAIN fz_scr USING (SELECT sa, sb FROM fz_scratch) "
+    "WITH (estimator = 'linear_regression', max_iter = 1)",
+]
+
+
+def _churn_models(db, rng):
+    """Random TRAIN / DROP MODEL / scratch-table DML on one config.
+
+    Models train over the *shared* tables (and a private scratch table
+    fed by DML here), so catalog-version bumps, plan-cache invalidation
+    and the TRAIN read path all interleave with the compared queries.
+    Degenerate datasets (no rows after filtering) are legal no-ops.
+    """
+    roll = rng.random()
+    if roll < 0.3:
+        db.execute(
+            "DROP MODEL IF EXISTS "
+            + rng.choice(["fz_lin", "fz_tree", "fz_scr"])
+        )
+        return
+    if roll < 0.5:
+        db.execute(
+            "INSERT INTO fz_scratch VALUES (?, ?)",
+            (float(rng.randint(-20, 20)), float(rng.randint(-20, 20))),
+        )
+        return
+    try:
+        db.execute(rng.choice(_TRAIN_POOL))
+    except SQLExecutionError:
+        pass  # empty training set — fine, nothing was trained
+
+
 def _configs(profile, t_rows, u_rows, w_rows=((), ())):
     """(name, db) pairs: the serial/optimizer-off reference first."""
     configs = [
@@ -118,12 +164,18 @@ def _configs(profile, t_rows, u_rows, w_rows=((), ())):
             Database(profile, workers=4, morsel_size=5, optimize=True),
         ),
         ("opt-indexed", Database(profile, optimize=True)),
+        ("opt-models", Database(profile, optimize=True)),
     ]
     for name, db in configs:
         _load_tables(db, t_rows, u_rows, w_rows)
         if name == "opt-indexed":
             for _, create in _INDEX_POOL:
                 db.execute(create)
+        if name == "opt-models":
+            db.execute(
+                "CREATE TABLE fz_scratch "
+                "(sa double precision, sb double precision)"
+            )
         if name.startswith("opt"):
             db.analyze()  # unlocks the statistics-gated rewrites
     return configs
@@ -336,10 +388,13 @@ def test_fuzz_differential(profile, fuzz_rounds):
         t_rows, u_rows, w_rows = _random_tables(rng)
         configs = _configs(profile, t_rows, u_rows, w_rows)
         indexed = dict(configs)["opt-indexed"]
+        modelled = dict(configs)["opt-models"]
         try:
             for _ in range(min(10, remaining)):
                 if rng.random() < 0.3:
                     _churn_indexes(indexed, rng)
+                if rng.random() < 0.3:
+                    _churn_models(modelled, rng)
                 sql, ordered = _generate_query(rng)
                 _check_query(
                     configs, sql, ordered, context=f" profile={profile}"
