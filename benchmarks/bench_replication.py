@@ -1,0 +1,270 @@
+"""Replication benchmark: read scaling, failover time, lag under load.
+
+Three sweeps over a loopback topology, all written to
+``BENCH_replication.json``:
+
+* **read scaling** — aggregate SELECT throughput as the replica count
+  grows 1 → 4, with a fixed pool of reader threads round-robining over
+  the replica set through
+  :class:`~repro.core.connectors.MultiEndpointConnector`, next to the
+  same reader pool pointed at the primary alone.  Every node lives in
+  *one* Python process here, so the sweep measures routing overhead
+  and write/read isolation — not true scale-out, which needs one
+  process per node (the GIL caps the aggregate).
+* **failover TTR** — the client-visible write outage across a primary
+  crash: kill the primary mid-workload, promote the replica after a
+  fixed delay, and measure from the kill to the first acknowledged
+  write on the promoted node.  The overhead above the promotion delay
+  is what the 57P03 retry loop costs.
+* **lag under write load** — stream a sustained single-row INSERT load
+  through the primary while sampling the replica's commit lag; reports
+  the peak and mean lag (in commits) and the drain time after the load
+  stops.
+
+Scale control
+-------------
+``REPRO_BENCH_REPLICATION_STATEMENTS``  statements per reader / writer
+per configuration (default ``60``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+
+from harness import print_table
+from repro.core.connectors import MultiEndpointConnector
+from repro.sqldb import client
+from repro.sqldb.replication import Primary, Replica
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_replication.json")
+
+REPLICA_COUNTS = (1, 2, 4)
+READER_THREADS = 8
+SEED_ROWS = 2000
+
+SELECT_SQL = (
+    "SELECT tag, count(*) AS c, sum(val) AS s FROM bench "
+    "WHERE val < 200 GROUP BY tag"
+)
+
+
+def _statements() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPLICATION_STATEMENTS", "60"))
+
+
+def _make_primary() -> Primary:
+    primary = Primary(host="127.0.0.1", port=0).start()
+    db = primary.database
+    db.execute("CREATE TABLE bench (tag text, val int)")
+    db.executemany(
+        "INSERT INTO bench (tag, val) VALUES (?, ?)",
+        [(f"t{i % 17}", i % 251) for i in range(SEED_ROWS)],
+    )
+    return primary
+
+
+def _drain(primary: Primary, replicas: list[Replica], timeout=30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(
+            r.database.last_applied_commit_id
+            >= primary.manager.last_commit_id
+            for r in replicas
+        ):
+            return
+        time.sleep(0.005)
+    raise TimeoutError("replicas did not drain")
+
+
+def _read_sweep(endpoints, statements: int) -> dict:
+    """Aggregate read throughput for READER_THREADS clients."""
+    barrier = threading.Barrier(READER_THREADS + 1)
+    errors: list[BaseException] = []
+
+    def reader() -> None:
+        conn = MultiEndpointConnector(endpoints, probe_ttl_s=5.0)
+        try:
+            barrier.wait()
+            for _ in range(statements):
+                conn.run(SELECT_SQL)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=reader) for _ in range(READER_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    total = READER_THREADS * statements
+    return {
+        "statements": total,
+        "seconds": elapsed,
+        "statements_per_s": total / elapsed,
+    }
+
+
+def run_read_scaling(statements: int) -> list[dict]:
+    results = []
+    primary = _make_primary()
+    replicas: list[Replica] = []
+    try:
+        # single-node ceiling: every read hits the primary
+        baseline = _read_sweep([primary.address], statements)
+        results.append({"replicas": 0, **baseline})
+        for count in REPLICA_COUNTS:
+            while len(replicas) < count:
+                replicas.append(
+                    Replica(
+                        primary.address,
+                        name=f"bench-r{len(replicas)}",
+                    ).start()
+                )
+            _drain(primary, replicas)
+            endpoints = [primary.address] + [r.address for r in replicas]
+            sweep = _read_sweep(endpoints, statements)
+            results.append({"replicas": count, **sweep})
+    finally:
+        for replica in replicas:
+            replica.close()
+        primary.kill()
+        primary.database.close()
+    return results
+
+
+def run_failover(statements: int, promote_delay_s: float = 0.1) -> dict:
+    primary = _make_primary()
+    replica = Replica(primary.address, name="bench-failover").start()
+    conn = MultiEndpointConnector(
+        [primary.address, replica.address],
+        probe_ttl_s=0.05, attempts=12, base_delay=0.01, max_delay=0.1,
+    )
+    try:
+        for i in range(statements):
+            conn.run(f"INSERT INTO bench VALUES ('pre', {i})")
+        _drain(primary, [replica])
+        primary.kill()
+
+        def promote() -> None:
+            time.sleep(promote_delay_s)
+            with client.connect(*replica.address) as admin:
+                admin.promote()
+
+        threading.Thread(target=promote, daemon=True).start()
+        started = time.perf_counter()
+        conn.run("INSERT INTO bench VALUES ('post', 0)")
+        downtime = time.perf_counter() - started
+        return {
+            "promote_delay_s": promote_delay_s,
+            "failover_seconds": downtime,
+            "retry_overhead_seconds": max(0.0, downtime - promote_delay_s),
+            "client_retries": conn.retries,
+        }
+    finally:
+        conn.close()
+        replica.close()
+        primary.kill()
+        primary.database.close()
+
+
+def run_lag_under_load(statements: int) -> dict:
+    primary = _make_primary()
+    replica = Replica(primary.address, name="bench-lag").start()
+    db = primary.database
+    samples: list[int] = []
+    try:
+        _drain(primary, [replica])
+        stop = threading.Event()
+
+        def sampler() -> None:
+            while not stop.is_set():
+                samples.append(
+                    max(
+                        0,
+                        primary.manager.last_commit_id
+                        - replica.database.last_applied_commit_id,
+                    )
+                )
+                time.sleep(0.002)
+
+        thread = threading.Thread(target=sampler, daemon=True)
+        thread.start()
+        started = time.perf_counter()
+        for i in range(statements * 4):
+            db.execute(f"INSERT INTO bench VALUES ('load', {i})")
+        write_seconds = time.perf_counter() - started
+        drain_started = time.perf_counter()
+        _drain(primary, [replica])
+        drain_seconds = time.perf_counter() - drain_started
+        stop.set()
+        thread.join(timeout=5.0)
+        return {
+            "commits": statements * 4,
+            "write_seconds": write_seconds,
+            "commits_per_s": (statements * 4) / write_seconds,
+            "max_lag_commits": max(samples) if samples else 0,
+            "mean_lag_commits": (
+                sum(samples) / len(samples) if samples else 0.0
+            ),
+            "drain_seconds": drain_seconds,
+        }
+    finally:
+        replica.close()
+        primary.kill()
+        primary.database.close()
+
+
+def run_sweep(statements: int | None = None) -> dict:
+    statements = statements or _statements()
+    return {
+        "benchmark": "bench_replication",
+        "python": platform.python_version(),
+        "statements_per_client": statements,
+        "read_scaling": run_read_scaling(statements),
+        "failover": run_failover(statements),
+        "lag_under_load": run_lag_under_load(statements),
+    }
+
+
+def main() -> None:
+    report = run_sweep()
+    print_table(
+        "replica read scaling (8 reader threads)",
+        ["replicas", "statements/s"],
+        [
+            [row["replicas"], f"{row['statements_per_s']:.0f}"]
+            for row in report["read_scaling"]
+        ],
+    )
+    failover = report["failover"]
+    print(
+        f"failover: {failover['failover_seconds'] * 1000:.1f} ms downtime "
+        f"({failover['client_retries']} retries, promote delay "
+        f"{failover['promote_delay_s'] * 1000:.0f} ms)"
+    )
+    lag = report["lag_under_load"]
+    print(
+        f"lag under load: peak {lag['max_lag_commits']} commits, "
+        f"mean {lag['mean_lag_commits']:.1f}, drain "
+        f"{lag['drain_seconds'] * 1000:.1f} ms "
+        f"at {lag['commits_per_s']:.0f} commits/s"
+    )
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,7 @@ TIMING_KEYS = frozenset(
         "sql_seconds_best",
         "sql_parallel_seconds_best",
         "iteration_seconds_best",
+        "failover_seconds",
     }
 )
 

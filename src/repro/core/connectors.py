@@ -26,17 +26,22 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional, Sequence, TypeVar
 
-from repro.errors import SQLError
+from repro.errors import CannotConnectNow, SQLError
+from repro.sqldb import ast_nodes as _ast
 from repro.sqldb import dbapi
 from repro.sqldb.engine import Database, Result
+from repro.sqldb.parser import parse_script
 
 __all__ = [
     "ConnectionPool",
     "DBConnector",
+    "MultiEndpointConnector",
     "PostgresqlConnector",
     "ProfileConnector",
+    "RemoteConnectionPool",
     "RemoteConnector",
     "RETRYABLE_SQLSTATES",
+    "Topology",
     "UmbraConnector",
     "is_retryable",
     "retry_backoff",
@@ -46,10 +51,15 @@ _T = TypeVar("_T")
 
 #: SQLSTATEs a client should retry: serialization_failure (first
 #: committer won), deadlock_detected (this transaction was the victim),
-#: query_canceled (statement timeout / cooperative cancel) and
+#: query_canceled (statement timeout / cooperative cancel),
 #: too_many_connections (the network server shed the connection at
-#: admission — backoff and reconnect)
-RETRYABLE_SQLSTATES = frozenset({"40001", "40P01", "57014", "53300"})
+#: admission — backoff and reconnect), read_only_sql_transaction (a
+#: write landed on a replica of a topology whose primary moved — re-probe
+#: and re-route) and cannot_connect_now (no endpoint accepts this yet —
+#: a promotion is in flight; backoff until it completes)
+RETRYABLE_SQLSTATES = frozenset(
+    {"40001", "40P01", "57014", "53300", "25006", "57P03"}
+)
 
 
 def is_retryable(exc: BaseException) -> bool:
@@ -518,6 +528,489 @@ class RemoteConnector(DBConnector):
 
     def analyze(self, table: Optional[str] = None) -> list[str]:
         return self.connection.analyze(table)
+
+
+class Topology:
+    """Live view of a replicated server group: who is primary, who reads.
+
+    Holds an endpoint list (``(host, port)`` pairs) and classifies each
+    one by asking ``replica_status`` over a short-lived probe
+    connection: role ``primary`` or ``standalone`` makes it the write
+    target, ``replica`` joins the read set.  The classification is
+    cached for ``probe_ttl_s`` and dropped eagerly on
+    :meth:`invalidate` — which routing layers call whenever an endpoint
+    errors or a write bounces off a read-only node, so a promotion is
+    discovered on the very next attempt instead of a TTL later.
+
+    If no endpoint currently claims the primary role (the failover
+    window: old primary dead, promotion not yet issued),
+    :meth:`primary_endpoint` raises
+    :class:`~repro.errors.CannotConnectNow` (SQLSTATE 57P03) — which is
+    retryable, so a surrounding :func:`retry_backoff` turns the window
+    into bounded client-visible latency rather than an error.  When two
+    endpoints both claim primary (a not-yet-fenced old primary beside a
+    promoted replica), the first in endpoint order wins and the split is
+    counted in ``stats["split_brain_probes"]``.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[tuple[str, int]],
+        *,
+        auth_token: Optional[str] = None,
+        connect_timeout: float = 2.0,
+        statement_timeout_ms: Optional[float] = None,
+        probe_ttl_s: float = 1.0,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("at least one endpoint is required")
+        self.endpoints: list[tuple[str, int]] = [
+            (str(host), int(port)) for host, port in endpoints
+        ]
+        self.auth_token = auth_token
+        self.connect_timeout = connect_timeout
+        self.statement_timeout_ms = statement_timeout_ms
+        self.probe_ttl_s = probe_ttl_s
+        self._mutex = threading.RLock()
+        self._primary: Optional[tuple[str, int]] = None
+        self._replicas: list[tuple[str, int]] = []
+        self._probed_at: Optional[float] = None
+        self._rr = 0
+        self.stats = {
+            "probes": 0,
+            "unreachable_probes": 0,
+            "split_brain_probes": 0,
+        }
+
+    def connect(self, endpoint: tuple[str, int]):
+        """Dial *endpoint* with this topology's credentials/timeouts."""
+        from repro.sqldb import client
+
+        return client.connect(
+            endpoint[0],
+            endpoint[1],
+            auth_token=self.auth_token,
+            connect_timeout=self.connect_timeout,
+            statement_timeout_ms=self.statement_timeout_ms,
+        )
+
+    def probe(self) -> dict[tuple[str, int], dict]:
+        """Ask every endpoint for its role; reclassify; return statuses."""
+        statuses: dict[tuple[str, int], dict] = {}
+        primary: Optional[tuple[str, int]] = None
+        replicas: list[tuple[str, int]] = []
+        n_primaries = 0
+        for endpoint in self.endpoints:
+            try:
+                conn = self.connect(endpoint)
+                try:
+                    status = conn.replica_status()
+                finally:
+                    conn.close()
+            except (SQLError, OSError):
+                self.stats["unreachable_probes"] += 1
+                continue
+            statuses[endpoint] = status
+            role = status.get("role")
+            if role in ("primary", "standalone"):
+                n_primaries += 1
+                if primary is None:
+                    primary = endpoint
+            elif role == "replica":
+                replicas.append(endpoint)
+        with self._mutex:
+            self.stats["probes"] += 1
+            if n_primaries > 1:
+                self.stats["split_brain_probes"] += 1
+            self._primary = primary
+            self._replicas = replicas
+            self._probed_at = time.monotonic()
+        return statuses
+
+    def _refresh(self) -> None:
+        with self._mutex:
+            fresh = (
+                self._probed_at is not None
+                and time.monotonic() - self._probed_at < self.probe_ttl_s
+            )
+        if not fresh:
+            self.probe()
+
+    def invalidate(self) -> None:
+        """Drop the cached classification; the next route re-probes."""
+        with self._mutex:
+            self._probed_at = None
+
+    def primary_endpoint(self) -> tuple[str, int]:
+        """The current write target; 57P03 while no endpoint holds it."""
+        self._refresh()
+        with self._mutex:
+            if self._primary is None:
+                raise CannotConnectNow(
+                    "no primary among "
+                    f"{self.endpoints} (failover in progress?)"
+                )
+            return self._primary
+
+    def next_replica_endpoint(self) -> Optional[tuple[str, int]]:
+        """Round-robin over the read set; ``None`` when it is empty."""
+        self._refresh()
+        with self._mutex:
+            if not self._replicas:
+                return None
+            endpoint = self._replicas[self._rr % len(self._replicas)]
+            self._rr += 1
+            return endpoint
+
+    def wait_for_replicas(
+        self, timeout: float = 10.0, poll_s: float = 0.02
+    ) -> None:
+        """Block until every reachable replica has applied everything
+        the primary has streamed (lag drained to zero).  Raises
+        ``TimeoutError`` otherwise — used by differential tests and
+        benchmarks that compare replica reads against the primary."""
+        deadline = time.monotonic() + timeout
+        while True:
+            statuses = self.probe()
+            watermark = 0
+            for status in statuses.values():
+                if status.get("role") in ("primary", "standalone"):
+                    watermark = max(
+                        watermark,
+                        int(
+                            status.get(
+                                "last_commit_id",
+                                status.get("commit_id", 0),
+                            )
+                        ),
+                    )
+            replicas = [
+                s for s in statuses.values() if s.get("role") == "replica"
+            ]
+            if replicas and all(
+                int(s.get("last_applied", -1)) >= watermark
+                for s in replicas
+            ):
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"replicas still behind watermark {watermark} "
+                    f"after {timeout}s: {statuses}"
+                )
+            time.sleep(poll_s)
+
+
+class MultiEndpointConnector(DBConnector):
+    """Topology-aware remote connector: reads fan out, writes follow
+    the primary, failover is absorbed by the retry loop.
+
+    The multi-endpoint sibling of :class:`RemoteConnector`.  Scripts
+    whose statements are all ``SELECT`` are routed round-robin across
+    the replicas (falling back to the primary when none are up); any
+    script containing a write — or any script inside an explicit
+    transaction — runs on the primary.  Three failure shapes fold into
+    the existing :func:`retry_backoff` machinery:
+
+    * a dead endpoint (``InterfaceError``/``OSError`` mid-script) is
+      re-raised as :class:`~repro.errors.CannotConnectNow` (57P03,
+      retryable) after invalidating the topology cache;
+    * a write bounced by a read-only node (25006 — the primary moved
+      under us) invalidates the cache so the retry re-probes;
+    * the failover window itself (no endpoint claims primary) surfaces
+      as 57P03 from :meth:`Topology.primary_endpoint`.
+
+    So client-visible failover downtime is bounded by the backoff
+    schedule: the write that was in flight when the primary died keeps
+    re-probing until the promoted node answers, then lands there.
+    """
+
+    profile_name = "remote-topology"
+
+    def __init__(
+        self,
+        endpoints: Sequence[tuple[str, int]],
+        auth_token: Optional[str] = None,
+        statement_timeout_ms: Optional[float] = None,
+        connect_timeout: float = 2.0,
+        probe_ttl_s: float = 1.0,
+        attempts: int = 8,
+        base_delay: float = 0.01,
+        max_delay: float = 0.5,
+    ) -> None:
+        super().__init__(statement_timeout_ms=statement_timeout_ms)
+        self.topology = Topology(
+            endpoints,
+            auth_token=auth_token,
+            connect_timeout=connect_timeout,
+            statement_timeout_ms=statement_timeout_ms,
+            probe_ttl_s=probe_ttl_s,
+        )
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._conns: dict[tuple[str, int], Any] = {}
+        self._read_only_memo: dict[str, bool] = {}
+        self.reads_routed = {"replica": 0, "primary": 0}
+
+    # -- routing -------------------------------------------------------------
+
+    def _is_read_only_script(self, sql: str) -> bool:
+        cached = self._read_only_memo.get(sql)
+        if cached is not None:
+            return cached
+        try:
+            statements = parse_script(sql)
+        except SQLError:
+            verdict = False  # let the primary produce the real error
+        else:
+            verdict = bool(statements) and all(
+                isinstance(stmt, _ast.Select) for stmt in statements
+            )
+        if len(self._read_only_memo) > 512:
+            self._read_only_memo.clear()
+        self._read_only_memo[sql] = verdict
+        return verdict
+
+    def _lease(self, endpoint: tuple[str, int]):
+        conn = self._conns.get(endpoint)
+        if conn is None or conn.closed:
+            conn = self.topology.connect(endpoint)
+            self._conns[endpoint] = conn
+        return conn
+
+    def _drop(self, endpoint: tuple[str, int]) -> None:
+        conn = self._conns.pop(endpoint, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    @property
+    def connection(self):
+        """The primary's connection (DB-API surface for writes/txns)."""
+        return self._lease(self.topology.primary_endpoint())
+
+    # -- DBConnector surface -------------------------------------------------
+
+    def run(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> Result:
+        """Execute a script on the routed endpoint, with failover retry."""
+        read_only = self._is_read_only_script(sql)
+        started = time.perf_counter()
+
+        def attempt() -> list[Result]:
+            endpoint: Optional[tuple[str, int]] = None
+            if read_only:
+                endpoint = self.topology.next_replica_endpoint()
+            target = "replica" if endpoint is not None else "primary"
+            if endpoint is None:
+                endpoint = self.topology.primary_endpoint()
+            conn = self._lease(endpoint)
+            if conn.in_transaction:
+                # an open transaction pins the script to its connection
+                # (no rerouting a txn mid-flight)
+                return conn.run_script(sql, params)
+            try:
+                results = conn.run_script(sql, params)
+            except (dbapi.InterfaceError, OSError) as exc:
+                self._drop(endpoint)
+                self.topology.invalidate()
+                raise CannotConnectNow(
+                    f"endpoint {endpoint} went away mid-script: {exc}"
+                ) from exc
+            if read_only:
+                self.reads_routed[target] += 1
+            return results
+
+        def on_retry(attempt_index: int, exc: BaseException) -> None:
+            self.retries += 1
+            # 25006/57P03 mean the topology shifted; re-probe before
+            # the next attempt instead of waiting out the TTL
+            if getattr(exc, "sqlstate", None) in ("25006", "57P03"):
+                self.topology.invalidate()
+            for conn in self._conns.values():
+                if not conn.closed and conn.in_transaction:
+                    try:
+                        conn.rollback()
+                    except SQLError:
+                        pass
+
+        primary_conn = self._conns.get(
+            self.topology._primary  # type: ignore[arg-type]
+        )
+        if primary_conn is not None and primary_conn.in_transaction:
+            results = attempt()
+        else:
+            results = retry_backoff(
+                attempt,
+                attempts=self.attempts,
+                base_delay=self.base_delay,
+                max_delay=self.max_delay,
+                on_retry=on_retry,
+            )
+        elapsed = time.perf_counter() - started
+        head = sql.strip().split("\n", 1)[0][:120]
+        self.statement_timings.append((head, elapsed))
+        return results[-1] if results else Result()
+
+    def reset(self) -> None:
+        self.connection.reset()
+        self.statement_timings = []
+
+    def close(self) -> None:
+        for endpoint in list(self._conns):
+            self._drop(endpoint)
+
+    def pool(self, size: int = 4, timeout: Optional[float] = None):
+        """A :class:`RemoteConnectionPool` sharing this topology."""
+        return RemoteConnectionPool(self.topology, size=size, timeout=timeout)
+
+    @property
+    def plan_cache_stats(self) -> dict[str, int]:
+        return self.connection.server_stats()["plan_cache"]
+
+    @property
+    def exec_stats(self) -> dict[str, dict]:
+        return self.connection.server_stats()["operators"]
+
+    def explain_analyze(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> str:
+        return self.connection.explain_analyze(sql, params)
+
+    def analyze(self, table: Optional[str] = None) -> list[str]:
+        return self.connection.analyze(table)
+
+
+class RemoteConnectionPool:
+    """Fixed-size pool of network connections routed by a topology.
+
+    The remote twin of :class:`ConnectionPool`: hands out
+    :class:`~repro.sqldb.client.RemoteConnection` objects dialled
+    through a shared :class:`Topology`.  ``prefer="replica"`` pools
+    read connections (round-robin across the replica set, primary as
+    fallback); ``prefer="primary"`` pools write connections.  Checkout
+    validates: a connection that died (server crash, idle reap, drain)
+    is discarded and re-dialled through the *current* topology — so a
+    pool built before a failover heals itself onto the promoted node
+    as its dead connections cycle out.
+    """
+
+    _WAIT_SLICE = 0.05
+
+    def __init__(
+        self,
+        topology: Topology,
+        size: int = 4,
+        timeout: Optional[float] = None,
+        prefer: str = "replica",
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        if prefer not in ("replica", "primary"):
+            raise ValueError("prefer must be 'replica' or 'primary'")
+        self.topology = topology
+        self.size = size
+        self.prefer = prefer
+        self._timeout = timeout
+        self._cond = threading.Condition()
+        self._idle: list[Any] = []
+        self._n_created = 0
+        self._closed = False
+        self.stats = {"checkouts": 0, "dead_connections_replaced": 0}
+
+    def _route(self) -> tuple[str, int]:
+        if self.prefer == "replica":
+            endpoint = self.topology.next_replica_endpoint()
+            if endpoint is not None:
+                return endpoint
+        return self.topology.primary_endpoint()
+
+    def acquire(self):
+        deadline = (
+            None if self._timeout is None
+            else time.monotonic() + self._timeout
+        )
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise dbapi.InterfaceError("connection pool is closed")
+                if self._idle:
+                    conn = self._idle.pop()
+                    break
+                if self._n_created < self.size:
+                    self._n_created += 1
+                    conn = None
+                    break  # dial outside the lock
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise dbapi.OperationalError(
+                        "timed out waiting for a pooled connection"
+                    )
+                self._cond.wait(
+                    self._WAIT_SLICE if remaining is None
+                    else min(self._WAIT_SLICE, remaining)
+                )
+        try:
+            if conn is not None and conn.closed:
+                with self._cond:
+                    self.stats["dead_connections_replaced"] += 1
+                conn = None
+            if conn is None:
+                conn = self.topology.connect(self._route())
+        except BaseException:
+            with self._cond:
+                self._n_created -= 1
+                self._cond.notify()
+            raise
+        with self._cond:
+            self.stats["checkouts"] += 1
+        return conn
+
+    def release(self, conn) -> None:
+        with self._cond:
+            if self._closed or conn.closed:
+                if conn.closed:
+                    self.stats["dead_connections_replaced"] += 1
+                else:
+                    conn.close()  # pool closed underneath the holder
+                self._n_created -= 1
+                self._cond.notify()
+                return
+            if conn.in_transaction:
+                try:
+                    conn.rollback()
+                except SQLError:
+                    conn.close()
+                    self._n_created -= 1
+                    self._cond.notify()
+                    return
+            self._idle.append(conn)
+            self._cond.notify()
+
+    @contextmanager
+    def connection(self):
+        conn = self.acquire()
+        try:
+            yield conn
+        finally:
+            self.release(conn)
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._cond.notify_all()
+        for conn in idle:
+            try:
+                conn.close()
+            except Exception:
+                pass
 
 
 class ProfileConnector(DBConnector):

@@ -146,6 +146,27 @@ class AdminShutdown(SQLError):
     sqlstate = "57P01"  # admin_shutdown
 
 
+class ReadOnlySQLTransaction(SQLError):
+    """A write statement reached a read-only database — a streaming
+    replica serving reads.  Deliberately *retryable*: a client that held
+    a stale topology (its primary was just promoted elsewhere, or this
+    node was just demoted) should re-probe and re-route the write rather
+    than fail outright."""
+
+    sqlstate = "25006"  # read_only_sql_transaction
+
+
+class CannotConnectNow(SQLError):
+    """No endpoint of a replicated topology currently accepts this
+    request — the primary is gone and a promotion has not completed yet.
+    Deliberately *retryable*: the client backoff loop re-probes the
+    topology until the promoted node starts taking writes (PostgreSQL
+    raises 57P03 while a server is starting up, the same wait-and-retry
+    shape)."""
+
+    sqlstate = "57P03"  # cannot_connect_now
+
+
 class InspectionError(ReproError):
     """Errors raised by the inspection framework (``repro.inspection``)."""
 

@@ -42,6 +42,18 @@ from repro.sqldb.protocol import (
 
 __all__ = ["connect", "RemoteConnection", "RemoteCursor"]
 
+#: SQLSTATEs whose error frame is the server's goodbye: the connection
+#: is torn down right after (idle timeout, drain shutdown).  The client
+#: marks itself closed so the *next* execute/fetch raises a clean
+#: ``InterfaceError("connection is closed")`` instead of tripping over
+#: the dead socket.
+CONNECTION_FATAL_SQLSTATES = frozenset(
+    {
+        "57P05",  # idle_session_timeout
+        "57P01",  # admin_shutdown (drain)
+    }
+)
+
 
 class RemoteCursor:
     """DB-API cursor over a :class:`RemoteConnection`.
@@ -241,7 +253,13 @@ class RemoteConnection:
             # (e.g. a COMMIT losing first-committer-wins aborts the txn)
             if "in_transaction" in reply:
                 self._in_transaction = bool(reply["in_transaction"])
-            raise dbapi.map_exception(exception_from_wire(reply))
+            exc = exception_from_wire(reply)
+            if exc.sqlstate in CONNECTION_FATAL_SQLSTATES:
+                # the server closes the connection right after this
+                # frame; treat it as dead now rather than discovering a
+                # broken socket on the next request
+                self._abandon()
+            raise dbapi.map_exception(exc)
         return reply
 
     def _request(self, message: dict) -> dict:
@@ -332,6 +350,20 @@ class RemoteConnection:
     def analyze(self, table: Optional[str] = None) -> list[str]:
         reply = self._request({"type": "analyze", "table": table})
         return list(reply.get("names", ()))
+
+    def promote(self) -> dict:
+        """Promote the server this connection points at (a streaming
+        replica) to primary; returns ``{"commit_id": ...}`` — the commit
+        id the node serves writes from.  Raises on a server that has no
+        promotion hook (a plain primary)."""
+        reply = self._request({"type": "promote"})
+        return {"commit_id": int(reply.get("commit_id", 0))}
+
+    def replica_status(self) -> dict:
+        """Replication status of the server: role, applied/streamed
+        commit positions, per-subscriber lag (primary) or upstream lag
+        (replica)."""
+        return self._request({"type": "replica_status"})
 
     def cancel(self) -> None:
         """Out-of-band cancel of this connection's in-flight statement

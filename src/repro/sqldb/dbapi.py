@@ -25,10 +25,12 @@ from typing import Any, Optional, Sequence
 from repro.errors import (
     AdminShutdown,
     AuthenticationError,
+    CannotConnectNow,
     CatalogError,
     DurabilityError,
     ProtocolViolation,
     QueryCancelled,
+    ReadOnlySQLTransaction,
     SQLBindError,
     SQLError,
     SQLExecutionError,
@@ -133,6 +135,11 @@ _ERROR_MAP: tuple[tuple[type, type], ...] = (
     # retryable — see connectors.RETRYABLE_SQLSTATES
     (TooManyConnections, OperationalError),
     (AdminShutdown, OperationalError),
+    # replication topology errors: 25006 (write hit a read-only replica)
+    # and 57P03 (no endpoint accepts this yet) are retryable — the
+    # multi-endpoint connector re-probes the topology and re-routes
+    (ReadOnlySQLTransaction, OperationalError),
+    (CannotConnectNow, OperationalError),
     (AuthenticationError, OperationalError),
     (ProtocolViolation, OperationalError),
     # 23505: constraint violations are IntegrityError per PEP 249

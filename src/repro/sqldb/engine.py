@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import itertools
+import logging
 import os
 import threading
 import time
@@ -23,6 +24,7 @@ import numpy as np
 from repro.errors import (
     DeadlockDetected,
     DurabilityError,
+    ReadOnlySQLTransaction,
     SerializationFailure,
     SQLExecutionError,
     TransactionError,
@@ -44,6 +46,7 @@ from repro.sqldb.locks import LockManager, ReadWriteLock
 from repro.sqldb.session import Session
 from repro.sqldb.txn import SavepointState, Transaction
 from repro.sqldb.wal import (
+    WAL_SYNC_POLICIES,
     WriteAheadLog,
     read_checkpoint,
     read_wal,
@@ -64,6 +67,8 @@ from repro.sqldb.prepared import bind_parameters, normalize_sql
 from repro.sqldb.profile import POSTGRES, Profile, profile_by_name
 from repro.sqldb.stats import ExecStats, merge_operator_counters
 from repro.sqldb.vector import Vector, from_values, gather
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "Database",
@@ -248,8 +253,11 @@ class Database:
         optimize: Optional[bool] = None,
         durable: bool = False,
         wal_path: Optional[str] = None,
+        wal_sync: str = "commit",
+        wal_group_every: int = 8,
         checkpoint_every: Optional[int] = None,
         statement_timeout_ms: Optional[float] = None,
+        read_only: bool = False,
         faults: Optional[FaultInjector] = None,
     ) -> None:
         if isinstance(profile, str):
@@ -306,15 +314,41 @@ class Database:
         #: durability: opt in with durable=True/wal_path=...
         self.durable = bool(durable) or wal_path is not None
         self.wal_path = wal_path
+        if wal_sync not in WAL_SYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown wal_sync policy {wal_sync!r}; "
+                f"expected one of {WAL_SYNC_POLICIES}"
+            )
+        self.wal_sync = wal_sync
+        self.wal_group_every = wal_group_every
         self.checkpoint_every = checkpoint_every
         self._commits_since_checkpoint = 0
         self._wal: Optional[WriteAheadLog] = None
         self._replaying = False
+        #: read-only mode: every client write raises 25006 (a streaming
+        #: replica's SQL surface); the replication applier bypasses it
+        #: through :meth:`apply_replicated_commit`
+        self.read_only = bool(read_only)
+        #: post-commit hooks ``fn(commit_id, records)`` — called in
+        #: commit order, under the write latch, after the commit is
+        #: locally durable and installed.  Replication streams hang off
+        #: this; hooks must be fast or intentionally synchronous.
+        self._commit_hooks: list = []
+        #: commit id of the newest replicated commit applied here (a
+        #: replica's replay position; 0 on a primary)
+        self.last_applied_commit_id = 0
+        #: parsed-statement memo for replicated replay (sql -> stmts)
+        self._replay_parsed: OrderedDict[str, list] = OrderedDict()
         if self.durable:
             if not wal_path:
                 raise DurabilityError("durable=True requires wal_path")
             self._recover()
-            self._wal = WriteAheadLog(wal_path, self.faults)
+            self._wal = WriteAheadLog(
+                wal_path,
+                self.faults,
+                sync_policy=wal_sync,
+                group_every=wal_group_every,
+            )
 
     @property
     def in_transaction(self) -> bool:
@@ -367,6 +401,7 @@ class Database:
             raise DurabilityError(
                 "reset_storage is not supported on a durable database"
             )
+        self._check_writable()
         with self._lock.write():
             self.catalog = Catalog()
             self.operator_counters = {}
@@ -500,6 +535,7 @@ class Database:
         session = self._resolve_session(session)
         txn = session.txn
         self._check_not_aborted(session)
+        self._check_writable()
         entry = self._prepare(sql, params=True, catalog=self._active_catalog(session))
         targets: list[str] = []
         for cached in entry.statements:
@@ -527,7 +563,7 @@ class Database:
                             total += self._apply_write(
                                 cached.statement, bound, catalog
                             ).rowcount
-                        if self._wal is not None:
+                        if self._capturing_records:
                             for index in range(len(entry.statements)):
                                 txn.records.append((sql, index, list(bound)))
                 except Exception:
@@ -547,7 +583,7 @@ class Database:
                             total += self._apply_write(
                                 cached.statement, bound, self.catalog
                             ).rowcount
-                        if self._wal is not None:
+                        if self._capturing_records:
                             logged_rows.append(list(bound))
                 except Exception:
                     self.catalog.restore(memento)
@@ -556,13 +592,23 @@ class Database:
                     self.total_execution_time += time.perf_counter() - started
                 commit_id = self._next_txn
                 self._next_txn += 1
-                if logged_rows and self._wal is not None:
-                    self._flush_batch(
+                records = (
+                    self._batch_records(
                         sql, len(entry.statements), logged_rows, commit_id
                     )
+                    if logged_rows
+                    else []
+                )
+                durable = records and self._wal is not None
+                if durable:
+                    self._write_wal_commit(commit_id, records)
                 for name in targets:
                     self.catalog.note_write(name)
                 session.last_commit_id = commit_id
+                if records:
+                    self._notify_commit_hooks(commit_id, records)
+                if durable:
+                    self._note_commit()
             return total
         finally:
             if txn is None:
@@ -594,33 +640,81 @@ class Database:
                 self.locks.release_all(session.session_id)
             raise
 
-    def _flush_batch(
-        self, sql: str, n_statements: int, rows: list[list], txn_id: int
-    ) -> None:
-        """WAL-commit an autocommitted ``executemany`` batch as one txn."""
-        self.faults.check("wal.commit.begin")
+    # -- commit records and hooks ------------------------------------------------
+
+    @property
+    def _capturing_records(self) -> bool:
+        """Whether writes must buffer redo records: a WAL needs them for
+        durability, commit hooks (replication feeds) need them for
+        streaming — replicated replay itself must not re-capture."""
+        return (
+            self._wal is not None or bool(self._commit_hooks)
+        ) and not self._replaying
+
+    def _check_writable(self, statement: Optional[ast.Statement] = None) -> None:
+        if self.read_only:
+            what = (
+                type(statement).__name__.upper()
+                if statement is not None
+                else "write"
+            )
+            raise ReadOnlySQLTransaction(
+                f"cannot execute {what} on a read-only database "
+                f"(streaming replica)"
+            )
+
+    def add_commit_hook(self, hook) -> None:
+        """Register ``hook(commit_id, records)`` to run after every commit
+        that produced redo records — in commit order, under the write
+        latch, after local durability and install.  Replication streams
+        attach here; hooks must be fast (or deliberately synchronous,
+        which stalls every committer)."""
+        self._commit_hooks.append(hook)
+
+    def remove_commit_hook(self, hook) -> None:
+        try:
+            self._commit_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _notify_commit_hooks(self, commit_id: int, records: list[dict]) -> None:
+        # hook failures must never poison an already-installed commit:
+        # the write happened and (if durable) is on disk — a raising hook
+        # would report an error for a transaction that committed
+        for hook in list(self._commit_hooks):
+            try:
+                hook(commit_id, records)
+            except Exception:  # pragma: no cover - defensive
+                logger.exception("commit hook failed (commit %d)", commit_id)
+
+    @staticmethod
+    def _batch_records(
+        sql: str, n_statements: int, rows: list[list], txn_id: int
+    ) -> list[dict]:
+        """Redo records for an autocommitted ``executemany`` batch."""
         if n_statements == 1:
             # compressed batch record: one entry for the whole batch
-            self._wal.append(
-                {"t": "many", "txn": txn_id, "sql": sql, "rows": rows}
-            )
+            return [{"t": "many", "txn": txn_id, "sql": sql, "rows": rows}]
+        return [
+            {"t": "stmt", "txn": txn_id, "sql": sql, "i": index, "p": bound}
+            for bound in rows
+            for index in range(n_statements)
+        ]
+
+    def _write_wal_commit(self, commit_id: int, records: list[dict]) -> None:
+        """Append one commit's redo records (with begin/commit framing
+        where needed) and run the configured fsync policy."""
+        self.faults.check("wal.commit.begin")
+        if len(records) == 1 and records[0]["t"] in ("auto", "many"):
+            # self-committing single record: no framing needed
+            self._wal.append(records[0])
         else:
-            self._wal.append({"t": "begin", "txn": txn_id})
-            for bound in rows:
-                for index in range(n_statements):
-                    self._wal.append(
-                        {
-                            "t": "stmt",
-                            "txn": txn_id,
-                            "sql": sql,
-                            "i": index,
-                            "p": bound,
-                        }
-                    )
-            self._wal.append({"t": "commit", "txn": txn_id})
-        self._wal.sync()
+            self._wal.append({"t": "begin", "txn": commit_id})
+            for record in records:
+                self._wal.append(record)
+            self._wal.append({"t": "commit", "txn": commit_id})
+        self._wal.commit_sync()
         self.faults.check("wal.commit.end")
-        self._note_commit()
 
     def adopt_plan_cache(self, donor: "Database") -> None:
         """Share another database's statement caches (connector reconnects).
@@ -802,6 +896,7 @@ class Database:
         params: tuple,
         session: Session,
     ) -> Result:
+        self._check_writable(statement)
         txn = session.txn
         targets, checks = self._write_targets(
             statement, self._active_catalog(session)
@@ -819,7 +914,7 @@ class Database:
                 raise
             txn.write_set.update(targets)
             txn.check_set.update(checks)
-            if self._wal is not None and not self._replaying:
+            if self._capturing_records:
                 txn.records.append((sql, index, list(params)))
             return result
         try:
@@ -971,7 +1066,14 @@ class Database:
                         )
                 commit_id = self._next_txn
                 self._next_txn += 1
-                flushed = self._flush_txn_wal(txn, commit_id)
+                records = [
+                    {"t": "stmt", "txn": commit_id, "sql": sql, "i": index,
+                     "p": bound}
+                    for sql, index, bound in txn.records
+                ]
+                flushed = bool(records) and self._wal is not None
+                if flushed:
+                    self._write_wal_commit(commit_id, records)
                 self.faults.check("commit.install")
                 for name in sorted(txn.write_set):
                     self.catalog.adopt_relation(name, txn.catalog)
@@ -981,6 +1083,8 @@ class Database:
                 self._refresh_committed_matviews(txn.write_set)
                 session.last_commit_id = commit_id
                 session.txn = None
+                if records:
+                    self._notify_commit_hooks(commit_id, records)
                 if flushed:
                     self._note_commit()
         except SerializationFailure:
@@ -1041,46 +1145,25 @@ class Database:
         (explicit transactions buffer records and flush at COMMIT)."""
         commit_id = self._next_txn
         self._next_txn += 1
-        durable = self._wal is not None and not self._replaying
+        # "auto" compresses begin+stmt+commit into one self-committing
+        # record
+        records = (
+            [{"t": "auto", "txn": commit_id, "sql": sql, "i": index,
+              "p": list(params)}]
+            if self._capturing_records
+            else []
+        )
+        durable = bool(records) and self._wal is not None
         if durable:
-            self.faults.check("wal.commit.begin")
-            # "auto" compresses begin+stmt+commit into one self-committing
-            # record
-            self._wal.append(
-                {"t": "auto", "txn": commit_id, "sql": sql, "i": index,
-                 "p": list(params)}
-            )
-            self._wal.sync()
-            self.faults.check("wal.commit.end")
+            self._write_wal_commit(commit_id, records)
         self.faults.check("commit.install")
         for name in targets:
             self.catalog.note_write(name)
         session.last_commit_id = commit_id
+        if records:
+            self._notify_commit_hooks(commit_id, records)
         if durable:
             self._note_commit()
-
-    def _flush_txn_wal(self, txn: Transaction, commit_id: int) -> bool:
-        """Flush a committing transaction's buffered records under its
-        commit id (allocated under the write latch, so WAL order equals
-        commit order)."""
-        if self._wal is None or not txn.records:
-            return False
-        self.faults.check("wal.commit.begin")
-        self._wal.append({"t": "begin", "txn": commit_id})
-        for sql, index, bound in txn.records:
-            self._wal.append(
-                {
-                    "t": "stmt",
-                    "txn": commit_id,
-                    "sql": sql,
-                    "i": index,
-                    "p": bound,
-                }
-            )
-        self._wal.append({"t": "commit", "txn": commit_id})
-        self._wal.sync()
-        self.faults.check("wal.commit.end")
-        return True
 
     def _note_commit(self) -> None:
         self._commits_since_checkpoint += 1
@@ -1187,6 +1270,119 @@ class Database:
                 f"WAL replay failed for {sql!r}: {exc}"
             ) from exc
 
+    # -- replication (replica-side apply) ---------------------------------------
+
+    @property
+    def current_commit_id(self) -> int:
+        """Newest allocated commit id (the primary's stream position)."""
+        return self._next_txn - 1
+
+    def snapshot_state(self) -> dict:
+        """Consistent full-state export for replication bootstrap: the
+        committed catalog plus the commit id the export reflects.  Taken
+        under the read latch, so no committer is mid-install."""
+        with self._lock.read():
+            tables, views, stats, indexes, models = self.catalog.export_state()
+            return {
+                "tables": tables,
+                "views": views,
+                "stats": stats,
+                "indexes": indexes,
+                "models": models,
+                "last_txn": self._next_txn - 1,
+            }
+
+    def install_replica_snapshot(self, snapshot: dict) -> None:
+        """Adopt a primary's full-state export wholesale (replica
+        bootstrap, or re-sync after falling below the primary's retained
+        stream horizon).  Resets the replay position to the snapshot's
+        commit id; a durable replica folds the snapshot into its local
+        checkpoint so a restart recovers to it without the stream."""
+        with self._lock.write():
+            self.catalog.install(
+                snapshot["tables"],
+                snapshot["views"],
+                snapshot["stats"],
+                snapshot.get("indexes", {}),
+                snapshot.get("models", {}),
+            )
+            for name in self.catalog.table_names:
+                self.catalog.note_write(name)
+            last = int(snapshot["last_txn"])
+            self.last_applied_commit_id = last
+            self._next_txn = max(self._next_txn, last + 1)
+            self._replay_parsed.clear()
+            if self._wal is not None:
+                self._checkpoint_locked()
+
+    def apply_replicated_commit(
+        self, commit_id: int, records: list[dict]
+    ) -> bool:
+        """Replay one replicated commit's redo records into committed
+        state — the replication applier's entry point; bypasses
+        ``read_only``.
+
+        Idempotent: commits at or below :attr:`last_applied_commit_id`
+        are skipped (duplicate delivery), so at-least-once streams
+        converge.  Atomic: a failing replay restores the pre-commit
+        catalog before raising.  A durable replica WAL-logs the commit
+        under the same id, so local recovery rebuilds the same prefix.
+        Returns True when applied, False when skipped as a duplicate."""
+        with self._lock.write():
+            if commit_id <= self.last_applied_commit_id:
+                return False
+            memento = self.catalog.snapshot()
+            targets: set[str] = set()
+            try:
+                for record in records:
+                    targets |= self._apply_replicated_record(record)
+            except Exception as exc:
+                self.catalog.restore(memento)
+                raise DurabilityError(
+                    f"replicated replay failed for commit {commit_id}: {exc}"
+                ) from exc
+            durable = self._wal is not None
+            if durable:
+                self._write_wal_commit(commit_id, records)
+            for name in sorted(targets):
+                self.catalog.note_write(name)
+            self._refresh_committed_matviews(targets)
+            self.last_applied_commit_id = commit_id
+            self._next_txn = max(self._next_txn, commit_id + 1)
+            # relay: a promoted (or cascading) node re-streams to its own
+            # subscribers in the same commit order
+            self._notify_commit_hooks(commit_id, records)
+            if durable:
+                self._note_commit()
+        return True
+
+    def _apply_replicated_record(self, record: dict) -> set[str]:
+        """Apply one redo record to the committed catalog; returns the
+        relation names whose versions must be bumped."""
+        sql = record["sql"]
+        stmts = self._replay_parsed.get(sql)
+        if stmts is None:
+            stmts = parse_script(sql)
+            self._replay_parsed[sql] = stmts
+            while len(self._replay_parsed) > 256:
+                self._replay_parsed.popitem(last=False)
+        else:
+            self._replay_parsed.move_to_end(sql)
+        targets: set[str] = set()
+        if record["t"] == "many":
+            for statement in stmts:
+                names, _ = self._write_targets(statement, self.catalog)
+                targets.update(names)
+            for row in record["rows"]:
+                for statement in stmts:
+                    self._apply_write(statement, tuple(row))
+        else:
+            statement = stmts[int(record["i"])]
+            names, _ = self._write_targets(statement, self.catalog)
+            targets.update(names)
+            self._apply_write(statement, tuple(record.get("p", ())))
+        return targets
+
     # -- SELECT -------------------------------------------------------------------
 
     def analyze(
@@ -1197,6 +1393,7 @@ class Database:
         re-optimize against the fresh statistics."""
         session = self._resolve_session(session)
         self._check_not_aborted(session)
+        self._check_writable()
         target = f'ANALYZE "{table}"' if table is not None else "ANALYZE"
         txn = session.txn
         if txn is not None:
@@ -1206,7 +1403,7 @@ class Database:
             self._acquire_locks(session, targets)
             names = txn.catalog.analyze(table)
             txn.write_set.update(targets)
-            if self._wal is not None:
+            if self._capturing_records:
                 txn.records.append((target, 0, []))
             return names
         targets = (

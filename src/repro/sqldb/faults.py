@@ -24,9 +24,18 @@ path pays one attribute load and a falsy check per crashpoint.
 
 from __future__ import annotations
 
+import random
+import threading
+
 from repro.errors import ReproError
 
-__all__ = ["CRASHPOINTS", "FaultInjector", "NO_FAULTS", "SimulatedCrash"]
+__all__ = [
+    "CRASHPOINTS",
+    "FaultInjector",
+    "NetworkFaultInjector",
+    "NO_FAULTS",
+    "SimulatedCrash",
+]
 
 
 class SimulatedCrash(ReproError):
@@ -139,3 +148,111 @@ class _NoFaults(FaultInjector):
 
 #: shared inert injector used when a Database is built without faults
 NO_FAULTS = _NoFaults()
+
+
+class NetworkFaultInjector:
+    """Seeded per-frame fault decisions for the network layer.
+
+    The wire-level sibling of :class:`FaultInjector`: where crashpoints
+    model a dying *process*, this models a misbehaving *network* between
+    two healthy processes.  A :class:`~repro.sqldb.netfaults.FaultProxy`
+    consults :meth:`decide` once per forwarded protocol frame and acts
+    it out:
+
+    * ``drop``       — the frame silently disappears;
+    * ``duplicate``  — the frame is delivered twice back to back;
+    * ``tear``       — a *prefix* of the frame is delivered, then the
+      connection dies (the receiver sees a mid-frame disconnect — the
+      torn-frame case the protocol layer must flag, never misparse);
+    * ``pass``       — delivered intact, optionally after a delay.
+
+    Probabilities are independent per frame and drawn from one seeded
+    RNG, so a chaos round is reproducible up to thread interleaving.  A
+    **partition** (:meth:`partition`/:meth:`heal`) overrides everything:
+    every frame in both directions blackholes until healed — connections
+    appear hung, exactly like a dropped link, and both ends must recover
+    by timeout + reconnect."""
+
+    ACTIONS = ("pass", "drop", "duplicate", "tear")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        tear: float = 0.0,
+        delay: float = 0.0,
+        delay_range_s: tuple[float, float] = (0.001, 0.02),
+    ) -> None:
+        for name, p in (
+            ("drop", drop), ("duplicate", duplicate),
+            ("tear", tear), ("delay", delay),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1]")
+        self._rng = random.Random(seed)
+        self.drop = drop
+        self.duplicate = duplicate
+        self.tear = tear
+        self.delay = delay
+        self.delay_range_s = delay_range_s
+        self._mutex = threading.Lock()
+        self._partitioned = False
+        self.stats = {
+            "frames": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "torn": 0,
+            "delayed": 0,
+            "blackholed": 0,
+        }
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    def partition(self) -> None:
+        """Blackhole every frame in both directions until :meth:`heal`."""
+        with self._mutex:
+            self._partitioned = True
+
+    def heal(self) -> None:
+        with self._mutex:
+            self._partitioned = False
+
+    def decide(self, direction: str) -> tuple[str, float]:
+        """``(action, delay_s)`` for the next frame in *direction*
+        (``"c2s"`` or ``"s2c"``; recorded for stats only — probabilities
+        apply symmetrically)."""
+        with self._mutex:
+            self.stats["frames"] += 1
+            if self._partitioned:
+                self.stats["blackholed"] += 1
+                return ("drop", 0.0)
+            roll = self._rng.random()
+            if roll < self.drop:
+                self.stats["dropped"] += 1
+                return ("drop", 0.0)
+            roll -= self.drop
+            if roll < self.duplicate:
+                self.stats["duplicated"] += 1
+                action = "duplicate"
+            else:
+                roll -= self.duplicate
+                if roll < self.tear:
+                    self.stats["torn"] += 1
+                    return ("tear", 0.0)
+                action = "pass"
+            delay_s = 0.0
+            if self.delay and self._rng.random() < self.delay:
+                lo, hi = self.delay_range_s
+                delay_s = lo + (hi - lo) * self._rng.random()
+                self.stats["delayed"] += 1
+            return (action, delay_s)
+
+    def tear_point(self, frame_len: int) -> int:
+        """How many bytes of a torn frame to deliver (at least the first
+        byte of the header, never the whole frame)."""
+        with self._mutex:
+            return self._rng.randrange(1, max(2, frame_len))

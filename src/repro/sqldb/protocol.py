@@ -28,10 +28,22 @@ Message types (client → server)::
     reset        {}                             drop all relations (opt-in)
     stats        {}                             plan-cache/operator counters
     explain_analyze {sql, params?}              annotated plan text
+    promote      {}                             replica → primary flip
+    replica_status {}                           replication role/lag report
     close        {}                             orderly goodbye
 
 Server → client: ``hello_ok``, ``results``, ``ok``, ``stats``, ``text``,
-``error``, ``bye``.
+``promoted``, ``status``, ``error``, ``bye``.
+
+Replication subscription (after ``hello``, the connection switches into
+a server-push stream; see :mod:`repro.sqldb.replication`)::
+
+    replicate     {start_after, name}           subscribe from a commit id
+    -- server then pushes, each frame acknowledged stop-and-wait:
+    snapshot      {state, last_txn, primary_commit_id}   bootstrap payload
+    wal_batch     {seq, commits: [{id, records}], primary_commit_id}
+    wal_heartbeat {seq, primary_commit_id}      idle keepalive
+    replicate_ack {seq, applied}                replica → server, per frame
 """
 
 from __future__ import annotations

@@ -228,6 +228,11 @@ class _ClientHandler:
                     AdminShutdown("the server is shutting down")
                 )
                 return
+            if message["type"] == "replicate":
+                # mode switch: this connection becomes a push stream to
+                # a downstream replica until either side drops it
+                self._serve_replication(message)
+                return
             if not self._handle_request(message, statement_timeout_s):
                 return
 
@@ -392,7 +397,136 @@ class _ClientHandler:
         if kind == "analyze":
             names = database.analyze(message.get("table"))
             return {"type": "ok", "names": names}
+        if kind == "promote":
+            hook = server.promote_hook
+            if hook is None:
+                raise SQLError(
+                    "this server has no promotion hook (not a replica)",
+                    sqlstate="0A000",  # feature_not_supported
+                )
+            server._count("promotions")
+            out = hook() or {}
+            return {"type": "promoted", **out}
+        if kind == "replica_status":
+            hook = server.status_hook
+            if hook is not None:
+                return dict(hook())
+            manager = server.replication
+            status = {
+                "type": "status",
+                "role": (
+                    "replica" if database.read_only else
+                    ("primary" if manager is not None else "standalone")
+                ),
+                "last_applied": database.last_applied_commit_id,
+                "commit_id": database.current_commit_id,
+            }
+            if manager is not None:
+                status["last_commit_id"] = manager.last_commit_id
+                status["subscribers"] = manager.subscriber_status()
+            return status
         raise ProtocolViolation(f"unknown message type {kind!r}")
+
+    # -- replication stream --------------------------------------------------
+
+    def _serve_replication(self, message: dict) -> None:
+        """Push committed WAL batches to one downstream replica.
+
+        Stop-and-wait: one ``wal_batch`` (or ``wal_heartbeat`` after an
+        idle period) per round trip, acknowledged by ``replicate_ack``
+        carrying the replica's applied position — which doubles as flow
+        control and as the synchronous-replication signal.  Any
+        transport fault simply ends the subscription; the replica
+        reconnects from its last applied commit."""
+        server = self.server
+        manager = server.replication
+        if manager is None:
+            self._send_error(
+                SQLError(
+                    "this server does not stream replication",
+                    sqlstate="0A000",  # feature_not_supported
+                )
+            )
+            return
+        try:
+            start_after = int(message.get("start_after", 0))
+        except (TypeError, ValueError):
+            self._send_error(
+                ProtocolViolation("replicate frame requires integer "
+                                  "'start_after'")
+            )
+            return
+        name = str(message.get("name") or f"replica-{self.peer}")
+        try:
+            sub = manager.subscribe(name, start_after)
+        except SQLError as exc:
+            self._send_error(exc)
+            return
+        server._count("replication_streams")
+        try:
+            if sub.needs_snapshot:
+                encoded, last_txn = manager.snapshot_for(sub)
+                self._send(
+                    {
+                        "type": "snapshot",
+                        "state": encoded,
+                        "last_txn": last_txn,
+                        "primary_commit_id": manager.last_commit_id,
+                    }
+                )
+            seq = 0
+            while not server._draining:
+                batch = manager.next_batch(
+                    sub, timeout=server.replication_heartbeat_s
+                )
+                if batch is None:
+                    return  # manager closed (shutdown or demotion)
+                commits, tip = batch
+                seq += 1
+                if commits:
+                    frame = {
+                        "type": "wal_batch",
+                        "seq": seq,
+                        "commits": commits,
+                        "primary_commit_id": tip,
+                    }
+                else:
+                    frame = {
+                        "type": "wal_heartbeat",
+                        "seq": seq,
+                        "primary_commit_id": tip,
+                    }
+                self._send(frame)
+                if not self._await_ack(seq, manager, sub):
+                    return
+        except ProtocolViolation as exc:
+            server._count("protocol_errors")
+            self._send_error(exc)
+        except OSError:
+            pass
+        finally:
+            manager.unsubscribe(sub)
+
+    def _await_ack(self, seq: int, manager, sub) -> bool:
+        """Read ``replicate_ack`` frames until one covers ``seq``;
+        stale re-acks from duplicated frames are recorded and skipped."""
+        self.sock.settimeout(self.server.replication_ack_timeout_s)
+        while True:
+            frame = recv_frame(self.sock, self.server.max_frame_bytes)
+            if frame is None or frame["type"] == "close":
+                return False
+            if frame["type"] != "replicate_ack":
+                raise ProtocolViolation(
+                    f"expected replicate_ack, got {frame['type']!r}"
+                )
+            try:
+                manager.record_ack(sub, int(frame.get("applied", 0)))
+            except (TypeError, ValueError):
+                raise ProtocolViolation(
+                    "replicate_ack requires integer 'applied'"
+                ) from None
+            if int(frame.get("seq", -1)) >= seq:
+                return True
 
 
 class DatabaseServer:
@@ -418,6 +552,9 @@ class DatabaseServer:
         handshake_timeout_s: float = 5.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         allow_reset: bool = True,
+        replication: Optional[Any] = None,
+        replication_heartbeat_s: float = 0.5,
+        replication_ack_timeout_s: float = 10.0,
         **database_kwargs: Any,
     ) -> None:
         if max_connections < 1:
@@ -436,6 +573,15 @@ class DatabaseServer:
         self.handshake_timeout_s = handshake_timeout_s
         self.max_frame_bytes = max_frame_bytes
         self.allow_reset = allow_reset
+        #: a ReplicationManager serving ``replicate`` subscriptions
+        #: (None: replication frames are refused with SQLSTATE 0A000)
+        self.replication = replication
+        self.replication_heartbeat_s = replication_heartbeat_s
+        self.replication_ack_timeout_s = replication_ack_timeout_s
+        #: set by a Replica wrapper: the ``promote`` admin frame calls it
+        self.promote_hook = None
+        #: set by Replica/Primary wrappers: serves ``replica_status``
+        self.status_hook = None
 
         self._listener: Optional[socket.socket] = None
         self._acceptor: Optional[threading.Thread] = None
@@ -454,6 +600,8 @@ class DatabaseServer:
             "auth_failures": 0,
             "idle_closed": 0,
             "handler_errors": 0,
+            "replication_streams": 0,
+            "promotions": 0,
         }
 
     # -- bookkeeping --------------------------------------------------------
@@ -598,6 +746,15 @@ class DatabaseServer:
             pass
         finally:
             self.shutdown()
+
+    def kill_connections(self) -> None:
+        """Sever every client connection immediately — crash modelling:
+        no error frame, no drain; peers see a reset mid-whatever.  The
+        server itself stays up (use :meth:`shutdown` to stop it)."""
+        with self._mutex:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            _force_close(handler.sock)
 
     def shutdown(self, drain_s: float = 5.0) -> None:
         """Graceful stop: no new connections, in-flight statements get

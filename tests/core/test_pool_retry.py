@@ -38,8 +38,12 @@ class FixedRandom:
 class TestRetryBackoff:
     def test_retryable_sqlstates(self):
         # 53300 joined the set with the network server: an admission-shed
-        # connection should simply be retried under backoff
-        assert RETRYABLE_SQLSTATES == {"40001", "40P01", "57014", "53300"}
+        # connection should simply be retried under backoff.  25006/57P03
+        # joined with replication: a write landing on a replica or in a
+        # failover window is retried against the (re-probed) primary.
+        assert RETRYABLE_SQLSTATES == {
+            "40001", "40P01", "57014", "53300", "25006", "57P03",
+        }
         assert is_retryable(SerializationFailure("serialize"))
         assert is_retryable(DeadlockDetected("deadlock"))
         assert is_retryable(QueryCancelled("cancelled"))

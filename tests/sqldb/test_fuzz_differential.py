@@ -30,6 +30,7 @@ a random dataset breaks a query, hypothesis minimises the table contents.
 """
 
 import random
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -449,3 +450,75 @@ def test_fuzz_differential_shrinking(profile, tables, query_seed):
             _check_query(configs, sql, ordered, context=f" profile={profile}")
     finally:
         _close(configs)
+
+
+# -- replica differential -----------------------------------------------------
+#
+# A streaming replica, once its lag drains, must answer every generated
+# query byte-identically to an in-process reference over the same data —
+# the replication twin of the config matrix above.  The replica
+# bootstraps from a snapshot (the dataset loads bypass SQL, so only the
+# snapshot can carry them) and then applies a few SQL writes off the
+# live stream before each comparison batch.
+
+
+@pytest.mark.server
+@pytest.mark.replication
+def test_fuzz_differential_replica(fuzz_rounds):
+    from repro.sqldb import client as sql_client
+    from repro.sqldb.replication import Primary, Replica
+
+    def drained(primary, replica):
+        return (
+            replica.database.last_applied_commit_id
+            >= primary.manager.last_commit_id
+        )
+
+    def wait_drained(primary, replica, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if drained(primary, replica):
+                return True
+            time.sleep(0.005)
+        return False
+
+    rng = random.Random(20260808)
+    remaining = fuzz_rounds
+    while remaining > 0:
+        t_rows, u_rows, w_rows = _random_tables(rng)
+        reference = Database("postgres")
+        _load_tables(reference, t_rows, u_rows, w_rows)
+        primary_db = Database("postgres", optimize=True)
+        _load_tables(primary_db, t_rows, u_rows, w_rows)
+        primary_db.analyze()
+        primary = Primary(primary_db, host="127.0.0.1", port=0).start()
+        replica = Replica(primary.address, name="fuzz-replica").start()
+        conn = None
+        try:
+            assert wait_drained(primary, replica)
+            conn = sql_client.connect(*replica.address)
+            for _ in range(min(10, remaining)):
+                # a couple of live writes ride the stream between
+                # compared queries (applied to the reference too)
+                for _ in range(rng.randint(0, 2)):
+                    a = rng.randint(-20, 20)
+                    b = rng.choice([rng.randint(-20, 20), 0.5, -2.25])
+                    s = rng.choice(["a", "b", "c", "d"])
+                    dml = f"INSERT INTO t VALUES ({a}, {b}, '{s}')"
+                    reference.execute(dml)
+                    primary_db.execute(dml)
+                assert wait_drained(primary, replica)
+                sql, ordered = _generate_query(rng)
+                expected = _canonical(reference.execute(sql).rows, ordered)
+                got = _canonical(conn.run_script(sql)[-1].rows, ordered)
+                assert got == expected, (
+                    f"replica diverged from reference on {sql!r}"
+                )
+        finally:
+            if conn is not None:
+                conn.close()
+            replica.close()
+            primary.kill()
+            primary_db.close()
+            reference.close()
+        remaining -= 10

@@ -445,3 +445,92 @@ class TestShutdown:
         assert "plan_cache" in stats
         assert stats["server"]["accepted"] >= 1
         assert stats["server"]["statements"] >= 1
+
+
+class TestConnectionFatalStates:
+    """A server-initiated goodbye (idle reap 57P05, drain 57P01) must
+    surface as the mapped engine error once, then clean
+    ``InterfaceError("connection is closed")`` on every later use —
+    never a raw socket error or a mid-frame ProtocolViolation."""
+
+    def test_idle_timeout_then_reuse_is_clean(self):
+        db = Database("umbra")
+        db.execute("CREATE TABLE t (a int)")
+        with DatabaseServer(db, idle_timeout_s=0.2) as server:
+            conn = connect(server)
+            cur = conn.cursor()
+            time.sleep(0.6)  # reaped server-side
+            with pytest.raises(dbapi.Error) as info:
+                cur.execute("SELECT 1")
+            assert info.value.sqlstate in ("57P05", "08003")
+            assert conn.closed  # abandoned, not left half-dead
+            # subsequent execute and fetch both fail cleanly
+            with pytest.raises(dbapi.InterfaceError):
+                conn.cursor().execute("SELECT 1")
+            with pytest.raises(dbapi.InterfaceError):
+                conn.run_script("SELECT 1")
+        db.close()
+
+    def test_drain_shed_then_reuse_is_clean(self, served):
+        server, db = served
+        conn = connect(server)
+        server._draining = True
+        try:
+            with pytest.raises(dbapi.OperationalError) as info:
+                conn.cursor().execute("SELECT 1")
+            assert info.value.sqlstate == "57P01"
+        finally:
+            server._draining = False
+        # the server closed the connection after shedding; the client
+        # noticed and all later use is a clean InterfaceError
+        assert conn.closed
+        with pytest.raises(dbapi.InterfaceError):
+            conn.cursor().execute("SELECT 1")
+
+    def test_drain_races_inflight_transaction(self):
+        """Drain racing an in-flight transaction: the transaction rolls
+        back, its locks release, and a peer blocked on those locks
+        unblocks instead of hanging."""
+        db = Database("umbra")
+        db.execute("CREATE TABLE t (a int, b text)")
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        server = DatabaseServer(db).start()
+        holder = connect(server)
+        holder.begin()
+        holder.cursor().execute("UPDATE t SET b = 'held' WHERE a = 1")
+
+        blocked_outcome = {}
+
+        def blocked_peer():
+            peer = connect(server)
+            try:
+                peer.begin()
+                peer.cursor().execute("UPDATE t SET b = 'peer' WHERE a = 1")
+                peer.commit()
+                blocked_outcome["committed"] = True
+            except (dbapi.Error, OSError) as exc:
+                blocked_outcome["error"] = exc
+            finally:
+                try:
+                    peer.close()
+                except Exception:
+                    pass
+
+        thread = threading.Thread(target=blocked_peer, daemon=True)
+        thread.start()
+        # let the peer actually block on the row lock
+        time.sleep(0.2)
+        server.shutdown(drain_s=0.3)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "blocked peer never unblocked"
+        assert blocked_outcome  # it finished, one way or the other
+        # every session is gone, the held transaction rolled back and
+        # its lock released: an in-process write succeeds immediately
+        assert wait_until(lambda: len(db._sessions) == 1, timeout=30)
+        final = db.execute("SELECT b FROM t WHERE a = 1").scalar()
+        assert final in ("x", "peer")  # never the uncommitted 'held'
+        db.execute("UPDATE t SET b = 'after' WHERE a = 1")
+        assert db.execute("SELECT b FROM t WHERE a = 1").scalar() == "after"
+        with pytest.raises(dbapi.Error):
+            holder.cursor().execute("SELECT 1")
+        db.close()
