@@ -1,0 +1,382 @@
+"""Memory-governor benchmark: spill-to-disk cost and admission behavior.
+
+Three experiments on a healthcare-shaped inspection workload (the
+patients x histories ssn join of the paper's running example):
+
+* **join sweep** — the inspection join + aggregation runs unlimited
+  first to measure its working set (peak granted bytes), then under
+  ``query_memory_limit`` = 1/1, 1/2, 1/4 and 1/8 of that working set.
+  Every limited run must return rows identical to the unlimited oracle;
+  the report charts runtime against spilled bytes as the budget shrinks.
+* **TRAIN sweep** — in-database training over the joined features under
+  the same budgets; coefficients must match the unlimited model exactly
+  (training is iterative SQL aggregation — spilling must not perturb a
+  single gradient step).
+* **admission** — eight concurrent clients share a global pool of two
+  query budgets; every statement must eventually succeed (53200 sheds
+  are retried with backoff), and the report records grants, queue
+  waits, sheds and retries.
+
+Results go to ``BENCH_memory.json``.
+
+Scale control
+-------------
+``REPRO_BENCH_MEMORY_ROWS``  patient count (default ``4000``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import threading
+import time
+
+from harness import print_table
+from repro.errors import OutOfMemory
+from repro.sqldb import Database
+
+REPEATS = 3
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_memory.json")
+
+#: denominators of the working-set fractions the sweep runs at
+FRACTIONS = (1, 2, 4, 8)
+
+CLIENTS = 8
+STATEMENTS_PER_CLIENT = 4
+
+_JOIN_SQL = (
+    "SELECT p.age_group, count(*) AS n, sum(h.charge) AS total, "
+    "min(h.charge) AS lo, max(h.charge) AS hi "
+    "FROM patients p JOIN histories h ON p.ssn = h.ssn "
+    "GROUP BY p.age_group ORDER BY p.age_group"
+)
+
+#: top-k costliest patients: the sort still decorates every joined row
+#: (the memory-hungry part) while the result batch stays budget-sized
+_SORT_SQL = (
+    "SELECT p.ssn, h.charge FROM patients p "
+    "JOIN histories h ON p.ssn = h.ssn "
+    "ORDER BY h.charge DESC, p.ssn LIMIT 200"
+)
+
+_TRAIN_SQL = (
+    "TRAIN bm USING (SELECT p.smoker, p.children, h.charge AS label "
+    "FROM patients p JOIN histories h ON p.ssn = h.ssn) "
+    "WITH (estimator = 'linear_regression', max_iter = 10, lr = 0.05, "
+    "tol = 0.0)"
+)
+
+
+def _n_rows() -> int:
+    return int(os.environ.get("REPRO_BENCH_MEMORY_ROWS", "4000"))
+
+
+def _load(db: Database, n_rows: int) -> None:
+    """Healthcare-shaped tables: text ssn key, demographic columns."""
+    rng = random.Random(20260808)
+    db.execute(
+        "CREATE TABLE patients (ssn text, age_group text, smoker double "
+        "precision, children double precision)"
+    )
+    db.execute("CREATE TABLE histories (ssn text, charge double precision)")
+    groups = ["0-18", "19-40", "41-65", "65+"]
+    patients = [
+        (
+            f"{i // 10000:05d}-{i % 10000:04d}",
+            rng.choice(groups),
+            float(rng.randint(0, 1)),
+            float(rng.randint(0, 4)),
+        )
+        for i in range(n_rows)
+    ]
+    db.executemany("INSERT INTO patients VALUES (?, ?, ?, ?)", patients)
+    histories = [
+        (ssn, round(rng.uniform(100.0, 50000.0), 2))
+        for ssn, _, _, _ in patients
+    ]
+    # ~1% orphan histories keep the ssn merge realistic
+    histories += [
+        (f"99999-{i:04d}", round(rng.uniform(100.0, 50000.0), 2))
+        for i in range(max(1, n_rows // 100))
+    ]
+    rng.shuffle(histories)
+    db.executemany("INSERT INTO histories VALUES (?, ?)", histories)
+
+
+def _make_database(n_rows: int, **kwargs) -> Database:
+    db = Database(**kwargs)
+    _load(db, n_rows)
+    return db
+
+
+def _time_query(db: Database, sql: str) -> tuple[float, list]:
+    best, rows = float("inf"), None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        rows = db.execute(sql).rows
+        best = min(best, time.perf_counter() - started)
+    return best, rows
+
+
+def _working_set(n_rows: int) -> int:
+    """Peak granted bytes of the join workload when nothing is denied
+    (a governed database with an effectively unbounded budget)."""
+    db = _make_database(n_rows, memory_limit="4gb")
+    try:
+        db.execute(_JOIN_SQL)
+        db.execute(_SORT_SQL)
+        return int(db.memory_stats()["session"]["peak_memory_bytes"])
+    finally:
+        db.close()
+
+
+def join_sweep(n_rows: int) -> list[dict]:
+    oracle_db = _make_database(n_rows)
+    try:
+        oracle_seconds, oracle_rows = _time_query(oracle_db, _JOIN_SQL)
+        _, oracle_sorted = _time_query(oracle_db, _SORT_SQL)
+    finally:
+        oracle_db.close()
+    working_set = _working_set(n_rows)
+    entries = [
+        {
+            "budget": "unlimited",
+            "query_memory_limit": None,
+            "working_set_bytes": working_set,
+            "seconds_best": oracle_seconds,
+            "spilled_bytes": 0,
+            "rows_match": True,
+        }
+    ]
+    for denominator in FRACTIONS:
+        limit = max(16 * 1024, working_set // denominator)
+        db = _make_database(n_rows, query_memory_limit=limit)
+        try:
+            seconds, rows = _time_query(db, _JOIN_SQL)
+            _, sorted_rows = _time_query(db, _SORT_SQL)
+            assert rows == oracle_rows, f"join diverged at 1/{denominator}"
+            assert sorted_rows == oracle_sorted, (
+                f"sort diverged at 1/{denominator}"
+            )
+            entries.append(
+                {
+                    "budget": f"1/{denominator}",
+                    "query_memory_limit": limit,
+                    "working_set_bytes": working_set,
+                    "seconds_best": seconds,
+                    "spilled_bytes": int(
+                        db.memory_stats()["session"]["spilled_bytes"]
+                    ),
+                    "rows_match": True,
+                }
+            )
+        finally:
+            db.close()
+    return entries
+
+
+def train_sweep(n_rows: int) -> list[dict]:
+    oracle_db = _make_database(n_rows)
+    try:
+        started = time.perf_counter()
+        oracle_db.execute(_TRAIN_SQL)
+        oracle_seconds = time.perf_counter() - started
+        oracle = oracle_db.model("bm")
+        oracle_coef = (oracle.coef, oracle.intercept)
+    finally:
+        oracle_db.close()
+    working_set = _working_set(n_rows)
+    entries = [
+        {
+            "budget": "unlimited",
+            "query_memory_limit": None,
+            "seconds_best": oracle_seconds,
+            "spilled_bytes": 0,
+            "coef_identical": True,
+        }
+    ]
+    for denominator in FRACTIONS:
+        limit = max(16 * 1024, working_set // denominator)
+        db = _make_database(n_rows, query_memory_limit=limit)
+        try:
+            best = float("inf")
+            for _ in range(REPEATS):
+                started = time.perf_counter()
+                db.execute(_TRAIN_SQL)
+                best = min(best, time.perf_counter() - started)
+            model = db.model("bm")
+            assert (model.coef, model.intercept) == oracle_coef, (
+                f"training diverged at 1/{denominator}"
+            )
+            entries.append(
+                {
+                    "budget": f"1/{denominator}",
+                    "query_memory_limit": limit,
+                    "seconds_best": best,
+                    # TRAIN runs under the writer path (no session), so
+                    # read the broker's lifetime spill counter instead
+                    "spilled_bytes": int(
+                        db.memory.spill.total_spilled_bytes
+                    ),
+                    "coef_identical": True,
+                }
+            )
+        finally:
+            db.close()
+    return entries
+
+
+def admission_run(n_rows: int) -> dict:
+    """Eight clients, a pool of two query budgets: queue, shed, retry."""
+    working_set = _working_set(n_rows)
+    query_limit = max(16 * 1024, working_set // 2)
+    db = _make_database(
+        n_rows, memory_limit=2 * query_limit, query_memory_limit=query_limit
+    )
+    retries = [0] * CLIENTS
+    failures: list[tuple[int, BaseException]] = []
+
+    def client(client_id: int) -> None:
+        session = db.session()
+        rng = random.Random(client_id)
+        try:
+            for _ in range(STATEMENTS_PER_CLIENT):
+                sql = rng.choice([_JOIN_SQL, _SORT_SQL])
+                for attempt in range(50):
+                    try:
+                        db.execute(sql, session=session)
+                        break
+                    except OutOfMemory:
+                        retries[client_id] += 1
+                        time.sleep(0.005 * (attempt + 1))
+                else:
+                    raise AssertionError("statement never admitted")
+        except BaseException as exc:  # noqa: BLE001 - recorded for the report
+            failures.append((client_id, exc))
+
+    try:
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        assert not failures, failures
+        snapshot = db.memory_stats()
+        assert snapshot["reserved_bytes"] == 0
+        return {
+            "clients": CLIENTS,
+            "statements": CLIENTS * STATEMENTS_PER_CLIENT,
+            "memory_limit": 2 * query_limit,
+            "query_memory_limit": query_limit,
+            "seconds_best": elapsed,
+            "grants": snapshot["grants"],
+            "queued": snapshot["queued"],
+            "shed": snapshot["shed"],
+            "retries": sum(retries),
+            "all_succeeded": True,
+        }
+    finally:
+        db.close()
+
+
+def run_sweep(n_rows: int | None = None) -> dict:
+    n_rows = n_rows or _n_rows()
+    return {
+        "benchmark": "bench_memory",
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "n_rows": n_rows,
+        "repeats": REPEATS,
+        "join_sweep": join_sweep(n_rows),
+        "train_sweep": train_sweep(n_rows),
+        "admission": admission_run(n_rows),
+    }
+
+
+def write_report(report: dict, path: str = OUT_PATH) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def _print_report(report: dict) -> None:
+    print_table(
+        f"inspection join under memory budgets (rows={report['n_rows']})",
+        ["budget", "limit (bytes)", "seconds", "spilled (bytes)", "match"],
+        [
+            [
+                entry["budget"],
+                entry["query_memory_limit"] or "-",
+                entry["seconds_best"],
+                entry["spilled_bytes"],
+                "yes" if entry["rows_match"] else "NO",
+            ]
+            for entry in report["join_sweep"]
+        ],
+    )
+    print_table(
+        "TRAIN under memory budgets",
+        ["budget", "limit (bytes)", "seconds", "spilled (bytes)", "coef"],
+        [
+            [
+                entry["budget"],
+                entry["query_memory_limit"] or "-",
+                entry["seconds_best"],
+                entry["spilled_bytes"],
+                "exact" if entry["coef_identical"] else "DRIFT",
+            ]
+            for entry in report["train_sweep"]
+        ],
+    )
+    admission = report["admission"]
+    print_table(
+        f"admission: {admission['clients']} clients, pool = 2 query budgets",
+        ["statements", "seconds", "grants", "queued", "shed", "retries"],
+        [
+            [
+                admission["statements"],
+                admission["seconds_best"],
+                admission["grants"],
+                admission["queued"],
+                admission["shed"],
+                admission["retries"],
+            ]
+        ],
+    )
+    print(f"wrote {OUT_PATH}")
+
+
+def test_memory_bench_smoke():
+    """Cheap correctness gate: tiny sweep, oracle identity throughout."""
+    report = run_sweep(n_rows=400)
+    assert any(e["spilled_bytes"] > 0 for e in report["join_sweep"])
+    assert all(e["rows_match"] for e in report["join_sweep"])
+    assert all(e["coef_identical"] for e in report["train_sweep"])
+    assert report["admission"]["all_succeeded"]
+
+
+def test_report_memory(capsys):
+    report = run_sweep()
+    write_report(report)
+    with capsys.disabled():
+        _print_report(report)
+    assert all(e["rows_match"] for e in report["join_sweep"])
+
+
+def main() -> None:
+    report = run_sweep()
+    write_report(report)
+    _print_report(report)
+
+
+if __name__ == "__main__":
+    main()

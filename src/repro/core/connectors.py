@@ -57,8 +57,13 @@ _T = TypeVar("_T")
 #: write landed on a replica of a topology whose primary moved — re-probe
 #: and re-route) and cannot_connect_now (no endpoint accepts this yet —
 #: a promotion is in flight; backoff until it completes)
+#: out_of_memory (53200: the shared memory pool or grant queue shed the
+#: query — peers finishing free budget, so a backed-off retry can get a
+#: grant) and configuration_limit_exceeded (53400: the statement needs
+#: more than its per-query budget for a non-degradable allocation — a
+#: retry after the operator raises the limit succeeds)
 RETRYABLE_SQLSTATES = frozenset(
-    {"40001", "40P01", "57014", "53300", "25006", "57P03"}
+    {"40001", "40P01", "57014", "53300", "25006", "57P03", "53200", "53400"}
 )
 
 
@@ -263,6 +268,10 @@ class DBConnector:
         wal_path: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
         statement_timeout_ms: Optional[float] = None,
+        memory_limit: Optional[int | str] = None,
+        query_memory_limit: Optional[int | str] = None,
+        spill_dir: Optional[str] = None,
+        memory_faults: Optional[object] = None,
     ) -> None:
         self._connection: Optional[dbapi.Connection] = None
         self.statement_timings: list[tuple[str, float]] = []
@@ -279,6 +288,12 @@ class DBConnector:
         self.checkpoint_every = checkpoint_every
         #: cooperative statement timeout (None: REPRO_SQL_TIMEOUT_MS, then off)
         self.statement_timeout_ms = statement_timeout_ms
+        #: memory governor budgets (None: REPRO_SQL_MEMORY_LIMIT, then off)
+        self.memory_limit = memory_limit
+        self.query_memory_limit = query_memory_limit
+        self.spill_dir = spill_dir
+        #: MemoryFaultInjector shared across reconnects (tests/chaos runs)
+        self.memory_faults = memory_faults
 
     @property
     def name(self) -> str:
@@ -294,6 +309,10 @@ class DBConnector:
             wal_path=self.wal_path,
             checkpoint_every=self.checkpoint_every,
             statement_timeout_ms=self.statement_timeout_ms,
+            memory_limit=self.memory_limit,
+            query_memory_limit=self.query_memory_limit,
+            spill_dir=self.spill_dir,
+            memory_faults=self.memory_faults,
         )
 
     @property
@@ -1026,6 +1045,10 @@ class ProfileConnector(DBConnector):
         wal_path: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
         statement_timeout_ms: Optional[float] = None,
+        memory_limit: Optional[int | str] = None,
+        query_memory_limit: Optional[int | str] = None,
+        spill_dir: Optional[str] = None,
+        memory_faults: Optional[object] = None,
     ) -> None:
         super().__init__(
             workers=workers,
@@ -1035,6 +1058,10 @@ class ProfileConnector(DBConnector):
             wal_path=wal_path,
             checkpoint_every=checkpoint_every,
             statement_timeout_ms=statement_timeout_ms,
+            memory_limit=memory_limit,
+            query_memory_limit=query_memory_limit,
+            spill_dir=spill_dir,
+            memory_faults=memory_faults,
         )
         self._custom_profile = profile
         self.profile_name = profile.name

@@ -167,6 +167,29 @@ class CannotConnectNow(SQLError):
     sqlstate = "57P03"  # cannot_connect_now
 
 
+class OutOfMemory(SQLError):
+    """The engine's global memory budget is exhausted: the grant queue
+    timed out (or overflowed) at admission, or a non-degradable
+    allocation could not be served from the shared pool mid-query.
+    Deliberately *retryable* — peers finishing their statements release
+    their grants, so backing off and re-running is the documented remedy
+    (PostgreSQL's 53200 carries the same advice under work_mem
+    pressure)."""
+
+    sqlstate = "53200"  # out_of_memory
+
+
+class ConfigurationLimitExceeded(SQLError):
+    """A single query's irreducible memory requirement — after every
+    degradation path (external sort, partitioned join/aggregate) has
+    been applied — exceeds the configured per-query limit.  Retrying
+    against the same configuration cannot succeed, but the connector
+    still treats it as retryable so a topology with mixed limits (or an
+    operator raising the limit) recovers without client changes."""
+
+    sqlstate = "53400"  # configuration_limit_exceeded
+
+
 class InspectionError(ReproError):
     """Errors raised by the inspection framework (``repro.inspection``)."""
 

@@ -335,6 +335,12 @@ class RemoteConnection:
         """Plan-cache / operator / server counters of the remote engine."""
         return self._request({"type": "stats"})
 
+    def memory_stats(self) -> dict:
+        """The server's memory-broker snapshot plus this connection's
+        peak/spilled/shed counters (empty when the server runs without
+        a memory governor)."""
+        return dict(self.server_stats().get("memory") or {})
+
     def explain_analyze(
         self, sql: str, params: Optional[Sequence[Any]] = None
     ) -> str:

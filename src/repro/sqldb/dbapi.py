@@ -27,7 +27,9 @@ from repro.errors import (
     AuthenticationError,
     CannotConnectNow,
     CatalogError,
+    ConfigurationLimitExceeded,
     DurabilityError,
+    OutOfMemory,
     ProtocolViolation,
     QueryCancelled,
     ReadOnlySQLTransaction,
@@ -142,6 +144,11 @@ _ERROR_MAP: tuple[tuple[type, type], ...] = (
     (CannotConnectNow, OperationalError),
     (AuthenticationError, OperationalError),
     (ProtocolViolation, OperationalError),
+    # memory governor: 53200 (pool exhausted / grant queue shed) and
+    # 53400 (query needs more than its limit) are retryable — peers
+    # finishing (or an operator raising the limit) unblock a re-run
+    (OutOfMemory, OperationalError),
+    (ConfigurationLimitExceeded, OperationalError),
     # 23505: constraint violations are IntegrityError per PEP 249
     (UniqueViolation, IntegrityError),
     (SQLExecutionError, DataError),
@@ -337,6 +344,10 @@ class Connection:
         checkpoint_every: Optional[int] = None,
         statement_timeout_ms: Optional[float] = None,
         faults: Optional[FaultInjector] = None,
+        memory_limit: Optional[int | str] = None,
+        query_memory_limit: Optional[int | str] = None,
+        spill_dir: Optional[str] = None,
+        memory_faults: Optional[Any] = None,
         database: Optional[Database] = None,
     ) -> None:
         if database is not None:
@@ -356,6 +367,10 @@ class Connection:
                     checkpoint_every=checkpoint_every,
                     statement_timeout_ms=statement_timeout_ms,
                     faults=faults,
+                    memory_limit=memory_limit,
+                    query_memory_limit=query_memory_limit,
+                    spill_dir=spill_dir,
+                    memory_faults=memory_faults,
                 )
             self._owns_database = True
             self.session = self.database._default_session
@@ -435,6 +450,10 @@ def connect(
     checkpoint_every: Optional[int] = None,
     statement_timeout_ms: Optional[float] = None,
     faults: Optional[FaultInjector] = None,
+    memory_limit: Optional[int | str] = None,
+    query_memory_limit: Optional[int | str] = None,
+    spill_dir: Optional[str] = None,
+    memory_faults: Optional[Any] = None,
     database: Optional[Database] = None,
 ) -> Connection:
     """Open a connection to a fresh in-process database.
@@ -446,6 +465,12 @@ def connect(
     plus a path) opts into write-ahead logging with crash recovery on
     connect; ``statement_timeout_ms`` arms a cooperative per-statement
     timeout (``REPRO_SQL_TIMEOUT_MS`` supplies a default).
+
+    ``memory_limit`` / ``query_memory_limit`` (bytes, or strings like
+    ``"64mb"``; ``REPRO_SQL_MEMORY_LIMIT`` supplies a global default)
+    arm the memory governor: queries account their hash tables, sort
+    buffers, and materialisations against the budget and degrade to
+    spill-to-disk execution under ``spill_dir`` when a grant is denied.
 
     ``database=`` connects to an *existing* :class:`Database` instead,
     opening a new concurrent session over it (every other keyword is
@@ -463,5 +488,9 @@ def connect(
         checkpoint_every=checkpoint_every,
         statement_timeout_ms=statement_timeout_ms,
         faults=faults,
+        memory_limit=memory_limit,
+        query_memory_limit=query_memory_limit,
+        spill_dir=spill_dir,
+        memory_faults=memory_faults,
         database=database,
     )

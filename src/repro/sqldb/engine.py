@@ -22,8 +22,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import (
+    ConfigurationLimitExceeded,
     DeadlockDetected,
     DurabilityError,
+    OutOfMemory,
     ReadOnlySQLTransaction,
     SerializationFailure,
     SQLExecutionError,
@@ -42,6 +44,13 @@ from repro.sqldb.catalog import (
 )
 from repro.sqldb.executor import ExecContext, execute_plan
 from repro.sqldb.faults import NO_FAULTS, FaultInjector
+from repro.sqldb.memory import (
+    MemoryBroker,
+    MemoryFaultInjector,
+    MemoryGrant,
+    batch_bytes,
+    parse_memory_limit,
+)
 from repro.sqldb.locks import LockManager, ReadWriteLock
 from repro.sqldb.session import Session
 from repro.sqldb.txn import SavepointState, Transaction
@@ -112,6 +121,28 @@ _TXN_TYPES = (
 
 #: environment variable providing a default statement timeout (ms)
 TIMEOUT_ENV = "REPRO_SQL_TIMEOUT_MS"
+
+#: environment variable providing a default global memory budget
+#: (bytes, or a ``kb``/``mb``/``gb``-suffixed string)
+MEMORY_ENV = "REPRO_SQL_MEMORY_LIMIT"
+
+
+def resolve_memory_limit(limit: Optional[int | str]) -> Optional[int]:
+    """Memory budget from the argument, else ``REPRO_SQL_MEMORY_LIMIT``.
+
+    Accepts plain byte counts or ``kb``/``mb``/``gb``-suffixed strings;
+    ``None`` (and no environment default) means unbounded."""
+    raw: Any = limit
+    if raw is None:
+        raw = os.environ.get(MEMORY_ENV)
+        if raw is None:
+            return None
+    if isinstance(raw, str):
+        try:
+            return parse_memory_limit(raw)
+        except ValueError as exc:
+            raise SQLExecutionError(str(exc)) from None
+    return int(raw)
 
 
 def resolve_workers(workers: Optional[int], profile: Profile) -> int:
@@ -259,6 +290,10 @@ class Database:
         statement_timeout_ms: Optional[float] = None,
         read_only: bool = False,
         faults: Optional[FaultInjector] = None,
+        memory_limit: Optional[int | str] = None,
+        query_memory_limit: Optional[int | str] = None,
+        spill_dir: Optional[str] = None,
+        memory_faults: Optional[MemoryFaultInjector] = None,
     ) -> None:
         if isinstance(profile, str):
             profile = profile_by_name(profile)
@@ -311,6 +346,27 @@ class Database:
         self._stats_mutex = threading.Lock()
         #: fault injection for the durability layer (inert by default)
         self.faults = faults if faults is not None else NO_FAULTS
+        #: memory governor (arg > REPRO_SQL_MEMORY_LIMIT env > unbounded);
+        #: ``None`` keeps every statement on the zero-overhead fast path
+        resolved_limit = resolve_memory_limit(memory_limit)
+        resolved_query_limit = (
+            parse_memory_limit(query_memory_limit)
+            if isinstance(query_memory_limit, str)
+            else query_memory_limit
+        )
+        self.memory: Optional[MemoryBroker] = None
+        if (
+            resolved_limit is not None
+            or resolved_query_limit is not None
+            or spill_dir is not None
+            or memory_faults is not None
+        ):
+            self.memory = MemoryBroker(
+                limit=resolved_limit,
+                query_limit=resolved_query_limit,
+                spill_dir=spill_dir,
+                faults=memory_faults,
+            )
         #: durability: opt in with durable=True/wal_path=...
         self.durable = bool(durable) or wal_path is not None
         self.wal_path = wal_path
@@ -382,6 +438,8 @@ class Database:
             self._pool = None
         if self._wal is not None:
             self._wal.close()
+        if self.memory is not None:
+            self.memory.close()
 
     def reset_storage(self) -> None:
         """Drop every relation and start from an empty committed catalog.
@@ -406,6 +464,9 @@ class Database:
             self.catalog = Catalog()
             self.operator_counters = {}
             self.last_exec_stats = None
+        if self.memory is not None:
+            # a reset must not strand spill files from discarded queries
+            self.memory.spill.cleanup_all()
 
     def cancel(self, session: Optional[Session] = None) -> None:
         """Cooperatively cancel one session's in-flight statements (the
@@ -452,6 +513,7 @@ class Database:
         stats: Optional[ExecStats] = None,
         cancel_event: Optional[threading.Event] = None,
         catalog: Optional[Catalog] = None,
+        memory: Optional[MemoryGrant] = None,
     ) -> ExecContext:
         """One execution context per statement; pools, stats and the
         cancellation deadline attach here so cached plans stay immutable
@@ -472,7 +534,44 @@ class Database:
             stats=stats,
             deadline=deadline,
             cancel_event=cancel_event,
+            memory=memory,
         )
+
+    # -- memory grants -------------------------------------------------------
+
+    def _begin_grant(
+        self, cancel_event: Optional[threading.Event] = None
+    ) -> Optional[MemoryGrant]:
+        """Admit one statement through the memory broker (None when the
+        database runs unbounded — the zero-overhead fast path)."""
+        if self.memory is None:
+            return None
+        deadline = None
+        if self.statement_timeout_ms is not None:
+            deadline = time.monotonic() + self.statement_timeout_ms / 1000.0
+        return self.memory.begin_query(
+            deadline=deadline, cancel_event=cancel_event
+        )
+
+    def _end_grant(
+        self, grant: Optional[MemoryGrant], session: Optional[Session] = None
+    ) -> None:
+        """Release a grant (bytes + spill files) and fold its counters
+        into the session; safe on every exit path and idempotent."""
+        if grant is None:
+            return
+        self.memory.end_query(grant)
+        if session is not None:
+            session.note_memory(grant.peak_bytes, grant.spilled_bytes)
+
+    def memory_stats(self, session: Optional[Session] = None) -> dict:
+        """Broker snapshot plus the session's peak/spilled counters
+        (empty when no memory governor is configured)."""
+        if self.memory is None:
+            return {}
+        snapshot = self.memory.snapshot()
+        snapshot["session"] = self._resolve_session(session).memory_stats()
+        return snapshot
 
     # -- public API ----------------------------------------------------------
 
@@ -1469,11 +1568,26 @@ class Database:
     ) -> Result:
         session = self._resolve_session(session)
         with session.statement_guard() as cancel_event:
-            ctx = self._make_context(
-                params, cancel_event=cancel_event, catalog=catalog
-            )
-            started = time.perf_counter()
-            batch = execute_plan(plan, ctx)
+            grant = None
+            try:
+                grant = self._begin_grant(cancel_event)
+                ctx = self._make_context(
+                    params,
+                    cancel_event=cancel_event,
+                    catalog=catalog,
+                    memory=grant,
+                )
+                started = time.perf_counter()
+                batch = execute_plan(plan, ctx)
+                if grant is not None:
+                    # the result batch is held until the grant closes —
+                    # it outlives every operator
+                    grant.require(batch_bytes(batch), "result.batch")
+            except (OutOfMemory, ConfigurationLimitExceeded):
+                session.memory_shed += 1
+                raise
+            finally:
+                self._end_grant(grant, session)
         if ctx.stats is not None:
             ctx.stats.wall_seconds = time.perf_counter() - started
             self._record_exec_stats(ctx.stats)
@@ -1505,11 +1619,21 @@ class Database:
             bound = tuple(params) if params is not None else ()
             stats = ExecStats(workers=self.workers)
             with self._default_session.statement_guard() as cancel_event:
-                ctx = self._make_context(
-                    bound, stats=stats, cancel_event=cancel_event
-                )
-                started = time.perf_counter()
-                execute_plan(plan, ctx)
+                grant = None
+                try:
+                    grant = self._begin_grant(cancel_event)
+                    ctx = self._make_context(
+                        bound,
+                        stats=stats,
+                        cancel_event=cancel_event,
+                        memory=grant,
+                    )
+                    started = time.perf_counter()
+                    batch = execute_plan(plan, ctx)
+                    if grant is not None:
+                        grant.require(batch_bytes(batch), "result.batch")
+                finally:
+                    self._end_grant(grant, self._default_session)
                 stats.wall_seconds = time.perf_counter() - started
         self._record_exec_stats(stats)
         if rewrites:
@@ -1652,16 +1776,23 @@ class Database:
             for key, expr in statement.options
         }
 
+        # one grant covers the whole training loop: every iteration's
+        # aggregate query accounts (and may spill) against it
+        grant = self._begin_grant()
+
         def run(select: ast.Select) -> Result:
             plan = self._plan_select(select, catalog)
             batch = execute_plan(
-                plan, self._make_context(params, catalog=catalog)
+                plan, self._make_context(params, catalog=catalog, memory=grant)
             )
             return _batch_to_result(plan, batch)
 
-        model = ml_train.train_model(
-            statement.name, statement.query, options, run
-        )
+        try:
+            model = ml_train.train_model(
+                statement.name, statement.query, options, run
+            )
+        finally:
+            self._end_grant(grant)
         catalog.create_model(model)
         return Result(rowcount=model.n_iter)
 

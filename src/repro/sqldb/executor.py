@@ -56,6 +56,11 @@ from repro.sqldb.profile import Profile
 from repro.sqldb.stats import ExecStats
 from repro.sqldb.vector import Vector, concat_vectors, from_values, gather
 from repro.sqldb import functions, hashing
+from repro.sqldb.memory import (
+    HASH_ROW_BYTES,
+    SORT_KEY_BYTES,
+    batch_bytes,
+)
 
 __all__ = [
     "ExecContext",
@@ -91,6 +96,56 @@ class ExecContext:
     cancel_event: Optional[threading.Event] = None
     #: guards the shared caches when morsel workers evaluate expressions
     lock: threading.RLock = field(default_factory=threading.RLock)
+    #: this statement's :class:`~repro.sqldb.memory.MemoryGrant`
+    #: (``None`` = unlimited: every reserve succeeds, nothing spills)
+    memory: Any = None
+
+    # -- memory accounting ---------------------------------------------------
+
+    def mem_reserve(self, nbytes: int, point: str, plan: Any = None) -> bool:
+        """Try a degradable reservation; ``False`` = take the spill path."""
+        if self.memory is None:
+            return True
+        ok = self.memory.reserve(int(nbytes), point)
+        if self.stats is not None and plan is not None and ok:
+            self.stats.record_memory(plan, peak_bytes=int(nbytes))
+        return ok
+
+    def mem_require(self, nbytes: int, point: str, plan: Any = None) -> None:
+        """A non-degradable reservation; raises 53400/53200 on refusal."""
+        if self.memory is None:
+            return
+        self.memory.require(int(nbytes), point)
+        if self.stats is not None and plan is not None:
+            self.stats.record_memory(plan, peak_bytes=int(nbytes))
+
+    def mem_release(self, nbytes: int) -> None:
+        if self.memory is not None:
+            self.memory.release(int(nbytes))
+
+    def mem_spilled(self, nbytes: int, point: str, plan: Any = None) -> None:
+        """Record *nbytes* written to a spill file at *point*."""
+        if self.memory is None:
+            return
+        self.memory.note_spill(int(nbytes), point)
+        if self.stats is not None and plan is not None:
+            self.stats.record_memory(plan, spilled_bytes=int(nbytes))
+
+    def mem_chunk(self) -> int:
+        """Working-chunk size for spill paths (a quarter of the tightest
+        budget, so run generation and partition passes always fit)."""
+        if self.memory is None:
+            return 1 << 20
+        broker = self.memory.broker
+        budget = broker.query_limit
+        if budget is None:
+            budget = broker.limit
+        if budget is None:
+            return 1 << 20
+        # under simulated allocator pressure every accounted size is
+        # scaled up; shrink the chunk so the *scaled* request still fits
+        pressure = getattr(broker.faults, "pressure", 1.0)
+        return max(256, int(budget / pressure) // 4)
 
     def check_cancelled(self) -> None:
         """Raise :class:`~repro.errors.QueryCancelled` if this statement
@@ -155,6 +210,7 @@ class ExecContext:
             stats=self.stats,
             deadline=self.deadline,
             cancel_event=self.cancel_event,
+            memory=self.memory,
         )
         clone.lock = self.lock
         return clone
@@ -372,6 +428,9 @@ def _exec_cte_ref(plan: CteRef, ctx: ExecContext) -> Batch:
         cached = ctx.cte_cache.get(id(plan.plan))
         if cached is None:
             cached = execute_plan(plan.plan, ctx)
+            # the cache lives until statement end, so this reservation is
+            # never released here — end_query reclaims it
+            ctx.mem_require(batch_bytes(cached), "cte.materialize", plan)
             ctx.cte_cache[id(plan.plan)] = cached
     columns = {dst: cached.columns[src] for src, dst in plan.rename.items()}
     return Batch(cached.length, columns)
@@ -532,6 +591,103 @@ def _equi_join_positions(
     return left_pos, right_pos
 
 
+def _spill_append(
+    ctx: ExecContext, plan: Any, spill: Any, payload: Any, point: str
+) -> None:
+    """Frame one payload into *spill*, accounting the bytes to *point*."""
+    ctx.memory.require(0, "spill.write")  # fault point: stall/fail arms
+    nbytes = spill.append(payload)
+    ctx.mem_spilled(nbytes, point, plan)
+    ctx.check_cancelled()
+
+
+def _spill_records(ctx: ExecContext, spill: Any):
+    """Stream payloads back, touching the spill.read fault point each."""
+    for payload in spill.records():
+        ctx.memory.require(0, "spill.read")
+        yield payload
+
+
+def _grace_join_positions(
+    plan: Join,
+    left_codes: np.ndarray,
+    right_codes: np.ndarray,
+    ctx: ExecContext,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grace-partitioned equi join, byte-identical to the in-memory kernel.
+
+    Key codes are factorised globally first (the partitioning scan), so
+    every row of one join key lands in exactly one partition; both sides
+    are spilled per partition, each partition is joined independently by
+    :func:`_equi_join_positions`, and the per-partition positions are
+    stitched back into the serial output order: matched and left-padded
+    rows stable-sorted by left position, right/full padding appended in
+    ascending right position — exactly the in-memory contract.
+    """
+    grant = ctx.memory
+    n_parts = max(2, int(getattr(ctx.profile, "spill_partitions", 8)))
+    chunk = ctx.mem_chunk()
+    ctx.mem_require(chunk, "join.partition", plan)
+    left_file = grant.spill_file("join-left")
+    right_file = grant.spill_file("join-right")
+    try:
+        need_right = plan.kind in ("right", "full")
+        for part in range(n_parts):
+            # numpy's mod follows Python: invalid codes (-1) land in the
+            # last partition and match nothing there, as in memory
+            lsel = np.flatnonzero(left_codes % n_parts == part)
+            rsel = np.flatnonzero(right_codes % n_parts == part)
+            if not len(lsel) and not (need_right and len(rsel)):
+                continue
+            _spill_append(
+                ctx, plan, left_file,
+                (left_codes[lsel], lsel), "join.partition",
+            )
+            _spill_append(
+                ctx, plan, right_file,
+                (right_codes[rsel], rsel), "join.partition",
+            )
+        main_left: list[np.ndarray] = []
+        main_right: list[np.ndarray] = []
+        pad_right: list[np.ndarray] = []
+        for (lcodes, lsel), (rcodes, rsel) in zip(
+            _spill_records(ctx, left_file), _spill_records(ctx, right_file)
+        ):
+            lp, rp = _equi_join_positions(lcodes, rcodes, plan.kind)
+            glp = np.full(len(lp), -1, dtype=np.int64)
+            grp = np.full(len(rp), -1, dtype=np.int64)
+            lvalid = lp >= 0
+            rvalid = rp >= 0
+            glp[lvalid] = lsel[lp[lvalid]]
+            grp[rvalid] = rsel[rp[rvalid]]
+            has_left = glp >= 0
+            main_left.append(glp[has_left])
+            main_right.append(grp[has_left])
+            if not has_left.all():
+                pad_right.append(grp[~has_left])
+            ctx.check_cancelled()
+        if main_left:
+            lp_out = np.concatenate(main_left)
+            rp_out = np.concatenate(main_right)
+        else:
+            lp_out = np.empty(0, dtype=np.int64)
+            rp_out = np.empty(0, dtype=np.int64)
+        order = np.argsort(lp_out, kind="stable")
+        lp_out = lp_out[order]
+        rp_out = rp_out[order]
+        if pad_right:
+            padded = np.sort(np.concatenate(pad_right))
+            lp_out = np.concatenate(
+                [lp_out, np.full(len(padded), -1, dtype=np.int64)]
+            )
+            rp_out = np.concatenate([rp_out, padded])
+        return lp_out, rp_out
+    finally:
+        ctx.mem_release(chunk)
+        grant.release_spill_file(left_file)
+        grant.release_spill_file(right_file)
+
+
 def join_batches(
     plan: Join, left: Batch, right: Batch, ctx: ExecContext
 ) -> Batch:
@@ -547,7 +703,19 @@ def join_batches(
         left_codes, right_codes = hashing.factorize_columns(
             list(zip(left_vectors, right_vectors)), plan.null_safe
         )
-        lp, rp = _equi_join_positions(left_codes, right_codes, plan.kind)
+        # build side: the hashed right rows plus per-row table state
+        build_est = batch_bytes(right) + HASH_ROW_BYTES * right.length
+        if ctx.mem_reserve(build_est, "join.build", plan):
+            try:
+                lp, rp = _equi_join_positions(
+                    left_codes, right_codes, plan.kind
+                )
+            finally:
+                ctx.mem_release(build_est)
+        else:
+            lp, rp = _grace_join_positions(
+                plan, left_codes, right_codes, ctx
+            )
     else:
         if plan.kind not in ("cross", "inner"):
             raise SQLExecutionError(
@@ -611,13 +779,35 @@ def aggregate_item_inputs(
 def aggregate_batch(plan: Aggregate, child: Batch, ctx: ExecContext) -> Batch:
     group_vectors = [expr(child, ctx) for _, expr in plan.groups]
     if group_vectors:
-        codes, positions = hashing.group_codes(group_vectors)
-        n_groups = len(positions)
-    else:
-        codes = np.zeros(child.length, dtype=np.int64)
-        n_groups = 1
-        positions = np.zeros(0, dtype=np.int64)
+        # accumulator state scales with input rows (codes, argsorts,
+        # per-group buffers); scalar aggregates are O(1) and never spill
+        table_est = batch_bytes(child) + HASH_ROW_BYTES * child.length
+        if not ctx.mem_reserve(table_est, "agg.hashtable", plan):
+            return _spill_aggregate(plan, child, ctx, group_vectors)
+        try:
+            codes, positions = hashing.group_codes(group_vectors)
+            n_groups = len(positions)
+            return _aggregate_output(
+                plan, child, ctx, group_vectors, codes, positions, n_groups
+            )
+        finally:
+            ctx.mem_release(table_est)
+    codes = np.zeros(child.length, dtype=np.int64)
+    positions = np.zeros(0, dtype=np.int64)
+    return _aggregate_output(
+        plan, child, ctx, group_vectors, codes, positions, 1
+    )
 
+
+def _aggregate_output(
+    plan: Aggregate,
+    child: Batch,
+    ctx: ExecContext,
+    group_vectors: list[Vector],
+    codes: np.ndarray,
+    positions: np.ndarray,
+    n_groups: int,
+) -> Batch:
     columns: dict[str, Vector] = {}
     for (out, _), vec in zip(plan.groups, group_vectors):
         columns[out.key] = gather(vec, positions)
@@ -627,6 +817,91 @@ def aggregate_batch(plan: Aggregate, child: Batch, ctx: ExecContext) -> Batch:
             item.func, arg, item_codes, n_groups, item.distinct
         )
     return Batch(n_groups, columns)
+
+
+def _spill_aggregate(
+    plan: Aggregate,
+    child: Batch,
+    ctx: ExecContext,
+    group_vectors: list[Vector],
+) -> Batch:
+    """Partitioned aggregation, byte-identical to the in-memory twin.
+
+    The global group codes double as the output ordering (dense ids in
+    ascending combined-code order — exactly what the in-memory path
+    emits) and as the partitioning function, so every group's rows land
+    wholly in one partition and partition-local aggregation sees the
+    same inputs, in the same row order, as the global pass.  Partition
+    outputs are stitched back by their global group ids.
+    """
+    grant = ctx.memory
+    n_parts = max(2, int(getattr(ctx.profile, "spill_partitions", 8)))
+    chunk = ctx.mem_chunk()
+    ctx.mem_require(chunk, "agg.partition", plan)
+    part_file = grant.spill_file("agg")
+    try:
+        codes, positions = hashing.group_codes(group_vectors)
+        n_groups = len(positions)
+        for part in range(n_parts):
+            sel = np.flatnonzero(codes % n_parts == part)
+            if not len(sel):
+                continue
+            payload = (
+                sel,
+                {
+                    key: (vec.values[sel], vec.nulls[sel])
+                    for key, vec in child.columns.items()
+                },
+            )
+            _spill_append(ctx, plan, part_file, payload, "agg.partition")
+
+        # group-key output columns come straight from the global first
+        # positions — no per-partition work needed
+        columns: dict[str, Vector] = {}
+        for (out, _), vec in zip(plan.groups, group_vectors):
+            columns[out.key] = gather(vec, positions)
+
+        group_ids: list[np.ndarray] = []
+        item_parts: dict[str, list[Vector]] = {
+            item.out.key: [] for item in plan.aggregates
+        }
+        for sel, part_columns in _spill_records(ctx, part_file):
+            sub = Batch(
+                len(sel),
+                {
+                    key: Vector(values, nulls)
+                    for key, (values, nulls) in part_columns.items()
+                },
+            )
+            # local dense codes keep their global ascending order, so
+            # local group g is global group uniq[g]
+            uniq, local = np.unique(codes[sel], return_inverse=True)
+            local = local.astype(np.int64, copy=False)
+            group_ids.append(uniq)
+            for item in plan.aggregates:
+                item_codes, arg = aggregate_item_inputs(item, sub, ctx, local)
+                item_parts[item.out.key].append(
+                    functions.compute_aggregate(
+                        item.func, arg, item_codes, len(uniq), item.distinct
+                    )
+                )
+            ctx.check_cancelled()
+        if group_ids:
+            all_ids = np.concatenate(group_ids)
+            order = np.argsort(all_ids, kind="stable")
+            for item in plan.aggregates:
+                merged = concat_vectors(item_parts[item.out.key])
+                columns[item.out.key] = gather(merged, order)
+        else:  # no input rows: no partitions were written
+            for item in plan.aggregates:
+                item_codes, arg = aggregate_item_inputs(item, child, ctx, codes)
+                columns[item.out.key] = functions.compute_aggregate(
+                    item.func, arg, item_codes, n_groups, item.distinct
+                )
+        return Batch(n_groups, columns)
+    finally:
+        ctx.mem_release(chunk)
+        grant.release_spill_file(part_file)
 
 
 # ---------------------------------------------------------------------------
@@ -639,13 +914,73 @@ def _exec_distinct(plan: Distinct, ctx: ExecContext) -> Batch:
     if child.length == 0:
         return child
     vectors = [child.columns[out.key] for out in plan.schema]
-    _, positions = hashing.group_codes(vectors)
+    table_est = HASH_ROW_BYTES * child.length
+    if ctx.mem_reserve(table_est, "distinct.hashtable", plan):
+        try:
+            _, positions = hashing.group_codes(vectors)
+        finally:
+            ctx.mem_release(table_est)
+    else:
+        positions = _spill_distinct_positions(plan, vectors, ctx)
     columns = {k: gather(v, positions) for k, v in child.columns.items()}
     return Batch(len(positions), columns)
 
 
+def _spill_distinct_positions(
+    plan: Distinct, vectors: list[Vector], ctx: ExecContext
+) -> np.ndarray:
+    """Partitioned DISTINCT: the first position of every group, ordered by
+    ascending combined code — exactly :func:`hashing.group_codes`' output.
+
+    Groups live wholly in one partition and partitions preserve row
+    order, so a partition-local first occurrence is the global one.
+    """
+    grant = ctx.memory
+    n_parts = max(2, int(getattr(ctx.profile, "spill_partitions", 8)))
+    chunk = ctx.mem_chunk()
+    ctx.mem_require(chunk, "distinct.partition", plan)
+    part_file = grant.spill_file("distinct")
+    try:
+        codes, _ = hashing.group_codes(vectors)
+        for part in range(n_parts):
+            sel = np.flatnonzero(codes % n_parts == part)
+            if not len(sel):
+                continue
+            _spill_append(
+                ctx, plan, part_file, (codes[sel], sel), "distinct.partition"
+            )
+        ids: list[np.ndarray] = []
+        firsts: list[np.ndarray] = []
+        for part_codes, sel in _spill_records(ctx, part_file):
+            uniq, first = np.unique(part_codes, return_index=True)
+            ids.append(uniq)
+            firsts.append(sel[first])
+            ctx.check_cancelled()
+        all_ids = np.concatenate(ids)
+        all_firsts = np.concatenate(firsts)
+        return all_firsts[np.argsort(all_ids, kind="stable")]
+    finally:
+        ctx.mem_release(chunk)
+        grant.release_spill_file(part_file)
+
+
 def _exec_sort(plan: Sort, ctx: ExecContext) -> Batch:
     child = execute_plan(plan.child, ctx)
+    sort_est = SORT_KEY_BYTES * child.length * max(1, len(plan.keys))
+    if ctx.mem_reserve(sort_est, "sort.buffer", plan):
+        try:
+            positions = _in_memory_sort_positions(plan, child, ctx)
+        finally:
+            ctx.mem_release(sort_est)
+    else:
+        positions = _external_sort_positions(plan, child, ctx)
+    columns = {k: gather(v, positions) for k, v in child.columns.items()}
+    return Batch(child.length, columns)
+
+
+def _in_memory_sort_positions(
+    plan: Sort, child: Batch, ctx: ExecContext
+) -> np.ndarray:
     order = list(range(child.length))
     # multi-key sort with per-key direction: stable sorts from last key first
     for expr, asc, nulls_first in reversed(plan.keys):
@@ -668,9 +1003,151 @@ def _exec_sort(plan: Sort, ctx: ExecContext) -> Batch:
                 m if v.nulls[i] else 0,
                 "" if v.nulls[i] else str(v.values[i]),
             ), reverse=not asc)
-    positions = np.asarray(order, dtype=np.int64)
-    columns = {k: gather(v, positions) for k, v in child.columns.items()}
-    return Batch(child.length, columns)
+    return np.asarray(order, dtype=np.int64)
+
+
+class _Desc:
+    """Order-inverting comparison wrapper for descending sort keys.
+
+    Sequences of stable single-key sorts with ``reverse=True`` are
+    equivalent to one stable sort on the composite key with each
+    descending component's order inverted — which is what lets the
+    external sort produce byte-identical output in a single pass.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Desc") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Desc) and other.key == self.key
+
+
+def _key_needs_str(vec: Vector, force: bool) -> bool:
+    """Should this key use the in-memory path's ``str()`` fallback?
+
+    The in-memory sort falls back per key when a comparison raises
+    ``TypeError``.  The external sort must decide *before* decorating
+    runs: mixed-type object columns always raise there, single exotic
+    types only raise if their values are incomparable (*force* is set
+    after an attempt actually raised).
+    """
+    if vec.values.dtype != object:
+        return False
+    types = {
+        type(value)
+        for value, null in zip(vec.values, vec.nulls)
+        if not null
+    }
+    if not types or types == {str}:
+        return False
+    if all(t in (int, float, bool) for t in types):
+        return False
+    if len(types) > 1:
+        return True
+    return force
+
+
+#: rows framed together in one external-sort spill record, so the merge
+#: holds one block per run instead of whole runs
+_SORT_BLOCK_ROWS = 256
+
+
+def _external_sort_positions(
+    plan: Sort, child: Batch, ctx: ExecContext
+) -> np.ndarray:
+    try:
+        return _external_sort_attempt(plan, child, ctx, force_str=False)
+    except TypeError:
+        # some key's values are incomparable: redo with the in-memory
+        # path's str() fallback applied to the ambiguous keys
+        return _external_sort_attempt(plan, child, ctx, force_str=True)
+
+
+def _external_sort_attempt(
+    plan: Sort, child: Batch, ctx: ExecContext, force_str: bool
+) -> np.ndarray:
+    """External merge sort: run generation + k-way merge.
+
+    Runs are consecutive row ranges sorted in memory on the composite
+    key and spilled as (key, row) records; the merge is keyed on
+    ``(composite key, run index, in-run position)`` so ties resolve to
+    original row order — the stability contract of the in-memory sort.
+    """
+    import heapq
+
+    n = child.length
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    specs = []
+    for expr, asc, nulls_first in plan.keys:
+        vec = expr(child, ctx)
+        nf = (not asc) if nulls_first is None else nulls_first
+        marker = (-1 if nf else 1) if asc else (1 if nf else -1)
+        specs.append((vec, asc, marker, _key_needs_str(vec, force_str)))
+
+    def composite(i: int) -> tuple:
+        parts = []
+        for vec, asc, marker, use_str in specs:
+            if vec.nulls[i]:
+                base: tuple = (marker, "") if use_str else (marker, None)
+            else:
+                value = vec.values[i]
+                base = (0, str(value)) if use_str else (0, value)
+            parts.append(base if asc else _Desc(base))
+        return tuple(parts)
+
+    grant = ctx.memory
+    chunk = ctx.mem_chunk()
+    ctx.mem_require(chunk, "sort.run", plan)
+    run_rows = max(1, chunk // (SORT_KEY_BYTES * max(1, len(specs))))
+    runs = []
+    try:
+        for lo in range(0, n, run_rows):
+            hi = min(n, lo + run_rows)
+            decorated = [(composite(i), i) for i in range(lo, hi)]
+            decorated.sort(key=lambda pair: pair[0])  # TypeError → retry
+            run = grant.spill_file(f"sort-run-{len(runs)}")
+            runs.append(run)
+            for block_lo in range(0, len(decorated), _SORT_BLOCK_ROWS):
+                _spill_append(
+                    ctx, plan, run,
+                    decorated[block_lo : block_lo + _SORT_BLOCK_ROWS],
+                    "sort.run",
+                )
+
+        def run_stream(run):
+            for block in _spill_records(ctx, run):
+                yield from block
+
+        heap: list = []
+        streams = []
+        for run_idx, run in enumerate(runs):
+            stream = run_stream(run)
+            streams.append(stream)
+            first = next(stream, None)
+            if first is not None:
+                heapq.heappush(heap, (first[0], run_idx, first[1]))
+        order = np.empty(n, dtype=np.int64)
+        out = 0
+        while heap:
+            key, run_idx, row = heapq.heappop(heap)
+            order[out] = row
+            out += 1
+            nxt = next(streams[run_idx], None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt[0], run_idx, nxt[1]))
+            if out % 4096 == 0:
+                ctx.check_cancelled()
+        return order
+    finally:
+        ctx.mem_release(chunk)
+        for run in runs:
+            grant.release_spill_file(run)
 
 
 def _exec_limit(plan: Limit, ctx: ExecContext) -> Batch:
@@ -686,6 +1163,27 @@ def _exec_window(plan: Window, ctx: ExecContext) -> Batch:
     child = execute_plan(plan.child, ctx)
     columns = dict(child.columns)
     n = child.length
+    # partition codes + per-partition order state.  Ranking windows
+    # stream one partition at a time, so under pressure the hold shrinks
+    # to a working chunk instead of failing the query
+    window_est = (HASH_ROW_BYTES + SORT_KEY_BYTES) * n * max(
+        1, len(plan.windows)
+    )
+    if ctx.mem_reserve(window_est, "window.partition", plan):
+        held = window_est
+    else:
+        held = ctx.mem_chunk()
+        ctx.mem_require(held, "window.partition", plan)
+    try:
+        return _window_output(plan, child, ctx, columns, n)
+    finally:
+        ctx.mem_release(held)
+
+
+def _window_output(
+    plan: Window, child: Batch, ctx: ExecContext,
+    columns: dict[str, Vector], n: int,
+) -> Batch:
     for item in plan.windows:
         if item.partition:
             part_codes, _ = hashing.group_codes(

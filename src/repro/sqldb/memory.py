@@ -1,0 +1,719 @@
+"""Per-query memory accounting, grant-based admission and spill files.
+
+The engine's memory-hungry operators (hash-join builds, aggregate and
+distinct hash tables, sort buffers, window partitions, materialised CTEs
+and result batches) route every sizeable allocation through a
+:class:`MemoryGrant` obtained from the database's :class:`MemoryBroker`.
+Two budgets apply:
+
+* ``query_memory_limit`` — one query's working set.  A *degradable*
+  allocation (:meth:`MemoryGrant.reserve`) that would exceed it is
+  **denied** and the operator switches to its spill twin — external
+  merge sort, Grace-partitioned hash join, partitioned aggregation —
+  each byte-identical to the in-memory path.  A *non-degradable*
+  allocation (:meth:`MemoryGrant.require`: CTE cache, window state,
+  result batch, spill working chunks) that exceeds it raises
+  :class:`~repro.errors.ConfigurationLimitExceeded` (SQLSTATE 53400).
+* ``memory_limit`` — the global pool shared by every session.  At
+  admission each query carves out its per-query limit (when one is
+  configured); when the pool is exhausted new queries wait on a
+  *bounded* grant queue — deadline- and cancel-aware exactly like the
+  lock manager's waits — and are shed with
+  :class:`~repro.errors.OutOfMemory` (SQLSTATE 53200, retryable) when
+  the queue overflows or the wait times out.  Mid-query ``require``
+  allocations that cannot be served from the pool raise 53200 too, so a
+  saturated server always sheds instead of deadlocking.
+
+Spilled state goes through the :class:`SpillManager`: length- and
+CRC-framed pickled payloads (the WAL's corruption-detection shape) in a
+per-database spill directory, tracked per grant so cancellation, errors
+and rollback reclaim every temp file.  Acked commits never depend on
+spilled state: spill files carry only *intra-query* operator state and
+are deleted at statement end, before any commit acknowledgement.
+
+The :class:`MemoryFaultInjector` is the allocation-level sibling of
+:class:`~repro.sqldb.faults.FaultInjector` (process crashes) and
+:class:`~repro.sqldb.netfaults` (wire faults): it forces a *denial*
+(→ the operator must spill), a *hard failure* (→ 53200 surfaces), or an
+artificial *stall* (→ deterministic cancellation windows) at named
+allocation points (:data:`ALLOCATION_POINTS`).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import shutil
+import struct
+import tempfile
+import threading
+import time
+import zlib
+from typing import Any, Iterator, Optional
+
+from repro.errors import (
+    ConfigurationLimitExceeded,
+    DurabilityError,
+    OutOfMemory,
+)
+
+__all__ = [
+    "ALLOCATION_POINTS",
+    "MemoryBroker",
+    "MemoryGrant",
+    "MemoryFaultInjector",
+    "NO_MEMORY_FAULTS",
+    "SpillManager",
+    "SpillFile",
+    "batch_bytes",
+    "vector_bytes",
+    "parse_memory_limit",
+]
+
+#: estimated heap bytes per element of an object-dtype column (pointer
+#: plus a small boxed payload); keeps text columns from looking free
+_OBJECT_ELEMENT_BYTES = 48
+
+#: estimated bytes per decorated sort key (a (marker, value) tuple plus
+#: list slot) — what the in-memory sort allocates per row and key
+SORT_KEY_BYTES = 112
+
+#: estimated bytes of hash-table state per build/group row (code arrays,
+#: argsort order, bucket bookkeeping)
+HASH_ROW_BYTES = 64
+
+
+#: every named allocation point threaded through the executor, in rough
+#: plan order.  Property tests sweep this registry, so adding a point
+#: here automatically adds it to the deny-at-every-point differential.
+ALLOCATION_POINTS: tuple[str, ...] = (
+    "sort.buffer",       # decorated keys + order array of an in-memory sort
+    "sort.run",          # one external-sort run (working chunk)
+    "join.build",        # hash-join build side + code tables
+    "join.partition",    # one Grace partition's working chunk
+    "agg.hashtable",     # aggregate group codes + accumulator state
+    "agg.partition",     # one spilled aggregation partition's chunk
+    "distinct.hashtable",  # distinct's group-code table
+    "distinct.partition",  # one spilled distinct partition's chunk
+    "window.partition",  # window partition codes + per-partition order
+    "cte.materialize",   # a materialised CTE cached for the query
+    "result.batch",      # the final result batch handed to the client
+    "spill.write",       # serialising a spill payload
+    "spill.read",        # reading a spill payload back
+)
+
+_POINT_SET = frozenset(ALLOCATION_POINTS)
+
+
+def vector_bytes(vector: Any) -> int:
+    """Estimated resident bytes of one column vector."""
+    values = vector.values
+    total = int(values.nbytes) + int(vector.nulls.nbytes)
+    if values.dtype == object:
+        total += _OBJECT_ELEMENT_BYTES * len(values)
+    return total
+
+
+def batch_bytes(batch: Any) -> int:
+    """Estimated resident bytes of one batch (sum over its columns)."""
+    return sum(vector_bytes(v) for v in batch.columns.values())
+
+
+def parse_memory_limit(raw: str) -> int:
+    """Parse a byte budget: plain bytes or a ``kb``/``mb``/``gb`` suffix."""
+    text = raw.strip().lower()
+    factor = 1
+    for suffix, scale in (("kb", 1024), ("mb", 1024**2), ("gb", 1024**3)):
+        if text.endswith(suffix):
+            text = text[: -len(suffix)].strip()
+            factor = scale
+            break
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"cannot parse memory limit {raw!r}; "
+            "expected bytes or a kb/mb/gb suffix"
+        ) from None
+    nbytes = int(value * factor)
+    if nbytes <= 0:
+        raise ValueError(f"memory limit {raw!r} must be positive")
+    return nbytes
+
+
+# ---------------------------------------------------------------------------
+# fault injection
+# ---------------------------------------------------------------------------
+
+
+class MemoryFaultInjector:
+    """Forces allocation outcomes at named allocation points.
+
+    * :meth:`deny` — the next *hits* reservations at a point are refused,
+      so the operator must take its spill path even under no real
+      pressure (``hits=None`` denies forever).
+    * :meth:`fail` — the n-th allocation at a point raises
+      :class:`~repro.errors.OutOfMemory` outright, modelling a pool that
+      vanished mid-query.
+    * :meth:`stall` — every allocation at a point sleeps first, opening
+      a deterministic window for cancellation and timeout tests.
+    * ``pressure`` — a multiplier applied to every accounted size,
+      modelling fragmentation / allocator overhead.
+
+    Like :class:`~repro.sqldb.faults.FaultInjector`, every point passed
+    is recorded in :attr:`trace` so tests can assert a workload actually
+    exercised the path they armed.
+    """
+
+    def __init__(self, pressure: float = 1.0) -> None:
+        if pressure < 1.0:
+            raise ValueError("pressure must be >= 1.0")
+        self.pressure = float(pressure)
+        self._denied: dict[str, Optional[int]] = {}
+        self._failing: dict[str, int] = {}
+        self._stalls: dict[str, float] = {}
+        self._mutex = threading.Lock()
+        #: allocation points reached, in order (armed or not)
+        self.trace: list[str] = []
+        #: the point whose ``fail`` arm fired, once one has
+        self.fired: Optional[str] = None
+
+    @staticmethod
+    def _validate(point: str) -> None:
+        if point not in _POINT_SET:
+            raise ValueError(
+                f"unknown allocation point {point!r}; "
+                "see memory.ALLOCATION_POINTS"
+            )
+
+    def deny(self, point: str, hits: Optional[int] = None) -> "MemoryFaultInjector":
+        self._validate(point)
+        if hits is not None and hits < 1:
+            raise ValueError("hits must be >= 1 (or None for always)")
+        with self._mutex:
+            self._denied[point] = hits
+        return self
+
+    def fail(self, point: str, hits: int = 1) -> "MemoryFaultInjector":
+        self._validate(point)
+        if hits < 1:
+            raise ValueError("hits must be >= 1")
+        with self._mutex:
+            self._failing[point] = hits
+        return self
+
+    def stall(self, point: str, seconds: float) -> "MemoryFaultInjector":
+        self._validate(point)
+        with self._mutex:
+            self._stalls[point] = float(seconds)
+        return self
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._denied.clear()
+            self._failing.clear()
+            self._stalls.clear()
+
+    def scaled(self, nbytes: int) -> int:
+        return int(nbytes * self.pressure)
+
+    def on_allocation(self, point: str, nbytes: int) -> bool:
+        """Record the allocation; True = forcibly denied (caller spills).
+
+        Raises :class:`~repro.errors.OutOfMemory` when the point's
+        ``fail`` arm is due.  Stalls apply before any verdict.
+        """
+        with self._mutex:
+            self.trace.append(point)
+            stall = self._stalls.get(point, 0.0)
+            fail_hits = self._failing.get(point)
+            if fail_hits is not None:
+                if fail_hits > 1:
+                    self._failing[point] = fail_hits - 1
+                    fail_hits = None
+                else:
+                    del self._failing[point]
+                    self.fired = point
+            deny = False
+            if fail_hits is None and point in self._denied:
+                remaining = self._denied[point]
+                if remaining is None:
+                    deny = True
+                elif remaining > 1:
+                    self._denied[point] = remaining - 1
+                    deny = True
+                else:
+                    del self._denied[point]
+                    deny = True
+        if stall:
+            time.sleep(stall)
+        if fail_hits is not None:
+            raise OutOfMemory(
+                f"injected allocation failure at {point!r} ({nbytes} bytes)"
+            )
+        return deny
+
+
+class _NoMemoryFaults(MemoryFaultInjector):
+    """Inert injector: no tracing, never denies (the default)."""
+
+    def deny(self, point: str, hits: Optional[int] = None) -> "MemoryFaultInjector":
+        raise ValueError("NO_MEMORY_FAULTS is shared; build a MemoryFaultInjector()")
+
+    fail = deny  # type: ignore[assignment]
+
+    def stall(self, point: str, seconds: float) -> "MemoryFaultInjector":
+        raise ValueError("NO_MEMORY_FAULTS is shared; build a MemoryFaultInjector()")
+
+    def scaled(self, nbytes: int) -> int:
+        return nbytes
+
+    def on_allocation(self, point: str, nbytes: int) -> bool:
+        return False
+
+
+#: shared inert injector used when a broker is built without faults
+NO_MEMORY_FAULTS = _NoMemoryFaults()
+
+
+# ---------------------------------------------------------------------------
+# spill files
+# ---------------------------------------------------------------------------
+
+_FRAME_HEADER = struct.Struct("<IQ")  # crc32, payload length
+
+
+class SpillFile:
+    """An append-only sequence of checksummed pickled payloads.
+
+    Each record is ``crc32 | length | payload`` — the WAL's framing — so
+    a torn or corrupted spill surfaces as a hard
+    :class:`~repro.errors.DurabilityError` instead of silently wrong
+    query results.  Writers append with :meth:`append`; readers stream
+    records back in order with :meth:`records` (one at a time, so the
+    reader's working set stays one payload, not the whole file).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._write_handle: Optional[io.BufferedWriter] = None
+        self.bytes_written = 0
+
+    def append(self, payload: Any) -> int:
+        """Serialise and frame one payload; returns bytes written."""
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _FRAME_HEADER.pack(zlib.crc32(blob), len(blob)) + blob
+        if self._write_handle is None:
+            self._write_handle = open(self.path, "ab")
+        self._write_handle.write(frame)
+        self.bytes_written += len(frame)
+        return len(frame)
+
+    def finish_writing(self) -> None:
+        if self._write_handle is not None:
+            self._write_handle.close()
+            self._write_handle = None
+
+    def records(self) -> Iterator[Any]:
+        """Yield payloads in append order, verifying every checksum."""
+        self.finish_writing()
+        if self.bytes_written == 0 and not os.path.exists(self.path):
+            return  # never appended to: the file was created lazily
+        with open(self.path, "rb") as handle:
+            while True:
+                header = handle.read(_FRAME_HEADER.size)
+                if not header:
+                    return
+                if len(header) < _FRAME_HEADER.size:
+                    raise DurabilityError(
+                        f"torn spill frame header in {self.path!r}"
+                    )
+                crc, length = _FRAME_HEADER.unpack(header)
+                blob = handle.read(length)
+                if len(blob) < length:
+                    raise DurabilityError(
+                        f"torn spill payload in {self.path!r}"
+                    )
+                if zlib.crc32(blob) != crc:
+                    raise DurabilityError(
+                        f"spill checksum mismatch in {self.path!r}"
+                    )
+                yield pickle.loads(blob)
+
+    def remove(self) -> None:
+        self.finish_writing()
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+
+class SpillManager:
+    """Owns one database's spill directory and tracks live spill files.
+
+    Files are created per grant and reclaimed at statement end — success,
+    error or cancellation alike — through :meth:`release_grant`;
+    :meth:`live_files` backs the test suite's leak audits.  The directory
+    itself is created lazily (an unlimited database never touches disk)
+    and removed at :meth:`close` when this manager created it.
+    """
+
+    DIR_PREFIX = "repro-spill-"
+
+    def __init__(self, spill_dir: Optional[str] = None) -> None:
+        self._configured_dir = spill_dir
+        self._dir: Optional[str] = None
+        self._owns_dir = False
+        self._mutex = threading.Lock()
+        self._counter = 0
+        #: grant id -> live spill files
+        self._by_grant: dict[int, list[SpillFile]] = {}
+        self.total_spilled_bytes = 0
+
+    @property
+    def directory(self) -> Optional[str]:
+        return self._dir
+
+    def _ensure_dir(self) -> str:
+        with self._mutex:
+            if self._dir is None:
+                if self._configured_dir is not None:
+                    os.makedirs(self._configured_dir, exist_ok=True)
+                    self._dir = self._configured_dir
+                else:
+                    self._dir = tempfile.mkdtemp(prefix=self.DIR_PREFIX)
+                    self._owns_dir = True
+            return self._dir
+
+    def create(self, grant_id: int, label: str) -> SpillFile:
+        directory = self._ensure_dir()
+        with self._mutex:
+            self._counter += 1
+            name = f"{grant_id:06d}-{self._counter:08d}-{label}.spill"
+            spill = SpillFile(os.path.join(directory, name))
+            self._by_grant.setdefault(grant_id, []).append(spill)
+        return spill
+
+    def note_written(self, nbytes: int) -> None:
+        with self._mutex:
+            self.total_spilled_bytes += nbytes
+
+    def release_file(self, grant_id: int, spill: SpillFile) -> None:
+        """Reclaim one file early (e.g. a merged external-sort run)."""
+        with self._mutex:
+            files = self._by_grant.get(grant_id)
+            if files is not None and spill in files:
+                files.remove(spill)
+        spill.remove()
+
+    def release_grant(self, grant_id: int) -> None:
+        with self._mutex:
+            files = self._by_grant.pop(grant_id, [])
+        for spill in files:
+            spill.remove()
+
+    def live_files(self) -> list[str]:
+        with self._mutex:
+            return [
+                spill.path
+                for files in self._by_grant.values()
+                for spill in files
+            ]
+
+    def cleanup_all(self) -> None:
+        with self._mutex:
+            grants = list(self._by_grant)
+        for grant_id in grants:
+            self.release_grant(grant_id)
+
+    def close(self) -> None:
+        self.cleanup_all()
+        with self._mutex:
+            directory, owns = self._dir, self._owns_dir
+            self._dir = None
+            self._owns_dir = False
+        if directory is not None and owns:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# grants and the broker
+# ---------------------------------------------------------------------------
+
+
+class MemoryGrant:
+    """One query's memory account against its broker's budgets."""
+
+    def __init__(self, broker: "MemoryBroker", grant_id: int, base_bytes: int) -> None:
+        self.broker = broker
+        self.grant_id = grant_id
+        #: bytes carved from the global pool at admission (not counted
+        #: against the query's own budget — they *are* that budget)
+        self.base_bytes = base_bytes
+        #: operator reservations currently held
+        self.reserved_bytes = 0
+        self.peak_bytes = 0
+        self.spilled_bytes = 0
+        #: allocation points that degraded to their spill path
+        self.spill_events: list[str] = []
+        self.closed = False
+
+    # reserve/require/release are delegated so all bookkeeping happens
+    # under the broker's one condition variable
+
+    def reserve(self, nbytes: int, point: str) -> bool:
+        """Try a degradable allocation; False = take the spill path."""
+        return self.broker._reserve(self, nbytes, point, degradable=True)
+
+    def require(self, nbytes: int, point: str) -> None:
+        """A non-degradable allocation; raises 53400/53200 on refusal."""
+        self.broker._reserve(self, nbytes, point, degradable=False)
+
+    def release(self, nbytes: int) -> None:
+        self.broker._release(self, nbytes)
+
+    def note_spill(self, nbytes: int, point: str) -> None:
+        self.spilled_bytes += nbytes
+        self.broker.spill.note_written(nbytes)
+        if point not in self.spill_events:
+            self.spill_events.append(point)
+
+    def spill_file(self, label: str) -> SpillFile:
+        return self.broker.spill.create(self.grant_id, label)
+
+    def release_spill_file(self, spill: SpillFile) -> None:
+        self.broker.spill.release_file(self.grant_id, spill)
+
+
+class MemoryBroker:
+    """Tracks reserved bytes per query against per-query and global budgets.
+
+    ``limit`` is the global pool (None = unbounded); ``query_limit`` caps
+    one query (None = unbounded).  Admission carves each query's
+    ``query_limit`` out of the pool up front when both are configured —
+    SQL Server-style memory grants — so a saturated pool queues new
+    queries instead of letting them start and thrash.  The queue is
+    bounded (``queue_depth``) and every wait observes the statement's
+    deadline and cancel flag, exactly like the lock manager's waits;
+    overflow and timeout shed with :class:`~repro.errors.OutOfMemory`.
+    """
+
+    def __init__(
+        self,
+        limit: Optional[int] = None,
+        query_limit: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        queue_depth: int = 16,
+        grant_timeout_ms: Optional[float] = 10000.0,
+        faults: Optional[MemoryFaultInjector] = None,
+    ) -> None:
+        if limit is not None and limit <= 0:
+            raise ValueError("memory_limit must be positive (or None)")
+        if query_limit is not None and query_limit <= 0:
+            raise ValueError("query_memory_limit must be positive (or None)")
+        if limit is not None and query_limit is not None and query_limit > limit:
+            raise ConfigurationLimitExceeded(
+                f"query_memory_limit ({query_limit}) exceeds "
+                f"memory_limit ({limit})"
+            )
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.limit = limit
+        self.query_limit = query_limit
+        self.queue_depth = queue_depth
+        self.grant_timeout_ms = grant_timeout_ms
+        self.faults = faults if faults is not None else NO_MEMORY_FAULTS
+        self.spill = SpillManager(spill_dir)
+        self._cond = threading.Condition()
+        self._grant_ids = 0
+        self._reserved_total = 0
+        self._waiting = 0
+        self._active: dict[int, MemoryGrant] = {}
+        #: lifetime counters (server stats)
+        self.stats = {
+            "grants": 0,
+            "queued": 0,
+            "shed": 0,
+            "spills": 0,
+            "peak_reserved_bytes": 0,
+        }
+
+    # -- admission -----------------------------------------------------------
+
+    @property
+    def reserved_total(self) -> int:
+        with self._cond:
+            return self._reserved_total
+
+    @property
+    def active_grants(self) -> int:
+        with self._cond:
+            return len(self._active)
+
+    def _admission_bytes(self) -> int:
+        """Bytes carved out of the pool at admission."""
+        if self.limit is None:
+            return 0
+        if self.query_limit is not None:
+            return self.query_limit
+        return 0  # pay-as-you-go: reservations draw from the pool directly
+
+    def begin_query(
+        self,
+        deadline: Optional[float] = None,
+        cancel_event: Optional[threading.Event] = None,
+    ) -> MemoryGrant:
+        """Admit one query, waiting on the bounded grant queue if needed."""
+        base = self._admission_bytes()
+        wait_deadline = deadline
+        if self.grant_timeout_ms is not None:
+            grant_deadline = time.monotonic() + self.grant_timeout_ms / 1000.0
+            wait_deadline = (
+                grant_deadline
+                if wait_deadline is None
+                else min(wait_deadline, grant_deadline)
+            )
+        with self._cond:
+            queued = False
+            while (
+                base
+                and self.limit is not None
+                and self._reserved_total + base > self.limit
+            ):
+                if not queued:
+                    if self._waiting >= self.queue_depth:
+                        self.stats["shed"] += 1
+                        raise OutOfMemory(
+                            "memory grant queue is full "
+                            f"({self.queue_depth} waiters); retry shortly"
+                        )
+                    queued = True
+                    self._waiting += 1
+                    self.stats["queued"] += 1
+                if cancel_event is not None and cancel_event.is_set():
+                    self._waiting -= 1
+                    from repro.errors import QueryCancelled
+
+                    raise QueryCancelled(
+                        "query cancelled while waiting for a memory grant"
+                    )
+                timeout = 0.05
+                if wait_deadline is not None:
+                    remaining = wait_deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._waiting -= 1
+                        self.stats["shed"] += 1
+                        raise OutOfMemory(
+                            "timed out waiting for a memory grant "
+                            f"({self._reserved_total} of {self.limit} "
+                            "bytes reserved); retry shortly"
+                        )
+                    timeout = min(timeout, remaining)
+                self._cond.wait(timeout)
+            if queued:
+                self._waiting -= 1
+            self._grant_ids += 1
+            grant = MemoryGrant(self, self._grant_ids, base)
+            self._reserved_total += base
+            self._note_peak()
+            self._active[grant.grant_id] = grant
+            self.stats["grants"] += 1
+        return grant
+
+    def end_query(self, grant: MemoryGrant) -> None:
+        """Release the grant's bytes and reclaim its spill files."""
+        if grant.closed:
+            return
+        grant.closed = True
+        self.spill.release_grant(grant.grant_id)
+        with self._cond:
+            held = grant.base_bytes + max(
+                0, grant.reserved_bytes - grant.base_bytes
+            )
+            self._reserved_total -= held
+            grant.reserved_bytes = 0
+            self._active.pop(grant.grant_id, None)
+            if grant.spill_events:
+                self.stats["spills"] += 1
+            self._cond.notify_all()
+
+    # -- reservations --------------------------------------------------------
+
+    def _note_peak(self) -> None:
+        if self._reserved_total > self.stats["peak_reserved_bytes"]:
+            self.stats["peak_reserved_bytes"] = self._reserved_total
+
+    def _reserve(
+        self, grant: MemoryGrant, nbytes: int, point: str, degradable: bool
+    ) -> bool:
+        nbytes = self.faults.scaled(int(nbytes))
+        if self.faults.on_allocation(point, nbytes):
+            if degradable:
+                return False
+            raise OutOfMemory(
+                f"injected allocation denial at {point!r} ({nbytes} bytes)"
+            )
+        with self._cond:
+            over_query = (
+                self.query_limit is not None
+                and grant.reserved_bytes + nbytes > self.query_limit
+            )
+            # bytes beyond the admission carve-out draw from the pool
+            pool_draw = max(
+                0, grant.reserved_bytes + nbytes - grant.base_bytes
+            ) - max(0, grant.reserved_bytes - grant.base_bytes)
+            over_global = (
+                self.limit is not None
+                and self._reserved_total + pool_draw > self.limit
+            )
+            if over_query or over_global:
+                if degradable:
+                    return False
+                if over_query:
+                    raise ConfigurationLimitExceeded(
+                        f"allocation of {nbytes} bytes at {point!r} would "
+                        f"bring the query to "
+                        f"{grant.reserved_bytes + nbytes} bytes, over "
+                        f"query_memory_limit ({self.query_limit} bytes); "
+                        "raise the limit to run this query"
+                    )
+                raise OutOfMemory(
+                    f"allocation of {nbytes} bytes at {point!r} would bring "
+                    f"the pool to {self._reserved_total + pool_draw} bytes, "
+                    f"over the global memory_limit ({self.limit} bytes); "
+                    "retry shortly"
+                )
+            grant.reserved_bytes += nbytes
+            self._reserved_total += pool_draw
+            if grant.reserved_bytes > grant.peak_bytes:
+                grant.peak_bytes = grant.reserved_bytes
+            self._note_peak()
+            return True
+
+    def _release(self, grant: MemoryGrant, nbytes: int) -> None:
+        nbytes = self.faults.scaled(int(nbytes))
+        with self._cond:
+            nbytes = min(nbytes, grant.reserved_bytes)
+            before = max(0, grant.reserved_bytes - grant.base_bytes)
+            grant.reserved_bytes -= nbytes
+            after = max(0, grant.reserved_bytes - grant.base_bytes)
+            self._reserved_total -= before - after
+            self._cond.notify_all()
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._cond:
+            return {
+                "limit": self.limit,
+                "query_limit": self.query_limit,
+                "reserved_bytes": self._reserved_total,
+                "active_grants": len(self._active),
+                "waiting": self._waiting,
+                "total_spilled_bytes": self.spill.total_spilled_bytes,
+                **self.stats,
+            }
+
+    def close(self) -> None:
+        self.spill.close()

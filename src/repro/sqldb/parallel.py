@@ -152,7 +152,7 @@ def _execute_source(source: PlanNode, ctx: "executor.ExecContext") -> Batch:
 
 def _prepare(
     pipe: _Pipeline, ctx: "executor.ExecContext"
-) -> Optional[tuple[Batch, list[tuple[int, int]], dict[int, Batch]]]:
+) -> Optional[tuple[Batch, list[tuple[int, int]], dict[int, Batch], int]]:
     """Materialise source and build sides; None when too small to morselize."""
     source_batch = _execute_source(pipe.source, ctx)
     n = source_batch.length
@@ -168,7 +168,16 @@ def _prepare(
     for node in pipe.spine:
         if isinstance(node, Join):
             builds[id(node)] = executor.execute_plan(node.right, ctx)
-    return source_batch, bounds, builds
+    # every build side stays pinned while probe morsels run; when the
+    # memory governor denies the pin, fall back to the serial path,
+    # whose Grace join degrades by spilling instead
+    build_bytes = sum(
+        executor.batch_bytes(b) + executor.HASH_ROW_BYTES * b.length
+        for b in builds.values()
+    )
+    if build_bytes and not ctx.mem_reserve(build_bytes, "join.build"):
+        return None
+    return source_batch, bounds, builds, build_bytes
 
 
 def _run_segment(
@@ -218,14 +227,17 @@ def _map_morsels(
     prep = _prepare(pipe, ctx)
     if prep is None:
         return None
-    source_batch, bounds, builds = prep
-    futures = [
-        ctx.pool.submit(
-            _run_segment, pipe, source_batch, lo, hi, builds, ctx, copy_last
-        )
-        for lo, hi in bounds
-    ]
-    parts = [future.result() for future in futures]
+    source_batch, bounds, builds, build_bytes = prep
+    try:
+        futures = [
+            ctx.pool.submit(
+                _run_segment, pipe, source_batch, lo, hi, builds, ctx, copy_last
+            )
+            for lo, hi in bounds
+        ]
+        parts = [future.result() for future in futures]
+    finally:
+        ctx.mem_release(build_bytes)
     if ctx.stats is not None:
         for node in [pipe.source, *pipe.spine]:
             ctx.stats.mark_parallel(node, len(bounds))
@@ -524,7 +536,7 @@ def _run_aggregate(
     prep = _prepare(pipe, ctx)
     if prep is None:
         return None
-    source_batch, bounds, builds = prep
+    source_batch, bounds, builds, build_bytes = prep
     decomposable = all(
         item.func in MERGEABLE_AGGREGATES and not item.distinct
         for item in plan.aggregates
@@ -537,8 +549,11 @@ def _run_aggregate(
             state = _partial_state(plan, batch, ctx.serial())
         return batch, state
 
-    futures = [ctx.pool.submit(segment, lo, hi) for lo, hi in bounds]
-    results = [future.result() for future in futures]
+    try:
+        futures = [ctx.pool.submit(segment, lo, hi) for lo, hi in bounds]
+        results = [future.result() for future in futures]
+    finally:
+        ctx.mem_release(build_bytes)
     if ctx.stats is not None:
         for node in [pipe.source, *pipe.spine]:
             ctx.stats.mark_parallel(node, len(bounds))

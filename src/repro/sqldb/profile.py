@@ -42,6 +42,9 @@ class Profile:
     #: off by default so stock profiles keep their documented plan shapes —
     #: ``Database(optimize=True)`` opts in per connection
     optimize: bool = False
+    #: fan-out of the spill paths (Grace hash join, partitioned
+    #: aggregation/distinct) when the memory governor denies a reservation
+    spill_partitions: int = 8
 
 
 POSTGRES = Profile("postgres", materialize_ctes_by_default=True, copy_operator_output=True)

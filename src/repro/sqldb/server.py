@@ -381,12 +381,16 @@ class _ClientHandler:
             database.reset_storage()
             return {"type": "ok", "in_transaction": False}
         if kind == "stats":
-            return {
+            frame = {
                 "type": "stats",
                 "plan_cache": database.plan_cache.stats,
                 "operators": database.operator_counters,
                 "server": dict(server.stats),
             }
+            if database.memory is not None:
+                # broker snapshot plus this connection's peak/spilled/shed
+                frame["memory"] = database.memory_stats(session)
+            return frame
         if kind == "explain_analyze":
             params = message.get("params")
             text = database.explain_analyze(

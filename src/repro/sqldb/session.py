@@ -44,6 +44,25 @@ class Session:
         #: cancel events of in-flight statements (guarded by the mutex)
         self._cancel_mutex = threading.Lock()
         self._active_cancels: set[threading.Event] = set()
+        #: memory-governor counters across this session's statements:
+        #: largest single-statement reservation, cumulative spilled
+        #: bytes, and statements shed with 53200/53400
+        self.peak_memory_bytes = 0
+        self.spilled_bytes = 0
+        self.memory_shed = 0
+
+    def note_memory(self, peak_bytes: int, spilled_bytes: int) -> None:
+        """Fold one statement's memory grant into the session counters."""
+        if peak_bytes > self.peak_memory_bytes:
+            self.peak_memory_bytes = peak_bytes
+        self.spilled_bytes += spilled_bytes
+
+    def memory_stats(self) -> dict:
+        return {
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "spilled_bytes": self.spilled_bytes,
+            "memory_shed": self.memory_shed,
+        }
 
     # -- statement lifecycle -------------------------------------------------
 

@@ -33,6 +33,10 @@ class OpStats:
     seconds: float = 0.0
     #: morsels executed in parallel (0 for serial-only operators)
     parallel_morsels: int = 0
+    #: largest memory reservation this operator held at once
+    peak_bytes: int = 0
+    #: bytes this operator wrote to spill files
+    spilled_bytes: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -41,6 +45,8 @@ class OpStats:
             "rows": self.rows,
             "seconds": self.seconds,
             "parallel_morsels": self.parallel_morsels,
+            "peak_bytes": self.peak_bytes,
+            "spilled_bytes": self.spilled_bytes,
         }
 
 
@@ -65,6 +71,20 @@ class ExecStats:
             entry.calls += 1
             entry.rows += rows
             entry.seconds += seconds
+
+    def record_memory(
+        self, plan: PlanNode, peak_bytes: int = 0, spilled_bytes: int = 0
+    ) -> None:
+        """Attach memory accounting to *plan*'s entry (peak max, spill sum)."""
+        key = id(plan)
+        with self._lock:
+            entry = self.nodes.get(key)
+            if entry is None:
+                entry = OpStats(plan.label())
+                self.nodes[key] = entry
+            if peak_bytes > entry.peak_bytes:
+                entry.peak_bytes = peak_bytes
+            entry.spilled_bytes += spilled_bytes
 
     def mark_parallel(self, plan: PlanNode, morsels: int) -> None:
         """Tag *plan* (and its stats entry) as morsel-parallel executed."""
@@ -101,6 +121,10 @@ class ExecStats:
             )
             if entry.parallel_morsels:
                 line += f" morsels={entry.parallel_morsels}"
+            if entry.peak_bytes:
+                line += f" peak_bytes={entry.peak_bytes}"
+            if entry.spilled_bytes:
+                line += f" spilled_bytes={entry.spilled_bytes}"
             line += ")"
         else:
             line += "  (never executed)"
@@ -116,12 +140,21 @@ class ExecStats:
             for entry in self.nodes.values():
                 agg = out.setdefault(
                     entry.label,
-                    {"calls": 0, "rows": 0, "seconds": 0.0, "parallel_morsels": 0},
+                    {
+                        "calls": 0,
+                        "rows": 0,
+                        "seconds": 0.0,
+                        "parallel_morsels": 0,
+                        "peak_bytes": 0,
+                        "spilled_bytes": 0,
+                    },
                 )
                 agg["calls"] += entry.calls
                 agg["rows"] += entry.rows
                 agg["seconds"] += entry.seconds
                 agg["parallel_morsels"] += entry.parallel_morsels
+                agg["peak_bytes"] = max(agg["peak_bytes"], entry.peak_bytes)
+                agg["spilled_bytes"] += entry.spilled_bytes
         return out
 
 
@@ -131,8 +164,19 @@ def merge_operator_counters(
     """Fold one execution's ``by_operator`` summary into running totals."""
     for label, counters in new.items():
         agg = total.setdefault(
-            label, {"calls": 0, "rows": 0, "seconds": 0.0, "parallel_morsels": 0}
+            label,
+            {
+                "calls": 0,
+                "rows": 0,
+                "seconds": 0.0,
+                "parallel_morsels": 0,
+                "peak_bytes": 0,
+                "spilled_bytes": 0,
+            },
         )
         for key, value in counters.items():
-            agg[key] += value
+            if key == "peak_bytes":
+                agg[key] = max(agg.get(key, 0), value)
+            else:
+                agg[key] = agg.get(key, 0) + value
     return total

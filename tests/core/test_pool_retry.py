@@ -41,8 +41,11 @@ class TestRetryBackoff:
         # connection should simply be retried under backoff.  25006/57P03
         # joined with replication: a write landing on a replica or in a
         # failover window is retried against the (re-probed) primary.
+        # 53200/53400 joined with the memory governor: a grant shed under
+        # pool pressure or a budget overrun clears once peers finish.
         assert RETRYABLE_SQLSTATES == {
             "40001", "40P01", "57014", "53300", "25006", "57P03",
+            "53200", "53400",
         }
         assert is_retryable(SerializationFailure("serialize"))
         assert is_retryable(DeadlockDetected("deadlock"))

@@ -4,7 +4,7 @@ A grammar-based generator produces random SELECTs (filters with mixed
 conjuncts, inner/left joins up to three tables, group-by + having,
 order-by, limit/offset) over random small tables, and every query must
 return identical rows — same values, same nulls, same Python value
-types — across six engine configurations:
+types — across seven engine configurations:
 
 * the serial reference with the optimizer off,
 * the optimizer on (serial), after ``ANALYZE``,
@@ -16,7 +16,12 @@ types — across six engine configurations:
 * the optimizer on with ML-model churn: random TRAIN / DROP MODEL
   statements (plus DML on a scratch table feeding a TRAIN) interleave
   with the compared queries — training reads the shared tables and
-  bumps catalog versions, so it must never perturb query results.
+  bumps catalog versions, so it must never perturb query results,
+* the memory governor with every degradable grant denied: sorts,
+  hash-join builds, aggregate and DISTINCT hash tables all take the
+  spill-to-disk path (external sort, Grace partitioned join,
+  partitioned aggregation), which must stay byte-identical to the
+  in-memory operators.
 
 Queries whose ORDER BY covers every output column compare as exact
 sequences; all others compare as sorted multisets (the rewrite layer is
@@ -38,6 +43,7 @@ from hypothesis import strategies as st
 
 from repro.errors import SQLExecutionError
 from repro.sqldb import Database
+from repro.sqldb.memory import MemoryFaultInjector
 
 pytestmark = pytest.mark.fuzz
 
@@ -154,6 +160,17 @@ def _churn_models(db, rng):
         pass  # empty training set — fine, nothing was trained
 
 
+def _deny_all_degradable():
+    """Every degradable memory grant is denied: spill paths always run."""
+    return (
+        MemoryFaultInjector()
+        .deny("sort.buffer")
+        .deny("join.build")
+        .deny("agg.hashtable")
+        .deny("distinct.hashtable")
+    )
+
+
 def _configs(profile, t_rows, u_rows, w_rows=((), ())):
     """(name, db) pairs: the serial/optimizer-off reference first."""
     configs = [
@@ -166,6 +183,7 @@ def _configs(profile, t_rows, u_rows, w_rows=((), ())):
         ),
         ("opt-indexed", Database(profile, optimize=True)),
         ("opt-models", Database(profile, optimize=True)),
+        ("off-spill", Database(profile, memory_faults=_deny_all_degradable())),
     ]
     for name, db in configs:
         _load_tables(db, t_rows, u_rows, w_rows)
